@@ -1,0 +1,90 @@
+// bench_fig10_scalability - reproduces paper Fig. 10:
+//   (left)  full-timing runtime vs thread count on million-gate-class
+//           designs, v1 (levelized OpenMP) vs v2 (Cpp-Taskflow), on
+//           netcard-scale and leon3mp-scale synthetic circuits;
+//   (right) CPU utilization over time of the v2 run, recorded by the
+//           executor observer and bucketed into a time series.
+//
+// Gate counts scale with REPRO_TIMER_SCALE_BIG (default 0.02 -> ~28K/24K
+// gates, sized for a small host; set 1.0 to reproduce the paper's 1.4M/1.2M).
+#include "bench_util.hpp"
+#include "taskflow/observer.hpp"
+#include "timer/timers.hpp"
+
+namespace {
+
+void run_design(std::ostream& os, const char* name, const ot::CircuitSpec& spec) {
+  const auto lib = ot::CellLibrary::make_synthetic();
+  auto nl = ot::make_circuit(lib, spec);
+
+  support::banner(os, std::string("Fig. 10 (left): ") + name + " full-timing runtime, " +
+                          support::fmt_count(static_cast<long long>(nl.num_gates())) +
+                          " gates / " +
+                          support::fmt_count(static_cast<long long>(2 * nl.num_pins())) +
+                          " tasks per update");
+
+  support::Table table({"threads", "v1_openmp_ms", "v2_taskflow_ms"});
+  for (unsigned t : bench::thread_sweep()) {
+    ot::TimerOptions opt;
+    opt.num_threads = t;
+    opt.clock_period = 2.0;
+    opt.corners = static_cast<int>(support::env_int("REPRO_TIMER_CORNERS", 32));
+
+    double v1_ms = 0.0, v2_ms = 0.0;
+    {
+      ot::TimerV1 v1(nl, opt);
+      v1_ms = bench::time_ms([&] { v1.full_update(); });
+    }
+    {
+      ot::TimerV2 v2(nl, opt);
+      v2_ms = bench::time_ms([&] { v2.full_update(); });
+    }
+    table.add_row({std::to_string(t), support::fmt(v1_ms), support::fmt(v2_ms)});
+  }
+  table.print(os);
+  table.print_csv(os, std::string("fig10_") + name);
+}
+
+void utilization_profile(std::ostream& os, const ot::CircuitSpec& spec) {
+  const auto lib = ot::CellLibrary::make_synthetic();
+  auto nl = ot::make_circuit(lib, spec);
+
+  support::banner(os, "Fig. 10 (right): CPU utilization profile (leon3mp, v2)");
+  support::Table table({"threads", "bucket", "utilization_pct"});
+  for (unsigned t : bench::thread_sweep()) {
+    ot::TimerOptions opt;
+    opt.num_threads = t;
+    opt.corners = static_cast<int>(support::env_int("REPRO_TIMER_CORNERS", 32));
+    ot::TimerV2 v2(nl, opt);
+    auto obs = std::make_shared<tf::RecordingObserver>();
+    v2.set_observer(obs);
+    v2.full_update();
+
+    const auto util = obs->utilization(std::chrono::milliseconds(20));
+    for (std::size_t b = 0; b < util.size(); ++b) {
+      table.add_row({std::to_string(t), std::to_string(b), support::fmt(util[b], 1)});
+    }
+  }
+  table.print(os);
+  table.print_csv(os, "fig10_utilization");
+  os << "utilization is summed across workers (max = 100% x threads), bucketed\n"
+        "at 20 ms, as in the paper's per-second percentage profile.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::ostream& os = std::cout;
+  const double scale = support::env_double("REPRO_TIMER_SCALE_BIG", 0.01);
+
+  run_design(os, "netcard", ot::netcard_spec(scale));
+  run_design(os, "leon3mp", ot::leon3mp_spec(scale));
+  utilization_profile(os, ot::leon3mp_spec(scale));
+
+  os << "\nPaper shape: v2 is ~3-4% slower than v1 at one CPU (the task-graph\n"
+        "overhead, negligible) and consistently faster at every other CPU count.\n"
+        "On this host (" << std::thread::hardware_concurrency()
+     << " hardware thread(s)) multi-thread points time-slice; the 1-thread\n"
+        "overhead comparison is the portable part of the shape.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// bench_fig7_traversal - reproduces paper Fig. 7 (right column): random
+// graph-traversal micro-benchmark (irregular compute pattern, node degree
+// capped at 4-in/4-out so the OpenMP clause enumeration stays finite).
+//   Section 1: runtime vs graph size at 8 threads (top-right plot).
+//   Section 2: runtime vs thread count at the largest size, Cpp-Taskflow vs
+//              TBB (bottom-right plot).
+#include "bench_util.hpp"
+#include "kernels.hpp"
+
+int main() {
+  using namespace bench;
+  std::ostream& os = std::cout;
+
+  const unsigned threads = fixed_threads(8);
+  const int work = 100;
+
+  support::banner(os, "Fig. 7 (top-right): graph traversal runtime vs size, " +
+                          std::to_string(threads) + " threads");
+
+  const std::vector<std::size_t> sizes = {50000, 100000, 200000, 400000,
+                                          scaled(711002)};
+  support::Table size_table(
+      {"tasks", "edges", "seq_ms", "taskflow_ms", "tbb_ms", "omp_ms"});
+
+  kernels::TraversalGraph largest_graph;
+  for (std::size_t n : sizes) {
+    if (n < 16) continue;
+    auto g = kernels::make_traversal_graph(n, 0xF16u);
+    const double ref = kernels::traversal_seq(g, work);
+
+    const double seq_ms = time_ms([&] { (void)kernels::traversal_seq(g, work); });
+    double sink = 0.0;
+    const double tf_ms =
+        time_ms([&] { sink = kernels::traversal_taskflow(g, work, threads); });
+    check(ref, sink, "traversal_taskflow");
+    const double tbb_ms = time_ms([&] { sink = kernels::traversal_tbb(g, work, threads); });
+    check(ref, sink, "traversal_tbb");
+    const double omp_ms = time_ms([&] { sink = kernels::traversal_omp(g, work, threads); });
+    check(ref, sink, "traversal_omp");
+
+    size_table.add_row({support::fmt_count(static_cast<long long>(n)),
+                        support::fmt_count(static_cast<long long>(g.num_edges)),
+                        support::fmt(seq_ms), support::fmt(tf_ms), support::fmt(tbb_ms),
+                        support::fmt(omp_ms)});
+    largest_graph = std::move(g);
+  }
+  size_table.print(os);
+  size_table.print_csv(os, "fig7_traversal_size");
+
+  support::banner(os, "Fig. 7 (bottom-right): traversal runtime vs #threads at " +
+                          support::fmt_count(static_cast<long long>(largest_graph.size())) +
+                          " tasks");
+  support::Table thread_table({"threads", "taskflow_ms", "tbb_ms"});
+  const double ref = kernels::traversal_seq(largest_graph, work);
+  for (unsigned t : thread_sweep()) {
+    double sink = 0.0;
+    const double tf_ms =
+        time_ms([&] { sink = kernels::traversal_taskflow(largest_graph, work, t); });
+    check(ref, sink, "traversal_taskflow");
+    const double tbb_ms =
+        time_ms([&] { sink = kernels::traversal_tbb(largest_graph, work, t); });
+    check(ref, sink, "traversal_tbb");
+    thread_table.add_row({std::to_string(t), support::fmt(tf_ms), support::fmt(tbb_ms)});
+  }
+  thread_table.print(os);
+  thread_table.print_csv(os, "fig7_traversal_threads");
+
+  os << "\nPaper shape: at size 348K Cpp-Taskflow is 7.9x faster than OpenMP and\n"
+        "1.9x faster than TBB; the margin grows with problem size, and taskflow\n"
+        "stays ahead of TBB at every thread count.\n";
+  return 0;
+}

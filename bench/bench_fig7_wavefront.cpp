@@ -1,0 +1,72 @@
+// bench_fig7_wavefront - reproduces paper Fig. 7 (left column): wavefront
+// micro-benchmark.
+//   Section 1: runtime vs problem size at 8 threads (Cpp-Taskflow, TBB
+//              dialect via fg::, OpenMP) - paper top-left plot.
+//   Section 2: runtime vs thread count at the largest size (Cpp-Taskflow vs
+//              TBB; OpenMP skipped, as in the paper) - bottom-left plot.
+// The measurement includes library ramp-up, graph construction, execution
+// and clean-up, exactly as the paper specifies.
+#include "bench_util.hpp"
+#include "kernels.hpp"
+
+int main() {
+  using namespace bench;
+  std::ostream& os = std::cout;
+
+  const unsigned threads = fixed_threads(8);
+  const int work = 100;
+
+  support::banner(os, "Fig. 7 (top-left): wavefront runtime vs block count, " +
+                          std::to_string(threads) + " threads");
+
+  const std::vector<int> block_sides = {32, 64, 128, 256,
+                                        static_cast<int>(scaled(512))};
+  support::Table size_table({"tasks", "seq_ms", "taskflow_ms", "tbb_ms", "omp_ms"});
+
+  int largest = 0;
+  for (int nb : block_sides) {
+    if (nb < 2) continue;
+    largest = nb;
+    const double ref = kernels::wavefront_seq(nb, work);
+
+    double seq_ms = time_ms([&] { (void)kernels::wavefront_seq(nb, work); });
+    double tf_ms = 0.0, tbb_ms = 0.0, omp_ms = 0.0;
+    double sink = 0.0;
+    tf_ms = time_ms([&] { sink = kernels::wavefront_taskflow(nb, work, threads); });
+    check(ref, sink, "wavefront_taskflow");
+    tbb_ms = time_ms([&] { sink = kernels::wavefront_tbb(nb, work, threads); });
+    check(ref, sink, "wavefront_tbb");
+    omp_ms = time_ms([&] { sink = kernels::wavefront_omp(nb, work, threads); });
+    check(ref, sink, "wavefront_omp");
+
+    size_table.add_row({support::fmt_count(static_cast<long long>(nb) * nb),
+                        support::fmt(seq_ms), support::fmt(tf_ms), support::fmt(tbb_ms),
+                        support::fmt(omp_ms)});
+  }
+  size_table.print(os);
+  size_table.print_csv(os, "fig7_wavefront_size");
+
+  support::banner(os, "Fig. 7 (bottom-left): wavefront runtime vs #threads at " +
+                          support::fmt_count(static_cast<long long>(largest) * largest) +
+                          " tasks");
+  support::Table thread_table({"threads", "taskflow_ms", "tbb_ms"});
+  const double ref = kernels::wavefront_seq(largest, work);
+  for (unsigned t : thread_sweep()) {
+    double sink = 0.0;
+    const double tf_ms =
+        time_ms([&] { sink = kernels::wavefront_taskflow(largest, work, t); });
+    check(ref, sink, "wavefront_taskflow");
+    const double tbb_ms = time_ms([&] { sink = kernels::wavefront_tbb(largest, work, t); });
+    check(ref, sink, "wavefront_tbb");
+    thread_table.add_row({std::to_string(t), support::fmt(tf_ms), support::fmt(tbb_ms)});
+  }
+  thread_table.print(os);
+  thread_table.print_csv(os, "fig7_wavefront_threads");
+
+  os << "\nPaper shape: Cpp-Taskflow scales best as block count grows and is\n"
+        "consistently faster than TBB across thread counts (32-84% at 1 CPU);\n"
+        "OpenMP trails both.  Note: this host has "
+     << std::thread::hardware_concurrency()
+     << " hardware thread(s); thread-sweep speedups saturate accordingly.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// bench_micro_construction - microbenchmarks of graph construction and
+// dispatch overhead (google-benchmark): emplace throughput, precede edge
+// insertion, end-to-end empty-task throughput (the "library ramp-up +
+// construction + execution + clean-up" cost the paper's Fig. 7 includes),
+// and subflow spawn overhead.
+#include <benchmark/benchmark.h>
+
+#include "taskflow/taskflow.hpp"
+
+namespace {
+
+void BM_Emplace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto executor = tf::make_executor(1);
+  for (auto _ : state) {
+    tf::Taskflow tf(executor);
+    for (std::size_t i = 0; i < n; ++i) tf.emplace([] {});
+    benchmark::DoNotOptimize(tf.num_nodes());
+    // Graph dropped without dispatch: pure construction cost.
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Emplace)->Arg(1024)->Arg(65536)->Unit(benchmark::kMicrosecond);
+
+void BM_PrecedeEdges(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto executor = tf::make_executor(1);
+  for (auto _ : state) {
+    tf::Taskflow tf(executor);
+    tf::Task prev = tf.emplace([] {});
+    for (std::size_t i = 1; i < n; ++i) {
+      tf::Task next = tf.emplace([] {});
+      prev.precede(next);
+      prev = next;
+    }
+    benchmark::DoNotOptimize(tf.num_nodes());
+  }
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n - 1),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PrecedeEdges)->Arg(65536)->Unit(benchmark::kMicrosecond);
+
+void BM_EndToEndEmptyTasks(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  auto executor = tf::make_executor(workers);
+  for (auto _ : state) {
+    tf::Taskflow tf(executor);
+    for (std::size_t i = 0; i < n; ++i) tf.emplace([] {});
+    tf.wait_for_all();
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndEmptyTasks)
+    ->Args({16384, 1})
+    ->Args({16384, 2})
+    ->Args({16384, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SubflowSpawn(benchmark::State& state) {
+  const auto children = static_cast<std::size_t>(state.range(0));
+  auto executor = tf::make_executor(2);
+  for (auto _ : state) {
+    tf::Taskflow tf(executor);
+    tf.emplace([children](tf::SubflowBuilder& sf) {
+      for (std::size_t i = 0; i < children; ++i) sf.emplace([] {});
+    });
+    tf.wait_for_all();
+  }
+  state.counters["children/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(children),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SubflowSpawn)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_DispatchFuture(benchmark::State& state) {
+  auto executor = tf::make_executor(2);
+  for (auto _ : state) {
+    tf::Taskflow tf(executor);
+    tf.emplace([] {});
+    auto fut = tf.dispatch();
+    fut.get();
+    tf.wait_for_all();
+  }
+}
+BENCHMARK(BM_DispatchFuture)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

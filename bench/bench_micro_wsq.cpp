@@ -1,0 +1,75 @@
+// bench_micro_wsq - microbenchmarks of the Chase-Lev work-stealing deque
+// (google-benchmark): owner push/pop throughput and steal throughput under
+// thief contention.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "taskflow/wsq.hpp"
+
+namespace {
+
+void BM_Wsq_PushPop(benchmark::State& state) {
+  tf::WorkStealingQueue<std::intptr_t> q;
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < n; ++i) q.push(i);
+    for (std::int64_t i = 0; i < n; ++i) benchmark::DoNotOptimize(q.pop());
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(2 * n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Wsq_PushPop)->Arg(1024)->Arg(65536);
+
+void BM_Wsq_OwnerWithThieves(benchmark::State& state) {
+  const int thieves = static_cast<int>(state.range(0));
+  constexpr std::int64_t n = 1 << 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    tf::WorkStealingQueue<std::intptr_t> q;
+    std::atomic<bool> stop{false};
+    std::atomic<long> stolen{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < thieves; ++t) {
+      pool.emplace_back([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          if (q.steal()) stolen.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    state.ResumeTiming();
+
+    long popped = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      q.push(i);
+      if ((i & 3) == 0 && q.pop()) ++popped;
+    }
+    while (q.pop()) ++popped;
+
+    state.PauseTiming();
+    stop.store(true, std::memory_order_release);
+    for (auto& t : pool) t.join();
+    long drained = stolen.load() + popped;
+    while (q.steal()) ++drained;
+    if (drained > static_cast<long>(n)) state.SkipWithError("queue over-delivered");
+    state.ResumeTiming();
+  }
+  state.counters["items/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()) * static_cast<double>(n),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Wsq_OwnerWithThieves)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_Wsq_Grow(benchmark::State& state) {
+  for (auto _ : state) {
+    tf::WorkStealingQueue<std::intptr_t> q(64);
+    for (std::int64_t i = 0; i < (1 << 15); ++i) q.push(i);
+    benchmark::DoNotOptimize(q.capacity());
+  }
+}
+BENCHMARK(BM_Wsq_Grow)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

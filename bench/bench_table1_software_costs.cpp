@@ -1,0 +1,95 @@
+// bench_table1_software_costs - regenerates paper Table I ("Software Costs
+// Comparison on Micro-benchmarks"): LOC and cyclomatic complexity of the
+// wavefront and graph-traversal kernels in each dialect, measured by the
+// ct:: costtool (the SLOCCount/Lizard stand-in) over the checked-in kernel
+// sources in bench/kernels/.
+//
+// Also reports token counts for the paper's Listings 3/5 comparison scale.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "costtool/analyze.hpp"
+
+#ifndef REPRO_SOURCE_DIR
+#define REPRO_SOURCE_DIR "."
+#endif
+
+namespace {
+
+struct Row {
+  const char* benchmark;
+  const char* dialect;
+  const char* file;
+  int paper_loc;
+  int paper_cc;
+};
+
+const Row kRows[] = {
+    {"Wavefront", "Cpp-Taskflow", "bench/kernels/wavefront_taskflow.cpp", 30, 7},
+    {"Wavefront", "OpenMP", "bench/kernels/wavefront_omp.cpp", 64, 12},
+    {"Wavefront", "TBB", "bench/kernels/wavefront_tbb.cpp", 38, 8},
+    {"Wavefront", "Sequential", "bench/kernels/wavefront_seq.cpp", 14, 3},
+    {"Graph Traversal", "Cpp-Taskflow", "bench/kernels/traversal_taskflow.cpp", 40, 6},
+    {"Graph Traversal", "OpenMP", "bench/kernels/traversal_omp.cpp", 213, 28},
+    {"Graph Traversal", "TBB", "bench/kernels/traversal_tbb.cpp", 59, 8},
+    {"Graph Traversal", "Sequential", "bench/kernels/traversal_seq.cpp", 14, 3},
+};
+
+}  // namespace
+
+int main() {
+  std::ostream& os = std::cout;
+  support::banner(os, "Table I: software costs on micro-benchmarks (LOC, cyclomatic)");
+
+  support::Table table({"benchmark", "dialect", "LOC", "CC", "tokens", "paper_LOC",
+                        "paper_CC"});
+  for (const Row& row : kRows) {
+    const std::string path = std::string(REPRO_SOURCE_DIR) + "/" + row.file;
+    const auto report = ct::analyze_file(path);
+    table.add_row({row.benchmark, row.dialect, std::to_string(report.loc.code_lines),
+                   std::to_string(report.cc.file_cyclomatic),
+                   std::to_string(report.loc.tokens), std::to_string(row.paper_loc),
+                   std::to_string(row.paper_cc)});
+  }
+  table.print(os);
+  table.print_csv(os, "table1");
+
+  // -- the paper's listing captions (LOC and token counts) -----------------
+  support::banner(os, "Listing metrics (paper captions: Listings 3/4/5/7/8)");
+  struct Listing {
+    const char* name;
+    const char* file;
+    int paper_loc;
+    int paper_tokens;
+  };
+  const Listing kListings[] = {
+      {"Listing 3 (Cpp-Taskflow, Fig. 2)", "bench/kernels/listings/listing3_taskflow.cpp",
+       17, 178},
+      {"Listing 4 (OpenMP, Fig. 2)", "bench/kernels/listings/listing4_openmp.cpp", 22,
+       181},
+      {"Listing 5 (TBB, Fig. 2)", "bench/kernels/listings/listing5_tbb.cpp", 37, 295},
+      {"Listing 7 (Cpp-Taskflow, Fig. 4)",
+       "bench/kernels/listings/listing7_taskflow.cpp", 20, 190},
+      {"Listing 8 (TBB, Fig. 4)", "bench/kernels/listings/listing8_tbb.cpp", 38, 299},
+  };
+  support::Table listings({"listing", "LOC", "tokens", "paper_LOC", "paper_tokens"});
+  for (const Listing& l : kListings) {
+    const auto r = ct::analyze_file(std::string(REPRO_SOURCE_DIR) + "/" + l.file);
+    listings.add_row({l.name, std::to_string(r.loc.code_lines),
+                      std::to_string(r.loc.tokens), std::to_string(l.paper_loc),
+                      std::to_string(l.paper_tokens)});
+  }
+  listings.print(os);
+  listings.print_csv(os, "listings");
+
+  os << "\nNotes:\n"
+        "  * LOC here counts whole kernel files including comments-adjacent code\n"
+        "    structure; the paper counted the bare listing bodies.  The *ordering*\n"
+        "    is the reproduced claim: taskflow < TBB < OpenMP in both LOC and CC,\n"
+        "    with the OpenMP traversal exploding (~5x taskflow) due to the\n"
+        "    exhaustive 5x5 degree-combination enumeration.\n"
+        "  * The TBB dialect is compiled against the API-compatible fg:: baseline\n"
+        "    (see DESIGN.md substitution #1); the source text is what Intel TBB\n"
+        "    FlowGraph code looks like.\n";
+  return 0;
+}

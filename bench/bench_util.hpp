@@ -1,0 +1,55 @@
+// bench_util.hpp - shared plumbing of the figure/table reproduction
+// harnesses: scaled problem sizes, thread sweep lists, timing repeats, and
+// checksum validation across dialects.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/chrono.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+
+namespace bench {
+
+/// Threads used for the fixed-thread sections (the paper uses 8 for Fig. 7
+/// and 16 for Figs. 9/12; both are capped by REPRO_MAX_THREADS).
+inline unsigned fixed_threads(unsigned paper_value) {
+  return std::min(paper_value, support::repro_max_threads());
+}
+
+/// The {1, 2, 4, ...} sweep list up to REPRO_MAX_THREADS.
+inline std::vector<unsigned> thread_sweep() {
+  std::vector<unsigned> out;
+  for (unsigned t = 1; t <= support::repro_max_threads(); t *= 2) out.push_back(t);
+  return out;
+}
+
+/// Minimum-of-N timing (N = REPRO_REPEATS).
+template <typename F>
+double time_ms(F&& fn) {
+  return support::time_min_ms(std::forward<F>(fn), support::repro_repeats());
+}
+
+/// Validate that a dialect reproduced the reference checksum.
+inline bool check(double reference, double got, const std::string& what) {
+  const double tol = 1e-6 * std::max(1.0, std::abs(reference));
+  if (std::abs(reference - got) > tol) {
+    std::cerr << "CHECKSUM MISMATCH in " << what << ": expected " << reference
+              << ", got " << got << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Scale a paper problem size by REPRO_SCALE.
+inline std::size_t scaled(std::size_t paper_size) {
+  return static_cast<std::size_t>(static_cast<double>(paper_size) * support::repro_scale());
+}
+
+}  // namespace bench

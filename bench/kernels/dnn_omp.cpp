@@ -1,0 +1,110 @@
+// OpenMP 4.5 task-depend DNN training decomposition (paper Table III:
+// 162 LOC / CC 23 / 9 hours - "most time was spent on debugging the order
+// of dependent tasks").
+//
+// The Fig. 11 graph cannot be expressed directly: clause lists are fixed
+// pragma text, so every positional variant of every task needs its own
+// hard-coded block, and the U_i fan-in to the next forward is rewritten as
+// a U_{L-1} -> ... -> U_0 chain whose tail gates F.  The enumeration below
+// is specific to this task shape; changing the architecture's layer
+// structure means re-deriving the clause order by hand.
+#include <omp.h>
+
+#include "kernels.hpp"
+#include "nn/trainers_common.hpp"
+
+namespace kernels {
+
+float dnn_omp(nn::Mlp& net, const nn::Dataset& ds, int epochs, std::size_t batch,
+              float lr, unsigned threads) {
+  const std::size_t B = ds.size() / batch;
+  const std::size_t L = net.num_layers();
+  const std::size_t K = std::min<std::size_t>(2 * threads, static_cast<std::size_t>(epochs));
+  std::vector<nn::detail::Storage> store(K);
+  nn::Matrix x;
+  std::vector<int> y;
+  float loss = 0.0f;
+
+  omp_set_num_threads(static_cast<int>(threads));
+  const auto E = static_cast<std::size_t>(epochs);
+  std::vector<char> sh_b(E), f_b(E * B), g_b(E * B * L), u_b(E * B * L);
+  char* sh = sh_b.data();
+  char* ft = f_b.data();
+  char* gt = g_b.data();
+  char* ut = u_b.data();
+
+#pragma omp parallel default(none) \
+    shared(net, ds, store, x, y, loss, sh, ft, gt, ut, E, B, L, K, batch, lr)
+  {
+#pragma omp single
+    {
+      for (std::size_t e = 0; e < E; ++e) {
+        if (e >= K) {
+          const std::size_t gate = (e - K) * B + B - 1;
+#pragma omp task default(none) shared(ds, store) firstprivate(e, K) \
+    depend(in : ft[gate]) depend(out : sh[e])
+          nn::detail::shuffle_into(ds, store[e % K], 0x5u, static_cast<int>(e));
+        } else {
+#pragma omp task default(none) shared(ds, store) firstprivate(e, K) \
+    depend(out : sh[e])
+          nn::detail::shuffle_into(ds, store[e % K], 0x5u, static_cast<int>(e));
+        }
+        for (std::size_t b = 0; b < B; ++b) {
+          const std::size_t fb = e * B + b;
+          if (b == 0 && e == 0) {
+#pragma omp task default(none) shared(net, store, x, y, loss) \
+    firstprivate(e, b, K, B, batch) depend(in : sh[e]) depend(out : ft[fb])
+            {
+              nn::detail::make_batch(store[e % K], b, batch, x, y);
+              loss = net.forward(x, y) / static_cast<float>(B);
+            }
+          } else if (b == 0) {
+            const std::size_t pu = (fb - 1) * L;
+#pragma omp task default(none) shared(net, store, x, y, loss)               \
+    firstprivate(e, b, K, B, batch) depend(in : sh[e]) depend(in : ut[pu])  \
+    depend(out : ft[fb])
+            {
+              nn::detail::make_batch(store[e % K], b, batch, x, y);
+              loss = net.forward(x, y) / static_cast<float>(B);
+            }
+          } else {
+            const std::size_t pu = (fb - 1) * L;
+#pragma omp task default(none) shared(net, store, x, y, loss) \
+    firstprivate(e, b, K, B, batch) depend(in : ut[pu]) depend(out : ft[fb])
+            {
+              nn::detail::make_batch(store[e % K], b, batch, x, y);
+              loss += net.forward(x, y) / static_cast<float>(B);
+            }
+          }
+          for (std::size_t i = L; i-- > 0;) {
+            const std::size_t gi = fb * L + i;
+            if (i == L - 1) {
+#pragma omp task default(none) shared(net) firstprivate(i) \
+    depend(in : ft[fb]) depend(out : gt[gi])
+              net.backward_layer(i);
+            } else {
+#pragma omp task default(none) shared(net) firstprivate(i) \
+    depend(in : gt[gi + 1]) depend(out : gt[gi])
+              net.backward_layer(i);
+            }
+          }
+          for (std::size_t i = L; i-- > 0;) {
+            const std::size_t gi = fb * L + i;
+            if (i == L - 1) {
+#pragma omp task default(none) shared(net) firstprivate(i, lr) \
+    depend(in : gt[gi]) depend(out : ut[gi])
+              net.update_layer(i, lr);
+            } else {
+#pragma omp task default(none) shared(net) firstprivate(i, lr) \
+    depend(in : gt[gi]) depend(in : ut[gi + 1]) depend(out : ut[gi])
+              net.update_layer(i, lr);
+            }
+          }
+        }
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace kernels

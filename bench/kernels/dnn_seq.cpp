@@ -1,0 +1,27 @@
+// Sequential DNN training (paper Table III: 33 LOC / CC 9 / 2 hours).
+#include "kernels.hpp"
+#include "nn/trainers_common.hpp"
+
+namespace kernels {
+
+float dnn_seq(nn::Mlp& net, const nn::Dataset& ds, int epochs, std::size_t batch,
+              float lr) {
+  const std::size_t batches = ds.size() / batch;
+  nn::detail::Storage slot;
+  nn::Matrix x;
+  std::vector<int> y;
+  float loss = 0.0f;
+  for (int e = 0; e < epochs; ++e) {
+    nn::detail::shuffle_into(ds, slot, 0x5u, e);
+    loss = 0.0f;
+    for (std::size_t b = 0; b < batches; ++b) {
+      nn::detail::make_batch(slot, b, batch, x, y);
+      loss += net.forward(x, y) / static_cast<float>(batches);
+      for (std::size_t i = net.num_layers(); i-- > 0;) net.backward_layer(i);
+      for (std::size_t i = 0; i < net.num_layers(); ++i) net.update_layer(i, lr);
+    }
+  }
+  return loss;
+}
+
+}  // namespace kernels

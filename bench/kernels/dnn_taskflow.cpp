@@ -1,0 +1,58 @@
+// Cpp-Taskflow DNN training decomposition (paper Table III: 59 LOC / CC 11
+// / 3 hours): the whole Fig. 11 graph - shuffle tasks E_e, forward F, the
+// per-layer G_i/U_i pipeline - in one pass of plain precede() calls.
+#include "kernels.hpp"
+#include "nn/trainers_common.hpp"
+#include "taskflow/taskflow.hpp"
+
+namespace kernels {
+
+float dnn_taskflow(nn::Mlp& net, const nn::Dataset& ds, int epochs, std::size_t batch,
+                   float lr, unsigned threads) {
+  const std::size_t B = ds.size() / batch;
+  const std::size_t L = net.num_layers();
+  const std::size_t K = std::min<std::size_t>(2 * threads, epochs);
+  std::vector<nn::detail::Storage> store(K);
+  nn::Matrix x;
+  std::vector<int> y;
+  float loss = 0.0f;
+
+  tf::Taskflow tf(threads);
+  const auto E = static_cast<std::size_t>(epochs);
+  std::vector<tf::Task> S(E), F(E * B), G(E * B * L), U(E * B * L);
+
+  for (std::size_t e = 0; e < E; ++e) {
+    S[e] = tf.emplace([&, e] { nn::detail::shuffle_into(ds, store[e % K], 0x5u, static_cast<int>(e)); });
+    for (std::size_t b = 0; b < B; ++b) {
+      F[e * B + b] = tf.emplace([&, e, b] {
+        nn::detail::make_batch(store[e % K], b, batch, x, y);
+        if (b == 0) loss = 0.0f;
+        loss += net.forward(x, y) / static_cast<float>(B);
+      });
+      for (std::size_t i = 0; i < L; ++i) {
+        G[(e * B + b) * L + i] = tf.emplace([&, i] { net.backward_layer(i); });
+        U[(e * B + b) * L + i] = tf.emplace([&, i] { net.update_layer(i, lr); });
+      }
+    }
+  }
+  for (std::size_t e = 0; e < E; ++e) {
+    if (e >= K) F[(e - K) * B + B - 1].precede(S[e]);
+    S[e].precede(F[e * B]);
+    for (std::size_t b = 0; b < B; ++b) {
+      const std::size_t fb = e * B + b;
+      F[fb].precede(G[fb * L + L - 1]);
+      for (std::size_t i = L; i-- > 0;) {
+        if (i > 0) G[fb * L + i].precede(G[fb * L + i - 1]);
+        G[fb * L + i].precede(U[fb * L + i]);
+      }
+      if (fb + 1 < E * B) {
+        for (std::size_t i = 0; i < L; ++i) U[fb * L + i].precede(F[fb + 1]);
+      }
+    }
+  }
+
+  tf.wait_for_all();
+  return loss;
+}
+
+}  // namespace kernels

@@ -1,0 +1,75 @@
+// TBB FlowGraph DNN training decomposition (paper Table III: 90 LOC / CC 12
+// / 3 hours), written against the continue_node API (compiled against the
+// API-compatible fg:: baseline).  Note the extra plumbing relative to the
+// taskflow dialect: explicit node storage, message-type boilerplate, and
+// manual source activation.
+#include <deque>
+
+#include "baselines/flowgraph.hpp"
+#include "kernels.hpp"
+#include "nn/trainers_common.hpp"
+
+namespace kernels {
+
+using node_t = fg::continue_node<fg::continue_msg>;
+
+float dnn_tbb(nn::Mlp& net, const nn::Dataset& ds, int epochs, std::size_t batch,
+              float lr, unsigned threads) {
+  const std::size_t B = ds.size() / batch;
+  const std::size_t L = net.num_layers();
+  const std::size_t K = std::min<std::size_t>(2 * threads, static_cast<std::size_t>(epochs));
+  std::vector<nn::detail::Storage> store(K);
+  nn::Matrix x;
+  std::vector<int> y;
+  float loss = 0.0f;
+
+  fg::task_scheduler_init init(static_cast<int>(threads));
+  fg::graph graph;
+  std::deque<node_t> nodes;
+  const auto E = static_cast<std::size_t>(epochs);
+  std::vector<node_t*> S(E), F(E * B), G(E * B * L), U(E * B * L);
+
+  for (std::size_t e = 0; e < E; ++e) {
+    S[e] = &nodes.emplace_back(graph, [&, e](const fg::continue_msg&) {
+      nn::detail::shuffle_into(ds, store[e % K], 0x5u, static_cast<int>(e));
+    });
+    for (std::size_t b = 0; b < B; ++b) {
+      F[e * B + b] = &nodes.emplace_back(graph, [&, e, b](const fg::continue_msg&) {
+        nn::detail::make_batch(store[e % K], b, batch, x, y);
+        if (b == 0) loss = 0.0f;
+        loss += net.forward(x, y) / static_cast<float>(B);
+      });
+      for (std::size_t i = 0; i < L; ++i) {
+        G[(e * B + b) * L + i] =
+            &nodes.emplace_back(graph, [&, i](const fg::continue_msg&) {
+              net.backward_layer(i);
+            });
+        U[(e * B + b) * L + i] =
+            &nodes.emplace_back(graph, [&, i](const fg::continue_msg&) {
+              net.update_layer(i, lr);
+            });
+      }
+    }
+  }
+  for (std::size_t e = 0; e < E; ++e) {
+    if (e >= K) fg::make_edge(*F[(e - K) * B + B - 1], *S[e]);
+    fg::make_edge(*S[e], *F[e * B]);
+    for (std::size_t b = 0; b < B; ++b) {
+      const std::size_t fb = e * B + b;
+      fg::make_edge(*F[fb], *G[fb * L + L - 1]);
+      for (std::size_t i = L; i-- > 0;) {
+        if (i > 0) fg::make_edge(*G[fb * L + i], *G[fb * L + i - 1]);
+        fg::make_edge(*G[fb * L + i], *U[fb * L + i]);
+      }
+      if (fb + 1 < E * B) {
+        for (std::size_t i = 0; i < L; ++i) fg::make_edge(*U[fb * L + i], *F[fb + 1]);
+      }
+    }
+  }
+
+  for (std::size_t e = 0; e < std::min(K, E); ++e) S[e]->try_put(fg::continue_msg());
+  graph.wait_for_all();
+  return loss;
+}
+
+}  // namespace kernels

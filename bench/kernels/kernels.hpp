@@ -1,0 +1,92 @@
+// kernels.hpp - declarations of the micro-benchmark kernels (paper §IV-A).
+//
+// Each kernel is implemented once per dialect in its own source file
+// (wavefront_*.cpp, traversal_*.cpp, dnn_*.cpp).  Those files are the exact
+// units measured by the software-cost tables (Tables I and III), so they
+// are kept minimal and idiomatic for their library; this shared header
+// (graph container, declarations) is common to all dialects and excluded
+// from the per-dialect counts.
+//
+// Every kernel returns a checksum so the figure benches can assert that all
+// dialects computed the same thing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/mnist.hpp"
+#include "nn/network.hpp"
+
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Wavefront (paper Fig. 6): nb x nb blocks, each block depends on its upper
+// and left neighbors and performs `work` iterations of nominal arithmetic.
+// ---------------------------------------------------------------------------
+
+double wavefront_seq(int nb, int work);
+double wavefront_taskflow(int nb, int work, unsigned threads);
+double wavefront_tbb(int nb, int work, unsigned threads);  // fg:: TBB dialect
+double wavefront_omp(int nb, int work, unsigned threads);
+
+// ---------------------------------------------------------------------------
+// Graph traversal: a random DAG with at most four input and four output
+// edges per node (the degree cap the paper imposes to keep the OpenMP
+// dependency-clause enumeration finite).  Visiting a node consumes its
+// predecessors' values and produces a new one.
+// ---------------------------------------------------------------------------
+
+struct TraversalGraph {
+  // Per node: up to 4 predecessors/successors plus the ids of the incident
+  // edges (the OpenMP dialect needs one dependency token per edge).
+  std::vector<std::vector<int>> preds;     // preds[v], size <= 4
+  std::vector<std::vector<int>> succs;     // succs[u], size <= 4
+  std::vector<std::vector<int>> in_edge;   // edge ids parallel to preds
+  std::vector<std::vector<int>> out_edge;  // edge ids parallel to succs
+  std::vector<int> topo;                   // topological order (= 0..n-1)
+  std::size_t num_edges{0};
+
+  [[nodiscard]] std::size_t size() const noexcept { return preds.size(); }
+};
+
+/// Deterministic random DAG with the paper's degree cap.
+TraversalGraph make_traversal_graph(std::size_t num_nodes, std::uint64_t seed);
+
+double traversal_seq(const TraversalGraph& g, int work);
+double traversal_taskflow(const TraversalGraph& g, int work, unsigned threads);
+double traversal_tbb(const TraversalGraph& g, int work, unsigned threads);
+double traversal_omp(const TraversalGraph& g, int work, unsigned threads);
+
+// ---------------------------------------------------------------------------
+// DNN training decomposition kernels (paper §IV-C, Table III): the Fig. 11
+// strategy - per-batch F / per-layer G_i / per-layer U_i tasks plus
+// per-epoch shuffle tasks - written once per dialect.  These are the units
+// Table III measures; the full-featured, heavily-tested variants live in
+// src/nn/trainers.*.  Each returns the mean loss of the last epoch.
+// ---------------------------------------------------------------------------
+
+float dnn_seq(nn::Mlp& net, const nn::Dataset& ds, int epochs, std::size_t batch,
+              float lr);
+float dnn_taskflow(nn::Mlp& net, const nn::Dataset& ds, int epochs, std::size_t batch,
+                   float lr, unsigned threads);
+float dnn_tbb(nn::Mlp& net, const nn::Dataset& ds, int epochs, std::size_t batch,
+              float lr, unsigned threads);
+float dnn_omp(nn::Mlp& net, const nn::Dataset& ds, int epochs, std::size_t batch,
+              float lr, unsigned threads);
+
+/// The per-node operation, shared verbatim by all dialects.
+inline double node_op(double in, int work) {
+  double acc = in + 1.0;
+  for (int k = 0; k < work; ++k) acc += 1e-9 * static_cast<double>(k);
+  return acc;
+}
+
+/// Sum of a node's predecessor values (shared by all traversal dialects).
+inline double in_sum(const TraversalGraph& g, const std::vector<double>& val, int v) {
+  double s = 0.0;
+  for (int p : g.preds[static_cast<std::size_t>(v)]) s += val[static_cast<std::size_t>(p)];
+  return s;
+}
+
+}  // namespace kernels

@@ -1,0 +1,17 @@
+tf::Taskflow tf;
+auto [a0, a1, a2, a3, b0, b1, b2] = tf.emplace(
+  [] () { std::cout << "a0\n"; },
+  [] () { std::cout << "a1\n"; },
+  [] () { std::cout << "a2\n"; },
+  [] () { std::cout << "a3\n"; },
+  [] () { std::cout << "b0\n"; },
+  [] () { std::cout << "b1\n"; },
+  [] () { std::cout << "b2\n"; }
+);
+a0.precede(a1);
+a1.precede(a2, b2);
+a2.precede(a3);
+b0.precede(b1);
+b1.precede(a2, b2);
+b2.precede(a3);
+tf.wait_for_all();

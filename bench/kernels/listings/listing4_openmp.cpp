@@ -1,0 +1,22 @@
+#pragma omp parallel
+{
+#pragma omp single
+{
+int a0_a1, a1_a2, a1_b2, a2_a3;
+int b0_b1, b1_b2, b1_a2, b2_a3;
+#pragma omp task depend(out: a0_a1)
+std::cout << "a0\n";
+#pragma omp task depend(out: b0_b1)
+std::cout << "b0\n";
+#pragma omp task depend(in: a0_a1) depend(out: a1_a2, a1_b2)
+std::cout << "a1\n";
+#pragma omp task depend(in: b0_b1) depend(out: b1_b2, b1_a2)
+std::cout << "b1\n";
+#pragma omp task depend(in: a1_a2, b1_a2) depend(out: a2_a3)
+std::cout << "a2\n";
+#pragma omp task depend(in: a1_b2, b1_b2) depend(out: b2_a3)
+std::cout << "b2\n";
+#pragma omp task depend(in: a2_a3, b2_a3)
+std::cout << "a3\n";
+}
+}

@@ -1,0 +1,42 @@
+using namespace tbb;
+using namespace tbb::flow;
+
+int n = task_scheduler_init::default_num_threads();
+task_scheduler_init init(n);
+
+graph g;
+continue_node<continue_msg> a0(g, [](const continue_msg&) {
+  std::cout << "a0\n";
+});
+continue_node<continue_msg> a1(g, [](const continue_msg&) {
+  std::cout << "a1\n";
+});
+continue_node<continue_msg> a2(g, [](const continue_msg&) {
+  std::cout << "a2\n";
+});
+continue_node<continue_msg> a3(g, [](const continue_msg&) {
+  std::cout << "a3\n";
+});
+continue_node<continue_msg> b0(g, [](const continue_msg&) {
+  std::cout << "b0\n";
+});
+continue_node<continue_msg> b1(g, [](const continue_msg&) {
+  std::cout << "b1\n";
+});
+continue_node<continue_msg> b2(g, [](const continue_msg&) {
+  std::cout << "b2\n";
+});
+
+make_edge(a0, a1);
+make_edge(a1, a2);
+make_edge(a1, b2);
+make_edge(a2, a3);
+make_edge(b0, b1);
+make_edge(b1, b2);
+make_edge(b1, a2);
+make_edge(b2, a3);
+
+a0.try_put(continue_msg());
+b0.try_put(continue_msg());
+
+g.wait_for_all();

@@ -1,0 +1,22 @@
+tf::Taskflow tf;
+
+auto [A, C, D] = tf.emplace(
+  [] () { std::cout << "A\n"; },
+  [] () { std::cout << "C\n"; },
+  [] () { std::cout << "D\n"; }
+);
+auto B = tf.emplace([] (auto& subflow) {
+  std::cout << "B\n";
+  auto [B1, B2, B3] = subflow.emplace(
+    [] () { std::cout << "B1\n"; },
+    [] () { std::cout << "B2\n"; },
+    [] () { std::cout << "B3\n"; }
+  );
+  B1.precede(B3);
+  B2.precede(B3);
+});
+A.precede(B, C);
+B.precede(D);
+C.precede(D);
+
+tf.wait_for_all();

@@ -1,0 +1,42 @@
+using namespace tbb;
+using namespace tbb::flow;
+
+int n = task_scheduler_init::default_num_threads();
+task_scheduler_init init(n);
+
+graph G; // create an outer graph
+
+continue_node<continue_msg> A(G, [](const continue_msg&) {
+  std::cout << "A\n";
+});
+continue_node<continue_msg> C(G, [](const continue_msg&) {
+  std::cout << "C\n";
+});
+continue_node<continue_msg> D(G, [](const continue_msg&) {
+  std::cout << "D\n";
+});
+continue_node<continue_msg> B(G, [](const continue_msg&) {
+  std::cout << "B\n";
+  graph subgraph; // create another inner graph
+  continue_node<continue_msg> B1(subgraph, [](const continue_msg&) {
+    std::cout << "B1\n";
+  });
+  continue_node<continue_msg> B2(subgraph, [](const continue_msg&) {
+    std::cout << "B2\n";
+  });
+  continue_node<continue_msg> B3(subgraph, [](const continue_msg&) {
+    std::cout << "B3\n";
+  });
+  make_edge(B1, B3);
+  make_edge(B2, B3);
+  B1.try_put(continue_msg());
+  B2.try_put(continue_msg());
+  subgraph.wait_for_all();
+});
+make_edge(A, B);
+make_edge(A, C);
+make_edge(B, D);
+make_edge(C, D);
+
+A.try_put(continue_msg()); // explicit source A
+G.wait_for_all();

@@ -1,0 +1,60 @@
+// Shared traversal workload: the random bounded-degree DAG generator and
+// the sequential reference (paper Table I: Sequential 14 LOC / CC 3).
+#include <algorithm>
+
+#include "kernels.hpp"
+#include "support/rng.hpp"
+
+namespace kernels {
+
+TraversalGraph make_traversal_graph(std::size_t num_nodes, std::uint64_t seed) {
+  TraversalGraph g;
+  g.preds.resize(num_nodes);
+  g.succs.resize(num_nodes);
+  g.in_edge.resize(num_nodes);
+  g.out_edge.resize(num_nodes);
+  g.topo.resize(static_cast<std::size_t>(num_nodes));
+
+  support::Xoshiro256 rng(seed);
+  const std::size_t window = 64;
+
+  // Rolling pool of candidate predecessors with remaining out-capacity.
+  std::vector<int> pool;
+  pool.reserve(window * 2);
+
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    g.topo[v] = static_cast<int>(v);
+    const std::size_t max_in = std::min<std::size_t>({4, v, pool.size()});
+    const std::size_t indeg = max_in == 0 ? 0 : rng.below(max_in + 1);
+
+    for (std::size_t e = 0; e < indeg && !pool.empty(); ++e) {
+      const std::size_t pick = rng.below(pool.size());
+      const int u = pool[pick];
+      // Reject duplicate edges to the same node.
+      bool dup = false;
+      for (int p : g.preds[v]) dup |= (p == u);
+      if (dup) continue;
+
+      const int edge_id = static_cast<int>(g.num_edges++);
+      g.preds[v].push_back(u);
+      g.in_edge[v].push_back(edge_id);
+      g.succs[static_cast<std::size_t>(u)].push_back(static_cast<int>(v));
+      g.out_edge[static_cast<std::size_t>(u)].push_back(edge_id);
+      if (g.succs[static_cast<std::size_t>(u)].size() >= 4) {
+        pool[pick] = pool.back();
+        pool.pop_back();
+      }
+    }
+
+    pool.push_back(static_cast<int>(v));
+    // Keep the pool bounded so the DAG has bounded "width" (depth grows
+    // with size, like a levelized circuit).
+    if (pool.size() > window) {
+      const std::size_t evict = rng.below(pool.size());
+      pool[evict] = pool.back();
+      pool.pop_back();
+    }
+  }
+  return g;
+}
+}  // namespace kernels

@@ -1,0 +1,16 @@
+// Sequential graph traversal (paper Table I baseline: 14 LOC / CC 3).
+#include "kernels.hpp"
+
+namespace kernels {
+
+double traversal_seq(const TraversalGraph& g, int work) {
+  std::vector<double> val(g.size(), 0.0);
+  double sum = 0.0;
+  for (int v : g.topo) {
+    val[v] = node_op(in_sum(g, val, v), work);
+    sum += val[v];
+  }
+  return sum;
+}
+
+}  // namespace kernels

@@ -1,0 +1,44 @@
+// TBB FlowGraph traversal written against the continue_node API (paper
+// Table I: 59 LOC / CC 8); compiled against the API-compatible fg::
+// baseline.  Source nodes must be collected and try_put explicitly.
+#include <atomic>
+#include <deque>
+
+#include "baselines/flowgraph.hpp"
+#include "kernels.hpp"
+
+namespace kernels {
+
+using node_t = fg::continue_node<fg::continue_msg>;
+
+double traversal_tbb(const TraversalGraph& g, int work, unsigned threads) {
+  fg::task_scheduler_init init(static_cast<int>(threads));
+  std::vector<double> val(g.size(), 0.0);
+  std::atomic<double> sum{0.0};
+
+  fg::graph graph;
+  std::deque<node_t> storage;
+  std::vector<node_t*> node(g.size(), nullptr);
+
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    node[v] = &storage.emplace_back(graph, [&g, &val, &sum, v, work](const fg::continue_msg&) {
+      val[v] = node_op(in_sum(g, val, static_cast<int>(v)), work);
+      double cur = sum.load(std::memory_order_relaxed);
+      while (!sum.compare_exchange_weak(cur, cur + val[v], std::memory_order_relaxed)) {
+      }
+    });
+  }
+  for (std::size_t u = 0; u < g.size(); ++u) {
+    for (int v : g.succs[u]) {
+      fg::make_edge(*node[u], *node[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (g.preds[v].empty()) node[v]->try_put(fg::continue_msg());
+  }
+  graph.wait_for_all();
+  return sum.load();
+}
+
+}  // namespace kernels

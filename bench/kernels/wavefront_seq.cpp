@@ -1,0 +1,18 @@
+// Sequential wavefront (paper Table I baseline).
+#include "kernels.hpp"
+
+namespace kernels {
+
+double wavefront_seq(int nb, int work) {
+  std::vector<std::vector<double>> v(nb, std::vector<double>(nb, 0.0));
+  for (int i = 0; i < nb; ++i) {
+    for (int j = 0; j < nb; ++j) {
+      const double up = i > 0 ? v[i - 1][j] : 0.0;
+      const double left = j > 0 ? v[i][j - 1] : 0.0;
+      v[i][j] = node_op(up + left, work);
+    }
+  }
+  return v[nb - 1][nb - 1];
+}
+
+}  // namespace kernels

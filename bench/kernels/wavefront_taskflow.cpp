@@ -1,0 +1,28 @@
+// Cpp-Taskflow wavefront (paper §IV-A, Table I: 30 LOC / CC 7).
+#include "kernels.hpp"
+#include "taskflow/taskflow.hpp"
+
+namespace kernels {
+
+double wavefront_taskflow(int nb, int work, unsigned threads) {
+  std::vector<std::vector<double>> v(nb, std::vector<double>(nb, 0.0));
+  tf::Taskflow tf(threads);
+  std::vector<std::vector<tf::Task>> task(nb, std::vector<tf::Task>(nb));
+
+  for (int i = 0; i < nb; ++i) {
+    for (int j = 0; j < nb; ++j) {
+      task[i][j] = tf.emplace([&v, i, j, work]() {
+        const double up = i > 0 ? v[i - 1][j] : 0.0;
+        const double left = j > 0 ? v[i][j - 1] : 0.0;
+        v[i][j] = node_op(up + left, work);
+      });
+      if (i > 0) task[i - 1][j].precede(task[i][j]);
+      if (j > 0) task[i][j - 1].precede(task[i][j]);
+    }
+  }
+
+  tf.wait_for_all();
+  return v[nb - 1][nb - 1];
+}
+
+}  // namespace kernels

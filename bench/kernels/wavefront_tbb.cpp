@@ -1,0 +1,38 @@
+// TBB FlowGraph wavefront, written exactly as against Intel TBB's
+// continue_node API (paper Table I: 38 LOC / CC 8); compiled here against
+// the API-compatible fg:: baseline (DESIGN.md substitution #1).
+#include <deque>
+
+#include "baselines/flowgraph.hpp"
+#include "kernels.hpp"
+
+namespace kernels {
+
+using node_t = fg::continue_node<fg::continue_msg>;
+
+double wavefront_tbb(int nb, int work, unsigned threads) {
+  fg::task_scheduler_init init(static_cast<int>(threads));
+  std::vector<std::vector<double>> v(nb, std::vector<double>(nb, 0.0));
+
+  fg::graph g;
+  std::deque<node_t> storage;
+  std::vector<std::vector<node_t*>> node(nb, std::vector<node_t*>(nb, nullptr));
+
+  for (int i = 0; i < nb; ++i) {
+    for (int j = 0; j < nb; ++j) {
+      node[i][j] = &storage.emplace_back(g, [&v, i, j, work](const fg::continue_msg&) {
+        const double up = i > 0 ? v[i - 1][j] : 0.0;
+        const double left = j > 0 ? v[i][j - 1] : 0.0;
+        v[i][j] = node_op(up + left, work);
+      });
+      if (i > 0) fg::make_edge(*node[i - 1][j], *node[i][j]);
+      if (j > 0) fg::make_edge(*node[i][j - 1], *node[i][j]);
+    }
+  }
+
+  node[0][0]->try_put(fg::continue_msg());
+  g.wait_for_all();
+  return v[nb - 1][nb - 1];
+}
+
+}  // namespace kernels

@@ -1,0 +1,61 @@
+// dynamic_flow.cpp - dynamic tasking (paper §III-D, Fig. 4 / Listing 7):
+// task B spawns a subflow of three tasks at runtime; the same API used for
+// static tasking builds the dynamic graph.  Also demonstrates detach() and
+// the non-blocking dispatch interface of Listing 6.
+//
+//   build/examples/dynamic_flow
+#include <iostream>
+
+#include "taskflow/taskflow.hpp"
+
+int main() {
+  {
+    // -- Fig. 4: joined subflow ------------------------------------------
+    tf::Taskflow tf;
+
+    auto [A, C, D] = tf.emplace(
+        []() { std::cout << "A\n"; },
+        []() { std::cout << "C\n"; },
+        []() { std::cout << "D\n"; });
+    auto B = tf.emplace([](auto& subflow) {
+      std::cout << "B\n";
+      auto [B1, B2, B3] = subflow.emplace(
+          []() { std::cout << "B1\n"; },
+          []() { std::cout << "B2\n"; },
+          []() { std::cout << "B3\n"; });
+      B1.precede(B3);
+      B2.precede(B3);
+    });
+    A.precede(B, C);
+    B.precede(D);
+    C.precede(D);
+
+    tf.wait_for_all();  // D prints after the whole subflow joined
+  }
+
+  {
+    // -- detached subflow: fire-and-forget side work ----------------------
+    tf::Taskflow tf;
+    auto B = tf.emplace([](tf::SubflowBuilder& sf) {
+      sf.emplace([]() { std::cout << "detached logger finished\n"; });
+      sf.detach();  // B's successors need not wait for the logger
+    });
+    auto D = tf.emplace([]() { std::cout << "D (may print before the logger)\n"; });
+    B.precede(D);
+    tf.wait_for_all();  // ...but the topology still waits for everything
+  }
+
+  {
+    // -- Listing 6: non-blocking dispatch + overlap -----------------------
+    tf::Taskflow tf;
+    auto [A, B] = tf.emplace(
+        []() { std::cout << "Task A\n"; },
+        []() { std::cout << "Task B\n"; });
+    A.precede(B);
+
+    auto shared_future = tf.dispatch();
+    std::cout << "overlapping the graph execution with other work...\n";
+    shared_future.get();  // block until finish
+  }
+  return 0;
+}

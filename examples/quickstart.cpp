@@ -1,0 +1,24 @@
+// quickstart.cpp - the paper's Listing 1: a four-task diamond dependency
+// graph with no explicit thread management or locks.
+//
+//   build/examples/quickstart
+#include <iostream>
+
+#include "taskflow/taskflow.hpp"
+
+int main() {
+  tf::Taskflow tf;
+
+  auto [A, B, C, D] = tf.emplace(
+      []() { std::cout << "Task A\n"; },
+      []() { std::cout << "Task B\n"; },
+      []() { std::cout << "Task C\n"; },
+      []() { std::cout << "Task D\n"; });
+
+  A.precede(B, C);  // A runs before B and C
+  B.precede(D);     // B runs before D
+  C.precede(D);     // C runs before D
+
+  tf.wait_for_all();  // block until finish
+  return 0;
+}

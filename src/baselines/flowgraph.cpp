@@ -1,0 +1,34 @@
+#include "baselines/flowgraph.hpp"
+
+namespace fg::detail {
+
+namespace {
+std::mutex g_pool_mutex;
+std::unique_ptr<baselines::ThreadPool> g_pool;
+std::size_t g_pool_size = 0;
+}  // namespace
+
+baselines::ThreadPool& global_pool() {
+  std::scoped_lock lock(g_pool_mutex);
+  if (!g_pool) {
+    g_pool_size = std::max(1u, std::thread::hardware_concurrency());
+    g_pool = std::make_unique<baselines::ThreadPool>(g_pool_size);
+  }
+  return *g_pool;
+}
+
+void set_global_pool_threads(std::size_t n) {
+  std::scoped_lock lock(g_pool_mutex);
+  if (n == g_pool_size && g_pool) return;
+  // Quiesce and replace; callers size the scheduler before building graphs.
+  g_pool.reset();
+  g_pool_size = n;
+  g_pool = std::make_unique<baselines::ThreadPool>(n);
+}
+
+std::size_t global_pool_threads() {
+  std::scoped_lock lock(g_pool_mutex);
+  return g_pool_size;
+}
+
+}  // namespace fg::detail

@@ -1,0 +1,156 @@
+// flowgraph.hpp - fg::, an API-faithful reimplementation of the Intel TBB
+// FlowGraph subset used by the paper's listings (Listings 5 and 8).
+//
+// Intel TBB is not available in this offline environment, so this module is
+// the substituted baseline (see DESIGN.md §3.1).  It reproduces both the
+// programming model and - intentionally - the overhead structure the paper
+// attributes to TBB's flow graph: per-node message machinery (an atomic
+// message counter decremented per received continue_msg), a heap-allocated
+// body closure submitted per firing, and shared-queue scheduling through a
+// global pool configured by fg::task_scheduler_init.
+//
+//   fg::task_scheduler_init init(fg::task_scheduler_init::default_num_threads());
+//   fg::graph g;
+//   fg::continue_node<fg::continue_msg> a0(g, [](const fg::continue_msg&){ ... });
+//   fg::continue_node<fg::continue_msg> a1(g, [](const fg::continue_msg&){ ... });
+//   fg::make_edge(a0, a1);
+//   a0.try_put(fg::continue_msg());
+//   g.wait_for_all();
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "baselines/threadpool.hpp"
+
+namespace fg {
+
+/// The nominal message type flowing along continuation edges.
+struct continue_msg {};
+
+namespace detail {
+/// The process-wide scheduler pool (TBB-style global arena).
+baselines::ThreadPool& global_pool();
+/// Resize the global pool (only takes effect when the size changes).
+void set_global_pool_threads(std::size_t n);
+std::size_t global_pool_threads();
+}  // namespace detail
+
+/// Mirrors tbb::task_scheduler_init: constructing one sizes the global
+/// scheduler; default_num_threads() reports the hardware concurrency.
+class task_scheduler_init {
+ public:
+  static int default_num_threads() {
+    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  explicit task_scheduler_init(int num_threads = default_num_threads()) {
+    detail::set_global_pool_threads(static_cast<std::size_t>(
+        num_threads < 1 ? 1 : num_threads));
+  }
+};
+
+/// A flow graph: tracks in-flight node firings so wait_for_all can block
+/// until quiescence.
+class graph {
+ public:
+  graph() = default;
+  graph(const graph&) = delete;
+  graph& operator=(const graph&) = delete;
+
+  /// Block until every spawned node body (and its message propagation) is
+  /// complete.
+  void wait_for_all() {
+    std::unique_lock lock(_mutex);
+    _cv.wait(lock, [&] { return _active.load(std::memory_order_acquire) == 0; });
+  }
+
+  // -- internal ------------------------------------------------------------
+  void reserve_one() noexcept { _active.fetch_add(1, std::memory_order_relaxed); }
+  void release_one() {
+    if (_active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::scoped_lock lock(_mutex);
+      _cv.notify_all();
+    }
+  }
+
+ private:
+  std::atomic<long> _active{0};
+  std::mutex _mutex;
+  std::condition_variable _cv;
+};
+
+/// A node that fires its body after receiving one continue_msg from each of
+/// its predecessors (or from an explicit try_put).  Only the
+/// continue_node<continue_msg> instantiation used by the paper is provided.
+template <typename Output>
+class continue_node {
+  static_assert(std::is_same_v<Output, continue_msg>,
+                "only continue_node<continue_msg> is supported");
+
+ public:
+  using body_type = std::function<void(const continue_msg&)>;
+
+  continue_node(graph& g, body_type body) : _graph(g), _body(std::move(body)) {}
+
+  continue_node(const continue_node&) = delete;
+  continue_node& operator=(const continue_node&) = delete;
+
+  /// Deliver one message; fires the body once the message count reaches the
+  /// predecessor count.  The counter rearms, so a graph can be re-run.
+  void try_put(const continue_msg& msg = continue_msg{}) {
+    const int threshold = _num_predecessors == 0 ? 1 : _num_predecessors;
+    if (_received.fetch_add(1, std::memory_order_acq_rel) + 1 == threshold) {
+      _received.fetch_sub(threshold, std::memory_order_relaxed);
+      fire(msg);
+    }
+  }
+
+  [[nodiscard]] std::size_t num_successors() const noexcept { return _successors.size(); }
+  [[nodiscard]] int num_predecessors() const noexcept { return _num_predecessors; }
+
+  template <typename O>
+  friend void make_edge(continue_node<O>& from, continue_node<O>& to);
+
+ private:
+  void fire(const continue_msg& msg) {
+    _graph.reserve_one();
+    // One heap-allocated closure per firing, executed on the shared pool -
+    // the per-task cost profile of the modelled library.
+    detail::global_pool().submit([this, msg] {
+      _body(msg);
+      {
+        // TBB's successor cache is lock-protected so edges may be added
+        // concurrently with execution; the per-propagation lock is part of
+        // the modelled overhead (and of the thread-safety contract).
+        std::scoped_lock lock(_successor_mutex);
+        for (continue_node* succ : _successors) succ->try_put(msg);
+      }
+      _graph.release_one();
+    });
+  }
+
+  graph& _graph;
+  body_type _body;
+  mutable std::mutex _successor_mutex;
+  std::vector<continue_node*> _successors;
+  int _num_predecessors{0};
+  std::atomic<int> _received{0};
+};
+
+/// Connect `from` -> `to`: `to` will require one more message to fire.
+/// Safe to call concurrently with graph execution (as in TBB); the new
+/// edge only affects messages sent after insertion.
+template <typename O>
+void make_edge(continue_node<O>& from, continue_node<O>& to) {
+  std::scoped_lock lock(from._successor_mutex);
+  from._successors.push_back(&to);
+  ++to._num_predecessors;
+}
+
+}  // namespace fg

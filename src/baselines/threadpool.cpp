@@ -1,0 +1,55 @@
+#include "baselines/threadpool.hpp"
+
+namespace baselines {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  _threads.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    _threads.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(_mutex);
+    _stop = true;
+  }
+  _cv_work.notify_all();
+  for (auto& t : _threads) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::scoped_lock lock(_mutex);
+    _queue.push_back(std::move(job));
+  }
+  _cv_work.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(_mutex);
+  _cv_idle.wait(lock, [&] { return _queue.empty() && _busy == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(_mutex);
+      _cv_work.wait(lock, [&] { return _stop || !_queue.empty(); });
+      if (_queue.empty()) return;  // stopping and drained
+      job = std::move(_queue.front());
+      _queue.pop_front();
+      ++_busy;
+    }
+    job();
+    {
+      std::scoped_lock lock(_mutex);
+      --_busy;
+      if (_queue.empty() && _busy == 0) _cv_idle.notify_all();
+    }
+  }
+}
+
+}  // namespace baselines

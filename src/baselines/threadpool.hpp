@@ -1,0 +1,47 @@
+// threadpool.hpp - a plain shared-queue thread pool.
+//
+// Used as the scheduling substrate of the fg:: FlowGraph baseline and by
+// OpenTimer-v1-style level-synchronous execution.  Deliberately simple:
+// one mutex-protected queue, condition-variable parking - the "work
+// sharing" end of the design space the paper's Algorithm 1 improves upon.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace baselines {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job for asynchronous execution.
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t num_threads() const noexcept { return _threads.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex _mutex;
+  std::condition_variable _cv_work;
+  std::condition_variable _cv_idle;
+  std::deque<std::function<void()>> _queue;
+  std::size_t _busy{0};
+  bool _stop{false};
+  std::vector<std::thread> _threads;
+};
+
+}  // namespace baselines

@@ -1,0 +1,31 @@
+#include "costtool/analyze.hpp"
+
+#include <algorithm>
+
+namespace ct {
+
+SourceReport analyze_source(std::string_view source) {
+  return SourceReport{count_loc(source), analyze_cyclomatic(source)};
+}
+
+SourceReport analyze_file(const std::string& path) {
+  const std::string text = read_file(path);
+  return analyze_source(text);
+}
+
+ProjectReport analyze_files(const std::vector<std::string>& paths,
+                            const CocomoParams& params) {
+  ProjectReport pr;
+  for (const auto& path : paths) {
+    const auto r = analyze_file(path);
+    ++pr.files;
+    pr.code_lines += r.loc.code_lines;
+    pr.tokens += r.loc.tokens;
+    pr.total_cyclomatic += r.cc.file_cyclomatic;
+    pr.max_cyclomatic = std::max(pr.max_cyclomatic, r.cc.max_cyclomatic);
+  }
+  pr.cocomo = cocomo_organic(pr.code_lines, params);
+  return pr;
+}
+
+}  // namespace ct

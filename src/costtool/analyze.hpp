@@ -1,0 +1,38 @@
+// analyze.hpp - convenience aggregation of the cost tools over files and
+// file sets (the granularity at which the paper reports Tables I-III).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "costtool/cocomo.hpp"
+#include "costtool/cyclomatic.hpp"
+#include "costtool/loc.hpp"
+
+namespace ct {
+
+struct SourceReport {
+  LocReport loc;
+  CcReport cc;
+};
+
+/// Full analysis of one source string.
+[[nodiscard]] SourceReport analyze_source(std::string_view source);
+
+/// Full analysis of one file (throws std::runtime_error when unreadable).
+[[nodiscard]] SourceReport analyze_file(const std::string& path);
+
+struct ProjectReport {
+  int files{0};
+  int code_lines{0};       // summed LOC
+  int tokens{0};
+  int total_cyclomatic{0};
+  int max_cyclomatic{0};   // MCC over all functions of all files
+  CocomoEstimate cocomo;   // organic-mode estimate over the summed LOC
+};
+
+/// Analyze a set of files and aggregate (paper Table II granularity).
+[[nodiscard]] ProjectReport analyze_files(const std::vector<std::string>& paths,
+                                          const CocomoParams& params = {});
+
+}  // namespace ct

@@ -1,0 +1,19 @@
+#include "costtool/cocomo.hpp"
+
+#include <cmath>
+
+namespace ct {
+
+CocomoEstimate cocomo_organic(int sloc, const CocomoParams& p) {
+  CocomoEstimate e;
+  if (sloc <= 0) return e;
+  const double kloc = static_cast<double>(sloc) / 1000.0;
+  e.effort_person_months = p.effort_factor * std::pow(kloc, p.effort_exponent);
+  e.effort_person_years = e.effort_person_months / 12.0;
+  e.schedule_months = p.schedule_factor * std::pow(e.effort_person_months, p.schedule_exponent);
+  e.developers = e.effort_person_months / e.schedule_months;
+  e.cost_usd = p.salary_usd * e.effort_person_years * p.overhead;
+  return e;
+}
+
+}  // namespace ct

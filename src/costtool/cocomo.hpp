@@ -1,0 +1,28 @@
+// cocomo.hpp - the COCOMO organic-mode effort model, as used by SLOCCount
+// to produce the Effort / Dev / Cost columns of paper Table II.
+#pragma once
+
+namespace ct {
+
+struct CocomoEstimate {
+  double effort_person_months{0.0};
+  double effort_person_years{0.0};
+  double schedule_months{0.0};
+  double developers{0.0};  // effort / schedule
+  double cost_usd{0.0};
+};
+
+struct CocomoParams {
+  // SLOCCount defaults (organic mode).
+  double effort_factor{2.4};    // person-months = factor * KLOC^exponent
+  double effort_exponent{1.05};
+  double schedule_factor{2.5};  // months = factor * effort^exponent
+  double schedule_exponent{0.38};
+  double salary_usd{56286.0};   // the paper's average salary
+  double overhead{2.4};         // SLOCCount's default overhead multiplier
+};
+
+/// Estimate development effort/schedule/cost for `sloc` source lines.
+[[nodiscard]] CocomoEstimate cocomo_organic(int sloc, const CocomoParams& params = {});
+
+}  // namespace ct

@@ -1,0 +1,252 @@
+#include "costtool/cyclomatic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+#include "costtool/lexer.hpp"
+#include "costtool/loc.hpp"
+
+namespace ct {
+
+namespace {
+
+constexpr std::array<std::string_view, 16> kNonFunctionKeywords = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "new", "delete", "throw", "case", "do", "else", "static_assert", "decltype"};
+
+constexpr std::array<std::string_view, 7> kQualifiers = {
+    "const", "noexcept", "override", "final", "mutable", "try", "requires"};
+
+bool is_text(const Token& t, std::string_view s) { return t.text == s; }
+
+bool is_decision(const Token& t) {
+  if (t.kind == TokenKind::Identifier) {
+    return t.text == "if" || t.text == "for" || t.text == "while" ||
+           t.text == "case" || t.text == "catch" || t.text == "and" || t.text == "or";
+  }
+  if (t.kind == TokenKind::Punct) {
+    return t.text == "&&" || t.text == "||" || t.text == "?";
+  }
+  return false;
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(std::vector<Token> tokens) : _toks(std::move(tokens)) {}
+
+  CcReport run() {
+    while (_i < _toks.size()) step();
+    CcReport r;
+    r.functions = std::move(_funcs);
+    for (const auto& f : r.functions) {
+      r.file_cyclomatic += f.cyclomatic;
+      r.max_cyclomatic = std::max(r.max_cyclomatic, f.cyclomatic);
+    }
+    return r;
+  }
+
+ private:
+  struct Frame {
+    bool is_function;
+  };
+
+  [[nodiscard]] const Token& tok(std::size_t i) const { return _toks[i]; }
+  [[nodiscard]] bool in_function() const { return !_active.empty(); }
+
+  // Advance `j` past a balanced (...) starting at an opening parenthesis.
+  // Returns one past the matching closer, or _toks.size() on imbalance.
+  std::size_t skip_parens(std::size_t j) const {
+    int depth = 0;
+    for (; j < _toks.size(); ++j) {
+      if (is_text(tok(j), "(")) ++depth;
+      else if (is_text(tok(j), ")")) {
+        if (--depth == 0) return j + 1;
+      }
+    }
+    return j;
+  }
+
+  std::size_t skip_braces(std::size_t j) const {
+    int depth = 0;
+    for (; j < _toks.size(); ++j) {
+      if (is_text(tok(j), "{")) ++depth;
+      else if (is_text(tok(j), "}")) {
+        if (--depth == 0) return j + 1;
+      }
+    }
+    return j;
+  }
+
+  // After a candidate parameter list: skip trailing qualifiers
+  // (const/noexcept/&/&&/-> type/...).  Returns the index of the terminator
+  // token ('{', ':', ';', '=', ',', ...).
+  std::size_t skip_qualifiers(std::size_t j) const {
+    while (j < _toks.size()) {
+      const Token& t = tok(j);
+      if (t.kind == TokenKind::Identifier &&
+          std::find(kQualifiers.begin(), kQualifiers.end(), t.text) !=
+              kQualifiers.end()) {
+        ++j;
+        if (j < _toks.size() && is_text(tok(j), "(")) j = skip_parens(j);
+        continue;
+      }
+      if (is_text(t, "&") || is_text(t, "&&")) {
+        ++j;
+        continue;
+      }
+      if (is_text(t, "->")) {
+        // Trailing return type: consume until '{' / ';' / '=' at depth 0.
+        ++j;
+        int angle = 0, paren = 0;
+        while (j < _toks.size()) {
+          const Token& u = tok(j);
+          if (is_text(u, "<")) ++angle;
+          else if (is_text(u, ">")) angle = std::max(0, angle - 1);
+          else if (is_text(u, "(")) ++paren;
+          else if (is_text(u, ")")) --paren;
+          else if (angle == 0 && paren == 0 &&
+                   (is_text(u, "{") || is_text(u, ";") || is_text(u, "="))) {
+            break;
+          }
+          ++j;
+        }
+        continue;
+      }
+      break;
+    }
+    return j;
+  }
+
+  // Parse a constructor member-initializer list starting at ':'; returns the
+  // index of the '{' opening the body, or npos-like _toks.size() on failure.
+  std::size_t skip_member_init(std::size_t j) const {
+    ++j;  // ':'
+    while (j < _toks.size()) {
+      // Qualified initializer name (Base<T>::member etc.).
+      bool saw_name = false;
+      while (j < _toks.size()) {
+        const Token& t = tok(j);
+        if (t.kind == TokenKind::Identifier || is_text(t, "::")) {
+          saw_name = true;
+          ++j;
+        } else if (is_text(t, "<")) {
+          int depth = 0;
+          while (j < _toks.size()) {
+            if (is_text(tok(j), "<")) ++depth;
+            else if (is_text(tok(j), ">")) {
+              if (--depth == 0) {
+                ++j;
+                break;
+              }
+            }
+            ++j;
+          }
+        } else {
+          break;
+        }
+      }
+      if (!saw_name || j >= _toks.size()) return _toks.size();
+      if (is_text(tok(j), "(")) j = skip_parens(j);
+      else if (is_text(tok(j), "{")) j = skip_braces(j);
+      else return _toks.size();
+      if (j < _toks.size() && is_text(tok(j), ",")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    return (j < _toks.size() && is_text(tok(j), "{")) ? j : _toks.size();
+  }
+
+  void step() {
+    const Token& t = tok(_i);
+
+    if (is_text(t, "{")) {
+      _scopes.push_back(Frame{_pending_function});
+      if (_pending_function) {
+        _active.push_back(_pending_index);
+        _pending_function = false;
+      }
+      ++_i;
+      return;
+    }
+    if (is_text(t, "}")) {
+      if (!_scopes.empty()) {
+        if (_scopes.back().is_function) _active.pop_back();
+        _scopes.pop_back();
+      }
+      ++_i;
+      return;
+    }
+
+    if (in_function()) {
+      FunctionReport& f = _funcs[_active.back()];
+      ++f.tokens;
+      if (is_decision(t)) ++f.cyclomatic;
+      ++_i;
+      return;
+    }
+
+    // Function-definition detection (outside any function body).
+    std::size_t params = 0;  // index of the parameter-list '('
+    if (t.kind == TokenKind::Identifier && t.text == "operator") {
+      // Operator overloads: `operator<symbol>(...)`, `operator()(...)`,
+      // `operator new(...)`, conversion operators etc.
+      std::size_t j = _i + 1;
+      if (j + 1 < _toks.size() && is_text(tok(j), "(") && is_text(tok(j + 1), ")")) {
+        j += 2;  // operator()
+      } else {
+        while (j < _toks.size() && !is_text(tok(j), "(") &&
+               (tok(j).kind == TokenKind::Punct ||
+                tok(j).kind == TokenKind::Identifier)) {
+          ++j;
+        }
+      }
+      if (j < _toks.size() && is_text(tok(j), "(")) params = j;
+    } else if (t.kind == TokenKind::Identifier && _i + 1 < _toks.size() &&
+               is_text(tok(_i + 1), "(") &&
+               std::find(kNonFunctionKeywords.begin(), kNonFunctionKeywords.end(),
+                         t.text) == kNonFunctionKeywords.end()) {
+      params = _i + 1;
+    }
+    if (params != 0) {
+      const std::size_t after_params = skip_parens(params);
+      std::size_t j = skip_qualifiers(after_params);
+      if (j < _toks.size() && is_text(tok(j), ":")) j = skip_member_init(j);
+      if (j < _toks.size() && is_text(tok(j), "{")) {
+        _pending_function = true;
+        _pending_index = _funcs.size();
+        FunctionReport fr;
+        fr.name = t.text;
+        fr.start_line = t.line;
+        _funcs.push_back(std::move(fr));
+        _i = j;  // jump to the body '{'; step() pushes the frame next
+        return;
+      }
+    }
+    ++_i;
+  }
+
+  std::vector<Token> _toks;
+  std::size_t _i{0};
+  std::vector<Frame> _scopes;
+  std::vector<std::size_t> _active;  // stack of active function indices
+  std::vector<FunctionReport> _funcs;
+  bool _pending_function{false};
+  std::size_t _pending_index{0};
+};
+
+}  // namespace
+
+CcReport analyze_cyclomatic(std::string_view source) {
+  auto tokens = tokenize(source);
+  std::erase_if(tokens, [](const Token& t) { return t.kind == TokenKind::Preprocessor; });
+  return Analyzer(std::move(tokens)).run();
+}
+
+CcReport analyze_cyclomatic_file(const std::string& path) {
+  return analyze_cyclomatic(read_file(path));
+}
+
+}  // namespace ct

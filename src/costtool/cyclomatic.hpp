@@ -1,0 +1,35 @@
+// cyclomatic.hpp - per-function cyclomatic complexity (Lizard stand-in,
+// paper Tables I-III; the MCC column of Table II is the maximum complexity
+// over the functions of a file set).
+//
+// Complexity follows Lizard's convention: each function starts at 1 and
+// gains one per decision token: if, for, while, case, catch, &&, ||, ?,
+// and (in our dialect) `and` / `or`.  Preprocessor lines are excluded.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ct {
+
+struct FunctionReport {
+  std::string name;   // best-effort extracted function name
+  int start_line{0};
+  int cyclomatic{1};
+  int tokens{0};      // tokens inside the function body
+};
+
+struct CcReport {
+  std::vector<FunctionReport> functions;
+  int file_cyclomatic{0};  // sum over functions (a file with none reports 0)
+  int max_cyclomatic{0};   // MCC: maximum over functions
+};
+
+/// Analyze per-function cyclomatic complexity of a source string.
+[[nodiscard]] CcReport analyze_cyclomatic(std::string_view source);
+
+/// Analyze a file; throws std::runtime_error when unreadable.
+[[nodiscard]] CcReport analyze_cyclomatic_file(const std::string& path);
+
+}  // namespace ct

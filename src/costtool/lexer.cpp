@@ -1,0 +1,203 @@
+#include "costtool/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ct {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuation, longest first so longest-match wins.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>",                          // 3 chars
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+};
+
+struct Scanner {
+  std::string_view src;
+  std::size_t pos{0};
+  int line{1};
+  bool in_preprocessor{false};
+  std::vector<Token> tokens;
+
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+
+  void advance() {
+    if (src[pos] == '\n') {
+      ++line;
+      in_preprocessor = false;
+    }
+    ++pos;
+  }
+
+  void emit(TokenKind kind, std::size_t begin) {
+    tokens.push_back(Token{in_preprocessor ? TokenKind::Preprocessor : kind,
+                           std::string(src.substr(begin, pos - begin)), line});
+  }
+
+  void skip_line_comment() {
+    while (pos < src.size() && src[pos] != '\n') ++pos;
+  }
+
+  void skip_block_comment() {
+    advance();  // '/'
+    advance();  // '*'
+    while (pos < src.size()) {
+      if (peek() == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  void scan_string(char quote) {
+    const std::size_t begin = pos;
+    advance();  // opening quote
+    while (pos < src.size() && src[pos] != quote) {
+      if (src[pos] == '\\' && pos + 1 < src.size()) advance();
+      advance();
+    }
+    if (pos < src.size()) advance();  // closing quote
+    emit(TokenKind::String, begin);
+  }
+
+  void scan_raw_string() {
+    const std::size_t begin = pos;
+    pos += 2;  // R"
+    std::string delim;
+    while (pos < src.size() && src[pos] != '(') delim.push_back(src[pos++]);
+    const std::string closer = ")" + delim + "\"";
+    while (pos < src.size() && src.substr(pos, closer.size()) != closer) advance();
+    pos = std::min(src.size(), pos + closer.size());
+    emit(TokenKind::String, begin);
+  }
+
+  void run() {
+    while (pos < src.size()) {
+      const char c = peek();
+      if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        // Line continuation keeps a preprocessor directive alive.
+        advance();
+        continue;
+      }
+      if (c == '\\' && peek(1) == '\n') {
+        const bool keep = in_preprocessor;
+        advance();
+        advance();
+        in_preprocessor = keep;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      if (c == '#') {
+        in_preprocessor = true;
+        const std::size_t begin = pos;
+        advance();
+        emit(TokenKind::Punct, begin);
+        continue;
+      }
+      if (c == 'R' && peek(1) == '"') {
+        scan_raw_string();
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        scan_string(c);
+        continue;
+      }
+      if (is_ident_start(c)) {
+        const std::size_t begin = pos;
+        while (pos < src.size() && is_ident_char(src[pos])) ++pos;
+        emit(TokenKind::Identifier, begin);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        const std::size_t begin = pos;
+        while (pos < src.size() &&
+               (is_ident_char(src[pos]) || src[pos] == '.' ||
+                ((src[pos] == '+' || src[pos] == '-') && pos > begin &&
+                 (src[pos - 1] == 'e' || src[pos - 1] == 'E' || src[pos - 1] == 'p' ||
+                  src[pos - 1] == 'P')))) {
+          ++pos;
+        }
+        emit(TokenKind::Number, begin);
+        continue;
+      }
+      // Punctuation: longest match over the multi-char table.
+      {
+        const std::size_t begin = pos;
+        bool matched = false;
+        for (std::string_view p : kPuncts) {
+          if (src.substr(pos, p.size()) == p) {
+            pos += p.size();
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) ++pos;
+        emit(TokenKind::Punct, begin);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  Scanner s{source};
+  s.run();
+  return std::move(s.tokens);
+}
+
+std::vector<LineClass> classify_lines(std::string_view source) {
+  // Count physical lines first.
+  std::size_t num_lines = 1;
+  for (char c : source) {
+    if (c == '\n') ++num_lines;
+  }
+  if (!source.empty() && source.back() == '\n') --num_lines;
+  if (source.empty()) num_lines = 0;
+
+  std::vector<LineClass> classes(num_lines, LineClass::Blank);
+
+  // Mark comment-only candidates: any line with a non-space character
+  // becomes CommentOnly; token lines upgrade to Code below.
+  std::size_t line = 0;
+  bool line_has_ink = false;
+  for (char c : source) {
+    if (c == '\n') {
+      if (line < classes.size() && line_has_ink) classes[line] = LineClass::CommentOnly;
+      ++line;
+      line_has_ink = false;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) line_has_ink = true;
+  }
+  if (line < classes.size() && line_has_ink) classes[line] = LineClass::CommentOnly;
+
+  for (const Token& t : tokenize(source)) {
+    const auto idx = static_cast<std::size_t>(t.line - 1);
+    if (idx < classes.size()) classes[idx] = LineClass::Code;
+  }
+  return classes;
+}
+
+}  // namespace ct

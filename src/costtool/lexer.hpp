@@ -1,0 +1,48 @@
+// lexer.hpp - a C/C++ token scanner for the software-cost tools (ct::).
+//
+// This is the shared front end of the LOC counter (SLOCCount stand-in) and
+// the cyclomatic-complexity analyzer (Lizard stand-in) that regenerate the
+// paper's Tables I-III.  It handles line/block comments, string and
+// character literals (including raw strings), preprocessor lines, and
+// multi-character operators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ct {
+
+enum class TokenKind {
+  Identifier,     // identifiers and keywords
+  Number,         // numeric literals
+  String,         // string/char literal (one token per literal)
+  Punct,          // operators and punctuation, longest-match
+  Preprocessor,   // any token inside a preprocessor directive line
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based source line
+
+  bool operator==(const Token&) const = default;
+};
+
+/// Scan `source` into a token stream.  Comments are consumed (they produce
+/// no tokens); tokens on a preprocessor line are all tagged Preprocessor so
+/// downstream analyses can exclude them (e.g. `#if` must not count toward
+/// cyclomatic complexity).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+/// Per-line classification used by LOC counting.
+enum class LineClass {
+  Blank,        // only whitespace
+  CommentOnly,  // only comment text (and whitespace)
+  Code,         // contains at least one code or preprocessor token
+};
+
+/// Classify every physical line of `source` (index 0 = line 1).
+[[nodiscard]] std::vector<LineClass> classify_lines(std::string_view source);
+
+}  // namespace ct

@@ -1,0 +1,36 @@
+#include "costtool/loc.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "costtool/lexer.hpp"
+
+namespace ct {
+
+LocReport count_loc(std::string_view source) {
+  LocReport r;
+  const auto classes = classify_lines(source);
+  r.physical_lines = static_cast<int>(classes.size());
+  for (LineClass c : classes) {
+    switch (c) {
+      case LineClass::Blank: ++r.blank_lines; break;
+      case LineClass::CommentOnly: ++r.comment_lines; break;
+      case LineClass::Code: ++r.code_lines; break;
+    }
+  }
+  r.tokens = static_cast<int>(tokenize(source).size());
+  return r;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+LocReport count_loc_file(const std::string& path) { return count_loc(read_file(path)); }
+
+}  // namespace ct

@@ -1,0 +1,27 @@
+// loc.hpp - source-lines-of-code counting (SLOCCount stand-in, paper
+// Tables I-III).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ct {
+
+struct LocReport {
+  int physical_lines{0};  // all lines
+  int blank_lines{0};
+  int comment_lines{0};   // lines containing only comment text
+  int code_lines{0};      // "LOC": lines with at least one code token
+  int tokens{0};          // non-comment token count (paper's listing metric)
+};
+
+/// Count LOC metrics of a source string.
+[[nodiscard]] LocReport count_loc(std::string_view source);
+
+/// Count LOC metrics of a file; throws std::runtime_error when unreadable.
+[[nodiscard]] LocReport count_loc_file(const std::string& path);
+
+/// Read a whole file into a string; throws std::runtime_error on failure.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace ct

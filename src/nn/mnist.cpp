@@ -1,0 +1,107 @@
+#include "nn/mnist.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace nn {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw std::runtime_error("idx: truncated header");
+  return (static_cast<std::uint32_t>(b[0]) << 24) | (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) | static_cast<std::uint32_t>(b[3]);
+}
+
+}  // namespace
+
+Dataset make_synthetic(std::size_t n, std::uint64_t seed) {
+  Dataset ds;
+  ds.images.resize(n, kMnistPixels);
+  ds.labels.resize(n);
+
+  // One fixed template per class: a sparse set of bright "stroke" pixels.
+  std::vector<Matrix> templates;
+  templates.reserve(kMnistClasses);
+  support::Xoshiro256 template_rng(seed);
+  for (int c = 0; c < kMnistClasses; ++c) {
+    Matrix t(1, kMnistPixels);
+    for (int stroke = 0; stroke < 60; ++stroke) {
+      t(0, template_rng.below(kMnistPixels)) = 1.0f;
+    }
+    templates.push_back(std::move(t));
+  }
+
+  support::Xoshiro256 rng(seed ^ 0x5eed5eedULL);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % kMnistClasses);
+    ds.labels[i] = label;
+    const Matrix& t = templates[static_cast<std::size_t>(label)];
+    float* row = ds.images.row(i);
+    for (std::size_t p = 0; p < kMnistPixels; ++p) {
+      const float noise = static_cast<float>(rng.normal(0.0, 0.15));
+      row[p] = std::clamp(t(0, p) * 0.8f + noise, 0.0f, 1.0f);
+    }
+  }
+  return ds;
+}
+
+Dataset load_idx(const std::string& images_path, const std::string& labels_path) {
+  std::ifstream img(images_path, std::ios::binary);
+  std::ifstream lab(labels_path, std::ios::binary);
+  if (!img) throw std::runtime_error("cannot open " + images_path);
+  if (!lab) throw std::runtime_error("cannot open " + labels_path);
+
+  if (read_be32(img) != 0x00000803u) throw std::runtime_error("idx: bad image magic");
+  const std::uint32_t n_img = read_be32(img);
+  const std::uint32_t rows = read_be32(img);
+  const std::uint32_t cols = read_be32(img);
+  if (rows * cols != kMnistPixels) throw std::runtime_error("idx: not 28x28 images");
+
+  if (read_be32(lab) != 0x00000801u) throw std::runtime_error("idx: bad label magic");
+  const std::uint32_t n_lab = read_be32(lab);
+  if (n_img != n_lab) throw std::runtime_error("idx: image/label count mismatch");
+
+  Dataset ds;
+  ds.images.resize(n_img, kMnistPixels);
+  ds.labels.resize(n_img);
+  std::vector<unsigned char> buf(kMnistPixels);
+  for (std::uint32_t i = 0; i < n_img; ++i) {
+    img.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+    if (!img) throw std::runtime_error("idx: truncated image data");
+    float* row = ds.images.row(i);
+    for (std::size_t p = 0; p < kMnistPixels; ++p) {
+      row[p] = static_cast<float>(buf[p]) / 255.0f;
+    }
+    char c = 0;
+    lab.read(&c, 1);
+    if (!lab) throw std::runtime_error("idx: truncated label data");
+    ds.labels[i] = static_cast<int>(static_cast<unsigned char>(c));
+    if (ds.labels[i] >= kMnistClasses) throw std::runtime_error("idx: label out of range");
+  }
+  return ds;
+}
+
+Dataset load_or_synthesize(const std::string& dir, std::size_t n, std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  const fs::path images = fs::path(dir) / "train-images-idx3-ubyte";
+  const fs::path labels = fs::path(dir) / "train-labels-idx1-ubyte";
+  if (fs::exists(images) && fs::exists(labels)) {
+    Dataset ds = load_idx(images.string(), labels.string());
+    if (n == 0 || n >= ds.size()) return ds;
+    Dataset out;
+    out.images.resize(n, kMnistPixels);
+    out.labels.assign(ds.labels.begin(), ds.labels.begin() + static_cast<long>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy_n(ds.images.row(i), kMnistPixels, out.images.row(i));
+    }
+    return out;
+  }
+  return make_synthetic(n == 0 ? 60000 : n, seed);
+}
+
+}  // namespace nn

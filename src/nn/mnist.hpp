@@ -1,0 +1,45 @@
+// mnist.hpp - the MNIST dataset substrate.
+//
+// Two sources (DESIGN.md substitution #4):
+//  * load_idx(): reads genuine IDX-format files (train-images-idx3-ubyte /
+//    train-labels-idx1-ubyte) when the user provides them - so a machine
+//    with the real dataset reproduces the experiment verbatim;
+//  * make_synthetic(): a deterministic class-conditional generator with the
+//    same shape (784-dim images in [0,1], labels 0..9).  Each class has a
+//    fixed random template; samples are the template plus noise, so the
+//    classification task is learnable and training-loss curves behave.
+//
+// The paper's experiment measures training *runtime*, which depends only on
+// tensor shapes and the task decomposition - both preserved exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nn {
+
+struct Dataset {
+  Matrix images;            // n x 784, values in [0, 1]
+  std::vector<int> labels;  // n entries in 0..9
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
+};
+
+inline constexpr std::size_t kMnistPixels = 784;
+inline constexpr int kMnistClasses = 10;
+
+/// Deterministic synthetic MNIST with `n` samples.
+[[nodiscard]] Dataset make_synthetic(std::size_t n, std::uint64_t seed = 1);
+
+/// Load IDX image/label files; throws std::runtime_error on malformed data.
+[[nodiscard]] Dataset load_idx(const std::string& images_path,
+                               const std::string& labels_path);
+
+/// Convenience: real MNIST from `dir` when both files exist, else synthetic.
+[[nodiscard]] Dataset load_or_synthesize(const std::string& dir, std::size_t n,
+                                         std::uint64_t seed = 1);
+
+}  // namespace nn

@@ -1,0 +1,121 @@
+#include "nn/network.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nn {
+
+namespace {
+
+void sigmoid_inplace(Matrix& m) {
+  float* d = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+  }
+}
+
+}  // namespace
+
+void Dense::init(std::size_t in, std::size_t out, support::Xoshiro256& rng) {
+  // Xavier-style scale keeps sigmoid activations in their linear band.
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in + out));
+  w = Matrix::randn(in, out, stddev, rng);
+  b.assign(out, 0.0f);
+  dw.resize(in, out);
+  db.assign(out, 0.0f);
+}
+
+Mlp::Mlp(std::vector<std::size_t> dims, std::uint64_t seed) : _dims(std::move(dims)) {
+  assert(_dims.size() >= 2);
+  support::Xoshiro256 rng(seed);
+  _layers.resize(_dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < _dims.size(); ++i) {
+    _layers[i].init(_dims[i], _dims[i + 1], rng);
+  }
+  _acts.resize(_layers.size() + 1);
+  _deltas.resize(_layers.size());
+}
+
+float Mlp::forward(const Matrix& batch, const std::vector<int>& labels) {
+  assert(batch.cols() == _dims.front());
+  assert(labels.size() == batch.rows());
+
+  _acts[0] = batch;
+  for (std::size_t i = 0; i < _layers.size(); ++i) {
+    gemm(_acts[i], _layers[i].w, _acts[i + 1]);
+    add_bias(_acts[i + 1], _layers[i].b);
+    if (i + 1 < _layers.size()) {
+      sigmoid_inplace(_acts[i + 1]);  // hidden layers: sigmoid
+    }
+  }
+
+  // Softmax + cross-entropy on the final logits; the output delta is
+  // (softmax - onehot) / batch, computed here so G_{L-1} can run immediately.
+  Matrix& out = _acts.back();
+  softmax_rows(out);
+  const std::size_t n = out.rows();
+  float loss = 0.0f;
+  Matrix& delta = _deltas.back();
+  delta = out;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto label = static_cast<std::size_t>(labels[r]);
+    loss -= std::log(std::max(out(r, label), 1e-12f));
+    delta(r, label) -= 1.0f;
+  }
+  for (std::size_t i = 0; i < delta.size(); ++i) delta.data()[i] *= inv_n;
+  return loss * inv_n;
+}
+
+void Mlp::backward_layer(std::size_t i) {
+  Dense& layer = _layers[i];
+  const Matrix& input = _acts[i];
+  const Matrix& delta = _deltas[i];
+
+  // dW = X^T * delta; db = column sums of delta.
+  gemm_tn(input, delta, layer.dw);
+  layer.db.assign(layer.db.size(), 0.0f);
+  for (std::size_t r = 0; r < delta.rows(); ++r) {
+    const float* row = delta.row(r);
+    for (std::size_t c = 0; c < delta.cols(); ++c) layer.db[c] += row[c];
+  }
+
+  if (i == 0) return;
+
+  // delta_{i-1} = (delta * W^T) ⊙ sigmoid'(act_i)
+  gemm_nt(delta, layer.w, _deltas[i - 1]);
+  Matrix& prev = _deltas[i - 1];
+  const Matrix& act = _acts[i];
+  for (std::size_t k = 0; k < prev.size(); ++k) {
+    const float a = act.data()[k];
+    prev.data()[k] *= a * (1.0f - a);
+  }
+}
+
+void Mlp::update_layer(std::size_t i, float lr) {
+  Dense& layer = _layers[i];
+  axpy(-lr, layer.dw, layer.w);
+  for (std::size_t c = 0; c < layer.b.size(); ++c) layer.b[c] -= lr * layer.db[c];
+}
+
+float Mlp::train_step(const Matrix& batch, const std::vector<int>& labels, float lr) {
+  const float loss = forward(batch, labels);
+  for (std::size_t i = _layers.size(); i-- > 0;) backward_layer(i);
+  for (std::size_t i = 0; i < _layers.size(); ++i) update_layer(i, lr);
+  return loss;
+}
+
+float Mlp::accuracy(const Matrix& images, const std::vector<int>& labels) {
+  std::vector<int> dummy(images.rows(), 0);
+  // Run a forward pass without touching training caches semantics: reuse
+  // forward() (labels only affect loss/delta, not the prediction).
+  (void)forward(images, dummy);
+  const Matrix& out = _acts.back();
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    if (static_cast<int>(argmax_row(out, r)) == labels[r]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(out.rows());
+}
+
+}  // namespace nn

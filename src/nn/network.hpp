@@ -1,0 +1,76 @@
+// network.hpp - a sigmoid MLP with softmax-cross-entropy head, decomposed
+// so that the paper's Fig. 11 task structure maps one-to-one onto methods:
+//
+//   forward(batch)      -> the F task of a batch
+//   backward_layer(i)   -> the G_i (gradient) task, pipelined layer by layer
+//   update_layer(i)     -> the U_i (weight update) task
+//
+// Architectures: the paper's 3-layer (784x32x32x10) and 5-layer
+// (784x64x32x16x8x10) classifiers, plus anything else expressible as a dim
+// list.  Given identical shuffles, every trainer (sequential / taskflow /
+// flowgraph / OpenMP) performs the same floating-point operations in the
+// same order per layer, so trained weights agree bit-for-bit - the property
+// the cross-trainer tests assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nn {
+
+struct Dense {
+  Matrix w;               // in x out
+  std::vector<float> b;   // out
+  Matrix dw;              // gradient accumulators
+  std::vector<float> db;
+
+  void init(std::size_t in, std::size_t out, support::Xoshiro256& rng);
+};
+
+class Mlp {
+ public:
+  /// `dims` = {784, 32, 32, 10} gives the paper's 3-layer classifier.
+  Mlp(std::vector<std::size_t> dims, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t num_layers() const noexcept { return _layers.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& dims() const noexcept { return _dims; }
+  [[nodiscard]] const Dense& layer(std::size_t i) const { return _layers[i]; }
+
+  /// F task: forward the batch, cache activations, compute the softmax
+  /// cross-entropy loss and the output-layer delta.  Returns the mean loss.
+  float forward(const Matrix& batch, const std::vector<int>& labels);
+
+  /// G_i task: gradient of layer i from the cached forward state; produces
+  /// dW_i/db_i and the delta for layer i-1.  Call in order i = L-1 .. 0
+  /// (each call depends only on the previous one - the pipeline the
+  /// paper's decomposition exploits).
+  void backward_layer(std::size_t i);
+
+  /// U_i task: SGD step on layer i; independent of G_j for j < i.
+  void update_layer(std::size_t i, float lr);
+
+  /// Convenience sequential reference step (F, all G, all U).
+  float train_step(const Matrix& batch, const std::vector<int>& labels, float lr);
+
+  /// Classification accuracy on a dataset slice.
+  [[nodiscard]] float accuracy(const Matrix& images, const std::vector<int>& labels);
+
+  /// Paper task accounting: tasks per batch = 1 (F) + L (G) + L (U).
+  [[nodiscard]] std::size_t tasks_per_batch() const noexcept {
+    return 1 + 2 * _layers.size();
+  }
+
+ private:
+  std::vector<std::size_t> _dims;
+  std::vector<Dense> _layers;
+
+  // Cached forward state (one training batch in flight at a time, as in the
+  // paper's decomposition - batches serialize through the weight updates).
+  std::vector<Matrix> _acts;    // _acts[i]: input to layer i; back() = output
+  std::vector<Matrix> _deltas;  // _deltas[i]: dLoss/dZ_i
+  Matrix _scratch;
+};
+
+}  // namespace nn

@@ -1,0 +1,106 @@
+#include "nn/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace nn {
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, double stddev,
+                     support::Xoshiro256& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return m;
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.rows());
+  c.resize(a.rows(), b.cols());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  // ikj loop order: streams through b and c rows (cache-friendly without
+  // explicit blocking at these layer sizes).
+  for (std::size_t i = 0; i < n; ++i) {
+    float* ci = c.row(i);
+    const float* ai = a.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b.row(p);
+      for (std::size_t j = 0; j < m; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.rows() == b.rows());
+  c.resize(a.cols(), b.cols());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* ar = a.row(r);
+    const float* br = b.row(r);
+    for (std::size_t i = 0; i < k; ++i) {
+      const float ari = ar[i];
+      if (ari == 0.0f) continue;
+      float* ci = c.row(i);
+      for (std::size_t j = 0; j < m; ++j) ci[j] += ari * br[j];
+    }
+  }
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.cols());
+  c.resize(a.rows(), b.rows());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const float* bj = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+}
+
+void axpy(float alpha, const Matrix& x, Matrix& y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  float* yd = y.data();
+  const float* xd = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+void add_bias(Matrix& m, const std::vector<float>& bias) {
+  assert(bias.size() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.row(r);
+    float mx = row[0];
+    for (std::size_t c = 1; c < m.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] *= inv;
+  }
+}
+
+std::size_t argmax_row(const Matrix& m, std::size_t r) {
+  const float* row = m.row(r);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < m.cols(); ++c) {
+    if (row[c] > row[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace nn

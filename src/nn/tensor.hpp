@@ -1,0 +1,81 @@
+// tensor.hpp - a minimal row-major float matrix and the BLAS-like kernels
+// the DNN training experiment needs (gemm, transposed gemms, axpy,
+// row-softmax).  Replaces the paper's Eigen 3.3.7 dependency (DESIGN.md
+// substitution #5); all matrix operations are encapsulated standalone
+// function calls, exactly as the paper describes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : _rows(rows), _cols(cols), _data(rows * cols, 0.0f) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return _rows; }
+  [[nodiscard]] std::size_t cols() const noexcept { return _cols; }
+  [[nodiscard]] std::size_t size() const noexcept { return _data.size(); }
+
+  [[nodiscard]] float& operator()(std::size_t r, std::size_t c) {
+    return _data[r * _cols + c];
+  }
+  [[nodiscard]] float operator()(std::size_t r, std::size_t c) const {
+    return _data[r * _cols + c];
+  }
+
+  [[nodiscard]] float* data() noexcept { return _data.data(); }
+  [[nodiscard]] const float* data() const noexcept { return _data.data(); }
+  [[nodiscard]] float* row(std::size_t r) noexcept { return _data.data() + r * _cols; }
+  [[nodiscard]] const float* row(std::size_t r) const noexcept {
+    return _data.data() + r * _cols;
+  }
+
+  void fill(float v) { _data.assign(_data.size(), v); }
+
+  /// Resize without preserving contents.
+  void resize(std::size_t rows, std::size_t cols) {
+    _rows = rows;
+    _cols = cols;
+    _data.assign(rows * cols, 0.0f);
+  }
+
+  /// Gaussian init with the given standard deviation.
+  static Matrix randn(std::size_t rows, std::size_t cols, double stddev,
+                      support::Xoshiro256& rng);
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t _rows{0};
+  std::size_t _cols{0};
+  std::vector<float> _data;
+};
+
+/// C = A * B.  C is resized.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T * B (A is rows x k, used as k x rows).  C is resized.
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A * B^T.  C is resized.
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// y += alpha * x (same shape required).
+void axpy(float alpha, const Matrix& x, Matrix& y);
+
+/// Add `bias` (length = cols) to every row.
+void add_bias(Matrix& m, const std::vector<float>& bias);
+
+/// In-place row-wise softmax.
+void softmax_rows(Matrix& m);
+
+/// Index of the maximum entry of row `r`.
+[[nodiscard]] std::size_t argmax_row(const Matrix& m, std::size_t r);
+
+}  // namespace nn

@@ -1,0 +1,207 @@
+// trainers.cpp - sequential, Cpp-Taskflow, and fg::FlowGraph trainers (the
+// OpenMP trainer lives in trainer_omp.cpp, the only nn TU needing OpenMP).
+#include "nn/trainers.hpp"
+
+#include <deque>
+
+#include "baselines/flowgraph.hpp"
+#include "nn/trainers_common.hpp"
+#include "support/chrono.hpp"
+#include "taskflow/taskflow.hpp"
+
+namespace nn {
+
+using detail::Storage;
+
+std::size_t tasks_per_epoch(const Mlp& net, const Dataset& ds, const TrainConfig& cfg) {
+  return detail::num_batches(ds, cfg) * net.tasks_per_batch() + 1;
+}
+
+TrainResult train_sequential(Mlp& net, const Dataset& ds, const TrainConfig& cfg) {
+  const std::size_t batches = detail::num_batches(ds, cfg);
+  support::Stopwatch sw;
+
+  Storage slot;
+  Matrix batch;
+  std::vector<int> labels;
+  float epoch_loss = 0.0f;
+
+  for (int e = 0; e < cfg.epochs; ++e) {
+    detail::shuffle_into(ds, slot, cfg.shuffle_seed, e);
+    epoch_loss = 0.0f;
+    for (std::size_t b = 0; b < batches; ++b) {
+      detail::make_batch(slot, b, cfg.batch_size, batch, labels);
+      epoch_loss += net.train_step(batch, labels, cfg.learning_rate);
+    }
+  }
+
+  TrainResult r;
+  r.elapsed_ms = sw.elapsed_ms();
+  r.last_epoch_loss = epoch_loss / static_cast<float>(batches);
+  r.total_tasks = static_cast<std::size_t>(cfg.epochs) * tasks_per_epoch(net, ds, cfg);
+  return r;
+}
+
+TrainResult train_taskflow(Mlp& net, const Dataset& ds, const TrainConfig& cfg) {
+  const std::size_t batches = detail::num_batches(ds, cfg);
+  const std::size_t layers = net.num_layers();
+  const std::size_t k = detail::num_storages(cfg);
+  const auto epochs = static_cast<std::size_t>(cfg.epochs);
+
+  support::Stopwatch sw;  // includes graph construction, as in the paper
+
+  std::vector<Storage> storages(k);
+  Matrix batch;
+  std::vector<int> labels;
+  float epoch_loss = 0.0f;
+
+  tf::Taskflow taskflow(cfg.num_threads);
+
+  std::vector<tf::Task> shuffle(epochs);
+  // Flat task arrays indexed [e * batches + b] and [(e * batches + b) * layers + i].
+  std::vector<tf::Task> f_task(epochs * batches);
+  std::vector<tf::Task> g_task(epochs * batches * layers);
+  std::vector<tf::Task> u_task(epochs * batches * layers);
+
+  const float lr = cfg.learning_rate;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const std::size_t slot = e % k;
+    shuffle[e] = taskflow.emplace([&ds, &storages, slot, seed = cfg.shuffle_seed,
+                                   e] { detail::shuffle_into(ds, storages[slot], seed, static_cast<int>(e)); });
+
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::size_t fb = e * batches + b;
+      f_task[fb] = taskflow.emplace([&net, &storages, &batch, &labels, &epoch_loss,
+                                     slot, b, bs = cfg.batch_size, batches] {
+        detail::make_batch(storages[slot], b, bs, batch, labels);
+        if (b == 0) epoch_loss = 0.0f;
+        epoch_loss += net.forward(batch, labels) / static_cast<float>(batches);
+      });
+      for (std::size_t i = 0; i < layers; ++i) {
+        const std::size_t gi = fb * layers + i;
+        g_task[gi] = taskflow.emplace([&net, i] { net.backward_layer(i); });
+        u_task[gi] = taskflow.emplace([&net, i, lr] { net.update_layer(i, lr); });
+      }
+    }
+  }
+
+  // Dependencies (Fig. 11).
+  for (std::size_t e = 0; e < epochs; ++e) {
+    // Storage reuse: shuffle for epoch e waits until epoch e-k stopped
+    // reading the slot (its last batch was extracted by the last F task).
+    if (e >= k) f_task[(e - k) * batches + (batches - 1)].precede(shuffle[e]);
+    shuffle[e].precede(f_task[e * batches]);
+
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::size_t fb = e * batches + b;
+      // Backward pipeline: F -> G_{L-1} -> ... -> G_0; U_i after G_i.
+      f_task[fb].precede(g_task[fb * layers + (layers - 1)]);
+      for (std::size_t i = layers; i-- > 0;) {
+        if (i > 0) g_task[fb * layers + i].precede(g_task[fb * layers + i - 1]);
+        g_task[fb * layers + i].precede(u_task[fb * layers + i]);
+      }
+      // The next batch's forward waits for every weight update.
+      const bool last = (b + 1 == batches) && (e + 1 == epochs);
+      if (!last) {
+        const std::size_t next_f = (b + 1 < batches) ? fb + 1 : (e + 1) * batches;
+        for (std::size_t i = 0; i < layers; ++i) {
+          u_task[fb * layers + i].precede(f_task[next_f]);
+        }
+      }
+    }
+  }
+
+  taskflow.wait_for_all();
+
+  TrainResult r;
+  r.elapsed_ms = sw.elapsed_ms();
+  r.last_epoch_loss = epoch_loss;
+  r.total_tasks = epochs * tasks_per_epoch(net, ds, cfg);
+  return r;
+}
+
+TrainResult train_flowgraph(Mlp& net, const Dataset& ds, const TrainConfig& cfg) {
+  using FgNode = fg::continue_node<fg::continue_msg>;
+  const std::size_t batches = detail::num_batches(ds, cfg);
+  const std::size_t layers = net.num_layers();
+  const std::size_t k = detail::num_storages(cfg);
+  const auto epochs = static_cast<std::size_t>(cfg.epochs);
+
+  fg::task_scheduler_init init(static_cast<int>(cfg.num_threads));
+
+  support::Stopwatch sw;
+
+  std::vector<Storage> storages(k);
+  Matrix batch;
+  std::vector<int> labels;
+  float epoch_loss = 0.0f;
+
+  fg::graph graph;
+  std::deque<FgNode> nodes;  // stable addresses for make_edge
+
+  std::vector<FgNode*> shuffle(epochs);
+  std::vector<FgNode*> f_node(epochs * batches);
+  std::vector<FgNode*> g_node(epochs * batches * layers);
+  std::vector<FgNode*> u_node(epochs * batches * layers);
+
+  const float lr = cfg.learning_rate;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const std::size_t slot = e % k;
+    shuffle[e] = &nodes.emplace_back(graph, [&ds, &storages, slot,
+                                             seed = cfg.shuffle_seed,
+                                             e](const fg::continue_msg&) {
+      detail::shuffle_into(ds, storages[slot], seed, static_cast<int>(e));
+    });
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::size_t fb = e * batches + b;
+      f_node[fb] = &nodes.emplace_back(
+          graph, [&net, &storages, &batch, &labels, &epoch_loss, slot, b,
+                  bs = cfg.batch_size, batches](const fg::continue_msg&) {
+            detail::make_batch(storages[slot], b, bs, batch, labels);
+            if (b == 0) epoch_loss = 0.0f;
+            epoch_loss += net.forward(batch, labels) / static_cast<float>(batches);
+          });
+      for (std::size_t i = 0; i < layers; ++i) {
+        const std::size_t gi = fb * layers + i;
+        g_node[gi] = &nodes.emplace_back(
+            graph, [&net, i](const fg::continue_msg&) { net.backward_layer(i); });
+        u_node[gi] = &nodes.emplace_back(
+            graph, [&net, i, lr](const fg::continue_msg&) { net.update_layer(i, lr); });
+      }
+    }
+  }
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    if (e >= k) fg::make_edge(*f_node[(e - k) * batches + (batches - 1)], *shuffle[e]);
+    fg::make_edge(*shuffle[e], *f_node[e * batches]);
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::size_t fb = e * batches + b;
+      fg::make_edge(*f_node[fb], *g_node[fb * layers + (layers - 1)]);
+      for (std::size_t i = layers; i-- > 0;) {
+        if (i > 0) fg::make_edge(*g_node[fb * layers + i], *g_node[fb * layers + i - 1]);
+        fg::make_edge(*g_node[fb * layers + i], *u_node[fb * layers + i]);
+      }
+      const bool last = (b + 1 == batches) && (e + 1 == epochs);
+      if (!last) {
+        const std::size_t next_f = (b + 1 < batches) ? fb + 1 : (e + 1) * batches;
+        for (std::size_t i = 0; i < layers; ++i) {
+          fg::make_edge(*u_node[fb * layers + i], *f_node[next_f]);
+        }
+      }
+    }
+  }
+
+  // Sources: the first k shuffle nodes (all later ones have predecessors).
+  for (std::size_t e = 0; e < std::min(k, epochs); ++e) {
+    shuffle[e]->try_put(fg::continue_msg{});
+  }
+  graph.wait_for_all();
+
+  TrainResult r;
+  r.elapsed_ms = sw.elapsed_ms();
+  r.last_epoch_loss = epoch_loss;
+  r.total_tasks = epochs * tasks_per_epoch(net, ds, cfg);
+  return r;
+}
+
+}  // namespace nn

@@ -1,0 +1,54 @@
+// trainers.hpp - four implementations of the paper's Fig. 11 parallel DNN
+// training decomposition:
+//
+//   * per batch: one forward task F, per-layer gradient tasks G_i pipelined
+//     layer by layer, per-layer weight-update tasks U_i (U_{i+1} overlaps
+//     G_i);
+//   * per epoch: one data-shuffle task E_i_S_j; the number of shuffle
+//     storages is capped at twice the thread count so spare threads
+//     pre-shuffle future epochs without unbounded memory (paper §IV-C);
+//
+// written with Cpp-Taskflow, the fg:: FlowGraph baseline, genuine OpenMP
+// task-depend clauses (with the hard-coded clause ordering the paper
+// describes), and a sequential reference.  All four consume identical
+// shuffle permutations and perform identical per-layer arithmetic, so the
+// trained weights agree exactly - the cross-trainer equivalence the tests
+// assert.
+//
+// Task accounting matches the paper: a 3-layer net at batch 100 over 60K
+// images gives 600*(1+3+3)+1 = 4201 tasks per epoch; the 5-layer net gives
+// 6601.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/mnist.hpp"
+#include "nn/network.hpp"
+
+namespace nn {
+
+struct TrainConfig {
+  int epochs{10};
+  std::size_t batch_size{100};
+  float learning_rate{0.001f};
+  std::size_t num_threads{4};
+  std::size_t shuffle_storages{0};  // 0 = min(2 * num_threads, epochs)
+  std::uint64_t shuffle_seed{0x5u};
+};
+
+struct TrainResult {
+  double elapsed_ms{0.0};
+  float last_epoch_loss{0.0f};  // mean batch loss of the final epoch
+  std::size_t total_tasks{0};   // tasks per the paper's accounting
+};
+
+/// Tasks per epoch for a given net/batch configuration (paper numbers).
+[[nodiscard]] std::size_t tasks_per_epoch(const Mlp& net, const Dataset& ds,
+                                          const TrainConfig& cfg);
+
+TrainResult train_sequential(Mlp& net, const Dataset& ds, const TrainConfig& cfg);
+TrainResult train_taskflow(Mlp& net, const Dataset& ds, const TrainConfig& cfg);
+TrainResult train_flowgraph(Mlp& net, const Dataset& ds, const TrainConfig& cfg);
+TrainResult train_openmp(Mlp& net, const Dataset& ds, const TrainConfig& cfg);
+
+}  // namespace nn

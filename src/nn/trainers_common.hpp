@@ -1,0 +1,65 @@
+// trainers_common.hpp - shared plumbing of the four trainers: shuffle
+// storages with deterministic per-epoch permutations, batch extraction, and
+// config normalization.  Internal header (not part of the public nn:: API).
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "nn/trainers.hpp"
+#include "support/rng.hpp"
+
+namespace nn::detail {
+
+/// One shuffle storage slot: a reshuffled copy of the dataset (the paper
+/// shuffles data blocks, not just indices - the task has real work).
+struct Storage {
+  Matrix images;
+  std::vector<int> labels;
+};
+
+inline std::size_t num_batches(const Dataset& ds, const TrainConfig& cfg) {
+  return ds.size() / cfg.batch_size;
+}
+
+inline std::size_t num_storages(const TrainConfig& cfg) {
+  const std::size_t k =
+      cfg.shuffle_storages != 0 ? cfg.shuffle_storages : 2 * cfg.num_threads;
+  return std::max<std::size_t>(1, std::min<std::size_t>(k, static_cast<std::size_t>(cfg.epochs)));
+}
+
+/// The deterministic permutation of epoch `e` (identical in every trainer).
+inline std::vector<std::size_t> epoch_permutation(std::size_t n, std::uint64_t seed,
+                                                  int epoch) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  support::Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(epoch + 1)));
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+/// The E_i_S_j task body: reshuffle the dataset into `slot`.
+inline void shuffle_into(const Dataset& ds, Storage& slot, std::uint64_t seed, int epoch) {
+  const auto perm = epoch_permutation(ds.size(), seed, epoch);
+  slot.images.resize(ds.size(), ds.images.cols());
+  slot.labels.resize(ds.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    std::copy_n(ds.images.row(perm[i]), ds.images.cols(), slot.images.row(i));
+    slot.labels[i] = ds.labels[perm[i]];
+  }
+}
+
+/// Extract batch `b` from a storage slot into reusable buffers.
+inline void make_batch(const Storage& slot, std::size_t b, std::size_t batch_size,
+                       Matrix& images, std::vector<int>& labels) {
+  images.resize(batch_size, slot.images.cols());
+  labels.resize(batch_size);
+  const std::size_t base = b * batch_size;
+  for (std::size_t r = 0; r < batch_size; ++r) {
+    std::copy_n(slot.images.row(base + r), slot.images.cols(), images.row(r));
+    labels[r] = slot.labels[base + r];
+  }
+}
+
+}  // namespace nn::detail

@@ -1,0 +1,34 @@
+#include "support/chrono.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace support {
+
+Stats summarize(std::vector<double> samples) {
+  Stats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+
+  const std::size_t mid = samples.size() / 2;
+  s.median = (samples.size() % 2 == 1)
+                 ? samples[mid]
+                 : 0.5 * (samples[mid - 1] + samples[mid]);
+
+  double sq = 0.0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace support

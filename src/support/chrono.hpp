@@ -1,0 +1,59 @@
+// chrono.hpp - wall-clock timing and small summary statistics used by the
+// benchmark harnesses to report paper-style runtime rows.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace support {
+
+/// Simple steady-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : _start(clock::now()) {}
+
+  void reset() { _start = clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or last reset().
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - _start).count();
+  }
+
+  /// Elapsed time in seconds.
+  [[nodiscard]] double elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point _start;
+};
+
+/// Summary statistics over a sample of measurements.
+struct Stats {
+  double mean{0.0};
+  double median{0.0};
+  double stddev{0.0};
+  double min{0.0};
+  double max{0.0};
+  std::size_t n{0};
+};
+
+/// Compute summary statistics; the input is copied because median needs a
+/// partial sort.
+[[nodiscard]] Stats summarize(std::vector<double> samples);
+
+/// Run `fn` `repeats` times and return the minimum elapsed milliseconds
+/// (minimum-of-N is the conventional noise filter for microbenchmarks).
+template <typename F>
+double time_min_ms(F&& fn, int repeats = 3) {
+  double best = -1.0;
+  for (int i = 0; i < repeats; ++i) {
+    Stopwatch sw;
+    fn();
+    const double t = sw.elapsed_ms();
+    if (best < 0.0 || t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace support

@@ -1,0 +1,18 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace support {
+
+double Xoshiro256::normal() noexcept {
+  // Box-Muller; draw until u1 is nonzero so std::log stays finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace support

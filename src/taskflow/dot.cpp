@@ -1,0 +1,47 @@
+#include "taskflow/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace tf {
+
+namespace {
+
+std::string node_id(const Node& n) {
+  std::ostringstream os;
+  os << "p" << static_cast<const void*>(&n);
+  return os.str();
+}
+
+std::string node_label(const Node& n) {
+  return n.name().empty() ? node_id(n) : n.name();
+}
+
+void emit_node(std::ostream& os, const Node& n) {
+  os << "  \"" << node_id(n) << "\" [label=\"" << node_label(n) << "\"];\n";
+  for (const Node* succ : n._successors) {
+    os << "  \"" << node_id(n) << "\" -> \"" << node_id(*succ) << "\";\n";
+  }
+  if (n._subgraph != nullptr && !n._subgraph->empty()) {
+    os << "  subgraph \"cluster_" << node_id(n) << "\" {\n"
+       << "    label=\"Subflow: " << node_label(n) << "\";\n";
+    for (const auto& child : *n._subgraph) emit_node(os, child);
+    os << "  }\n";
+  }
+}
+
+}  // namespace
+
+void dump_dot(std::ostream& os, const Graph& graph, const std::string& title) {
+  os << "digraph \"" << title << "\" {\n";
+  for (const auto& node : graph) emit_node(os, node);
+  os << "}\n";
+}
+
+std::string dump_dot(const Graph& graph, const std::string& title) {
+  std::ostringstream os;
+  dump_dot(os, graph, title);
+  return os.str();
+}
+
+}  // namespace tf

@@ -1,0 +1,19 @@
+// dot.hpp - GraphViz DOT emission of task dependency graphs (paper §III-G,
+// Fig. 5).  Spawned subflows render as nested clusters, so a graph that went
+// through dynamic tasking shows its full runtime expansion.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "taskflow/graph.hpp"
+
+namespace tf {
+
+/// Stream the DOT text of `graph` (with recursive subflow clusters).
+void dump_dot(std::ostream& os, const Graph& graph, const std::string& title);
+
+/// Convenience: DOT text as a string.
+[[nodiscard]] std::string dump_dot(const Graph& graph, const std::string& title = "Taskflow");
+
+}  // namespace tf

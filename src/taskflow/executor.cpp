@@ -1,0 +1,333 @@
+#include "taskflow/executor.hpp"
+
+#include <cassert>
+
+#include "taskflow/flow_builder.hpp"
+#include "taskflow/topology.hpp"
+
+namespace tf {
+
+namespace {
+// Identifies the worker context of the current thread, so schedule() can use
+// the worker-local cache / local queue fast paths (Algorithm 1).
+struct TlsWorker {
+  void* executor{nullptr};
+  void* worker{nullptr};
+};
+thread_local TlsWorker tls_worker;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ExecutorInterface: shared invocation + finalization logic
+// ---------------------------------------------------------------------------
+
+void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
+  ExecutorObserverInterface* obs = _observer.get();
+
+  if (std::holds_alternative<StaticWork>(node->_work)) {
+    if (obs) obs->on_entry(worker_id, *node);
+    std::get<StaticWork>(node->_work)();
+    if (obs) obs->on_exit(worker_id, *node);
+  } else if (std::holds_alternative<DynamicWork>(node->_work)) {
+    if (!node->_spawned) {
+      node->_spawned = true;
+      node->_subgraph = std::make_unique<Graph>();
+      SubflowBuilder builder(*node->_subgraph, num_workers());
+
+      if (obs) obs->on_entry(worker_id, *node);
+      std::get<DynamicWork>(node->_work)(builder);
+      if (obs) obs->on_exit(worker_id, *node);
+
+      Graph& sub = *node->_subgraph;
+      if (!sub.empty()) {
+        node->_detached = builder.detached();
+        std::vector<Node*> sources;
+        for (auto& child : sub) {
+          child._topology = node->_topology;
+          child._join_counter.store(child._static_dependents, std::memory_order_relaxed);
+          if (!builder.detached()) child._parent = node;
+          if (child._static_dependents == 0) sources.push_back(&child);
+        }
+        assert(!sources.empty() && "a spawned subflow must be acyclic");
+        // Children become live tasks of the same topology before any of them
+        // can possibly run, so the topology cannot complete early.
+        node->_topology->add_active(static_cast<long>(sub.size()));
+
+        if (!builder.detached()) {
+          // Joined subflow: defer this node's finalization until every child
+          // has finished (the last child triggers it through _join_counter).
+          node->_join_counter.store(static_cast<int>(sub.size()),
+                                    std::memory_order_release);
+          schedule_batch(sources);
+          return;
+        }
+        schedule_batch(sources);
+      }
+    }
+  }
+  // Placeholder (monostate) nodes fall through: they only synchronize.
+
+  finalize(node);
+}
+
+void ExecutorInterface::finalize(Node* node) {
+  // Release successors whose dependents all finished.
+  for (Node* succ : node->_successors) {
+    if (succ->_join_counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      schedule(succ);
+    }
+  }
+
+  Node* parent = node->_parent;
+  Topology* topology = node->_topology;
+  assert(topology != nullptr);
+  topology->retire_one();
+
+  // Joined-subflow bookkeeping: the last finishing child finalizes the
+  // parent (which releases the parent's successors), recursing upward
+  // through nested subflows.
+  if (parent != nullptr &&
+      parent->_join_counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    finalize(parent);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WorkStealingExecutor (paper Algorithm 1)
+// ---------------------------------------------------------------------------
+
+WorkStealingExecutor::WorkStealingExecutor(std::size_t num_workers,
+                                           WorkStealingOptions options)
+    : _options(options) {
+  if (num_workers == 0) num_workers = 1;
+  _workers.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    auto w = std::make_unique<Worker>(0x9e3779b97f4a7c15ULL ^ (i * 0xbf58476d1ce4e5b9ULL));
+    w->id = i;
+    w->last_victim = (i + 1) % num_workers;
+    _workers.push_back(std::move(w));
+  }
+  _threads.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    _threads.emplace_back([this, i] { worker_loop(*_workers[i]); });
+  }
+}
+
+WorkStealingExecutor::~WorkStealingExecutor() {
+  {
+    std::scoped_lock lock(_mutex);
+    _stop = true;
+  }
+  for (auto& w : _workers) w->cv.notify_all();
+  for (auto& t : _threads) t.join();
+}
+
+bool WorkStealingExecutor::all_queues_empty() const noexcept {
+  if (!_central.empty()) return false;
+  for (const auto& w : _workers) {
+    if (!w->queue.empty()) return false;
+  }
+  return true;
+}
+
+void WorkStealingExecutor::schedule(Node* node) {
+  if (tls_worker.executor == this) {
+    auto* w = static_cast<Worker*>(tls_worker.worker);
+    // Fast path (Algorithm 1 lines 16-25): stash into the exclusive cache so
+    // the current worker continues a linear chain without touching queues.
+    if (_options.enable_worker_cache && w->cache == nullptr) {
+      w->cache = node;
+      _cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    w->queue.push(node);
+    // Dekker-style pairing with park(): the push above must be ordered
+    // before reading the idler count, and the parking worker's increment is
+    // ordered before its emptiness re-check.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (_num_idlers.load(std::memory_order_relaxed) > 0) wake_one(nullptr);
+    return;
+  }
+  // External submitter: go through the central queue (or hand the task
+  // directly to a parked worker).
+  wake_one(node);
+}
+
+void WorkStealingExecutor::schedule_batch(const std::vector<Node*>& nodes) {
+  for (Node* n : nodes) schedule(n);
+}
+
+void WorkStealingExecutor::wake_one(Node* direct) {
+  Worker* victim = nullptr;
+  {
+    std::scoped_lock lock(_mutex);
+    if (_idlers.empty()) {
+      if (direct != nullptr) _central.push_back(direct);
+      return;
+    }
+    victim = _idlers.back();
+    _idlers.pop_back();
+    _num_idlers.fetch_sub(1, std::memory_order_relaxed);
+    victim->idle = false;
+    if (direct != nullptr) {
+      assert(victim->cache == nullptr);
+      victim->cache = direct;  // precise wakeup with zero queue traffic
+    }
+  }
+  victim->cv.notify_one();
+}
+
+Node* WorkStealingExecutor::try_pop_or_steal(Worker& w) {
+  if (auto t = w.queue.pop()) return *t;
+
+  const std::size_t n = _workers.size();
+  for (int round = 0; round < _options.steal_rounds; ++round) {
+    // Try the remembered last victim first (Algorithm 1 line 3).
+    if (w.last_victim != w.id) {
+      if (auto t = _workers[w.last_victim]->queue.steal()) {
+        _steals.fetch_add(1, std::memory_order_relaxed);
+        return *t;
+      }
+    }
+    // Sweep all victims from a random start.
+    const std::size_t start = static_cast<std::size_t>(w.rng.below(n));
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t v = (start + k) % n;
+      if (v == w.id) continue;
+      if (auto t = _workers[v]->queue.steal()) {
+        w.last_victim = v;
+        _steals.fetch_add(1, std::memory_order_relaxed);
+        return *t;
+      }
+    }
+    // Fall back to the central overflow queue.
+    {
+      std::scoped_lock lock(_mutex);
+      if (!_central.empty()) {
+        Node* t = _central.front();
+        _central.pop_front();
+        return t;
+      }
+    }
+    std::this_thread::yield();
+  }
+  return nullptr;
+}
+
+bool WorkStealingExecutor::park(Worker& w) {
+  std::unique_lock lock(_mutex);
+  if (_stop) return false;
+
+  // Two-phase commit against concurrent pushes: advertise intent, then
+  // re-check all queues; a pusher either sees the advertised idler (and
+  // wakes us) or we see its pushed task here.
+  _num_idlers.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!all_queues_empty()) {
+    _num_idlers.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  w.idle = true;
+  _idlers.push_back(&w);
+  w.cv.wait(lock, [&] { return !w.idle || _stop; });
+
+  if (w.idle) {
+    // Woken by stop while still parked: deregister ourselves.
+    std::erase(_idlers, &w);
+    _num_idlers.fetch_sub(1, std::memory_order_relaxed);
+    w.idle = false;
+    return false;
+  }
+  return !_stop || w.cache != nullptr;
+}
+
+void WorkStealingExecutor::worker_loop(Worker& w) {
+  tls_worker.executor = this;
+  tls_worker.worker = &w;
+
+  Node* task = nullptr;
+  for (;;) {
+    task = try_pop_or_steal(w);
+    if (task == nullptr) {
+      if (!park(w)) break;
+      // Algorithm 1 line 14: a precise wakeup may have deposited a task
+      // directly into our cache.
+      if (w.cache != nullptr) {
+        task = w.cache;
+        w.cache = nullptr;
+      }
+      if (task == nullptr) continue;
+    }
+    // Algorithm 1 lines 16-25: execute, then keep draining the cache so a
+    // linear chain runs back-to-back without any queue operation.
+    while (task != nullptr) {
+      run_task(w.id, task);
+      if (w.cache != nullptr) {
+        task = w.cache;
+        w.cache = nullptr;
+      } else {
+        task = nullptr;
+      }
+    }
+    // Algorithm 1 lines 26-28: occasionally wake an idler to balance load.
+    if (_options.balance_wake_probability > 0.0 &&
+        w.rng.uniform() < _options.balance_wake_probability &&
+        _num_idlers.load(std::memory_order_relaxed) > 0) {
+      wake_one(nullptr);
+    }
+  }
+
+  tls_worker.executor = nullptr;
+  tls_worker.worker = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// SimpleExecutor
+// ---------------------------------------------------------------------------
+
+SimpleExecutor::SimpleExecutor(std::size_t num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  _threads.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    _threads.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+SimpleExecutor::~SimpleExecutor() {
+  {
+    std::scoped_lock lock(_mutex);
+    _stop = true;
+  }
+  _cv.notify_all();
+  for (auto& t : _threads) t.join();
+}
+
+void SimpleExecutor::schedule(Node* node) {
+  {
+    std::scoped_lock lock(_mutex);
+    _queue.push_back(node);
+  }
+  _cv.notify_one();
+}
+
+void SimpleExecutor::worker_loop(std::size_t worker_id) {
+  for (;;) {
+    Node* task = nullptr;
+    {
+      std::unique_lock lock(_mutex);
+      _cv.wait(lock, [&] { return _stop || !_queue.empty(); });
+      if (_queue.empty()) return;  // stop and drained
+      task = _queue.front();
+      _queue.pop_front();
+    }
+    run_task(worker_id, task);
+  }
+}
+
+std::shared_ptr<WorkStealingExecutor> make_executor(std::size_t n,
+                                                    WorkStealingOptions options) {
+  return std::make_shared<WorkStealingExecutor>(n, options);
+}
+
+}  // namespace tf

@@ -1,0 +1,181 @@
+// executor.hpp - pluggable executors (paper §III-E).
+//
+// ExecutorInterface is the pluggable scheduler abstraction: a Taskflow holds
+// one via std::shared_ptr so an executor can be shared among multiple
+// taskflow objects (modular development without thread over-subscription,
+// paper §III-E).  Two implementations are provided:
+//
+//  * WorkStealingExecutor - the paper's default scheduler (Algorithm 1):
+//    a mixed work-stealing / work-sharing strategy with
+//      (1) a per-worker exclusive task *cache* enabling speculative
+//          execution of linear task chains without queue round-trips, and
+//      (2) a precise *idler list*: preempted workers park on their own
+//          condition variable and are woken one at a time, either exactly
+//          when work arrives or probabilistically for load balancing.
+//
+//  * SimpleExecutor - a plain central-queue work-sharing pool, used as the
+//    pluggable alternative and by the executor ablation benchmark.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "taskflow/graph.hpp"
+#include "taskflow/observer.hpp"
+#include "taskflow/wsq.hpp"
+
+namespace tf {
+
+class ExecutorInterface {
+ public:
+  virtual ~ExecutorInterface() = default;
+
+  /// Schedule one ready node for execution.
+  virtual void schedule(Node* node) = 0;
+
+  /// Schedule a batch of ready nodes; default forwards to schedule().
+  virtual void schedule_batch(const std::vector<Node*>& nodes) {
+    for (Node* n : nodes) schedule(n);
+  }
+
+  /// Number of worker threads.
+  [[nodiscard]] virtual std::size_t num_workers() const noexcept = 0;
+
+  /// Attach an observer (must be called while no graph is running).
+  void set_observer(std::shared_ptr<ExecutorObserverInterface> observer) {
+    _observer = std::move(observer);
+    if (_observer) _observer->set_up(num_workers());
+  }
+
+  [[nodiscard]] const std::shared_ptr<ExecutorObserverInterface>& observer() const noexcept {
+    return _observer;
+  }
+
+ protected:
+  /// Invoke `node`'s work on worker `worker_id`, expand dynamic subflows,
+  /// and release successors (common to all executors).
+  void run_task(std::size_t worker_id, Node* node);
+
+  /// Release a finished node's successors, notify its joined-subflow parent,
+  /// and retire it from its topology.
+  void finalize(Node* node);
+
+  std::shared_ptr<ExecutorObserverInterface> _observer;
+};
+
+/// Tuning knobs of WorkStealingExecutor; defaults match the paper's design.
+/// The ablation bench (bench_ablation_executor) sweeps these.
+struct WorkStealingOptions {
+  /// Per-worker cache slot for speculative linear-chain execution
+  /// (Algorithm 1 lines 16-25).  Disabling routes every task through queues.
+  bool enable_worker_cache{true};
+  /// Probability that a worker wakes one idler after draining its chain
+  /// (Algorithm 1 lines 26-28).  0 disables proactive load balancing.
+  double balance_wake_probability{1.0 / 64.0};
+  /// Steal sweeps over all victims before a worker parks.
+  int steal_rounds{2};
+};
+
+class WorkStealingExecutor final : public ExecutorInterface {
+ public:
+  explicit WorkStealingExecutor(std::size_t num_workers = std::thread::hardware_concurrency(),
+                                WorkStealingOptions options = {});
+  ~WorkStealingExecutor() override;
+
+  WorkStealingExecutor(const WorkStealingExecutor&) = delete;
+  WorkStealingExecutor& operator=(const WorkStealingExecutor&) = delete;
+
+  void schedule(Node* node) override;
+  void schedule_batch(const std::vector<Node*>& nodes) override;
+
+  [[nodiscard]] std::size_t num_workers() const noexcept override {
+    return _workers.size();
+  }
+
+  /// Number of workers currently parked in the idler list (diagnostic).
+  [[nodiscard]] std::size_t num_idlers() const noexcept {
+    return static_cast<std::size_t>(_num_idlers.load(std::memory_order_relaxed));
+  }
+
+  /// Total successful steals across all workers (diagnostic/ablation).
+  [[nodiscard]] std::size_t num_steals() const noexcept {
+    return _steals.load(std::memory_order_relaxed);
+  }
+
+  /// Total direct cache hand-offs (speculative chain executions).
+  [[nodiscard]] std::size_t num_cache_hits() const noexcept {
+    return _cache_hits.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    WorkStealingQueue<Node*> queue;
+    Node* cache{nullptr};
+    std::condition_variable cv;
+    bool idle{false};
+    std::size_t id{0};
+    std::size_t last_victim{0};
+    support::Xoshiro256 rng;
+    explicit Worker(std::uint64_t seed) : rng(seed) {}
+  };
+
+  void worker_loop(Worker& w);
+  Node* try_pop_or_steal(Worker& w);
+  /// Park `w` on the idler list; returns false when the executor stops.
+  bool park(Worker& w);
+  /// Wake one idler; `direct` (optional) is handed straight into the woken
+  /// worker's cache (precise wakeup, Algorithm 1 line 27); otherwise, when no
+  /// idler exists and `direct` != nullptr, it is pushed to the central queue.
+  void wake_one(Node* direct);
+  [[nodiscard]] bool all_queues_empty() const noexcept;
+
+  WorkStealingOptions _options;
+  std::vector<std::unique_ptr<Worker>> _workers;
+  std::vector<std::thread> _threads;
+
+  mutable std::mutex _mutex;          // guards _central, _idlers, _stop
+  std::deque<Node*> _central;         // overflow queue for external submitters
+  std::vector<Worker*> _idlers;       // parked workers (Algorithm 1 line 8)
+  bool _stop{false};
+  std::atomic<int> _num_idlers{0};
+
+  std::atomic<std::size_t> _steals{0};
+  std::atomic<std::size_t> _cache_hits{0};
+};
+
+/// Plain work-sharing pool over one shared queue: the simplest conforming
+/// ExecutorInterface, used for comparison and as a reference scheduler.
+class SimpleExecutor final : public ExecutorInterface {
+ public:
+  explicit SimpleExecutor(std::size_t num_workers = std::thread::hardware_concurrency());
+  ~SimpleExecutor() override;
+
+  SimpleExecutor(const SimpleExecutor&) = delete;
+  SimpleExecutor& operator=(const SimpleExecutor&) = delete;
+
+  void schedule(Node* node) override;
+
+  [[nodiscard]] std::size_t num_workers() const noexcept override { return _threads.size(); }
+
+ private:
+  void worker_loop(std::size_t worker_id);
+
+  std::mutex _mutex;
+  std::condition_variable _cv;
+  std::deque<Node*> _queue;
+  bool _stop{false};
+  std::vector<std::thread> _threads;
+};
+
+/// Convenience factory: a shared work-stealing executor with `n` workers.
+[[nodiscard]] std::shared_ptr<WorkStealingExecutor> make_executor(
+    std::size_t n = std::thread::hardware_concurrency(), WorkStealingOptions options = {});
+
+}  // namespace tf

@@ -1,0 +1,320 @@
+// flow_builder.hpp - tf::FlowBuilder and tf::SubflowBuilder.
+//
+// FlowBuilder is the set of graph building blocks shared by static tasking
+// (tf::Taskflow) and dynamic tasking (tf::SubflowBuilder) - the paper's
+// "unified interface" (§III-D): the same emplace/precede/linearize and the
+// built-in algorithm patterns (parallel_for / reduce / transform, §III-F)
+// work identically in both contexts.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <future>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "taskflow/graph.hpp"
+#include "taskflow/task.hpp"
+
+namespace tf {
+
+class SubflowBuilder;
+
+namespace detail {
+
+/// A callable taking a SubflowBuilder& is a *dynamic* task; a callable
+/// taking no argument is a *static* task.  Checked in this order so that
+/// generic lambdas (`[](auto& sf){...}`, paper Listing 7) bind dynamically.
+template <typename C>
+inline constexpr bool is_dynamic_work_v = std::is_invocable_r_v<void, C, SubflowBuilder&>;
+
+template <typename C>
+inline constexpr bool is_static_work_v = std::is_invocable_r_v<void, C>;
+
+}  // namespace detail
+
+class FlowBuilder {
+ public:
+  /// Builders are created internally by Taskflow and by the runtime when it
+  /// expands a dynamic task; `default_parallelism` seeds the chunking of the
+  /// algorithm patterns (normally the executor's worker count).
+  explicit FlowBuilder(Graph& graph, std::size_t default_parallelism = 1)
+      : _graph(&graph), _default_par(default_parallelism == 0 ? 1 : default_parallelism) {}
+
+  /// Create one task from a callable; returns its handle.
+  template <typename C>
+    requires(detail::is_dynamic_work_v<C> || detail::is_static_work_v<C>)
+  Task emplace(C&& callable) {
+    Task t = placeholder();
+    t.work(std::forward<C>(callable));
+    return t;
+  }
+
+  /// Create multiple tasks at one time; returns a tuple of handles usable
+  /// with structured bindings: `auto [A, B, C] = tf.emplace(a, b, c);`
+  /// (paper Listing 2).
+  template <typename... Cs>
+    requires(sizeof...(Cs) > 1)
+  auto emplace(Cs&&... callables) {
+    return std::make_tuple(emplace(std::forward<Cs>(callables))...);
+  }
+
+  /// Create an empty task to be assigned work later via Task::work - used to
+  /// pre-allocate storage when the callable target is not yet known
+  /// (paper §III-A).
+  Task placeholder() { return Task(_graph->emplace_back()); }
+
+  /// Create a task from a value-returning callable; the result is delivered
+  /// through the returned std::future once the task has run (the paper-era
+  /// emplace/silent_emplace split: use plain emplace when the status is not
+  /// needed).
+  template <typename C>
+    requires(std::is_invocable_v<C> && !detail::is_dynamic_work_v<C>)
+  auto emplace_future(C&& callable)
+      -> std::pair<Task, std::future<std::invoke_result_t<C>>> {
+    using R = std::invoke_result_t<C>;
+    auto state = std::make_shared<std::promise<R>>();
+    auto future = state->get_future();
+    Task task = emplace(
+        [state = std::move(state), fn = std::forward<C>(callable)]() mutable {
+          if constexpr (std::is_void_v<R>) {
+            fn();
+            state->set_value();
+          } else {
+            state->set_value(fn());
+          }
+        });
+    return {task, std::move(future)};
+  }
+
+  /// Free-function-style dependency: `from` runs before `to`.
+  void precede(Task from, Task to) { from.precede(to); }
+
+  /// Adds dependencies forming a linear chain over `tasks` in order.
+  void linearize(std::vector<Task>& tasks) { linearize_range(tasks.begin(), tasks.end()); }
+  void linearize(std::initializer_list<Task> tasks) {
+    linearize_range(tasks.begin(), tasks.end());
+  }
+
+  /// Number of nodes created in the underlying (present) graph.
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return _graph->size(); }
+
+  // ---- algorithm collection (paper §III-F) -------------------------------
+  //
+  // Each pattern returns a (source, target) pair of synchronization tasks:
+  // splice the pattern into a larger graph by preceding the source and
+  // succeeding the target.
+
+  /// Apply `callable` to every element in [beg, end), `chunk` elements per
+  /// task (0 = auto: ~4 chunks per worker).
+  template <typename I, typename C>
+  std::pair<Task, Task> parallel_for(I beg, I end, C callable, std::size_t chunk = 0) {
+    auto [source, target] = sync_pair();
+    const auto n = static_cast<std::size_t>(std::distance(beg, end));
+    if (n == 0) {
+      source.precede(target);
+      return {source, target};
+    }
+    if (chunk == 0) chunk = auto_chunk(n);
+    while (beg != end) {
+      const auto len = std::min(chunk, static_cast<std::size_t>(std::distance(beg, end)));
+      I chunk_end = beg;
+      std::advance(chunk_end, static_cast<std::ptrdiff_t>(len));
+      Task worker = emplace([beg, chunk_end, callable]() mutable {
+        for (I it = beg; it != chunk_end; ++it) callable(*it);
+      });
+      source.precede(worker);
+      worker.precede(target);
+      beg = chunk_end;
+    }
+    return {source, target};
+  }
+
+  /// Index-based loop: applies `callable(i)` for i = beg; i < end; i += step
+  /// (step > 0) or i > end; i += step (step < 0).
+  template <typename I, typename C>
+    requires std::is_integral_v<I>
+  std::pair<Task, Task> parallel_for(I beg, I end, I step, C callable,
+                                     std::size_t chunk = 0) {
+    auto [source, target] = sync_pair();
+    assert(step != 0);
+    const auto total = iteration_count(beg, end, step);
+    if (total == 0) {
+      source.precede(target);
+      return {source, target};
+    }
+    if (chunk == 0) chunk = auto_chunk(total);
+    I cursor = beg;
+    std::size_t remaining = total;
+    while (remaining > 0) {
+      const std::size_t len = std::min(chunk, remaining);
+      const I chunk_beg = cursor;
+      Task worker = emplace([chunk_beg, len, step, callable]() {
+        I i = chunk_beg;
+        for (std::size_t k = 0; k < len; ++k, i = static_cast<I>(i + step)) callable(i);
+      });
+      source.precede(worker);
+      worker.precede(target);
+      cursor = static_cast<I>(cursor + static_cast<I>(len) * step);
+      remaining -= len;
+    }
+    return {source, target};
+  }
+
+  /// Parallel reduction of [beg, end) into `result` with binary op `bop`:
+  /// result = bop(result, bop(...elements...)).  `result` must stay alive
+  /// until the graph has run.
+  template <typename I, typename T, typename B>
+  std::pair<Task, Task> reduce(I beg, I end, T& result, B bop) {
+    return transform_reduce(beg, end, result, bop,
+                            [](const auto& v) -> const auto& { return v; });
+  }
+
+  /// Parallel transform-reduce: result = bop(result, bop over uop(elements)).
+  template <typename I, typename T, typename B, typename U>
+  std::pair<Task, Task> transform_reduce(I beg, I end, T& result, B bop, U uop) {
+    auto [source, target] = sync_pair();
+    const auto n = static_cast<std::size_t>(std::distance(beg, end));
+    if (n == 0) {
+      source.precede(target);
+      return {source, target};
+    }
+    const std::size_t chunk = auto_chunk(n);
+    auto partials = std::make_shared<std::vector<std::optional<T>>>(
+        (n + chunk - 1) / chunk);
+
+    std::size_t slot = 0;
+    while (beg != end) {
+      const auto len = std::min(chunk, static_cast<std::size_t>(std::distance(beg, end)));
+      I chunk_end = beg;
+      std::advance(chunk_end, static_cast<std::ptrdiff_t>(len));
+      Task worker = emplace([beg, chunk_end, slot, partials, bop, uop]() mutable {
+        I it = beg;
+        T acc = uop(*it);
+        for (++it; it != chunk_end; ++it) acc = bop(std::move(acc), uop(*it));
+        (*partials)[slot] = std::move(acc);
+      });
+      source.precede(worker);
+      worker.precede(target);
+      beg = chunk_end;
+      ++slot;
+    }
+
+    target.work([&result, partials, bop]() {
+      for (auto& p : *partials) result = bop(std::move(result), std::move(*p));
+    });
+    return {source, target};
+  }
+
+  /// Parallel element-wise transform: out[i] = uop(in[i]).  The output range
+  /// must not alias tasks' input chunks across chunk boundaries.
+  template <typename I, typename O, typename U>
+  std::pair<Task, Task> transform(I beg, I end, O out, U uop, std::size_t chunk = 0) {
+    auto [source, target] = sync_pair();
+    const auto n = static_cast<std::size_t>(std::distance(beg, end));
+    if (n == 0) {
+      source.precede(target);
+      return {source, target};
+    }
+    if (chunk == 0) chunk = auto_chunk(n);
+    while (beg != end) {
+      const auto len = std::min(chunk, static_cast<std::size_t>(std::distance(beg, end)));
+      I chunk_end = beg;
+      std::advance(chunk_end, static_cast<std::ptrdiff_t>(len));
+      Task worker = emplace([beg, chunk_end, out, uop]() mutable {
+        O o = out;
+        for (I it = beg; it != chunk_end; ++it, ++o) *o = uop(*it);
+      });
+      source.precede(worker);
+      worker.precede(target);
+      std::advance(out, static_cast<std::ptrdiff_t>(len));
+      beg = chunk_end;
+    }
+    return {source, target};
+  }
+
+ protected:
+  /// Create the (source, target) synchronization pair of an algorithm
+  /// pattern.
+  std::pair<Task, Task> sync_pair() {
+    Task source = placeholder();
+    Task target = placeholder();
+    // Both default to no-op work so they run even when never re-assigned.
+    source.work([]() {});
+    target.work([]() {});
+    return {source, target};
+  }
+
+  [[nodiscard]] std::size_t auto_chunk(std::size_t n) const noexcept {
+    const std::size_t groups = _default_par * 4;
+    return std::max<std::size_t>(1, (n + groups - 1) / groups);
+  }
+
+  template <typename It>
+  void linearize_range(It first, It last) {
+    if (first == last) return;
+    It next = first;
+    for (++next; next != last; ++first, ++next) {
+      const_cast<Task&>(*first).precede(const_cast<Task&>(*next));
+    }
+  }
+
+  template <typename I>
+  static std::size_t iteration_count(I beg, I end, I step) noexcept {
+    if (step > 0) {
+      if (beg >= end) return 0;
+      return (static_cast<std::size_t>(end - beg) + static_cast<std::size_t>(step) - 1) /
+             static_cast<std::size_t>(step);
+    }
+    if (beg <= end) return 0;
+    const auto mag = static_cast<std::size_t>(-static_cast<std::ptrdiff_t>(step));
+    return (static_cast<std::size_t>(beg - end) + mag - 1) / mag;
+  }
+
+  Graph* _graph;
+  std::size_t _default_par;
+};
+
+/// The builder handed to a dynamic task at runtime (paper §III-D).  It
+/// inherits every building block of static tasking and adds the join/detach
+/// choice: a joined subflow (default) must finish before its parent task's
+/// successors run; a detached one only joins the end of the topology.
+class SubflowBuilder : public FlowBuilder {
+ public:
+  SubflowBuilder(Graph& graph, std::size_t default_parallelism)
+      : FlowBuilder(graph, default_parallelism) {}
+
+  /// Detach this subflow from its parent task.
+  void detach() noexcept { _detached = true; }
+
+  /// Re-join this subflow to its parent task (the default).
+  void join() noexcept { _detached = false; }
+
+  [[nodiscard]] bool detached() const noexcept { return _detached; }
+  [[nodiscard]] bool joined() const noexcept { return !_detached; }
+
+ private:
+  bool _detached{false};
+};
+
+// Task::work is defined here because the static/dynamic dispatch needs
+// SubflowBuilder to be complete.
+template <typename C>
+Task& Task::work(C&& callable) {
+  if constexpr (detail::is_dynamic_work_v<C>) {
+    _node->_work = DynamicWork(std::forward<C>(callable));
+  } else {
+    static_assert(detail::is_static_work_v<C>,
+                  "a task callable must be invocable with () or (SubflowBuilder&)");
+    _node->_work = StaticWork(std::forward<C>(callable));
+  }
+  return *this;
+}
+
+}  // namespace tf

@@ -1,0 +1,45 @@
+// framework.hpp - tf::Framework: a reusable task dependency graph.
+//
+// The paper's dispatch model consumes the present graph on every dispatch;
+// iterative applications (e.g. the incremental-timing inner loop, training
+// epochs) that re-run the *same* graph would rebuild it each time.  A
+// Framework keeps one graph alive across runs - the library-evolution
+// feature this reproduction adds as the paper's future-work direction.
+//
+//   tf::Framework fw;
+//   auto [A, B] = fw.emplace(taskA, taskB);
+//   A.precede(B);
+//
+//   tf::Taskflow tf;
+//   tf.run(fw).get();    // run once (non-blocking without the .get())
+//   tf.run_n(fw, 10);    // run ten times back-to-back (blocking)
+//
+// Semantics:
+//  * each run re-arms every node (join counters reset, dynamic subflows
+//    re-spawn), so runs are independent executions of the same structure;
+//  * runs of one framework must not overlap: run() requires the previous
+//    run to have finished (run_n serializes internally);
+//  * the framework must outlive any run in flight.
+#pragma once
+
+#include "taskflow/flow_builder.hpp"
+
+namespace tf {
+
+class Framework : public FlowBuilder {
+ public:
+  /// `default_parallelism` seeds algorithm-pattern chunking, as in Taskflow.
+  explicit Framework(std::size_t default_parallelism = 1)
+      : FlowBuilder(_holder, default_parallelism) {}
+
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+
+  [[nodiscard]] Graph& graph() noexcept { return _holder; }
+  [[nodiscard]] const Graph& graph() const noexcept { return _holder; }
+
+ private:
+  Graph _holder;
+};
+
+}  // namespace tf

@@ -1,0 +1,23 @@
+#include "taskflow/graph.hpp"
+
+namespace tf {
+
+Node::~Node() = default;
+
+void Node::precede(Node& v) {
+  // Most tasks carry only a handful of successors: skip the 1->2->4 growth
+  // reallocations of the default geometric policy.
+  if (_successors.capacity() == 0) _successors.reserve(4);
+  _successors.push_back(&v);
+  ++v._static_dependents;
+}
+
+std::size_t Graph::size_recursive() const {
+  std::size_t n = _nodes.size();
+  for (const auto& node : _nodes) {
+    if (node._subgraph) n += node._subgraph->size_recursive();
+  }
+  return n;
+}
+
+}  // namespace tf

@@ -1,0 +1,113 @@
+// graph.hpp - task dependency graph storage: tf::Node and tf::Graph.
+//
+// A Node stores a polymorphic work item (std::variant over a static
+// callable and a dynamic subflow callable, per paper §III-D), its successor
+// links, a runtime join counter of unfinished dependents, and - for dynamic
+// tasking - the spawned subgraph plus a link to its parent node.
+//
+// Nodes are created through tf::FlowBuilder (Taskflow / SubflowBuilder) and
+// manipulated through the lightweight tf::Task handle; this header is the
+// internal storage layer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tf {
+
+class Graph;
+class SubflowBuilder;
+class Topology;
+
+/// Work signature of a static task.
+using StaticWork = std::function<void()>;
+/// Work signature of a dynamic task: receives a SubflowBuilder to spawn a
+/// subflow at runtime.
+using DynamicWork = std::function<void(SubflowBuilder&)>;
+
+/// One vertex of a task dependency graph.  Internal type: users hold
+/// tf::Task handles instead (paper §III-A).
+class Node {
+ public:
+  Node() = default;
+  ~Node();  // out-of-line: Graph is incomplete here
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  Node(Node&&) = delete;
+  Node& operator=(Node&&) = delete;
+
+  /// Add a successor edge this -> v and bump v's dependent count.
+  void precede(Node& v);
+
+  [[nodiscard]] const std::string& name() const noexcept { return _name; }
+  void set_name(std::string n) { _name = std::move(n); }
+
+  [[nodiscard]] std::size_t num_successors() const noexcept { return _successors.size(); }
+  [[nodiscard]] std::size_t num_dependents() const noexcept {
+    return static_cast<std::size_t>(_static_dependents);
+  }
+
+  /// True when no callable has been assigned (a placeholder).
+  [[nodiscard]] bool is_placeholder() const noexcept {
+    return std::holds_alternative<std::monostate>(_work);
+  }
+  [[nodiscard]] bool is_dynamic() const noexcept {
+    return std::holds_alternative<DynamicWork>(_work);
+  }
+
+  /// True once this node has spawned a (non-empty or empty) subflow.
+  [[nodiscard]] bool has_subgraph() const noexcept { return _subgraph != nullptr; }
+
+  // -- internal execution state (used by executors and Topology) ----------
+
+  std::string _name;
+  std::variant<std::monostate, StaticWork, DynamicWork> _work;
+  std::vector<Node*> _successors;
+  int _static_dependents{0};          // number of predecessors at build time
+  std::atomic<int> _join_counter{0};  // pending dependents (or pending subflow
+                                      // children once spawned); reset at dispatch
+  std::unique_ptr<Graph> _subgraph;   // spawned subflow, built lazily at runtime
+  Node* _parent{nullptr};             // joined-subflow parent, else nullptr
+  Topology* _topology{nullptr};       // owning dispatched topology
+  bool _spawned{false};               // dynamic work already expanded
+  bool _detached{false};              // subflow spawned by this node detached
+};
+
+/// An owning container of nodes with pointer stability (std::deque), movable
+/// so a Taskflow can hand its present graph to a Topology at dispatch time.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Construct a new node in place and return it.
+  Node& emplace_back() { return _nodes.emplace_back(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return _nodes.size(); }
+  [[nodiscard]] bool empty() const noexcept { return _nodes.empty(); }
+
+  void clear() { _nodes.clear(); }
+
+  [[nodiscard]] auto begin() noexcept { return _nodes.begin(); }
+  [[nodiscard]] auto end() noexcept { return _nodes.end(); }
+  [[nodiscard]] auto begin() const noexcept { return _nodes.begin(); }
+  [[nodiscard]] auto end() const noexcept { return _nodes.end(); }
+
+  /// Total node count including recursively spawned subgraphs.
+  [[nodiscard]] std::size_t size_recursive() const;
+
+ private:
+  std::deque<Node> _nodes;
+};
+
+}  // namespace tf

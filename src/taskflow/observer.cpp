@@ -1,0 +1,105 @@
+#include "taskflow/observer.hpp"
+
+#include <algorithm>
+
+namespace tf {
+
+void RecordingObserver::set_up(std::size_t num_workers) {
+  std::scoped_lock lock(_mutex);
+  _lanes.resize(std::max(_lanes.size(), num_workers));
+  for (auto& lane : _lanes) lane.intervals.reserve(1 << 12);
+}
+
+void RecordingObserver::on_entry(std::size_t worker_id, const Node&) {
+  if (worker_id >= _lanes.size()) return;
+  _lanes[worker_id].open = std::chrono::steady_clock::now();
+}
+
+void RecordingObserver::on_exit(std::size_t worker_id, const Node& node) {
+  if (worker_id >= _lanes.size()) return;
+  auto& lane = _lanes[worker_id];
+  lane.intervals.push_back({lane.open, std::chrono::steady_clock::now(), node.name()});
+}
+
+std::size_t RecordingObserver::num_tasks() const {
+  std::size_t n = 0;
+  for (const auto& lane : _lanes) n += lane.intervals.size();
+  return n;
+}
+
+std::vector<double> RecordingObserver::utilization(std::chrono::milliseconds bucket) const {
+  using clock = std::chrono::steady_clock;
+  clock::time_point first = clock::time_point::max();
+  clock::time_point last = clock::time_point::min();
+  for (const auto& lane : _lanes) {
+    for (const auto& iv : lane.intervals) {
+      first = std::min(first, iv.begin);
+      last = std::max(last, iv.end);
+    }
+  }
+  if (first >= last) return {};
+
+  const auto span = last - first;
+  const std::size_t buckets =
+      static_cast<std::size_t>((span + bucket - std::chrono::nanoseconds(1)) / bucket) ;
+  std::vector<double> busy(buckets, 0.0);
+
+  for (const auto& lane : _lanes) {
+    for (const auto& iv : lane.intervals) {
+      auto lo = iv.begin;
+      while (lo < iv.end) {
+        const auto idx = static_cast<std::size_t>((lo - first) / bucket);
+        const auto bucket_end = first + bucket * static_cast<long>(idx + 1);
+        const auto hi = std::min(iv.end, bucket_end);
+        busy[std::min(idx, buckets - 1)] +=
+            std::chrono::duration<double>(hi - lo).count();
+        lo = hi;
+      }
+    }
+  }
+
+  const double bucket_s = std::chrono::duration<double>(bucket).count();
+  for (auto& b : busy) b = 100.0 * b / bucket_s;
+  return busy;
+}
+
+void RecordingObserver::clear() {
+  std::scoped_lock lock(_mutex);
+  for (auto& lane : _lanes) lane.intervals.clear();
+}
+
+void RecordingObserver::dump_chrome_tracing(std::ostream& os) const {
+  using clock = std::chrono::steady_clock;
+  clock::time_point first = clock::time_point::max();
+  for (const auto& lane : _lanes) {
+    for (const auto& iv : lane.intervals) first = std::min(first, iv.begin);
+  }
+
+  auto us_since = [&](clock::time_point t) {
+    return std::chrono::duration<double, std::micro>(t - first).count();
+  };
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  };
+
+  os << "[";
+  bool need_comma = false;
+  for (std::size_t w = 0; w < _lanes.size(); ++w) {
+    for (const auto& iv : _lanes[w].intervals) {
+      if (need_comma) os << ",";
+      need_comma = true;
+      os << "\n{\"name\":\"" << (iv.name.empty() ? "task" : escape(iv.name))
+         << "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":" << us_since(iv.begin)
+         << ",\"dur\":" << us_since(iv.end) - us_since(iv.begin)
+         << ",\"pid\":0,\"tid\":" << w << "}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace tf

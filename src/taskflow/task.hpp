@@ -1,0 +1,95 @@
+// task.hpp - tf::Task, the lightweight user-facing handle over a graph node
+// (paper §III-A).  A Task wraps a Node* and exposes attribute modification
+// and dependency construction; it never owns the node.  A default-constructed
+// Task is *empty* and can be used as a placeholder variable until assigned.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "taskflow/graph.hpp"
+
+namespace tf {
+
+class FlowBuilder;
+class SubflowBuilder;
+
+class Task {
+ public:
+  /// Construct an empty (null) handle.
+  Task() = default;
+
+  Task(const Task&) = default;
+  Task& operator=(const Task&) = default;
+
+  /// True when this handle is not associated with any node.
+  [[nodiscard]] bool empty() const noexcept { return _node == nullptr; }
+
+  /// Name accessors.  Naming tasks improves dump() output and profiling.
+  Task& name(std::string n) {
+    _node->set_name(std::move(n));
+    return *this;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return _node->name(); }
+
+  [[nodiscard]] std::size_t num_successors() const noexcept {
+    return _node->num_successors();
+  }
+  [[nodiscard]] std::size_t num_dependents() const noexcept {
+    return _node->num_dependents();
+  }
+
+  /// True when the node carries no callable yet.
+  [[nodiscard]] bool is_placeholder() const noexcept { return _node->is_placeholder(); }
+
+  /// Adds dependency links: *this runs before every task in `others...`
+  /// (variadic, paper Listing 3: `a1.precede(a2, b2)`).
+  template <typename... Ts>
+  Task& precede(Ts&&... others) {
+    static_assert(sizeof...(Ts) >= 1, "precede requires at least one task");
+    (_node->precede(*std::forward<Ts>(others)._node), ...);
+    return *this;
+  }
+
+  /// Adds dependency links: *this runs after every task in `others...`.
+  template <typename... Ts>
+  Task& succeed(Ts&&... others) {
+    static_assert(sizeof...(Ts) >= 1, "succeed requires at least one task");
+    (std::forward<Ts>(others)._node->precede(*_node), ...);
+    return *this;
+  }
+
+  /// v1-style container forms: *this precedes / succeeds every task in the
+  /// vector.
+  Task& broadcast(const std::vector<Task>& others) {
+    for (const Task& t : others) _node->precede(*t._node);
+    return *this;
+  }
+  Task& gather(const std::vector<Task>& others) {
+    for (const Task& t : others) t._node->precede(*_node);
+    return *this;
+  }
+
+  /// Replace the callable stored in the node.  The same static/dynamic
+  /// dispatch rules as FlowBuilder::emplace apply.
+  template <typename C>
+  Task& work(C&& callable);
+
+  [[nodiscard]] bool operator==(const Task& rhs) const noexcept {
+    return _node == rhs._node;
+  }
+
+ private:
+  friend class FlowBuilder;
+  friend class SubflowBuilder;
+  friend class Taskflow;
+
+  explicit Task(Node& node) noexcept : _node(&node) {}
+
+  Node* _node{nullptr};
+};
+
+}  // namespace tf

@@ -1,0 +1,74 @@
+#include "taskflow/taskflow.hpp"
+
+#include <sstream>
+
+#include "taskflow/dot.hpp"
+
+namespace tf {
+
+Taskflow::Taskflow(std::size_t num_workers)
+    : Taskflow(std::make_shared<WorkStealingExecutor>(num_workers)) {}
+
+Taskflow::Taskflow(std::shared_ptr<ExecutorInterface> executor)
+    : FlowBuilder(detail::GraphOwner::graph,
+                  executor == nullptr ? 1 : executor->num_workers()),
+      _executor(std::move(executor)) {
+  if (_executor == nullptr) {
+    _executor = std::make_shared<WorkStealingExecutor>();
+    _default_par = _executor->num_workers();
+  }
+}
+
+Taskflow::~Taskflow() { wait_for_topologies(); }
+
+std::shared_future<void> Taskflow::dispatch() {
+  if (detail::GraphOwner::graph.empty()) {
+    // Nothing to run: hand back a ready future.
+    std::promise<void> done;
+    done.set_value();
+    return done.get_future().share();
+  }
+  Topology& topology = _topologies.emplace_back(std::move(detail::GraphOwner::graph));
+  detail::GraphOwner::graph = Graph{};  // the moved-from member gets a fresh graph
+  auto future = topology.future();
+  _executor->schedule_batch(topology.sources());
+  return future;
+}
+
+void Taskflow::silent_dispatch() { (void)dispatch(); }
+
+std::shared_future<void> Taskflow::run(Framework& framework) {
+  Topology& topology = _topologies.emplace_back(&framework.graph());
+  auto future = topology.future();
+  _executor->schedule_batch(topology.sources());
+  return future;
+}
+
+void Taskflow::run_n(Framework& framework, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) run(framework).wait();
+}
+
+void Taskflow::wait_for_all() {
+  if (!detail::GraphOwner::graph.empty()) silent_dispatch();
+  wait_for_topologies();
+  _topologies.clear();
+}
+
+void Taskflow::wait_for_topologies() {
+  for (auto& topology : _topologies) topology.future().wait();
+}
+
+std::string Taskflow::dump() const {
+  return dump_dot(detail::GraphOwner::graph, "Taskflow");
+}
+
+std::string Taskflow::dump_topologies() const {
+  std::ostringstream os;
+  std::size_t i = 0;
+  for (const auto& topology : _topologies) {
+    dump_dot(os, topology.graph(), "Topology_" + std::to_string(i++));
+  }
+  return os.str();
+}
+
+}  // namespace tf

@@ -1,0 +1,114 @@
+// taskflow.hpp - tf::Taskflow, the main entry point of the library
+// (paper §III, Listing 1).
+//
+//   tf::Taskflow tf;
+//   auto [A, B, C, D] = tf.emplace(
+//     [](){ std::cout << "Task A\n"; },
+//     [](){ std::cout << "Task B\n"; },
+//     [](){ std::cout << "Task C\n"; },
+//     [](){ std::cout << "Task D\n"; }
+//   );
+//   A.precede(B, C);   // A runs before B and C
+//   B.precede(D);      // B runs before D
+//   C.precede(D);      // C runs before D
+//   tf.wait_for_all(); // block until finish
+//
+// A taskflow object owns exactly one *present* graph at a time plus a list
+// of dispatched topologies (paper Fig. 3).  All FlowBuilder building blocks
+// (emplace, placeholder, precede, linearize, parallel_for, reduce,
+// transform, ...) operate on the present graph; dispatch()/silent_dispatch()
+// move it into a topology for execution; wait_for_all() dispatches the
+// present graph (if any) and blocks until every dispatched topology
+// finishes.
+//
+// A taskflow is NOT thread-safe: one owner thread builds and dispatches;
+// the executor runs the tasks.  Executors are pluggable and shareable
+// across taskflows (paper §III-E) via std::shared_ptr.
+#pragma once
+
+#include <future>
+#include <list>
+#include <memory>
+#include <string>
+
+#include "taskflow/executor.hpp"
+#include "taskflow/flow_builder.hpp"
+#include "taskflow/framework.hpp"
+#include "taskflow/topology.hpp"
+
+namespace tf {
+
+namespace detail {
+// Base-from-member: the owned graph must outlive (construction-wise) the
+// FlowBuilder base that points at it.
+struct GraphOwner {
+  Graph graph;
+};
+}  // namespace detail
+
+class Taskflow : private detail::GraphOwner, public FlowBuilder {
+ public:
+  /// Create a taskflow with a private work-stealing executor of
+  /// `num_workers` threads (default: hardware concurrency).
+  explicit Taskflow(std::size_t num_workers = std::thread::hardware_concurrency());
+
+  /// Create a taskflow that shares `executor` (paper §III-E).
+  explicit Taskflow(std::shared_ptr<ExecutorInterface> executor);
+
+  /// Blocks until all dispatched topologies finish (does not auto-dispatch
+  /// the present graph).
+  ~Taskflow();
+
+  Taskflow(const Taskflow&) = delete;
+  Taskflow& operator=(const Taskflow&) = delete;
+
+  /// Dispatch the present graph (non-blocking); returns a shared future that
+  /// becomes ready when every task - including dynamically spawned subflow
+  /// tasks - has finished.  The taskflow is left with a fresh empty graph.
+  std::shared_future<void> dispatch();
+
+  /// Dispatch the present graph and ignore the execution status.
+  void silent_dispatch();
+
+  /// Run a reusable Framework once (non-blocking); the future becomes ready
+  /// when the run completes.  The framework must outlive the run, and runs
+  /// of one framework must not overlap.
+  std::shared_future<void> run(Framework& framework);
+
+  /// Run a Framework `n` times back-to-back (blocking).
+  void run_n(Framework& framework, std::size_t n);
+
+  /// Dispatch the present graph (if non-empty) and block until all
+  /// topologies finish; finished topologies are then released.
+  void wait_for_all();
+
+  /// Block until all already-dispatched topologies finish (keeps them alive
+  /// for inspection / dump_topologies()).
+  void wait_for_topologies();
+
+  /// Number of worker threads in the underlying executor.
+  [[nodiscard]] std::size_t num_workers() const noexcept { return _executor->num_workers(); }
+
+  /// Number of dispatched topologies currently retained.
+  [[nodiscard]] std::size_t num_topologies() const noexcept { return _topologies.size(); }
+
+  /// The shared executor.
+  [[nodiscard]] const std::shared_ptr<ExecutorInterface>& executor() const noexcept {
+    return _executor;
+  }
+
+  /// GraphViz DOT text of the present (not yet dispatched) graph
+  /// (paper §III-G).
+  [[nodiscard]] std::string dump() const;
+
+  /// GraphViz DOT text of every retained topology, including spawned subflow
+  /// clusters (paper Fig. 5).  Call between dispatch()/wait_for_topologies()
+  /// and the next wait_for_all().
+  [[nodiscard]] std::string dump_topologies() const;
+
+ private:
+  std::shared_ptr<ExecutorInterface> _executor;
+  std::list<Topology> _topologies;
+};
+
+}  // namespace tf

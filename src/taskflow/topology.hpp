@@ -1,0 +1,87 @@
+// topology.hpp - tf::Topology, a dispatched task dependency graph
+// (paper §III-C, Fig. 3).
+//
+// When a Taskflow dispatches its present graph, the graph is moved into a
+// Topology which owns it for the rest of its lifetime.  The topology keeps
+// the runtime metadata of the dispatch: a promise/shared_future pair for
+// completion signalling and a live-node counter that reaches zero when the
+// last task (including dynamically spawned subflow tasks) finishes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "taskflow/graph.hpp"
+
+namespace tf {
+
+class Topology {
+ public:
+  /// Take ownership of a one-shot graph (Taskflow::dispatch).
+  explicit Topology(Graph&& graph) : _owned(std::move(graph)), _graph(&_owned) {
+    arm();
+  }
+
+  /// Borrow a reusable graph (Framework runs, paper-successor feature).
+  /// The caller must keep `graph` alive and un-mutated until completion;
+  /// node state (join counters, spawned subflows) is re-armed here so the
+  /// same graph can run again afterwards.
+  explicit Topology(Graph* graph) : _graph(graph) { arm(); }
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Completion future; shared so multiple parties may wait.
+  [[nodiscard]] std::shared_future<void> future() const noexcept { return _future; }
+
+  /// Source nodes (no dependents) to seed the executor with.
+  [[nodiscard]] const std::vector<Node*>& sources() const noexcept { return _sources; }
+
+  /// The graph run by this topology (valid after completion, used by
+  /// dump_topologies to render spawned subflows - paper Fig. 5).
+  [[nodiscard]] const Graph& graph() const noexcept { return *_graph; }
+
+  /// Number of tasks not yet finished.  Dynamic spawns increment it before
+  /// their children are scheduled, so it never prematurely reaches zero.
+  [[nodiscard]] long num_active() const noexcept {
+    return _num_active.load(std::memory_order_acquire);
+  }
+
+  /// Internal: add `n` live tasks (called before scheduling spawned children).
+  void add_active(long n) noexcept { _num_active.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Internal: retire one task; fulfills the promise on the last one.
+  void retire_one() {
+    if (_num_active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      _promise.set_value();
+    }
+  }
+
+ private:
+  void arm() {
+    _future = _promise.get_future().share();
+    _num_active.store(static_cast<long>(_graph->size()), std::memory_order_relaxed);
+    for (auto& node : *_graph) {
+      node._topology = this;
+      node._parent = nullptr;
+      node._join_counter.store(node._static_dependents, std::memory_order_relaxed);
+      // Re-armed dynamic nodes spawn a fresh subflow on the next run.
+      node._spawned = false;
+      node._subgraph.reset();
+      if (node._static_dependents == 0) _sources.push_back(&node);
+    }
+    // An empty graph is complete by construction.
+    if (_graph->empty()) _promise.set_value();
+  }
+
+  Graph _owned;
+  Graph* _graph{nullptr};
+  std::promise<void> _promise;
+  std::shared_future<void> _future;
+  std::atomic<long> _num_active{0};
+  std::vector<Node*> _sources;
+};
+
+}  // namespace tf

@@ -1,0 +1,257 @@
+#include "timer/celllib.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ot {
+
+double Lut::operator()(double slew, double load) const {
+  auto bracket = [](const std::array<double, kPoints>& axis, double x) {
+    // Clamp outside the characterized window, else find the cell [i, i+1].
+    if (x <= axis.front()) return std::pair<int, double>{0, 0.0};
+    if (x >= axis.back()) return std::pair<int, double>{kPoints - 2, 1.0};
+    int i = 0;
+    while (x > axis[static_cast<std::size_t>(i + 1)]) ++i;
+    const double lo = axis[static_cast<std::size_t>(i)];
+    const double hi = axis[static_cast<std::size_t>(i + 1)];
+    return std::pair<int, double>{i, (x - lo) / (hi - lo)};
+  };
+  const auto [si, sf] = bracket(slew_axis, slew);
+  const auto [li, lf] = bracket(load_axis, load);
+  const auto s0 = static_cast<std::size_t>(si);
+  const auto l0 = static_cast<std::size_t>(li);
+  const double v00 = value[s0][l0];
+  const double v01 = value[s0][l0 + 1];
+  const double v10 = value[s0 + 1][l0];
+  const double v11 = value[s0 + 1][l0 + 1];
+  return (1.0 - sf) * ((1.0 - lf) * v00 + lf * v01) +
+         sf * ((1.0 - lf) * v10 + lf * v11);
+}
+
+namespace {
+
+// Characterization grids shared by every synthetic cell.
+constexpr std::array<double, Lut::kPoints> kSlewAxis = {0.005, 0.01, 0.02, 0.04,
+                                                        0.08, 0.16, 0.32};
+constexpr std::array<double, Lut::kPoints> kLoadAxis = {0.25, 0.5, 1.0, 2.0,
+                                                        4.0, 8.0, 16.0};
+
+// Characterize one table from the linear skeleton plus a mild square-root
+// cross term (the saturation real libraries exhibit at slow inputs under
+// heavy loads).
+Lut characterize(double intrinsic, double resistance, double slew_coeff) {
+  Lut lut;
+  lut.slew_axis = kSlewAxis;
+  lut.load_axis = kLoadAxis;
+  for (std::size_t s = 0; s < Lut::kPoints; ++s) {
+    for (std::size_t l = 0; l < Lut::kPoints; ++l) {
+      const double slew = kSlewAxis[s];
+      const double load = kLoadAxis[l];
+      lut.value[s][l] = intrinsic + resistance * load + slew_coeff * slew +
+                        0.25 * slew_coeff * std::sqrt(slew * load);
+    }
+  }
+  return lut;
+}
+
+void characterize_arc(CellArc& arc) {
+  for (int t = 0; t < 2; ++t) {
+    const auto tt = static_cast<std::size_t>(t);
+    arc.delay_lut[tt] =
+        characterize(arc.intrinsic[tt], arc.resistance[tt], arc.slew_sensitivity);
+    arc.slew_lut[tt] = characterize(arc.slew_intrinsic[tt], arc.slew_resistance[tt],
+                                    arc.slew_passthrough);
+  }
+}
+
+struct KindSpec {
+  CellKind kind;
+  const char* base_name;
+  int inputs;
+  TimingSense sense;
+  double intrinsic_rise;  // X1 values; X2/X4 derived
+  double intrinsic_fall;
+  double resistance;      // ns/fF at X1
+  double input_cap;       // fF at X1
+};
+
+// Loosely calibrated to 45nm-class magnitudes (ns, fF).
+constexpr KindSpec kCombinational[] = {
+    {CellKind::Inv, "INV", 1, TimingSense::NegativeUnate, 0.010, 0.008, 0.0040, 1.0},
+    {CellKind::Buf, "BUF", 1, TimingSense::PositiveUnate, 0.022, 0.020, 0.0038, 1.1},
+    {CellKind::Nand2, "NAND2", 2, TimingSense::NegativeUnate, 0.014, 0.011, 0.0046, 1.2},
+    {CellKind::Nor2, "NOR2", 2, TimingSense::NegativeUnate, 0.016, 0.018, 0.0052, 1.3},
+    {CellKind::And2, "AND2", 2, TimingSense::PositiveUnate, 0.028, 0.025, 0.0044, 1.2},
+    {CellKind::Or2, "OR2", 2, TimingSense::PositiveUnate, 0.030, 0.027, 0.0047, 1.3},
+    {CellKind::Xor2, "XOR2", 2, TimingSense::NonUnate, 0.034, 0.032, 0.0055, 1.8},
+    {CellKind::Aoi21, "AOI21", 3, TimingSense::NegativeUnate, 0.020, 0.024, 0.0058, 1.4},
+    {CellKind::Oai21, "OAI21", 3, TimingSense::NegativeUnate, 0.022, 0.025, 0.0060, 1.4},
+};
+
+Cell make_combinational(const KindSpec& spec, int drive) {
+  Cell c;
+  c.kind = spec.kind;
+  c.drive = drive;
+  c.name = std::string(spec.base_name) + "_X" + std::to_string(drive);
+
+  const char* input_names[] = {"A", "B", "C", "D"};
+  for (int i = 0; i < spec.inputs; ++i) {
+    CellPin p;
+    p.name = input_names[i];
+    p.is_input = true;
+    // Larger drives present larger input capacitance.
+    p.capacitance = spec.input_cap * (1.0 + 0.6 * (drive - 1));
+    c.pins.push_back(p);
+  }
+  {
+    CellPin y;
+    y.name = "Y";
+    y.is_input = false;
+    y.capacitance = 0.0;
+    c.pins.push_back(y);
+  }
+
+  const double drive_scale = 1.0 / static_cast<double>(drive);
+  for (int i = 0; i < spec.inputs; ++i) {
+    CellArc a;
+    a.from_pin = i;
+    a.sense = spec.sense;
+    // Later inputs are marginally slower (stacked transistors).
+    const double stagger = 1.0 + 0.08 * i;
+    a.intrinsic = {spec.intrinsic_rise * stagger, spec.intrinsic_fall * stagger};
+    a.resistance = {spec.resistance * drive_scale, spec.resistance * 0.9 * drive_scale};
+    a.slew_intrinsic = {spec.intrinsic_rise * 0.8, spec.intrinsic_fall * 0.8};
+    a.slew_resistance = {spec.resistance * 1.6 * drive_scale,
+                         spec.resistance * 1.5 * drive_scale};
+    characterize_arc(a);
+    c.arcs.push_back(a);
+  }
+  return c;
+}
+
+Cell make_dff(int drive) {
+  Cell c;
+  c.kind = CellKind::Dff;
+  c.drive = drive;
+  c.name = "DFF_X" + std::to_string(drive);
+
+  CellPin clk;
+  clk.name = "CLK";
+  clk.is_input = true;
+  clk.is_clock = true;
+  clk.capacitance = 0.8 * (1.0 + 0.5 * (drive - 1));
+  c.pins.push_back(clk);
+
+  CellPin d;
+  d.name = "D";
+  d.is_input = true;
+  d.capacitance = 1.0 * (1.0 + 0.5 * (drive - 1));
+  c.pins.push_back(d);
+
+  CellPin q;
+  q.name = "Q";
+  q.is_input = false;
+  c.pins.push_back(q);
+
+  // Single CLK->Q arc; the D pin is a constrained endpoint with no arc.
+  CellArc a;
+  a.from_pin = 0;
+  a.sense = TimingSense::PositiveUnate;
+  a.intrinsic = {0.060, 0.055};
+  a.resistance = {0.0042 / drive, 0.0040 / drive};
+  a.slew_intrinsic = {0.045, 0.042};
+  a.slew_resistance = {0.0065 / drive, 0.0062 / drive};
+  characterize_arc(a);
+  c.arcs.push_back(a);
+  return c;
+}
+
+}  // namespace
+
+const char* to_string(CellKind kind) {
+  switch (kind) {
+    case CellKind::Input: return "INPUT";
+    case CellKind::Output: return "OUTPUT";
+    case CellKind::Inv: return "INV";
+    case CellKind::Buf: return "BUF";
+    case CellKind::Nand2: return "NAND2";
+    case CellKind::Nor2: return "NOR2";
+    case CellKind::And2: return "AND2";
+    case CellKind::Or2: return "OR2";
+    case CellKind::Xor2: return "XOR2";
+    case CellKind::Aoi21: return "AOI21";
+    case CellKind::Oai21: return "OAI21";
+    case CellKind::Dff: return "DFF";
+  }
+  return "?";
+}
+
+CellLibrary CellLibrary::make_synthetic() {
+  CellLibrary lib;
+
+  // IO pseudo cells.
+  {
+    Cell pi;
+    pi.name = "__PI__";
+    pi.kind = CellKind::Input;
+    CellPin y;
+    y.name = "Y";
+    y.is_input = false;
+    pi.pins.push_back(y);
+    lib.add(std::move(pi));
+
+    Cell po;
+    po.name = "__PO__";
+    po.kind = CellKind::Output;
+    CellPin a;
+    a.name = "A";
+    a.is_input = true;
+    a.capacitance = 2.0;
+    po.pins.push_back(a);
+    lib.add(std::move(po));
+  }
+
+  for (const auto& spec : kCombinational) {
+    for (int drive : {1, 2, 4}) lib.add(make_combinational(spec, drive));
+  }
+  for (int drive : {1, 2, 4}) lib.add(make_dff(drive));
+  return lib;
+}
+
+void CellLibrary::add(Cell cell) { _cells.push_back(std::move(cell)); }
+
+const Cell* CellLibrary::find(const std::string& name) const {
+  for (const auto& c : _cells) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const Cell& CellLibrary::at(const std::string& name) const {
+  const Cell* c = find(name);
+  if (c == nullptr) throw std::out_of_range("unknown cell: " + name);
+  return *c;
+}
+
+std::vector<const Cell*> CellLibrary::variants(CellKind kind) const {
+  std::vector<const Cell*> out;
+  for (const auto& c : _cells) {
+    if (c.kind == kind) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const Cell*> CellLibrary::combinational_with_inputs(int num_inputs) const {
+  std::vector<const Cell*> out;
+  for (const auto& c : _cells) {
+    if (c.kind == CellKind::Input || c.kind == CellKind::Output ||
+        c.kind == CellKind::Dff) {
+      continue;
+    }
+    if (c.num_inputs() == num_inputs) out.push_back(&c);
+  }
+  return out;
+}
+
+}  // namespace ot

@@ -1,0 +1,143 @@
+// celllib.hpp - a synthetic standard-cell library for the mini-OpenTimer
+// substrate (ot::).
+//
+// The paper's experiments use the NanGate 45nm library, which is not
+// redistributable here; this module provides a deterministic synthetic
+// library with the same structure (DESIGN.md substitution #3): cells with
+// typed pins, per-arc linear delay models
+//
+//     delay(load, slew_in) = intrinsic + resistance * load
+//                            + slew_sensitivity * slew_in
+//     slew_out(load)       = slew_intrinsic + slew_resistance * load
+//                            + slew_passthrough * slew_in
+//
+// per transition (rise/fall), with unateness deciding the input-to-output
+// transition mapping, and X1/X2/X4 drive variants (resize targets for the
+// incremental-timing experiments).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ot {
+
+/// Rise/fall transition index.
+enum Tran : int { kRise = 0, kFall = 1 };
+
+enum class CellKind {
+  Input,   // primary-input pseudo cell (one output pin)
+  Output,  // primary-output pseudo cell (one input pin)
+  Inv,
+  Buf,
+  Nand2,
+  Nor2,
+  And2,
+  Or2,
+  Xor2,
+  Aoi21,
+  Oai21,
+  Dff,     // CLK->Q arc; D is a constrained endpoint
+};
+
+/// How an input transition maps to the output transition through an arc.
+enum class TimingSense { PositiveUnate, NegativeUnate, NonUnate };
+
+struct CellPin {
+  std::string name;
+  bool is_input{true};
+  bool is_clock{false};
+  double capacitance{0.0};  // fF
+};
+
+/// An NLDM-style 2D lookup table: value(input_slew, output_load) with
+/// bilinear interpolation between grid points and clamping outside the
+/// characterized window (as production timers do for out-of-range indices).
+class Lut {
+ public:
+  static constexpr int kPoints = 7;
+
+  std::array<double, kPoints> slew_axis{};
+  std::array<double, kPoints> load_axis{};
+  std::array<std::array<double, kPoints>, kPoints> value{};  // [slew][load]
+
+  [[nodiscard]] double operator()(double slew, double load) const;
+};
+
+/// One timing arc: input pin `from_pin` to the (single) output pin.  The
+/// linear coefficients are the *generation parameters* of the synthetic
+/// library; timing queries go through the characterized NLDM tables
+/// (delay(slew_in, load) and output-slew(slew_in, load) per transition),
+/// which add a mild nonlinearity on top of the linear skeleton.
+struct CellArc {
+  int from_pin{0};                          // index into Cell::pins
+  TimingSense sense{TimingSense::PositiveUnate};
+  std::array<double, 2> intrinsic{};        // ns, per output transition
+  std::array<double, 2> resistance{};       // ns per fF of load
+  std::array<double, 2> slew_intrinsic{};   // ns
+  std::array<double, 2> slew_resistance{};  // ns per fF
+  double slew_sensitivity{0.05};            // delay contribution of input slew
+  double slew_passthrough{0.10};            // slew contribution of input slew
+  std::array<Lut, 2> delay_lut{};           // per output transition
+  std::array<Lut, 2> slew_lut{};
+};
+
+struct Cell {
+  std::string name;
+  CellKind kind{CellKind::Inv};
+  int drive{1};  // 1, 2, 4 (X1/X2/X4)
+  std::vector<CellPin> pins;
+  std::vector<CellArc> arcs;
+
+  [[nodiscard]] int num_inputs() const noexcept {
+    int n = 0;
+    for (const auto& p : pins) n += p.is_input ? 1 : 0;
+    return n;
+  }
+  /// Index of the unique output pin (-1 for the Output pseudo cell).
+  [[nodiscard]] int output_pin() const noexcept {
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      if (!pins[i].is_input) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  [[nodiscard]] bool is_sequential() const noexcept { return kind == CellKind::Dff; }
+};
+
+class CellLibrary {
+ public:
+  /// The deterministic synthetic library used by every experiment: each
+  /// combinational kind in X1/X2/X4 drives, plus DFF and the IO pseudo cells.
+  [[nodiscard]] static CellLibrary make_synthetic();
+
+  /// Find a cell by name; returns nullptr when absent.
+  [[nodiscard]] const Cell* find(const std::string& name) const;
+
+  /// Find a cell by name; throws std::out_of_range when absent.
+  [[nodiscard]] const Cell& at(const std::string& name) const;
+
+  /// All cells of `kind`, ordered by drive (the resize ladder).
+  [[nodiscard]] std::vector<const Cell*> variants(CellKind kind) const;
+
+  /// All combinational kinds with exactly `num_inputs` inputs.
+  [[nodiscard]] std::vector<const Cell*> combinational_with_inputs(int num_inputs) const;
+
+  [[nodiscard]] const Cell& input_cell() const { return at("__PI__"); }
+  [[nodiscard]] const Cell& output_cell() const { return at("__PO__"); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return _cells.size(); }
+  [[nodiscard]] const std::vector<Cell>& cells() const noexcept { return _cells; }
+
+  /// Append a cell (used by the Liberty reader; names must be unique).
+  void add_cell(Cell cell) { add(std::move(cell)); }
+
+ private:
+  void add(Cell cell);
+  std::vector<Cell> _cells;
+};
+
+/// Human-readable kind name (used by the netlist writer).
+[[nodiscard]] const char* to_string(CellKind kind);
+
+}  // namespace ot

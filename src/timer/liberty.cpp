@@ -1,0 +1,516 @@
+#include "timer/liberty.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ot {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic Liberty tokenizer + group-tree parser.  Liberty is a simple
+// nested-group format: groups `name (args) { statements }` containing
+// attributes `name : value ;` and complex attributes `name (v1, v2, ...);`.
+// ---------------------------------------------------------------------------
+
+struct LibToken {
+  enum class Kind { Ident, String, Number, Punct, End };
+  Kind kind{Kind::End};
+  std::string text;
+  int line{1};
+};
+
+class LibLexer {
+ public:
+  explicit LibLexer(std::istream& is) {
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    _src = ss.str();
+    advance();
+  }
+
+  [[nodiscard]] const LibToken& peek() const { return _current; }
+
+  LibToken take() {
+    LibToken t = _current;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("liberty parse error at line " +
+                             std::to_string(_current.line) + ": " + why);
+  }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    _current.line = _line;
+    if (_pos >= _src.size()) {
+      _current = {LibToken::Kind::End, "", _line};
+      return;
+    }
+    const char c = _src[_pos];
+    if (c == '"') {
+      ++_pos;
+      std::string text;
+      while (_pos < _src.size() && _src[_pos] != '"') {
+        if (_src[_pos] == '\n') ++_line;
+        text.push_back(_src[_pos++]);
+      }
+      if (_pos < _src.size()) ++_pos;
+      _current = {LibToken::Kind::String, std::move(text), _line};
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (_pos < _src.size() &&
+             (std::isalnum(static_cast<unsigned char>(_src[_pos])) ||
+              _src[_pos] == '_' || _src[_pos] == '.')) {
+        text.push_back(_src[_pos++]);
+      }
+      _current = {LibToken::Kind::Ident, std::move(text), _line};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      std::string text;
+      while (_pos < _src.size() &&
+             (std::isalnum(static_cast<unsigned char>(_src[_pos])) ||
+              _src[_pos] == '.' || _src[_pos] == '-' || _src[_pos] == '+')) {
+        text.push_back(_src[_pos++]);
+      }
+      _current = {LibToken::Kind::Number, std::move(text), _line};
+      return;
+    }
+    _current = {LibToken::Kind::Punct, std::string(1, c), _line};
+    ++_pos;
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (_pos < _src.size() &&
+             (std::isspace(static_cast<unsigned char>(_src[_pos])) ||
+              // Liberty line continuation: backslash before end-of-line.
+              (_src[_pos] == '\\' &&
+               (_pos + 1 >= _src.size() ||
+                _src[_pos + 1] == '\n' || _src[_pos + 1] == '\r')))) {
+        if (_src[_pos] == '\n') ++_line;
+        ++_pos;
+      }
+      if (_pos + 1 < _src.size() && _src[_pos] == '/' && _src[_pos + 1] == '*') {
+        _pos += 2;
+        while (_pos + 1 < _src.size() &&
+               !(_src[_pos] == '*' && _src[_pos + 1] == '/')) {
+          if (_src[_pos] == '\n') ++_line;
+          ++_pos;
+        }
+        _pos = std::min(_src.size(), _pos + 2);
+        continue;
+      }
+      if (_pos + 1 < _src.size() && _src[_pos] == '/' && _src[_pos + 1] == '/') {
+        while (_pos < _src.size() && _src[_pos] != '\n') ++_pos;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string _src;
+  std::size_t _pos{0};
+  int _line{1};
+  LibToken _current;
+};
+
+/// A parsed group: `type (args...) { attributes + subgroups }`.
+struct LibGroup {
+  std::string type;
+  std::vector<std::string> args;
+  std::vector<std::pair<std::string, std::string>> attributes;        // name : value
+  std::vector<std::pair<std::string, std::vector<std::string>>> complex;  // name(v...)
+  std::vector<LibGroup> groups;
+
+  [[nodiscard]] const std::string* attribute(const std::string& name) const {
+    for (const auto& [k, v] : attributes) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const std::vector<std::string>* complex_values(
+      const std::string& name) const {
+    for (const auto& [k, v] : complex) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class LibParser {
+ public:
+  explicit LibParser(std::istream& is) : _lex(is) {}
+
+  LibGroup parse_top() {
+    LibGroup g = parse_group();
+    if (g.type != "library") _lex.fail("expected a top-level library group");
+    return g;
+  }
+
+ private:
+  LibGroup parse_group() {
+    LibGroup g;
+    const LibToken name = _lex.take();
+    if (name.kind != LibToken::Kind::Ident) _lex.fail("expected group name");
+    g.type = name.text;
+    expect_punct("(");
+    while (!is_punct(")")) {
+      const LibToken arg = _lex.take();
+      if (arg.kind == LibToken::Kind::Punct && arg.text == ",") continue;
+      g.args.push_back(arg.text);
+    }
+    expect_punct(")");
+    expect_punct("{");
+    while (!is_punct("}")) {
+      parse_statement(g);
+    }
+    expect_punct("}");
+    return g;
+  }
+
+  void parse_statement(LibGroup& g) {
+    const LibToken name = _lex.take();
+    if (name.kind != LibToken::Kind::Ident) _lex.fail("expected statement name");
+    if (is_punct(":")) {
+      _lex.take();  // ':'
+      const LibToken value = _lex.take();
+      g.attributes.emplace_back(name.text, value.text);
+      if (is_punct(";")) _lex.take();
+      return;
+    }
+    if (is_punct("(")) {
+      // Either a complex attribute `name (values...);` or a subgroup
+      // `name (args) { ... }` - disambiguated by what follows ')'.
+      std::vector<std::string> values;
+      _lex.take();  // '('
+      while (!is_punct(")")) {
+        const LibToken v = _lex.take();
+        if (v.kind == LibToken::Kind::Punct && v.text == ",") continue;
+        if (v.kind == LibToken::Kind::End) _lex.fail("unterminated argument list");
+        values.push_back(v.text);
+      }
+      _lex.take();  // ')'
+      if (is_punct("{")) {
+        _lex.take();  // '{'
+        LibGroup sub;
+        sub.type = name.text;
+        sub.args = std::move(values);
+        while (!is_punct("}")) parse_statement(sub);
+        _lex.take();  // '}'
+        g.groups.push_back(std::move(sub));
+        return;
+      }
+      if (is_punct(";")) _lex.take();
+      g.complex.emplace_back(name.text, std::move(values));
+      return;
+    }
+    _lex.fail("expected ':' or '(' after " + name.text);
+  }
+
+  [[nodiscard]] bool is_punct(const char* p) {
+    return _lex.peek().kind == LibToken::Kind::Punct && _lex.peek().text == p;
+  }
+
+  void expect_punct(const char* p) {
+    if (!is_punct(p)) _lex.fail(std::string("expected '") + p + "'");
+    _lex.take();
+  }
+
+  LibLexer _lex;
+};
+
+// ---------------------------------------------------------------------------
+// Interpretation: group tree -> CellLibrary
+// ---------------------------------------------------------------------------
+
+double to_double(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw std::runtime_error("liberty: bad number '" + s + "'");
+  }
+  return v;
+}
+
+// Axis / values strings are comma-separated numbers inside one quoted string.
+std::vector<double> parse_number_list(const std::string& s) {
+  std::vector<double> out;
+  std::string token;
+  std::istringstream ss(s);
+  while (std::getline(ss, token, ',')) {
+    if (token.find_first_not_of(" \t") == std::string::npos) continue;
+    out.push_back(to_double(token));
+  }
+  return out;
+}
+
+Lut parse_lut(const LibGroup& g) {
+  const auto* index1 = g.complex_values("index_1");
+  const auto* index2 = g.complex_values("index_2");
+  const auto* values = g.complex_values("values");
+  if (index1 == nullptr || index2 == nullptr || values == nullptr) {
+    throw std::runtime_error("liberty: table missing index_1/index_2/values");
+  }
+  const auto slews = parse_number_list((*index1)[0]);
+  const auto loads = parse_number_list((*index2)[0]);
+  if (slews.size() != Lut::kPoints || loads.size() != Lut::kPoints) {
+    throw std::runtime_error("liberty: only " + std::to_string(Lut::kPoints) +
+                             "-point tables are supported");
+  }
+  Lut lut;
+  for (std::size_t i = 0; i < Lut::kPoints; ++i) {
+    lut.slew_axis[i] = slews[i];
+    lut.load_axis[i] = loads[i];
+  }
+  if (values->size() != Lut::kPoints) {
+    throw std::runtime_error("liberty: values row count mismatch");
+  }
+  for (std::size_t s = 0; s < Lut::kPoints; ++s) {
+    const auto row = parse_number_list((*values)[s]);
+    if (row.size() != Lut::kPoints) {
+      throw std::runtime_error("liberty: values column count mismatch");
+    }
+    for (std::size_t l = 0; l < Lut::kPoints; ++l) lut.value[s][l] = row[l];
+  }
+  return lut;
+}
+
+TimingSense parse_sense(const std::string& s) {
+  if (s == "positive_unate") return TimingSense::PositiveUnate;
+  if (s == "negative_unate") return TimingSense::NegativeUnate;
+  if (s == "non_unate") return TimingSense::NonUnate;
+  throw std::runtime_error("liberty: unknown timing_sense " + s);
+}
+
+CellKind kind_from_name(const std::string& name, bool sequential) {
+  if (sequential) return CellKind::Dff;
+  static constexpr std::pair<const char*, CellKind> kPrefixes[] = {
+      {"INV", CellKind::Inv},     {"BUF", CellKind::Buf},
+      {"NAND2", CellKind::Nand2}, {"NOR2", CellKind::Nor2},
+      {"AND2", CellKind::And2},   {"OR2", CellKind::Or2},
+      {"XOR2", CellKind::Xor2},   {"AOI21", CellKind::Aoi21},
+      {"OAI21", CellKind::Oai21}, {"DFF", CellKind::Dff},
+  };
+  for (const auto& [prefix, kind] : kPrefixes) {
+    if (name.rfind(prefix, 0) == 0) return kind;
+  }
+  throw std::runtime_error("liberty: cannot infer cell kind from name " + name);
+}
+
+Cell interpret_cell(const LibGroup& g) {
+  Cell cell;
+  if (g.args.empty()) throw std::runtime_error("liberty: cell without a name");
+  cell.name = g.args[0];
+
+  bool sequential = false;
+  for (const auto& sub : g.groups) {
+    if (sub.type == "ff") sequential = true;
+  }
+  cell.kind = kind_from_name(cell.name, sequential);
+  if (const auto* drive = g.attribute("drive_strength")) {
+    cell.drive = static_cast<int>(to_double(*drive));
+  }
+
+  // Pins first (arcs reference pin indices).
+  struct PendingArc {
+    std::string related_pin;
+    CellArc arc;
+  };
+  std::vector<PendingArc> pending;
+
+  for (const auto& sub : g.groups) {
+    if (sub.type != "pin") continue;
+    CellPin pin;
+    pin.name = sub.args.empty() ? "" : sub.args[0];
+    if (const auto* dir = sub.attribute("direction")) pin.is_input = (*dir == "input");
+    if (const auto* cap = sub.attribute("capacitance")) pin.capacitance = to_double(*cap);
+    if (const auto* clk = sub.attribute("clock")) pin.is_clock = (*clk == "true");
+    cell.pins.push_back(pin);
+
+    for (const auto& timing : sub.groups) {
+      if (timing.type != "timing") continue;
+      PendingArc pa;
+      if (const auto* related = timing.attribute("related_pin")) {
+        pa.related_pin = *related;
+      } else {
+        throw std::runtime_error("liberty: timing group without related_pin");
+      }
+      if (const auto* sense = timing.attribute("timing_sense")) {
+        pa.arc.sense = parse_sense(*sense);
+      }
+      for (const auto& table : timing.groups) {
+        if (table.type == "cell_rise") pa.arc.delay_lut[kRise] = parse_lut(table);
+        else if (table.type == "cell_fall") pa.arc.delay_lut[kFall] = parse_lut(table);
+        else if (table.type == "rise_transition") pa.arc.slew_lut[kRise] = parse_lut(table);
+        else if (table.type == "fall_transition") pa.arc.slew_lut[kFall] = parse_lut(table);
+      }
+      // Summary linear coefficients recovered from the table corners (used
+      // only as metadata; queries interpolate the tables).
+      for (int t : {kRise, kFall}) {
+        const auto tt = static_cast<std::size_t>(t);
+        pa.arc.intrinsic[tt] = pa.arc.delay_lut[tt].value[0][0];
+        const auto& lut = pa.arc.delay_lut[tt];
+        pa.arc.resistance[tt] =
+            (lut.value[0][Lut::kPoints - 1] - lut.value[0][0]) /
+            (lut.load_axis[Lut::kPoints - 1] - lut.load_axis[0]);
+        pa.arc.slew_intrinsic[tt] = pa.arc.slew_lut[tt].value[0][0];
+        pa.arc.slew_resistance[tt] =
+            (pa.arc.slew_lut[tt].value[0][Lut::kPoints - 1] -
+             pa.arc.slew_lut[tt].value[0][0]) /
+            (lut.load_axis[Lut::kPoints - 1] - lut.load_axis[0]);
+      }
+      pending.push_back(std::move(pa));
+    }
+  }
+
+  for (auto& pa : pending) {
+    int from = -1;
+    for (std::size_t i = 0; i < cell.pins.size(); ++i) {
+      if (cell.pins[i].name == pa.related_pin) from = static_cast<int>(i);
+    }
+    if (from < 0) {
+      throw std::runtime_error("liberty: related_pin " + pa.related_pin +
+                               " not found in cell " + cell.name);
+    }
+    pa.arc.from_pin = from;
+    cell.arcs.push_back(std::move(pa.arc));
+  }
+  return cell;
+}
+
+std::string lut_row(const Lut& lut, std::size_t s) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (std::size_t l = 0; l < Lut::kPoints; ++l) {
+    if (l != 0) os << ", ";
+    os << lut.value[s][l];
+  }
+  return os.str();
+}
+
+std::string axis_string(const std::array<double, Lut::kPoints>& axis) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < Lut::kPoints; ++i) {
+    if (i != 0) os << ", ";
+    os << axis[i];
+  }
+  return os.str();
+}
+
+void write_lut(std::ostream& os, const char* type, const Lut& lut) {
+  os << "        " << type << " (nldm_7x7) {\n";
+  os << "          index_1 (\"" << axis_string(lut.slew_axis) << "\");\n";
+  os << "          index_2 (\"" << axis_string(lut.load_axis) << "\");\n";
+  os << "          values ( \\\n";
+  for (std::size_t s = 0; s < Lut::kPoints; ++s) {
+    os << "            \"" << lut_row(lut, s) << "\""
+       << (s + 1 < Lut::kPoints ? ", \\\n" : " \\\n");
+  }
+  os << "          );\n";
+  os << "        }\n";
+}
+
+}  // namespace
+
+CellLibrary parse_liberty(std::istream& is) {
+  LibParser parser(is);
+  const LibGroup library = parser.parse_top();
+
+  CellLibrary lib = [] {
+    // IO pseudo cells are implementation artifacts, not Liberty content.
+    CellLibrary base;
+    return base;
+  }();
+
+  // Start from an empty library but keep the pseudo IO cells available:
+  // easiest is to build the synthetic library's IO cells by hand.
+  {
+    Cell pi;
+    pi.name = "__PI__";
+    pi.kind = CellKind::Input;
+    CellPin y;
+    y.name = "Y";
+    y.is_input = false;
+    pi.pins.push_back(y);
+    lib.add_cell(std::move(pi));
+
+    Cell po;
+    po.name = "__PO__";
+    po.kind = CellKind::Output;
+    CellPin a;
+    a.name = "A";
+    a.is_input = true;
+    a.capacitance = 2.0;
+    po.pins.push_back(a);
+    lib.add_cell(std::move(po));
+  }
+
+  for (const auto& sub : library.groups) {
+    if (sub.type == "cell") lib.add_cell(interpret_cell(sub));
+  }
+  return lib;
+}
+
+CellLibrary parse_liberty_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open liberty file: " + path);
+  return parse_liberty(in);
+}
+
+void write_liberty(std::ostream& os, const CellLibrary& lib,
+                   const std::string& library_name) {
+  os << std::setprecision(17);
+  os << "/* synthetic 45nm-class library, NLDM subset (generated) */\n";
+  os << "library (" << library_name << ") {\n";
+  os << "  time_unit : \"1ns\";\n";
+  os << "  capacitive_load_unit (1, ff);\n";
+  for (const Cell& cell : lib.cells()) {
+    if (cell.kind == CellKind::Input || cell.kind == CellKind::Output) continue;
+    os << "  cell (" << cell.name << ") {\n";
+    os << "    drive_strength : " << cell.drive << ";\n";
+    if (cell.is_sequential()) os << "    ff (IQ, IQN) {\n    }\n";
+    for (std::size_t p = 0; p < cell.pins.size(); ++p) {
+      const CellPin& pin = cell.pins[p];
+      os << "    pin (" << pin.name << ") {\n";
+      os << "      direction : " << (pin.is_input ? "input" : "output") << ";\n";
+      if (pin.is_input) os << "      capacitance : " << pin.capacitance << ";\n";
+      if (pin.is_clock) os << "      clock : true;\n";
+      if (!pin.is_input) {
+        for (const CellArc& arc : cell.arcs) {
+          os << "      timing () {\n";
+          os << "        related_pin : \""
+             << cell.pins[static_cast<std::size_t>(arc.from_pin)].name << "\";\n";
+          os << "        timing_sense : "
+             << (arc.sense == TimingSense::PositiveUnate   ? "positive_unate"
+                 : arc.sense == TimingSense::NegativeUnate ? "negative_unate"
+                                                           : "non_unate")
+             << ";\n";
+          write_lut(os, "cell_rise", arc.delay_lut[kRise]);
+          write_lut(os, "cell_fall", arc.delay_lut[kFall]);
+          write_lut(os, "rise_transition", arc.slew_lut[kRise]);
+          write_lut(os, "fall_transition", arc.slew_lut[kFall]);
+          os << "      }\n";
+        }
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace ot

@@ -1,0 +1,48 @@
+// liberty.hpp - a Liberty (.lib) subset reader/writer for the cell library.
+//
+// The paper's experiments use the NanGate 45nm library, which ships in
+// Liberty format; a timer that downstream users can adopt must speak it.
+// This module implements the subset needed for NLDM delay/slew analysis:
+//
+//   library (<name>) {
+//     cell (<name>) {
+//       drive_strength : <int> ;
+//       ff (IQ, IQN) { ... }                      // marks sequential cells
+//       pin (<name>) {
+//         direction : input|output ;
+//         capacitance : <fF> ;
+//         clock : true ;                          // clock pins
+//         timing () {
+//           related_pin : "<pin>" ;
+//           timing_sense : positive_unate|negative_unate|non_unate ;
+//           cell_rise (tpl)  { index_1(...); index_2(...); values(...); }
+//           cell_fall (tpl)  { ... }
+//           rise_transition (tpl) { ... }
+//           fall_transition (tpl) { ... }
+//         }
+//       }
+//     }
+//   }
+//
+// index_1 = input slew axis, index_2 = output load axis (NLDM convention).
+// The writer emits exactly this subset, and write->parse round-trips the
+// synthetic library bit-for-bit (tested).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "timer/celllib.hpp"
+
+namespace ot {
+
+/// Parse a Liberty subset into a CellLibrary.  Throws std::runtime_error
+/// with a line-numbered message on malformed input.
+[[nodiscard]] CellLibrary parse_liberty(std::istream& is);
+[[nodiscard]] CellLibrary parse_liberty_file(const std::string& path);
+
+/// Emit `lib` in the Liberty subset above.
+void write_liberty(std::ostream& os, const CellLibrary& lib,
+                   const std::string& library_name = "synthetic45");
+
+}  // namespace ot

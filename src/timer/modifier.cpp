@@ -1,0 +1,32 @@
+#include "timer/modifier.hpp"
+
+#include <stdexcept>
+
+namespace ot {
+
+ModifierStream::ModifierStream(const Netlist& nl, std::uint64_t seed)
+    : _nl(&nl), _rng(seed) {
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    const CellKind kind = nl.gate(static_cast<int>(g)).cell->kind;
+    if (kind == CellKind::Input || kind == CellKind::Output) continue;
+    _candidates.push_back(static_cast<int>(g));
+  }
+  if (_candidates.empty()) {
+    throw std::runtime_error("netlist has no resizable gate");
+  }
+}
+
+Modification ModifierStream::next() {
+  const int gate = _candidates[_rng.below(_candidates.size())];
+  const Cell* current = _nl->gate(gate).cell;
+  const auto variants = _nl->library().variants(current->kind);
+
+  // Pick a different drive variant (the ladder always has >= 2 entries).
+  const Cell* pick = current;
+  while (pick == current) {
+    pick = variants[_rng.below(variants.size())];
+  }
+  return Modification{gate, pick};
+}
+
+}  // namespace ot

@@ -1,0 +1,44 @@
+// modifier.hpp - deterministic incremental design-transform stream.
+//
+// Models the optimization loop of the paper's Fig. 9 experiment: each
+// "incremental iteration" applies one design modification (a gate resize to
+// a different drive strength) followed by a timing query.  Some picks touch
+// tiny local cones, others land near the primary inputs and ripple across
+// the entire timing landscape - reproducing the runtime fluctuation the
+// paper attributes to its design modifiers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "timer/netlist.hpp"
+
+namespace ot {
+
+struct Modification {
+  int gate{-1};
+  const Cell* new_cell{nullptr};
+};
+
+class ModifierStream {
+ public:
+  /// Build a stream over the resizable (combinational and sequential,
+  /// non-IO) gates of `nl`.
+  ModifierStream(const Netlist& nl, std::uint64_t seed);
+
+  /// Next modification: a uniformly random resizable gate moved to a
+  /// different drive variant of its cell kind.
+  [[nodiscard]] Modification next();
+
+  [[nodiscard]] std::size_t num_candidates() const noexcept {
+    return _candidates.size();
+  }
+
+ private:
+  const Netlist* _nl;
+  std::vector<int> _candidates;
+  support::Xoshiro256 _rng;
+};
+
+}  // namespace ot

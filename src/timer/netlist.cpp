@@ -1,0 +1,322 @@
+#include "timer/netlist.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace ot {
+
+int Netlist::add_gate(const std::string& name, const Cell& cell) {
+  const int id = static_cast<int>(_gates.size());
+  Gate g;
+  g.name = name;
+  g.cell = &cell;
+  for (std::size_t cp = 0; cp < cell.pins.size(); ++cp) {
+    const int pin_id = static_cast<int>(_pins.size());
+    _pins.push_back(Pin{id, static_cast<int>(cp), -1});
+    g.pins.push_back(pin_id);
+  }
+  _gates.push_back(std::move(g));
+  _gate_index.emplace(name, id);
+  return id;
+}
+
+int Netlist::add_net(const std::string& name, double wire_cap) {
+  const int id = static_cast<int>(_nets.size());
+  Net n;
+  n.name = name;
+  n.wire_cap = wire_cap;
+  _nets.push_back(std::move(n));
+  _net_index.emplace(name, id);
+  return id;
+}
+
+void Netlist::connect(int gate, int cell_pin, int net) {
+  Gate& g = _gates[static_cast<std::size_t>(gate)];
+  const int pin_id = g.pins[static_cast<std::size_t>(cell_pin)];
+  Pin& p = _pins[static_cast<std::size_t>(pin_id)];
+  if (p.net >= 0) throw std::runtime_error("pin already connected: " + pin_name(pin_id));
+  p.net = net;
+  Net& n = _nets[static_cast<std::size_t>(net)];
+  if (g.cell->pins[static_cast<std::size_t>(cell_pin)].is_input) {
+    n.sinks.push_back(pin_id);
+  } else {
+    if (n.driver >= 0) throw std::runtime_error("net already driven: " + n.name);
+    n.driver = pin_id;
+  }
+}
+
+int Netlist::add_primary_input(const std::string& name, int net) {
+  const int g = add_gate(name, _lib->input_cell());
+  connect(g, 0, net);
+  return g;
+}
+
+int Netlist::add_primary_output(const std::string& name, int net) {
+  const int g = add_gate(name, _lib->output_cell());
+  connect(g, 0, net);
+  return g;
+}
+
+void Netlist::resize_gate(int gate, const Cell& new_cell) {
+  Gate& g = _gates[static_cast<std::size_t>(gate)];
+  if (g.cell->kind != new_cell.kind || g.cell->pins.size() != new_cell.pins.size()) {
+    throw std::runtime_error("resize requires a drive variant of the same cell kind");
+  }
+  g.cell = &new_cell;
+}
+
+void Netlist::validate() const {
+  for (std::size_t i = 0; i < _nets.size(); ++i) {
+    if (_nets[i].driver < 0) {
+      throw std::runtime_error("undriven net: " + _nets[i].name);
+    }
+  }
+  for (std::size_t i = 0; i < _pins.size(); ++i) {
+    const Pin& p = _pins[i];
+    if (p.is_floating()) {
+      throw std::runtime_error("floating pin: " + pin_name(static_cast<int>(i)));
+    }
+  }
+}
+
+std::string Netlist::pin_name(int pin_id) const {
+  const Pin& p = pin(pin_id);
+  const Gate& g = _gates[static_cast<std::size_t>(p.gate)];
+  return g.name + ":" + g.cell->pins[static_cast<std::size_t>(p.cell_pin)].name;
+}
+
+double Netlist::net_load(int net_id) const {
+  const Net& n = net(net_id);
+  double load = n.wire_cap;
+  for (int sink : n.sinks) load += cell_pin_of(sink).capacitance;
+  return load;
+}
+
+int Netlist::find_gate(const std::string& name) const {
+  const auto it = _gate_index.find(name);
+  return it == _gate_index.end() ? -1 : it->second;
+}
+
+int Netlist::find_net(const std::string& name) const {
+  const auto it = _net_index.find(name);
+  return it == _net_index.end() ? -1 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+Netlist make_circuit(const CellLibrary& lib, const CircuitSpec& spec) {
+  support::Xoshiro256 rng(spec.seed);
+  Netlist nl(lib);
+
+  const std::size_t window =
+      spec.locality_window != 0
+          ? spec.locality_window
+          : std::max<std::size_t>(64, spec.num_gates / 64);
+
+  // Candidate driver nets, in creation order (older nets feed newer gates).
+  std::vector<int> driven_nets;
+  driven_nets.reserve(spec.num_inputs + spec.num_gates);
+
+  auto fresh_cap = [&] { return rng.uniform(spec.wire_cap_min, spec.wire_cap_max); };
+
+  // The dedicated clock tree root: every flop's CLK pin hangs off it.
+  const int clock_net = nl.add_net("clk", fresh_cap());
+  nl.add_primary_input("clock", clock_net);
+
+  for (std::size_t i = 0; i < spec.num_inputs; ++i) {
+    const int net = nl.add_net("ni" + std::to_string(i), fresh_cap());
+    nl.add_primary_input("inp" + std::to_string(i), net);
+    driven_nets.push_back(net);
+  }
+
+  // Fanout bookkeeping so unused nets can feed primary outputs at the end.
+  std::vector<char> net_has_sink;
+  net_has_sink.resize(driven_nets.size(), 0);
+
+  auto pick_driver = [&]() -> std::size_t {
+    const std::size_t hi = driven_nets.size();
+    const std::size_t lo = hi > window ? hi - window : 0;
+    return lo + static_cast<std::size_t>(rng.below(hi - lo));
+  };
+
+  const auto inverters = lib.variants(CellKind::Inv);
+  const auto buffers = lib.variants(CellKind::Buf);
+  const auto two_input = lib.combinational_with_inputs(2);
+  const auto three_input = lib.combinational_with_inputs(3);
+  const auto flops = lib.variants(CellKind::Dff);
+
+  for (std::size_t i = 0; i < spec.num_gates; ++i) {
+    const bool is_flop = rng.uniform() < spec.dff_fraction;
+    const Cell* cell = nullptr;
+    if (is_flop) {
+      cell = flops[rng.below(flops.size())];
+    } else {
+      const double r = rng.uniform();
+      if (r < 0.12) cell = inverters[rng.below(inverters.size())];
+      else if (r < 0.20) cell = buffers[rng.below(buffers.size())];
+      else if (r < 0.88) cell = two_input[rng.below(two_input.size())];
+      else cell = three_input[rng.below(three_input.size())];
+    }
+
+    const int g = nl.add_gate("u" + std::to_string(i), *cell);
+    const int out_net = nl.add_net("n" + std::to_string(i), fresh_cap());
+
+    // Connect every input pin to an existing driven net (CLK pins go to the
+    // clock tree).
+    for (std::size_t cp = 0; cp < cell->pins.size(); ++cp) {
+      if (!cell->pins[cp].is_input) {
+        nl.connect(g, static_cast<int>(cp), out_net);
+        continue;
+      }
+      if (cell->pins[cp].is_clock) {
+        nl.connect(g, static_cast<int>(cp), clock_net);
+        continue;
+      }
+      const std::size_t src_idx = pick_driver();
+      nl.connect(g, static_cast<int>(cp), driven_nets[src_idx]);
+      net_has_sink[src_idx] = 1;
+    }
+    driven_nets.push_back(out_net);
+    net_has_sink.push_back(0);
+  }
+
+  // Terminate: every sink-less net feeds a primary output (bounded by
+  // num_outputs for the freshest nets; the rest get outputs too so that no
+  // net dangles - matching validate()'s invariant).
+  std::size_t outs = 0;
+  for (std::size_t idx = driven_nets.size(); idx-- > 0;) {
+    if (net_has_sink[idx]) continue;
+    nl.add_primary_output("out" + std::to_string(outs++), driven_nets[idx]);
+  }
+  (void)spec.num_outputs;  // implied by the dangling-net rule
+
+  nl.validate();
+  return nl;
+}
+
+CircuitSpec tv80_spec(double scale) {
+  CircuitSpec s;
+  s.num_gates = static_cast<std::size_t>(5300 * scale);
+  s.num_inputs = 38;
+  s.num_outputs = 35;
+  s.seed = 0x7480;
+  return s;
+}
+
+CircuitSpec vga_lcd_spec(double scale) {
+  CircuitSpec s;
+  s.num_gates = static_cast<std::size_t>(139500 * scale);
+  s.num_inputs = 90;
+  s.num_outputs = 100;
+  s.seed = 0x76A;
+  return s;
+}
+
+CircuitSpec netcard_spec(double scale) {
+  CircuitSpec s;
+  s.num_gates = static_cast<std::size_t>(1400000 * scale);
+  s.num_inputs = 210;
+  s.num_outputs = 220;
+  s.seed = 0xCA4D;
+  return s;
+}
+
+CircuitSpec leon3mp_spec(double scale) {
+  CircuitSpec s;
+  s.num_gates = static_cast<std::size_t>(1200000 * scale);
+  s.num_inputs = 300;
+  s.num_outputs = 280;
+  s.seed = 0x1E03;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Text format
+// ---------------------------------------------------------------------------
+
+void write_netlist(std::ostream& os, const Netlist& nl) {
+  // Full round-trip precision for capacitances.
+  os.precision(17);
+  os << "# mini-OpenTimer netlist: " << nl.num_gates() << " gates, "
+     << nl.num_nets() << " nets\n";
+  for (const Net& n : nl.nets()) {
+    os << "net " << n.name << " " << n.wire_cap << "\n";
+  }
+  for (const Gate& g : nl.gates()) {
+    if (g.cell->kind == CellKind::Input) {
+      os << "input " << g.name << " " << nl.net(nl.pin(g.pins[0]).net).name << "\n";
+    } else if (g.cell->kind == CellKind::Output) {
+      os << "output " << g.name << " " << nl.net(nl.pin(g.pins[0]).net).name << "\n";
+    } else {
+      os << "gate " << g.name << " " << g.cell->name;
+      for (std::size_t cp = 0; cp < g.cell->pins.size(); ++cp) {
+        os << " " << g.cell->pins[cp].name << "="
+           << nl.net(nl.pin(g.pins[cp]).net).name;
+      }
+      os << "\n";
+    }
+  }
+}
+
+Netlist parse_netlist(std::istream& is, const CellLibrary& lib) {
+  Netlist nl(lib);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw) || kw[0] == '#') continue;
+    const auto fail = [&](const std::string& why) {
+      throw std::runtime_error("parse error at line " + std::to_string(line_no) + ": " + why);
+    };
+    if (kw == "net") {
+      std::string name;
+      double cap = 0.0;
+      if (!(ls >> name >> cap)) fail("expected: net <name> <cap>");
+      nl.add_net(name, cap);
+    } else if (kw == "input" || kw == "output") {
+      std::string gname, nname;
+      if (!(ls >> gname >> nname)) fail("expected: " + kw + " <gate> <net>");
+      const int net = nl.find_net(nname);
+      if (net < 0) fail("unknown net " + nname);
+      if (kw == "input") nl.add_primary_input(gname, net);
+      else nl.add_primary_output(gname, net);
+    } else if (kw == "gate") {
+      std::string gname, cname;
+      if (!(ls >> gname >> cname)) fail("expected: gate <name> <cell> <pin>=<net>...");
+      const Cell* cell = lib.find(cname);
+      if (cell == nullptr) fail("unknown cell " + cname);
+      const int g = nl.add_gate(gname, *cell);
+      std::string binding;
+      while (ls >> binding) {
+        const auto eq = binding.find('=');
+        if (eq == std::string::npos) fail("bad binding " + binding);
+        const std::string pin_name = binding.substr(0, eq);
+        const std::string net_name = binding.substr(eq + 1);
+        int cp = -1;
+        for (std::size_t k = 0; k < cell->pins.size(); ++k) {
+          if (cell->pins[k].name == pin_name) cp = static_cast<int>(k);
+        }
+        if (cp < 0) fail("cell " + cname + " has no pin " + pin_name);
+        const int net = nl.find_net(net_name);
+        if (net < 0) fail("unknown net " + net_name);
+        nl.connect(g, cp, net);
+      }
+    } else {
+      throw std::runtime_error("parse error at line " + std::to_string(line_no) +
+                               ": unknown keyword " + kw);
+    }
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace ot

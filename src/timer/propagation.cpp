@@ -1,0 +1,215 @@
+#include "timer/propagation.hpp"
+
+#include <algorithm>
+
+namespace ot {
+
+TimingState::TimingState(const Netlist& nl, const TimerOptions& opt) : _opt(opt) {
+  _data.resize(nl.num_pins());
+  _load.assign(nl.num_pins(), 0.0);
+  update_all_loads(nl);
+}
+
+void TimingState::update_net_load(const Netlist& nl, int net) {
+  const Net& n = nl.net(net);
+  if (n.driver >= 0) _load[static_cast<std::size_t>(n.driver)] = nl.net_load(net);
+}
+
+void TimingState::update_all_loads(const Netlist& nl) {
+  for (std::size_t i = 0; i < nl.num_nets(); ++i) {
+    update_net_load(nl, static_cast<int>(i));
+  }
+}
+
+double cell_arc_delay(const CellArc& ca, int tran_out, double load, double slew_in) {
+  return ca.delay_lut[static_cast<std::size_t>(tran_out)](slew_in, load);
+}
+
+double cell_arc_slew(const CellArc& ca, int tran_out, double load, double slew_in) {
+  return ca.slew_lut[static_cast<std::size_t>(tran_out)](slew_in, load);
+}
+
+bool sense_allows(TimingSense sense, int tran_in, int tran_out) {
+  switch (sense) {
+    case TimingSense::PositiveUnate: return tran_in == tran_out;
+    case TimingSense::NegativeUnate: return tran_in != tran_out;
+    case TimingSense::NonUnate: return true;
+  }
+  return false;
+}
+
+namespace {
+
+const CellArc& arc_model(const Netlist& nl, const TimingArcRef& a) {
+  return nl.gate(a.gate).cell->arcs[static_cast<std::size_t>(a.cell_arc)];
+}
+
+}  // namespace
+
+void propagate_pin_forward(const Netlist& nl, const TimingGraph& graph,
+                           TimingState& state, int pin) {
+  TimingData& d = state.data(pin);
+
+  if (graph.is_source(pin)) {
+    for (int t : {kRise, kFall}) {
+      d.at[kEarly][static_cast<std::size_t>(t)] = 0.0;
+      d.at[kLate][static_cast<std::size_t>(t)] = 0.0;
+      d.slew[kEarly][static_cast<std::size_t>(t)] = state.options().input_slew;
+      d.slew[kLate][static_cast<std::size_t>(t)] = state.options().input_slew;
+    }
+    return;
+  }
+
+  // Reset to identity of the merge.
+  for (int t : {kRise, kFall}) {
+    d.at[kEarly][static_cast<std::size_t>(t)] = kInf;
+    d.at[kLate][static_cast<std::size_t>(t)] = -kInf;
+    d.slew[kEarly][static_cast<std::size_t>(t)] = kInf;
+    d.slew[kLate][static_cast<std::size_t>(t)] = -kInf;
+  }
+
+  for (int aid : graph.fanin(pin)) {
+    const TimingArcRef& a = graph.arc(aid);
+    const TimingData& src = state.data(a.from_pin);
+
+    if (a.kind == TimingArcRef::Kind::Net) {
+      const double wire = nl.net(a.net).wire_cap * kWireDelayPerCap;
+      for (int t : {kRise, kFall}) {
+        const auto tt = static_cast<std::size_t>(t);
+        d.at[kEarly][tt] = std::min(d.at[kEarly][tt], src.at[kEarly][tt] + wire);
+        d.at[kLate][tt] = std::max(d.at[kLate][tt], src.at[kLate][tt] + wire);
+        d.slew[kEarly][tt] = std::min(d.slew[kEarly][tt], src.slew[kEarly][tt]);
+        d.slew[kLate][tt] = std::max(d.slew[kLate][tt], src.slew[kLate][tt]);
+      }
+      continue;
+    }
+
+    const CellArc& ca = arc_model(nl, a);
+    const double load = state.load(pin);
+    const int corners = state.options().corners;
+    for (int to = 0; to < 2; ++to) {
+      for (int ti = 0; ti < 2; ++ti) {
+        if (!sense_allows(ca.sense, ti, to)) continue;
+        const auto tos = static_cast<std::size_t>(to);
+        const auto tis = static_cast<std::size_t>(ti);
+        // Early uses early input values, late uses late - per-split
+        // propagation as in standard STA.  Every corner re-interpolates the
+        // NLDM tables at its derated operating point; the merge keeps the
+        // best (early) / worst (late) value across corners.
+        for (int c = 0; c < corners; ++c) {
+          const double derate = 1.0 + 0.04 * c;
+          {
+            const double slew_in = src.slew[kEarly][tis] / derate;
+            const double delay = cell_arc_delay(ca, to, load / derate, slew_in);
+            const double slew = cell_arc_slew(ca, to, load / derate, slew_in);
+            d.at[kEarly][tos] = std::min(d.at[kEarly][tos], src.at[kEarly][tis] + delay);
+            d.slew[kEarly][tos] = std::min(d.slew[kEarly][tos], slew);
+          }
+          {
+            const double slew_in = src.slew[kLate][tis] * derate;
+            const double delay = cell_arc_delay(ca, to, load * derate, slew_in);
+            const double slew = cell_arc_slew(ca, to, load * derate, slew_in);
+            d.at[kLate][tos] = std::max(d.at[kLate][tos], src.at[kLate][tis] + delay);
+            d.slew[kLate][tos] = std::max(d.slew[kLate][tos], slew);
+          }
+        }
+      }
+    }
+  }
+}
+
+void propagate_pin_backward(const Netlist& nl, const TimingGraph& graph,
+                            TimingState& state, int pin) {
+  TimingData& d = state.data(pin);
+  const TimerOptions& opt = state.options();
+
+  if (graph.is_endpoint(pin)) {
+    const Pin& p = nl.pin(pin);
+    const Gate& g = nl.gate(p.gate);
+    const bool is_dff_d = g.cell->is_sequential();
+    const double late_req = opt.clock_period - (is_dff_d ? opt.setup : 0.0);
+    const double early_req = opt.hold;
+    for (int t : {kRise, kFall}) {
+      d.rat[kLate][static_cast<std::size_t>(t)] = late_req;
+      d.rat[kEarly][static_cast<std::size_t>(t)] = early_req;
+    }
+    return;
+  }
+
+  for (int t : {kRise, kFall}) {
+    d.rat[kLate][static_cast<std::size_t>(t)] = kInf;     // min-merge
+    d.rat[kEarly][static_cast<std::size_t>(t)] = -kInf;   // max-merge
+  }
+
+  for (int aid : graph.fanout(pin)) {
+    const TimingArcRef& a = graph.arc(aid);
+    const TimingData& dst = state.data(a.to_pin);
+
+    if (a.kind == TimingArcRef::Kind::Net) {
+      const double wire = nl.net(a.net).wire_cap * kWireDelayPerCap;
+      for (int t : {kRise, kFall}) {
+        const auto tt = static_cast<std::size_t>(t);
+        d.rat[kLate][tt] = std::min(d.rat[kLate][tt], dst.rat[kLate][tt] - wire);
+        d.rat[kEarly][tt] = std::max(d.rat[kEarly][tt], dst.rat[kEarly][tt] - wire);
+      }
+      continue;
+    }
+
+    const CellArc& ca = arc_model(nl, a);
+    const double load = state.load(a.to_pin);
+    const int corners = state.options().corners;
+    const TimingData& self = d;
+    for (int to = 0; to < 2; ++to) {
+      for (int ti = 0; ti < 2; ++ti) {
+        if (!sense_allows(ca.sense, ti, to)) continue;
+        const auto tos = static_cast<std::size_t>(to);
+        const auto tis = static_cast<std::size_t>(ti);
+        // Mirror the forward corner sweep so slack = rat - at stays
+        // consistent (late rat subtracts the worst-corner delay, early rat
+        // the best-corner one).
+        for (int c = 0; c < corners; ++c) {
+          const double derate = 1.0 + 0.04 * c;
+          const double delay_late =
+              cell_arc_delay(ca, to, load * derate, self.slew[kLate][tis] * derate);
+          const double delay_early =
+              cell_arc_delay(ca, to, load / derate, self.slew[kEarly][tis] / derate);
+          d.rat[kLate][tis] =
+              std::min(d.rat[kLate][tis], dst.rat[kLate][tos] - delay_late);
+          d.rat[kEarly][tis] =
+              std::max(d.rat[kEarly][tis], dst.rat[kEarly][tos] - delay_early);
+        }
+      }
+    }
+  }
+}
+
+double late_slack(const TimingState& state, int pin) {
+  const TimingData& d = state.data(pin);
+  double worst = kInf;
+  for (int t : {kRise, kFall}) {
+    const auto tt = static_cast<std::size_t>(t);
+    worst = std::min(worst, d.rat[kLate][tt] - d.at[kLate][tt]);
+  }
+  return worst;
+}
+
+double early_slack(const TimingState& state, int pin) {
+  const TimingData& d = state.data(pin);
+  double worst = kInf;
+  for (int t : {kRise, kFall}) {
+    const auto tt = static_cast<std::size_t>(t);
+    worst = std::min(worst, d.at[kEarly][tt] - d.rat[kEarly][tt]);
+  }
+  return worst;
+}
+
+double worst_late_slack(const TimingGraph& graph, const TimingState& state) {
+  double worst = kInf;
+  for (std::size_t p = 0; p < graph.num_pins(); ++p) {
+    if (!graph.is_endpoint(static_cast<int>(p))) continue;
+    worst = std::min(worst, late_slack(state, static_cast<int>(p)));
+  }
+  return worst;
+}
+
+}  // namespace ot

@@ -1,0 +1,111 @@
+// propagation.hpp - the STA propagation kernels shared by every timer
+// engine (sequential reference, v1-OpenMP, v2-taskflow).
+//
+// Quantities are tracked per split (early = min / late = max analysis) and
+// per transition (rise / fall), as in OpenTimer:
+//   - arrival times propagate forward, merging min (early) / max (late);
+//   - slews propagate forward with the library slew model;
+//   - required times propagate backward, merging max (early) / min (late);
+//   - slack = rat - at (late) and at - rat (early).
+//
+// Per-pin propagation is a pure function of the pin's fan-in/fan-out
+// neighborhood, so pins of one level (or independent cone branches) can be
+// processed concurrently - the property all three engines exploit.
+#pragma once
+
+#include <array>
+#include <limits>
+#include <vector>
+
+#include "timer/netlist.hpp"
+#include "timer/timing_graph.hpp"
+
+namespace ot {
+
+inline constexpr int kEarly = 0;
+inline constexpr int kLate = 1;
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Wire delay per fF of net wire capacitance (lumped RC surrogate).
+inline constexpr double kWireDelayPerCap = 0.002;  // ns/fF
+
+struct TimingData {
+  // Indexed [split][transition].
+  std::array<std::array<double, 2>, 2> at{};
+  std::array<std::array<double, 2>, 2> slew{};
+  std::array<std::array<double, 2>, 2> rat{};
+};
+
+struct TimerOptions {
+  std::size_t num_threads{1};
+  double clock_period{1.0};  // ns
+  double input_slew{0.05};   // ns at primary inputs
+  double setup{0.05};        // ns setup margin at DFF D endpoints
+  double hold{0.0};          // ns hold requirement (early analysis)
+  /// Number of analysis corners evaluated per arc (>= 1).  Each corner
+  /// re-interpolates the NLDM tables at a derated operating point and the
+  /// worst (late) / best (early) value is kept - the multi-corner evaluation
+  /// that makes sign-off analysis expensive (paper §II: "several hours or
+  /// days when sign-off is taken into count").  Corner 0 equals the nominal
+  /// single-corner analysis.
+  int corners{1};
+};
+
+/// Mutable analysis state: one TimingData per pin plus cached output loads.
+class TimingState {
+ public:
+  TimingState(const Netlist& nl, const TimerOptions& opt);
+
+  [[nodiscard]] const TimingData& data(int pin) const {
+    return _data[static_cast<std::size_t>(pin)];
+  }
+  [[nodiscard]] TimingData& data(int pin) { return _data[static_cast<std::size_t>(pin)]; }
+
+  /// Cached total load of the net driven by output pin `pin` (0 for inputs).
+  [[nodiscard]] double load(int pin) const { return _load[static_cast<std::size_t>(pin)]; }
+
+  /// Recompute the cached load of `net` (call after a resize changed sink
+  /// pin capacitances).
+  void update_net_load(const Netlist& nl, int net);
+
+  /// Recompute all loads.
+  void update_all_loads(const Netlist& nl);
+
+  [[nodiscard]] const TimerOptions& options() const noexcept { return _opt; }
+
+ private:
+  std::vector<TimingData> _data;
+  std::vector<double> _load;  // per pin; meaningful on driver (output) pins
+  TimerOptions _opt;
+};
+
+/// Arc delay of cell arc `ca` for output transition `tran_out` under `load`
+/// and input slew `slew_in`.
+[[nodiscard]] double cell_arc_delay(const CellArc& ca, int tran_out, double load,
+                                    double slew_in);
+
+/// Output slew of cell arc `ca` under `load` and input slew `slew_in`.
+[[nodiscard]] double cell_arc_slew(const CellArc& ca, int tran_out, double load,
+                                   double slew_in);
+
+/// Does an input transition `tran_in` drive output transition `tran_out`
+/// through an arc of the given sense?
+[[nodiscard]] bool sense_allows(TimingSense sense, int tran_in, int tran_out);
+
+/// Recompute arrival time and slew of `pin` from its fan-in (one forward
+/// relaxation step).  Thread-safe across pins of the same level.
+void propagate_pin_forward(const Netlist& nl, const TimingGraph& graph,
+                           TimingState& state, int pin);
+
+/// Recompute required time of `pin` from its fan-out (one backward step).
+void propagate_pin_backward(const Netlist& nl, const TimingGraph& graph,
+                            TimingState& state, int pin);
+
+/// Setup (late) slack of `pin`, worst over transitions.
+[[nodiscard]] double late_slack(const TimingState& state, int pin);
+/// Hold (early) slack of `pin`, worst over transitions.
+[[nodiscard]] double early_slack(const TimingState& state, int pin);
+
+/// Worst late slack over all endpoints.
+[[nodiscard]] double worst_late_slack(const TimingGraph& graph, const TimingState& state);
+
+}  // namespace ot

@@ -1,0 +1,154 @@
+#include "timer/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace ot {
+
+namespace {
+
+/// Find the (arc, tran_in) pair whose contribution equals `pin`'s late
+/// arrival at transition `tran` (the support of the max-merge).
+struct Support {
+  int arc{-1};
+  int tran_in{kRise};
+  double delay{0.0};
+};
+
+Support find_support(const Netlist& nl, const TimingGraph& graph,
+                     const TimingState& state, int pin, int tran) {
+  const TimingData& d = state.data(pin);
+  const double target = d.at[kLate][static_cast<std::size_t>(tran)];
+  Support best;
+  double best_err = kInf;
+
+  for (int aid : graph.fanin(pin)) {
+    const TimingArcRef& a = graph.arc(aid);
+    const TimingData& src = state.data(a.from_pin);
+
+    if (a.kind == TimingArcRef::Kind::Net) {
+      const double wire = nl.net(a.net).wire_cap * kWireDelayPerCap;
+      const double cand = src.at[kLate][static_cast<std::size_t>(tran)] + wire;
+      const double err = std::abs(cand - target);
+      if (err < best_err) {
+        best_err = err;
+        best = Support{aid, tran, wire};
+      }
+      continue;
+    }
+
+    const CellArc& ca =
+        nl.gate(a.gate).cell->arcs[static_cast<std::size_t>(a.cell_arc)];
+    const double load = state.load(pin);
+    const int corners = state.options().corners;
+    for (int ti = 0; ti < 2; ++ti) {
+      if (!sense_allows(ca.sense, ti, tran)) continue;
+      for (int c = 0; c < corners; ++c) {
+        const double derate = 1.0 + 0.04 * c;
+        const double slew_in =
+            src.slew[kLate][static_cast<std::size_t>(ti)] * derate;
+        const double delay = cell_arc_delay(ca, tran, load * derate, slew_in);
+        const double cand = src.at[kLate][static_cast<std::size_t>(ti)] + delay;
+        const double err = std::abs(cand - target);
+        if (err < best_err) {
+          best_err = err;
+          best = Support{aid, ti, delay};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+TimingPath trace_path(const Netlist& nl, const TimingGraph& graph,
+                      const TimingState& state, int endpoint) {
+  TimingPath path;
+  path.endpoint = endpoint;
+  path.slack = late_slack(state, endpoint);
+
+  // Worst transition at the endpoint.
+  const TimingData& d = state.data(endpoint);
+  int tran = (d.rat[kLate][kRise] - d.at[kLate][kRise] <=
+              d.rat[kLate][kFall] - d.at[kLate][kFall])
+                 ? kRise
+                 : kFall;
+
+  // Backtrack to a source following the arrival support.
+  std::vector<PathPoint> reversed;
+  int pin = endpoint;
+  for (;;) {
+    reversed.push_back(PathPoint{
+        pin, tran, state.data(pin).at[kLate][static_cast<std::size_t>(tran)], 0.0});
+    if (graph.is_source(pin)) break;
+    const Support s = find_support(nl, graph, state, pin, tran);
+    if (s.arc < 0) break;  // disconnected (degenerate)
+    pin = graph.arc(s.arc).from_pin;
+    tran = s.tran_in;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  // Per-point incremental delay = difference of consecutive arrivals.
+  for (std::size_t i = 1; i < reversed.size(); ++i) {
+    reversed[i].delay = reversed[i].arrival - reversed[i - 1].arrival;
+  }
+  path.points = std::move(reversed);
+  return path;
+}
+
+}  // namespace
+
+std::vector<TimingPath> report_paths(const Netlist& nl, const TimingGraph& graph,
+                                     const TimingState& state, std::size_t k) {
+  // Rank endpoints by late slack.
+  std::vector<std::pair<double, int>> endpoints;
+  for (std::size_t p = 0; p < graph.num_pins(); ++p) {
+    if (!graph.is_endpoint(static_cast<int>(p))) continue;
+    endpoints.emplace_back(late_slack(state, static_cast<int>(p)), static_cast<int>(p));
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  k = std::min(k, endpoints.size());
+
+  std::vector<TimingPath> paths;
+  paths.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    paths.push_back(trace_path(nl, graph, state, endpoints[i].second));
+  }
+  return paths;
+}
+
+SlackStats slack_stats(const TimingGraph& graph, const TimingState& state, int bins,
+                       double lo, double hi) {
+  SlackStats s;
+  s.histogram.assign(static_cast<std::size_t>(bins), 0);
+  s.histo_lo = lo;
+  s.histo_hi = hi;
+  s.wns = 0.0;
+  for (std::size_t p = 0; p < graph.num_pins(); ++p) {
+    if (!graph.is_endpoint(static_cast<int>(p))) continue;
+    const double slack = late_slack(state, static_cast<int>(p));
+    ++s.endpoints;
+    if (slack < 0.0) {
+      ++s.violations;
+      s.tns += slack;
+      s.wns = std::min(s.wns, slack);
+    }
+    const double clamped = std::clamp(slack, lo, std::nextafter(hi, lo));
+    const auto bin = static_cast<std::size_t>((clamped - lo) / (hi - lo) *
+                                              static_cast<double>(bins));
+    ++s.histogram[std::min(bin, static_cast<std::size_t>(bins - 1))];
+  }
+  return s;
+}
+
+void print_path(std::ostream& os, const Netlist& nl, const TimingPath& path) {
+  os << "Path to " << nl.pin_name(path.endpoint) << "  slack "
+     << std::fixed << std::setprecision(4) << path.slack << " ns\n";
+  for (const PathPoint& pt : path.points) {
+    os << "  " << std::setw(24) << std::left << nl.pin_name(pt.pin)
+       << (pt.tran == kRise ? " ^ " : " v ") << " at " << std::setw(8)
+       << pt.arrival << "  +" << pt.delay << "\n";
+  }
+}
+
+}  // namespace ot

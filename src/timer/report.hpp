@@ -1,0 +1,51 @@
+// report.hpp - timing reports on top of an analyzed TimingState: critical
+// path extraction (the black path of paper Fig. 8), worst/total negative
+// slack, and slack histograms.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "timer/propagation.hpp"
+
+namespace ot {
+
+struct PathPoint {
+  int pin{-1};
+  int tran{kRise};      // transition at this pin on the path
+  double arrival{0.0};  // late arrival time
+  double delay{0.0};    // delay of the arc from the previous point
+};
+
+struct TimingPath {
+  double slack{0.0};
+  int endpoint{-1};
+  std::vector<PathPoint> points;  // launch (source) first, endpoint last
+};
+
+/// Extract the worst late path ending at each of the `k` worst endpoints
+/// (one path per endpoint, sorted by ascending slack).  Backtracks the
+/// arrival support through the timing graph.
+[[nodiscard]] std::vector<TimingPath> report_paths(const Netlist& nl,
+                                                   const TimingGraph& graph,
+                                                   const TimingState& state,
+                                                   std::size_t k = 1);
+
+struct SlackStats {
+  double wns{0.0};     // worst negative slack (0 when all paths meet timing)
+  double tns{0.0};     // total negative slack over endpoints
+  int violations{0};   // endpoints with negative slack
+  int endpoints{0};
+  std::vector<int> histogram;  // slack histogram over [lo, hi)
+  double histo_lo{0.0};
+  double histo_hi{0.0};
+};
+
+/// Endpoint slack statistics and a `bins`-bucket histogram over [lo, hi).
+[[nodiscard]] SlackStats slack_stats(const TimingGraph& graph, const TimingState& state,
+                                     int bins = 20, double lo = -1.0, double hi = 1.0);
+
+/// Pretty-print a path, one line per pin with arrival/delay (Fig. 8 style).
+void print_path(std::ostream& os, const Netlist& nl, const TimingPath& path);
+
+}  // namespace ot

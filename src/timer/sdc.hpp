@@ -1,0 +1,43 @@
+// sdc.hpp - an SDC (Synopsys Design Constraints) subset reader.
+//
+// Real timing flows drive the timer with an .sdc file; this module parses
+// the commands the mini-OpenTimer honors and folds them into TimerOptions:
+//
+//   create_clock -period <ns> [-name <n>] [get_ports <port>]
+//   set_input_transition <ns> [all_inputs]
+//   set_clock_uncertainty <ns>          # folded into the setup margin
+//   set_hold_margin <ns>                # extension: early-analysis margin
+//
+// Unknown commands raise an error by default (strict mode) or are skipped
+// when `lenient` is set - real SDC files carry many commands a reduced
+// timer cannot honor, and silently dropping constraints must be opt-in.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "timer/propagation.hpp"
+
+namespace ot {
+
+struct SdcResult {
+  TimerOptions options;        // input options with constraints applied
+  std::string clock_name;     // from create_clock -name
+  std::string clock_port;     // from get_ports
+  int num_commands{0};        // commands honored
+  int num_skipped{0};         // commands skipped (lenient mode only)
+};
+
+/// Parse SDC text and apply it on top of `base` options.
+[[nodiscard]] SdcResult parse_sdc(std::istream& is, const TimerOptions& base = {},
+                                  bool lenient = false);
+[[nodiscard]] SdcResult parse_sdc_file(const std::string& path,
+                                       const TimerOptions& base = {},
+                                       bool lenient = false);
+
+/// Emit the honored subset of constraints for `options`.
+void write_sdc(std::ostream& os, const TimerOptions& options,
+               const std::string& clock_name = "clk",
+               const std::string& clock_port = "clock");
+
+}  // namespace ot

@@ -1,0 +1,180 @@
+#include "timer/shell.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "timer/modifier.hpp"
+#include "timer/report.hpp"
+#include "timer/sdc.hpp"
+#include "timer/verilog.hpp"
+
+namespace ot {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream ss(line);
+  std::string w;
+  while (ss >> w) words.push_back(w);
+  return words;
+}
+
+constexpr const char* kHelp = R"(commands:
+  read_celllib <file.lib>     read_verilog <file.v>     read_netlist <file.ckt>
+  read_sdc <file.sdc>         generate <gates> <seed>   set_threads <n>
+  set_corners <n>             init_timer [v1|v2|seq]    report_worst_slack
+  report_slack                report_timing [k]         resize_gate <gate> <cell>
+  write_verilog <f>           write_liberty <f>         write_sdc <f>
+  dump_taskgraph <f>          stats                     help | quit
+)";
+
+}  // namespace
+
+Shell::Shell() : _library(CellLibrary::make_synthetic()) {
+  _options.num_threads = 2;
+  _options.clock_period = 2.0;
+}
+
+void Shell::require_design() const {
+  if (_netlist == nullptr) throw std::runtime_error("no design loaded");
+}
+
+void Shell::require_timer() const {
+  if (_timer == nullptr) throw std::runtime_error("timer not initialized (init_timer)");
+}
+
+bool Shell::execute(const std::string& line, std::ostream& out) {
+  const auto words = split(line);
+  if (words.empty() || words[0][0] == '#') return true;
+  const std::string& cmd = words[0];
+
+  try {
+    if (cmd == "help") {
+      out << kHelp;
+    } else if (cmd == "quit" || cmd == "exit") {
+      _quit = true;
+    } else if (cmd == "read_celllib") {
+      if (words.size() < 2) throw std::runtime_error("usage: read_celllib <file>");
+      _library = parse_liberty_file(words[1]);
+      out << "loaded " << _library.size() << " cells\n";
+    } else if (cmd == "read_verilog") {
+      if (words.size() < 2) throw std::runtime_error("usage: read_verilog <file>");
+      _netlist = std::make_unique<Netlist>(parse_verilog_file(words[1], _library));
+      _timer.reset();
+      out << "read " << _netlist->num_gates() << " gates\n";
+    } else if (cmd == "read_netlist") {
+      if (words.size() < 2) throw std::runtime_error("usage: read_netlist <file>");
+      std::ifstream in(words[1]);
+      if (!in) throw std::runtime_error("cannot open " + words[1]);
+      _netlist = std::make_unique<Netlist>(parse_netlist(in, _library));
+      _timer.reset();
+      out << "read " << _netlist->num_gates() << " gates\n";
+    } else if (cmd == "read_sdc") {
+      if (words.size() < 2) throw std::runtime_error("usage: read_sdc <file>");
+      _options = parse_sdc_file(words[1], _options, /*lenient=*/true).options;
+      out << "clock period " << _options.clock_period << " ns\n";
+    } else if (cmd == "generate") {
+      if (words.size() < 3) throw std::runtime_error("usage: generate <gates> <seed>");
+      CircuitSpec spec;
+      spec.num_gates = static_cast<std::size_t>(std::stoull(words[1]));
+      spec.seed = std::stoull(words[2]);
+      _netlist = std::make_unique<Netlist>(make_circuit(_library, spec));
+      _timer.reset();
+      out << "generated " << _netlist->num_gates() << " gates, " << _netlist->num_nets()
+          << " nets\n";
+    } else if (cmd == "set_threads") {
+      if (words.size() < 2) throw std::runtime_error("usage: set_threads <n>");
+      _options.num_threads = std::stoul(words[1]);
+    } else if (cmd == "set_corners") {
+      if (words.size() < 2) throw std::runtime_error("usage: set_corners <n>");
+      _options.corners = std::stoi(words[1]);
+    } else if (cmd == "init_timer") {
+      require_design();
+      _engine = words.size() > 1 ? words[1] : "v2";
+      if (_engine == "v1") _timer = std::make_unique<TimerV1>(*_netlist, _options);
+      else if (_engine == "seq") _timer = std::make_unique<SeqTimer>(*_netlist, _options);
+      else if (_engine == "v2") _timer = std::make_unique<TimerV2>(*_netlist, _options);
+      else throw std::runtime_error("unknown engine " + _engine + " (v1|v2|seq)");
+      _timer->full_update();
+      out << "engine " << _engine << ": " << _timer->last_update_tasks()
+          << " tasks, worst slack " << _timer->worst_slack() << " ns\n";
+    } else if (cmd == "report_worst_slack") {
+      require_timer();
+      out << "worst slack " << _timer->worst_slack() << " ns\n";
+    } else if (cmd == "report_slack") {
+      require_timer();
+      const auto s = slack_stats(_timer->graph(), _timer->state());
+      out << "WNS " << s.wns << " ns, TNS " << s.tns << " ns, " << s.violations
+          << " of " << s.endpoints << " endpoints violating\n";
+    } else if (cmd == "report_timing") {
+      require_timer();
+      const std::size_t k = words.size() > 1 ? std::stoull(words[1]) : 1;
+      for (const auto& path :
+           report_paths(*_netlist, _timer->graph(), _timer->state(), k)) {
+        print_path(out, *_netlist, path);
+      }
+    } else if (cmd == "resize_gate") {
+      require_timer();
+      if (words.size() < 3) throw std::runtime_error("usage: resize_gate <gate> <cell>");
+      const int gate = _netlist->find_gate(words[1]);
+      if (gate < 0) throw std::runtime_error("unknown gate " + words[1]);
+      _timer->resize(gate, _library.at(words[2]));
+      out << "resized " << words[1] << " -> " << words[2] << ", "
+          << _timer->last_update_tasks() << " tasks re-timed, worst slack "
+          << _timer->worst_slack() << " ns\n";
+    } else if (cmd == "write_verilog") {
+      require_design();
+      if (words.size() < 2) throw std::runtime_error("usage: write_verilog <file>");
+      std::ofstream f(words[1]);
+      write_verilog(f, *_netlist);
+      out << "wrote " << words[1] << "\n";
+    } else if (cmd == "write_liberty") {
+      if (words.size() < 2) throw std::runtime_error("usage: write_liberty <file>");
+      std::ofstream f(words[1]);
+      write_liberty(f, _library);
+      out << "wrote " << words[1] << "\n";
+    } else if (cmd == "write_sdc") {
+      if (words.size() < 2) throw std::runtime_error("usage: write_sdc <file>");
+      std::ofstream f(words[1]);
+      write_sdc(f, _options);
+      out << "wrote " << words[1] << "\n";
+    } else if (cmd == "dump_taskgraph") {
+      require_timer();
+      if (words.size() < 2) throw std::runtime_error("usage: dump_taskgraph <file>");
+      auto* v2 = dynamic_cast<TimerV2*>(_timer.get());
+      if (v2 == nullptr) throw std::runtime_error("dump_taskgraph needs the v2 engine");
+      std::ofstream f(words[1]);
+      f << v2->dump_last_task_graph();
+      out << "wrote " << words[1] << "\n";
+    } else if (cmd == "stats") {
+      require_design();
+      out << "gates " << _netlist->num_gates() << ", nets " << _netlist->num_nets()
+          << ", pins " << _netlist->num_pins() << ", cells " << _library.size()
+          << ", threads " << _options.num_threads << ", corners " << _options.corners
+          << "\n";
+    } else {
+      throw std::runtime_error("unknown command '" + cmd + "' (try help)");
+    }
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
+int Shell::run(std::istream& in, std::ostream& out, std::ostream& err) {
+  int failures = 0;
+  std::string line;
+  while (!_quit && std::getline(in, line)) {
+    if (!execute(line, out)) {
+      err << "command failed: " << line << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace ot

@@ -1,0 +1,61 @@
+// shell.hpp - ot::Shell, the command-driven front end of the mini-OpenTimer
+// (real OpenTimer ships the same kind of shell).  Commands, one per line:
+//
+//   read_celllib <file.lib>        load a Liberty library (else synthetic)
+//   read_verilog <file.v>          load a structural Verilog netlist
+//   read_netlist <file.ckt>        load the native netlist format
+//   read_sdc <file.sdc>            apply constraints
+//   generate <gates> <seed>        synthesize a random circuit
+//   set_threads <n>                worker threads for the next init
+//   set_corners <n>                analysis corners
+//   init_timer [v1|v2|seq]         build the engine and run full timing
+//   report_worst_slack
+//   report_slack                   WNS / TNS / violating endpoints
+//   report_timing [k]              k worst paths (default 1)
+//   resize_gate <gate> <cell>      incremental design transform
+//   write_verilog <file> | write_liberty <file> | write_sdc <file>
+//   dump_taskgraph <file>          DOT of the last v2 update (Fig. 8)
+//   stats                          design statistics
+//   help | quit
+//
+// Unknown commands report an error and continue; run() returns the number
+// of failed commands (0 = clean session).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "timer/liberty.hpp"
+#include "timer/netlist.hpp"
+#include "timer/timers.hpp"
+
+namespace ot {
+
+class Shell {
+ public:
+  Shell();
+
+  /// Process commands from `in`, writing results to `out` and diagnostics
+  /// to `err`; returns the number of failed commands.
+  int run(std::istream& in, std::ostream& out, std::ostream& err);
+
+  /// Execute a single command line; returns false when it failed.
+  bool execute(const std::string& line, std::ostream& out);
+
+  [[nodiscard]] bool has_design() const noexcept { return _netlist != nullptr; }
+  [[nodiscard]] bool wants_quit() const noexcept { return _quit; }
+
+ private:
+  void require_design() const;
+  void require_timer() const;
+
+  CellLibrary _library;
+  std::unique_ptr<Netlist> _netlist;
+  std::unique_ptr<TimerBase> _timer;
+  TimerOptions _options;
+  std::string _engine{"v2"};
+  bool _quit{false};
+};
+
+}  // namespace ot

@@ -1,0 +1,132 @@
+// timer_v2.cpp - the "OpenTimer v2" engine: every update builds a
+// tf::Taskflow task dependency graph over the affected cone - one task per
+// pin, one dependency per timing arc inside the cone - and dispatches it.
+// No levelization, no per-level barriers: computation flows asynchronously
+// with the timing graph (paper §IV-B).
+#include <sstream>
+
+#include "taskflow/taskflow.hpp"
+#include "timer/timers.hpp"
+
+namespace ot {
+
+struct TimerV2::Impl {
+  std::shared_ptr<tf::WorkStealingExecutor> executor;
+  std::string last_dot;
+
+  // Persistent scratch reused across updates (sized to the pin count once).
+  std::vector<tf::Task> fwd_task;
+  std::vector<tf::Task> bwd_task;
+  std::vector<char> in_fwd;
+  std::vector<char> in_bwd;
+
+  /// Keep a DOT snapshot only for small task graphs (Fig. 8-scale dumps);
+  /// million-task graphs would spend more time printing than timing.
+  static constexpr std::size_t kDumpLimit = 4096;
+};
+
+TimerV2::TimerV2(Netlist& netlist, const TimerOptions& options)
+    : TimerV2(netlist, options,
+              tf::make_executor(options.num_threads == 0 ? 1 : options.num_threads)) {}
+
+TimerV2::TimerV2(Netlist& netlist, const TimerOptions& options,
+                 std::shared_ptr<tf::WorkStealingExecutor> executor)
+    : TimerBase(netlist, options), _impl(std::make_unique<Impl>()) {
+  _impl->executor = std::move(executor);
+  const std::size_t n = netlist.num_pins();
+  _impl->fwd_task.resize(n);
+  _impl->bwd_task.resize(n);
+  _impl->in_fwd.assign(n, 0);
+  _impl->in_bwd.assign(n, 0);
+}
+
+TimerV2::~TimerV2() = default;
+
+void TimerV2::run_update(const std::vector<int>& fwd, const std::vector<int>& bwd) {
+  Impl& im = *_impl;
+  tf::Taskflow taskflow(im.executor);
+  Netlist& nl = *_netlist;
+  const bool want_dot = fwd.size() + bwd.size() <= Impl::kDumpLimit;
+
+  // Forward tasks: one per cone pin, wired along timing arcs inside the cone.
+  for (int p : fwd) {
+    im.in_fwd[static_cast<std::size_t>(p)] = 1;
+    auto task = taskflow.emplace(
+        [this, p] { propagate_pin_forward(*_netlist, _graph, _state, p); });
+    if (want_dot) task.name("fwd:" + nl.pin_name(p));
+    im.fwd_task[static_cast<std::size_t>(p)] = task;
+  }
+  for (int p : fwd) {
+    for (int aid : _graph.fanin(p)) {
+      const int from = _graph.arc(aid).from_pin;
+      if (im.in_fwd[static_cast<std::size_t>(from)]) {
+        im.fwd_task[static_cast<std::size_t>(from)].precede(
+            im.fwd_task[static_cast<std::size_t>(p)]);
+      }
+    }
+  }
+
+  if (!bwd.empty()) {
+    // The backward pass reads arrival/slew values, so it starts after the
+    // entire forward wave: a single synchronization task separates them.
+    tf::Task barrier = taskflow.placeholder();
+    if (want_dot) barrier.name("forward/backward");
+    for (int p : fwd) {
+      if (_graph.is_endpoint(p) || fanout_outside(fwd, p)) {
+        im.fwd_task[static_cast<std::size_t>(p)].precede(barrier);
+      }
+    }
+    // Fallback when the forward cone is empty (pure backward refresh).
+    if (fwd.empty()) barrier.work([] {});
+
+    for (int p : bwd) {
+      im.in_bwd[static_cast<std::size_t>(p)] = 1;
+      auto task = taskflow.emplace(
+          [this, p] { propagate_pin_backward(*_netlist, _graph, _state, p); });
+      if (want_dot) task.name("bwd:" + nl.pin_name(p));
+      im.bwd_task[static_cast<std::size_t>(p)] = task;
+      barrier.precede(task);
+    }
+    for (int p : bwd) {
+      for (int aid : _graph.fanout(p)) {
+        const int to = _graph.arc(aid).to_pin;
+        if (im.in_bwd[static_cast<std::size_t>(to)]) {
+          im.bwd_task[static_cast<std::size_t>(to)].precede(
+              im.bwd_task[static_cast<std::size_t>(p)]);
+        }
+      }
+    }
+  }
+
+  if (want_dot) im.last_dot = taskflow.dump();
+  taskflow.wait_for_all();
+
+  for (int p : fwd) im.in_fwd[static_cast<std::size_t>(p)] = 0;
+  for (int p : bwd) im.in_bwd[static_cast<std::size_t>(p)] = 0;
+}
+
+bool TimerV2::fanout_outside(const std::vector<int>&, int pin) const {
+  // A forward task must reach the barrier unless some in-cone successor
+  // already transitively does; feeding only the cone's frontier (pins with
+  // any out-of-cone or zero fanout) keeps the barrier fan-in small.
+  for (int aid : _graph.fanout(pin)) {
+    if (!_impl->in_fwd[static_cast<std::size_t>(_graph.arc(aid).to_pin)]) return true;
+  }
+  return _graph.fanout(pin).empty();
+}
+
+void TimerV2::run_forward(const std::vector<int>& pins) {
+  run_update(pins, {});
+}
+
+void TimerV2::run_backward(const std::vector<int>& pins) {
+  run_update({}, pins);
+}
+
+std::string TimerV2::dump_last_task_graph() const { return _impl->last_dot; }
+
+void TimerV2::set_observer(std::shared_ptr<tf::ExecutorObserverInterface> observer) {
+  _impl->executor->set_observer(std::move(observer));
+}
+
+}  // namespace ot

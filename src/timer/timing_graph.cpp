@@ -1,0 +1,126 @@
+#include "timer/timing_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ot {
+
+TimingGraph::TimingGraph(const Netlist& nl) {
+  const std::size_t n = nl.num_pins();
+  _fanin.resize(n);
+  _fanout.resize(n);
+
+  auto add_arc = [&](TimingArcRef a) {
+    const int id = static_cast<int>(_arcs.size());
+    _fanout[static_cast<std::size_t>(a.from_pin)].push_back(id);
+    _fanin[static_cast<std::size_t>(a.to_pin)].push_back(id);
+    _arcs.push_back(a);
+  };
+
+  // Cell arcs.
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(static_cast<int>(g));
+    const int out = gate.cell->output_pin();
+    for (std::size_t k = 0; k < gate.cell->arcs.size(); ++k) {
+      const CellArc& ca = gate.cell->arcs[k];
+      TimingArcRef a;
+      a.kind = TimingArcRef::Kind::Cell;
+      a.from_pin = gate.pins[static_cast<std::size_t>(ca.from_pin)];
+      a.to_pin = gate.pins[static_cast<std::size_t>(out)];
+      a.gate = static_cast<int>(g);
+      a.cell_arc = static_cast<int>(k);
+      add_arc(a);
+    }
+  }
+
+  // Net arcs.
+  for (std::size_t nid = 0; nid < nl.num_nets(); ++nid) {
+    const Net& net = nl.net(static_cast<int>(nid));
+    for (int sink : net.sinks) {
+      TimingArcRef a;
+      a.kind = TimingArcRef::Kind::Net;
+      a.from_pin = net.driver;
+      a.to_pin = sink;
+      a.net = static_cast<int>(nid);
+      add_arc(a);
+    }
+  }
+
+  // Kahn topological sort + ASAP levelization.
+  _level.assign(n, 0);
+  _topo.reserve(n);
+  std::vector<int> pending(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    pending[p] = static_cast<int>(_fanin[p].size());
+  }
+  std::vector<int> queue;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (pending[p] == 0) queue.push_back(static_cast<int>(p));
+  }
+  while (!queue.empty()) {
+    const int u = queue.back();
+    queue.pop_back();
+    _topo.push_back(u);
+    for (int aid : _fanout[static_cast<std::size_t>(u)]) {
+      const int v = _arcs[static_cast<std::size_t>(aid)].to_pin;
+      _level[static_cast<std::size_t>(v)] =
+          std::max(_level[static_cast<std::size_t>(v)],
+                   _level[static_cast<std::size_t>(u)] + 1);
+      if (--pending[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+    }
+  }
+  if (_topo.size() != n) {
+    throw std::runtime_error("timing graph contains a combinational cycle");
+  }
+  _topo_index.assign(n, 0);
+  for (std::size_t i = 0; i < _topo.size(); ++i) {
+    _topo_index[static_cast<std::size_t>(_topo[i])] = static_cast<int>(i);
+  }
+  for (int lv : _level) _max_level = std::max(_max_level, lv);
+}
+
+std::vector<int> TimingGraph::forward_cone(std::span<const int> seeds) const {
+  std::vector<char> in_cone(num_pins(), 0);
+  std::vector<int> stack(seeds.begin(), seeds.end());
+  for (int s : stack) in_cone[static_cast<std::size_t>(s)] = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int aid : fanout(u)) {
+      const int v = _arcs[static_cast<std::size_t>(aid)].to_pin;
+      if (!in_cone[static_cast<std::size_t>(v)]) {
+        in_cone[static_cast<std::size_t>(v)] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  std::vector<int> cone;
+  for (int p : _topo) {
+    if (in_cone[static_cast<std::size_t>(p)]) cone.push_back(p);
+  }
+  return cone;
+}
+
+std::vector<int> TimingGraph::backward_cone(std::span<const int> region) const {
+  std::vector<char> in_cone(num_pins(), 0);
+  std::vector<int> stack(region.begin(), region.end());
+  for (int s : stack) in_cone[static_cast<std::size_t>(s)] = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int aid : fanin(u)) {
+      const int v = _arcs[static_cast<std::size_t>(aid)].from_pin;
+      if (!in_cone[static_cast<std::size_t>(v)]) {
+        in_cone[static_cast<std::size_t>(v)] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  std::vector<int> cone;
+  for (auto it = _topo.rbegin(); it != _topo.rend(); ++it) {
+    if (in_cone[static_cast<std::size_t>(*it)]) cone.push_back(*it);
+  }
+  return cone;
+}
+
+}  // namespace ot

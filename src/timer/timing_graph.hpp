@@ -1,0 +1,79 @@
+// timing_graph.hpp - the pin-level timing graph of a netlist.
+//
+// Nodes are pins; arcs are either *cell arcs* (input pin -> output pin of a
+// gate, carrying the library delay model) or *net arcs* (driver pin -> sink
+// pin, carrying the wire delay).  Sequential cells contribute only their
+// CLK->Q arc, so the graph is a DAG; DFF D pins and primary outputs are the
+// constrained endpoints.
+//
+// The graph also provides levelization (the substrate of the OpenTimer-v1
+// execution style) and forward/backward cone extraction (the substrate of
+// incremental timing).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "timer/netlist.hpp"
+
+namespace ot {
+
+struct TimingArcRef {
+  enum class Kind { Cell, Net };
+  Kind kind{Kind::Cell};
+  int from_pin{-1};
+  int to_pin{-1};
+  int gate{-1};      // Kind::Cell: the owning gate
+  int cell_arc{-1};  // Kind::Cell: index into gate's cell->arcs
+  int net{-1};       // Kind::Net: the owning net
+};
+
+class TimingGraph {
+ public:
+  explicit TimingGraph(const Netlist& nl);
+
+  [[nodiscard]] std::size_t num_pins() const noexcept { return _fanin.size(); }
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return _arcs.size(); }
+
+  [[nodiscard]] const TimingArcRef& arc(int id) const {
+    return _arcs[static_cast<std::size_t>(id)];
+  }
+  /// Arc ids entering / leaving `pin`.
+  [[nodiscard]] const std::vector<int>& fanin(int pin) const {
+    return _fanin[static_cast<std::size_t>(pin)];
+  }
+  [[nodiscard]] const std::vector<int>& fanout(int pin) const {
+    return _fanout[static_cast<std::size_t>(pin)];
+  }
+
+  [[nodiscard]] bool is_source(int pin) const { return fanin(pin).empty(); }
+  [[nodiscard]] bool is_endpoint(int pin) const { return fanout(pin).empty(); }
+
+  /// Topological order over all pins (sources first) and per-pin levels.
+  [[nodiscard]] const std::vector<int>& topo_order() const noexcept { return _topo; }
+  [[nodiscard]] int level(int pin) const { return _level[static_cast<std::size_t>(pin)]; }
+  [[nodiscard]] int max_level() const noexcept { return _max_level; }
+  /// Position of `pin` in topo_order (usable as a topological key).
+  [[nodiscard]] int topo_index(int pin) const {
+    return _topo_index[static_cast<std::size_t>(pin)];
+  }
+
+  /// Pins reachable forward from `seeds` (inclusive), sorted topologically.
+  [[nodiscard]] std::vector<int> forward_cone(std::span<const int> seeds) const;
+
+  /// Pins reaching any pin of `region` backward (inclusive), sorted in
+  /// *reverse* topological order (endpoint side first).
+  [[nodiscard]] std::vector<int> backward_cone(std::span<const int> region) const;
+
+ private:
+  std::vector<TimingArcRef> _arcs;
+  std::vector<std::vector<int>> _fanin;
+  std::vector<std::vector<int>> _fanout;
+  std::vector<int> _topo;
+  std::vector<int> _topo_index;
+  std::vector<int> _level;
+  int _max_level{0};
+};
+
+}  // namespace ot

@@ -1,0 +1,236 @@
+#include "timer/verilog.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ot {
+
+namespace {
+
+class VLexer {
+ public:
+  explicit VLexer(std::istream& is) {
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    _src = ss.str();
+  }
+
+  /// Next token: identifier (incl. escaped \name), punct char, or "" at EOF.
+  std::string next() {
+    skip();
+    if (_pos >= _src.size()) return "";
+    const char c = _src[_pos];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '\\') {
+      std::string t;
+      if (c == '\\') ++_pos;  // escaped identifier: up to whitespace
+      while (_pos < _src.size() &&
+             (std::isalnum(static_cast<unsigned char>(_src[_pos])) ||
+              _src[_pos] == '_' || _src[_pos] == '$' ||
+              (c == '\\' && !std::isspace(static_cast<unsigned char>(_src[_pos]))))) {
+        t.push_back(_src[_pos++]);
+      }
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string t;
+      while (_pos < _src.size() &&
+             (std::isalnum(static_cast<unsigned char>(_src[_pos])) ||
+              _src[_pos] == '\'' || _src[_pos] == '_')) {
+        t.push_back(_src[_pos++]);
+      }
+      return t;
+    }
+    ++_pos;
+    return std::string(1, c);
+  }
+
+  [[nodiscard]] int line() const noexcept { return _line; }
+
+ private:
+  void skip() {
+    for (;;) {
+      while (_pos < _src.size() &&
+             std::isspace(static_cast<unsigned char>(_src[_pos]))) {
+        if (_src[_pos] == '\n') ++_line;
+        ++_pos;
+      }
+      if (_pos + 1 < _src.size() && _src[_pos] == '/' && _src[_pos + 1] == '/') {
+        while (_pos < _src.size() && _src[_pos] != '\n') ++_pos;
+        continue;
+      }
+      if (_pos + 1 < _src.size() && _src[_pos] == '/' && _src[_pos + 1] == '*') {
+        _pos += 2;
+        while (_pos + 1 < _src.size() &&
+               !(_src[_pos] == '*' && _src[_pos + 1] == '/')) {
+          if (_src[_pos] == '\n') ++_line;
+          ++_pos;
+        }
+        _pos = std::min(_src.size(), _pos + 2);
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string _src;
+  std::size_t _pos{0};
+  int _line{1};
+};
+
+[[noreturn]] void fail(const VLexer& lex, const std::string& why) {
+  throw std::runtime_error("verilog parse error at line " +
+                           std::to_string(lex.line()) + ": " + why);
+}
+
+}  // namespace
+
+Netlist parse_verilog(std::istream& is, const CellLibrary& lib,
+                      double default_wire_cap) {
+  VLexer lex(is);
+  Netlist nl(lib);
+
+  auto expect = [&](const std::string& want) {
+    const std::string got = lex.next();
+    if (got != want) fail(lex, "expected '" + want + "', got '" + got + "'");
+  };
+
+  expect("module");
+  (void)lex.next();  // module name
+  // Port header: ( a, b, ... );  - names repeated in input/output decls.
+  expect("(");
+  while (true) {
+    const std::string t = lex.next();
+    if (t == ")") break;
+    if (t.empty()) fail(lex, "unterminated port list");
+  }
+  expect(";");
+
+  std::vector<std::string> inputs, outputs;
+  auto net_of = [&](const std::string& name) {
+    const int existing = nl.find_net(name);
+    if (existing >= 0) return existing;
+    return nl.add_net(name, default_wire_cap);
+  };
+
+  for (;;) {
+    std::string t = lex.next();
+    if (t.empty()) fail(lex, "missing endmodule");
+    if (t == "endmodule") break;
+
+    if (t == "input" || t == "output" || t == "wire") {
+      const bool is_in = (t == "input");
+      const bool is_out = (t == "output");
+      for (;;) {
+        const std::string name = lex.next();
+        if (name.empty()) fail(lex, "bad declaration list");
+        (void)net_of(name);
+        if (is_in) inputs.push_back(name);
+        if (is_out) outputs.push_back(name);
+        const std::string sep = lex.next();
+        if (sep == ";") break;
+        if (sep != ",") fail(lex, "expected ',' or ';' in declaration");
+      }
+      continue;
+    }
+
+    // Gate instantiation: <cell> <inst> ( .PIN(net), ... );
+    const Cell* cell = lib.find(t);
+    if (cell == nullptr) fail(lex, "unknown cell '" + t + "'");
+    const std::string inst = lex.next();
+    if (inst.empty()) fail(lex, "missing instance name");
+    const int gate = nl.add_gate(inst, *cell);
+    expect("(");
+    for (;;) {
+      std::string tok = lex.next();
+      if (tok == ")") break;
+      if (tok == ",") continue;
+      if (tok != ".") fail(lex, "expected '.PIN(net)' connection");
+      const std::string pin_name = lex.next();
+      expect("(");
+      const std::string net_name = lex.next();
+      expect(")");
+      int cp = -1;
+      for (std::size_t k = 0; k < cell->pins.size(); ++k) {
+        if (cell->pins[k].name == pin_name) cp = static_cast<int>(k);
+      }
+      if (cp < 0) fail(lex, "cell " + cell->name + " has no pin " + pin_name);
+      const int net = nl.find_net(net_name);
+      if (net < 0) fail(lex, "undeclared net '" + net_name + "'");
+      nl.connect(gate, cp, net);
+    }
+    expect(";");
+  }
+
+  // Ports become the IO pseudo gates.
+  for (const auto& name : inputs) nl.add_primary_input(name + "__pi", nl.find_net(name));
+  for (const auto& name : outputs) nl.add_primary_output(name + "__po", nl.find_net(name));
+
+  nl.validate();
+  return nl;
+}
+
+Netlist parse_verilog_file(const std::string& path, const CellLibrary& lib,
+                           double default_wire_cap) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open verilog file: " + path);
+  return parse_verilog(in, lib, default_wire_cap);
+}
+
+void write_verilog(std::ostream& os, const Netlist& nl,
+                   const std::string& module_name) {
+  std::vector<std::pair<std::string, std::string>> inputs;   // (port, net)
+  std::vector<std::pair<std::string, std::string>> outputs;
+  for (const Gate& g : nl.gates()) {
+    if (g.cell->kind == CellKind::Input) {
+      inputs.emplace_back(g.name, nl.net(nl.pin(g.pins[0]).net).name);
+    } else if (g.cell->kind == CellKind::Output) {
+      outputs.emplace_back(g.name, nl.net(nl.pin(g.pins[0]).net).name);
+    }
+  }
+
+  os << "// generated by mini-OpenTimer (structural subset)\n";
+  os << "module " << module_name << " (";
+  bool first = true;
+  for (const auto& [port, net] : inputs) {
+    os << (first ? "" : ", ") << net;
+    first = false;
+    (void)port;
+  }
+  for (const auto& [port, net] : outputs) {
+    os << (first ? "" : ", ") << net;
+    first = false;
+    (void)port;
+  }
+  os << ");\n";
+
+  std::unordered_set<std::string> io_nets;
+  for (const auto& [port, net] : inputs) {
+    os << "  input " << net << ";\n";
+    io_nets.insert(net);
+  }
+  for (const auto& [port, net] : outputs) {
+    os << "  output " << net << ";\n";
+    io_nets.insert(net);
+  }
+  for (const Net& n : nl.nets()) {
+    if (io_nets.count(n.name) == 0) os << "  wire " << n.name << ";\n";
+  }
+
+  for (const Gate& g : nl.gates()) {
+    if (g.cell->kind == CellKind::Input || g.cell->kind == CellKind::Output) continue;
+    os << "  " << g.cell->name << " " << g.name << " (";
+    for (std::size_t cp = 0; cp < g.cell->pins.size(); ++cp) {
+      os << (cp == 0 ? " " : ", ") << "." << g.cell->pins[cp].name << "("
+         << nl.net(nl.pin(g.pins[cp]).net).name << ")";
+    }
+    os << " );\n";
+  }
+  os << "endmodule\n";
+}
+
+}  // namespace ot

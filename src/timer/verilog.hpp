@@ -1,0 +1,40 @@
+// verilog.hpp - structural (gate-level) Verilog subset reader/writer.
+//
+// The paper's benchmark circuits (tv80, vga_lcd, netcard, leon3mp) are
+// gate-level Verilog netlists; this module implements the subset those
+// files use:
+//
+//   module <name> ( <port>, ... );
+//     input  a, b, clock;
+//     output y;
+//     wire w1, w2;
+//     NAND2_X1 u1 ( .A(a), .B(b), .Y(w1) );
+//     DFF_X1   f1 ( .CLK(clock), .D(w1), .Q(w2) );
+//   endmodule
+//
+// Named port connections only (as netlist synthesis emits).  The writer
+// round-trips through the parser (tested), so generated circuits can be
+// exported, inspected, and reloaded.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "timer/netlist.hpp"
+
+namespace ot {
+
+/// Parse a structural Verilog module into a Netlist over `lib`.  Wire
+/// capacitances are not part of Verilog; sinks' pin caps still load nets,
+/// and `default_wire_cap` seeds each net's wire capacitance.
+[[nodiscard]] Netlist parse_verilog(std::istream& is, const CellLibrary& lib,
+                                    double default_wire_cap = 1.0);
+[[nodiscard]] Netlist parse_verilog_file(const std::string& path,
+                                         const CellLibrary& lib,
+                                         double default_wire_cap = 1.0);
+
+/// Emit `nl` as a structural Verilog module named `module_name`.
+void write_verilog(std::ostream& os, const Netlist& nl,
+                   const std::string& module_name = "top");
+
+}  // namespace ot

@@ -1,0 +1,181 @@
+// fg:: FlowGraph baseline: semantics of the TBB subset used by the paper's
+// listings (continue_node / make_edge / try_put / wait_for_all).
+#include "baselines/flowgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace {
+
+using Node = fg::continue_node<fg::continue_msg>;
+
+class Stamps {
+ public:
+  void mark(const std::string& name) {
+    const int stamp = _clock.fetch_add(1);
+    std::scoped_lock lock(_mutex);
+    _stamps[name] = stamp;
+  }
+  [[nodiscard]] bool before(const std::string& a, const std::string& b) const {
+    return _stamps.at(a) < _stamps.at(b);
+  }
+  [[nodiscard]] std::size_t count() const { return _stamps.size(); }
+
+ private:
+  std::atomic<int> _clock{0};
+  mutable std::mutex _mutex;
+  std::map<std::string, int> _stamps;
+};
+
+TEST(FlowGraph, SingleNodeFiresOnTryPut) {
+  fg::task_scheduler_init init(2);
+  fg::graph g;
+  std::atomic<bool> ran{false};
+  Node a(g, [&](const fg::continue_msg&) { ran = true; });
+  a.try_put(fg::continue_msg());
+  g.wait_for_all();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(FlowGraph, NodeWithoutMessageNeverFires) {
+  fg::task_scheduler_init init(2);
+  fg::graph g;
+  std::atomic<bool> ran{false};
+  Node a(g, [&](const fg::continue_msg&) { ran = true; });
+  g.wait_for_all();  // no message sent
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(FlowGraph, PaperListing5StaticGraph) {
+  // The Fig. 2 graph written exactly as paper Listing 5.
+  fg::task_scheduler_init init(fg::task_scheduler_init::default_num_threads());
+  for (int rep = 0; rep < 10; ++rep) {
+    Stamps st;
+    fg::graph g;
+    Node a0(g, [&](const fg::continue_msg&) { st.mark("a0"); });
+    Node a1(g, [&](const fg::continue_msg&) { st.mark("a1"); });
+    Node a2(g, [&](const fg::continue_msg&) { st.mark("a2"); });
+    Node a3(g, [&](const fg::continue_msg&) { st.mark("a3"); });
+    Node b0(g, [&](const fg::continue_msg&) { st.mark("b0"); });
+    Node b1(g, [&](const fg::continue_msg&) { st.mark("b1"); });
+    Node b2(g, [&](const fg::continue_msg&) { st.mark("b2"); });
+    fg::make_edge(a0, a1);
+    fg::make_edge(a1, a2);
+    fg::make_edge(a1, b2);
+    fg::make_edge(a2, a3);
+    fg::make_edge(b0, b1);
+    fg::make_edge(b1, b2);
+    fg::make_edge(b1, a2);
+    fg::make_edge(b2, a3);
+    a0.try_put(fg::continue_msg());
+    b0.try_put(fg::continue_msg());
+    g.wait_for_all();
+
+    EXPECT_EQ(st.count(), 7u);
+    EXPECT_TRUE(st.before("a0", "a1"));
+    EXPECT_TRUE(st.before("a1", "a2"));
+    EXPECT_TRUE(st.before("b1", "a2"));
+    EXPECT_TRUE(st.before("a2", "a3"));
+    EXPECT_TRUE(st.before("b2", "a3"));
+    EXPECT_TRUE(st.before("b0", "b1"));
+  }
+}
+
+TEST(FlowGraph, JoinNodeWaitsForAllPredecessors) {
+  fg::task_scheduler_init init(4);
+  fg::graph g;
+  std::atomic<int> pre{0};
+  std::atomic<int> seen_at_join{-1};
+  Node a(g, [&](const fg::continue_msg&) { pre++; });
+  Node b(g, [&](const fg::continue_msg&) { pre++; });
+  Node c(g, [&](const fg::continue_msg&) { pre++; });
+  Node join(g, [&](const fg::continue_msg&) { seen_at_join = pre.load(); });
+  fg::make_edge(a, join);
+  fg::make_edge(b, join);
+  fg::make_edge(c, join);
+  a.try_put(fg::continue_msg());
+  b.try_put(fg::continue_msg());
+  c.try_put(fg::continue_msg());
+  g.wait_for_all();
+  EXPECT_EQ(seen_at_join.load(), 3);
+}
+
+TEST(FlowGraph, GraphIsReRunnable) {
+  // continue_node counters rearm, as in TBB.
+  fg::task_scheduler_init init(2);
+  fg::graph g;
+  std::atomic<int> fires{0};
+  Node a(g, [&](const fg::continue_msg&) { fires++; });
+  Node b(g, [&](const fg::continue_msg&) { fires++; });
+  fg::make_edge(a, b);
+  for (int i = 0; i < 5; ++i) {
+    a.try_put(fg::continue_msg());
+    g.wait_for_all();
+  }
+  EXPECT_EQ(fires.load(), 10);
+}
+
+TEST(FlowGraph, PaperListing8DynamicInnerGraph) {
+  // Dynamic tasking TBB-style (paper Listing 8): an inner graph constructed
+  // and awaited inside a node body.
+  fg::task_scheduler_init init(4);
+  Stamps st;
+  fg::graph G;
+  Node A(G, [&](const fg::continue_msg&) { st.mark("A"); });
+  Node C(G, [&](const fg::continue_msg&) { st.mark("C"); });
+  Node D(G, [&](const fg::continue_msg&) { st.mark("D"); });
+  Node B(G, [&](const fg::continue_msg&) {
+    st.mark("B");
+    fg::graph subgraph;
+    Node B1(subgraph, [&](const fg::continue_msg&) { st.mark("B1"); });
+    Node B2(subgraph, [&](const fg::continue_msg&) { st.mark("B2"); });
+    Node B3(subgraph, [&](const fg::continue_msg&) { st.mark("B3"); });
+    fg::make_edge(B1, B3);
+    fg::make_edge(B2, B3);
+    B1.try_put(fg::continue_msg());
+    B2.try_put(fg::continue_msg());
+    subgraph.wait_for_all();
+  });
+  fg::make_edge(A, B);
+  fg::make_edge(A, C);
+  fg::make_edge(B, D);
+  fg::make_edge(C, D);
+  A.try_put(fg::continue_msg());
+  G.wait_for_all();
+
+  EXPECT_EQ(st.count(), 7u);
+  EXPECT_TRUE(st.before("A", "B"));
+  EXPECT_TRUE(st.before("B", "B1"));
+  EXPECT_TRUE(st.before("B1", "B3"));
+  EXPECT_TRUE(st.before("B2", "B3"));
+  EXPECT_TRUE(st.before("B3", "D"));
+  EXPECT_TRUE(st.before("C", "D"));
+}
+
+TEST(FlowGraph, LargeDiamondCascade) {
+  fg::task_scheduler_init init(4);
+  fg::graph g;
+  std::atomic<int> fired{0};
+  constexpr int n = 500;
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<Node>(g, [&](const fg::continue_msg&) { fired++; }));
+  }
+  // Chain pairs: node i precedes i+1 and i+2 (bounded-degree DAG).
+  for (int i = 0; i + 1 < n; ++i) fg::make_edge(*nodes[i], *nodes[i + 1]);
+  for (int i = 0; i + 2 < n; ++i) fg::make_edge(*nodes[i], *nodes[i + 2]);
+  nodes[0]->try_put(fg::continue_msg());
+  g.wait_for_all();
+  EXPECT_EQ(fired.load(), n);
+}
+
+TEST(FlowGraph, DefaultNumThreadsPositive) {
+  EXPECT_GE(fg::task_scheduler_init::default_num_threads(), 1);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "costtool/cocomo.hpp"
+#include "costtool/analyze.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace {
+
+TEST(Cocomo, ZeroSlocIsFree) {
+  const auto e = ct::cocomo_organic(0);
+  EXPECT_EQ(e.effort_person_months, 0.0);
+  EXPECT_EQ(e.cost_usd, 0.0);
+}
+
+TEST(Cocomo, PaperTable2Row1) {
+  // OpenTimer v1: 9,123 LOC -> Effort 2.04 person-years, ~2.90 developers,
+  // ~$275,287 at $56,286/year (paper Table II).
+  const auto e = ct::cocomo_organic(9123);
+  EXPECT_NEAR(e.effort_person_years, 2.04, 0.03);
+  EXPECT_NEAR(e.developers, 2.90, 0.06);
+  EXPECT_NEAR(e.cost_usd, 275287.0, 3000.0);
+}
+
+TEST(Cocomo, PaperTable2Row2) {
+  // OpenTimer v2: 4,482 LOC -> Effort 0.97 person-years, ~1.83 developers,
+  // ~$130,523.
+  const auto e = ct::cocomo_organic(4482);
+  EXPECT_NEAR(e.effort_person_years, 0.97, 0.02);
+  EXPECT_NEAR(e.developers, 1.83, 0.05);
+  EXPECT_NEAR(e.cost_usd, 130523.0, 2000.0);
+}
+
+TEST(Cocomo, EffortIsSuperlinear) {
+  const auto small = ct::cocomo_organic(1000);
+  const auto big = ct::cocomo_organic(10000);
+  EXPECT_GT(big.effort_person_months, 10.0 * small.effort_person_months * 0.99);
+}
+
+TEST(Cocomo, CustomSalaryScalesCost) {
+  ct::CocomoParams p;
+  p.salary_usd = 112572.0;  // double
+  const auto base = ct::cocomo_organic(5000);
+  const auto doubled = ct::cocomo_organic(5000, p);
+  EXPECT_NEAR(doubled.cost_usd, 2.0 * base.cost_usd, 1.0);
+}
+
+TEST(Analyze, SourceReportCombinesLocAndCc) {
+  const auto r = ct::analyze_source("int f(int a) { return a ? 1 : 0; }\n");
+  EXPECT_EQ(r.loc.code_lines, 1);
+  EXPECT_EQ(r.cc.max_cyclomatic, 2);
+}
+
+TEST(Analyze, FilesAggregation) {
+  const std::string dir = ::testing::TempDir();
+  const std::string f1 = dir + "/agg1.cpp";
+  const std::string f2 = dir + "/agg2.cpp";
+  {
+    std::ofstream(f1) << "int f() { return 1; }\n";
+    std::ofstream(f2) << "int g(int a) { if (a) return 1; return 0; }\nint h() { return 2; }\n";
+  }
+  const auto pr = ct::analyze_files({f1, f2});
+  EXPECT_EQ(pr.files, 2);
+  EXPECT_EQ(pr.code_lines, 3);
+  EXPECT_EQ(pr.total_cyclomatic, 1 + 2 + 1);
+  EXPECT_EQ(pr.max_cyclomatic, 2);
+  EXPECT_GT(pr.cocomo.effort_person_months, 0.0);
+  std::remove(f1.c_str());
+  std::remove(f2.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include "costtool/cyclomatic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Cyclomatic, NoFunctions) {
+  const auto r = ct::analyze_cyclomatic("int x = 3;\nstruct S;\n");
+  EXPECT_TRUE(r.functions.empty());
+  EXPECT_EQ(r.file_cyclomatic, 0);
+  EXPECT_EQ(r.max_cyclomatic, 0);
+}
+
+TEST(Cyclomatic, StraightLineFunctionIsOne) {
+  const auto r = ct::analyze_cyclomatic("int f() { return 42; }\n");
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].name, "f");
+  EXPECT_EQ(r.functions[0].cyclomatic, 1);
+}
+
+TEST(Cyclomatic, EachDecisionAddsOne) {
+  const char* src =
+      "int f(int a, int b) {\n"
+      "  if (a > 0) return 1;\n"        // +1
+      "  for (int i = 0; i < b; ++i) {\n"  // +1
+      "    while (a--) {}\n"            // +1
+      "  }\n"
+      "  return a && b;\n"              // +1
+      "}\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].cyclomatic, 5);
+}
+
+TEST(Cyclomatic, SwitchCasesCount) {
+  const char* src =
+      "int f(int x) {\n"
+      "  switch (x) {\n"
+      "    case 1: return 1;\n"
+      "    case 2: return 2;\n"
+      "    case 3: return 3;\n"
+      "    default: return 0;\n"
+      "  }\n"
+      "}\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].cyclomatic, 4);  // 1 + three cases (default free)
+}
+
+TEST(Cyclomatic, TernaryAndLogicalOperators) {
+  const auto r = ct::analyze_cyclomatic("int f(int a) { return a ? 1 : (a || 2); }\n");
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].cyclomatic, 3);  // 1 + ? + ||
+}
+
+TEST(Cyclomatic, MultipleFunctionsSummedAndMaxed) {
+  const char* src =
+      "int f() { return 1; }\n"
+      "int g(int a) { if (a) return 1; if (a > 2) return 2; return 0; }\n"
+      "int h(int a) { return a ? 1 : 0; }\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 3u);
+  EXPECT_EQ(r.file_cyclomatic, 1 + 3 + 2);
+  EXPECT_EQ(r.max_cyclomatic, 3);
+}
+
+TEST(Cyclomatic, PreprocessorConditionsDoNotCount) {
+  const char* src =
+      "#if defined(FOO) && defined(BAR)\n"
+      "int f() { return 1; }\n"
+      "#endif\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].cyclomatic, 1);
+}
+
+TEST(Cyclomatic, CommentsAndStringsDoNotCount) {
+  const char* src =
+      "int f() {\n"
+      "  // if (x) while (y)\n"
+      "  const char* s = \"if (a && b)\";\n"
+      "  return s != nullptr;\n"
+      "}\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].cyclomatic, 1);
+}
+
+TEST(Cyclomatic, MethodsInsideClasses) {
+  const char* src =
+      "class C {\n"
+      " public:\n"
+      "  int size() const { return _n; }\n"
+      "  void grow() { if (_n < 10) ++_n; }\n"
+      " private:\n"
+      "  int _n{0};\n"
+      "};\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 2u);
+  EXPECT_EQ(r.functions[0].name, "size");
+  EXPECT_EQ(r.functions[0].cyclomatic, 1);
+  EXPECT_EQ(r.functions[1].name, "grow");
+  EXPECT_EQ(r.functions[1].cyclomatic, 2);
+}
+
+TEST(Cyclomatic, ConstructorWithMemberInitList) {
+  const char* src =
+      "struct S {\n"
+      "  S(int a, int b) : _a(a), _b{b} { if (a) _a++; }\n"
+      "  int _a, _b;\n"
+      "};\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].name, "S");
+  EXPECT_EQ(r.functions[0].cyclomatic, 2);
+}
+
+TEST(Cyclomatic, TrailingReturnTypeAndNoexcept) {
+  const char* src =
+      "auto f(int a) noexcept -> int { if (a) return 1; return 0; }\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].cyclomatic, 2);
+}
+
+TEST(Cyclomatic, DeclarationsAreNotDefinitions) {
+  const char* src =
+      "int f(int);\n"
+      "extern void g();\n"
+      "int h() { return f(3); }\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].name, "h");
+}
+
+TEST(Cyclomatic, LambdasFoldIntoEnclosingFunction) {
+  const char* src =
+      "int f() {\n"
+      "  auto l = [](int x) { return x > 0 ? 1 : 0; };\n"  // + ? = +1
+      "  return l(2);\n"
+      "}\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].cyclomatic, 2);
+}
+
+TEST(Cyclomatic, ElseIfCountsOncePerIf) {
+  const char* src =
+      "int f(int a) {\n"
+      "  if (a == 1) return 1;\n"
+      "  else if (a == 2) return 2;\n"
+      "  else return 3;\n"
+      "}\n";
+  const auto r = ct::analyze_cyclomatic(src);
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].cyclomatic, 3);  // 1 + two ifs
+}
+
+TEST(Cyclomatic, FunctionTokensCounted) {
+  const auto r = ct::analyze_cyclomatic("int f() { return 1 + 2; }\n");
+  ASSERT_EQ(r.functions.size(), 1u);
+  // Body tokens between braces: return 1 + 2 ; and the closing/opening
+  // braces are frame tokens; at least 5 body tokens expected.
+  EXPECT_GE(r.functions[0].tokens, 5);
+}
+
+TEST(Cyclomatic, StartLineRecorded) {
+  const auto r = ct::analyze_cyclomatic("\n\nint f() { return 0; }\n");
+  ASSERT_EQ(r.functions.size(), 1u);
+  EXPECT_EQ(r.functions[0].start_line, 3);
+}
+
+}  // namespace

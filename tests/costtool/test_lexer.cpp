@@ -1,0 +1,129 @@
+#include "costtool/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using ct::LineClass;
+using ct::Token;
+using ct::TokenKind;
+
+std::vector<std::string> texts(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const auto& t : toks) out.push_back(t.text);
+  return out;
+}
+
+TEST(Lexer, EmptySource) { EXPECT_TRUE(ct::tokenize("").empty()); }
+
+TEST(Lexer, SimpleStatement) {
+  const auto toks = ct::tokenize("int x = 42;");
+  EXPECT_EQ(texts(toks), (std::vector<std::string>{"int", "x", "=", "42", ";"}));
+  EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[3].kind, TokenKind::Number);
+}
+
+TEST(Lexer, LineCommentsProduceNoTokens) {
+  const auto toks = ct::tokenize("int a; // comment with if (x) {}\nint b;");
+  EXPECT_EQ(texts(toks), (std::vector<std::string>{"int", "a", ";", "int", "b", ";"}));
+  EXPECT_EQ(toks[3].line, 2);
+}
+
+TEST(Lexer, BlockCommentsSpanLines) {
+  const auto toks = ct::tokenize("int a; /* if (x)\n while(y) */ int b;");
+  EXPECT_EQ(texts(toks), (std::vector<std::string>{"int", "a", ";", "int", "b", ";"}));
+}
+
+TEST(Lexer, StringLiteralIsOneToken) {
+  const auto toks = ct::tokenize(R"(auto s = "if (x) && y";)");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokenKind::String);
+  EXPECT_EQ(toks[3].text, "\"if (x) && y\"");
+}
+
+TEST(Lexer, EscapedQuoteInsideString) {
+  const auto toks = ct::tokenize(R"(auto s = "a\"b";)");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokenKind::String);
+}
+
+TEST(Lexer, CharLiteral) {
+  const auto toks = ct::tokenize("char c = '\\n';");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokenKind::String);
+}
+
+TEST(Lexer, RawStringLiteral) {
+  const auto toks = ct::tokenize("auto s = R\"(has \"quotes\" and ))\")\";");
+  bool found_raw = false;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::String && t.text.rfind("R\"(", 0) == 0) found_raw = true;
+  }
+  EXPECT_TRUE(found_raw);
+}
+
+TEST(Lexer, MultiCharOperatorsLongestMatch) {
+  const auto toks = ct::tokenize("a && b || c->d; e <<= 2; x ? y : z;");
+  const auto t = texts(toks);
+  EXPECT_NE(std::find(t.begin(), t.end(), "&&"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "||"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "->"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "<<="), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "?"), t.end());
+}
+
+TEST(Lexer, PreprocessorTokensAreTagged) {
+  const auto toks = ct::tokenize("#if defined(FOO) && BAR\nint x;\n#endif\n");
+  int preproc = 0, code = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::Preprocessor) ++preproc;
+    else ++code;
+  }
+  EXPECT_GE(preproc, 6);  // #, if, defined, (, FOO, ), &&, BAR / #, endif
+  EXPECT_EQ(code, 3);     // int x ;
+}
+
+TEST(Lexer, PreprocessorContinuationLine) {
+  const auto toks = ct::tokenize("#define M(a) \\\n  if (a) x\nint y;\n");
+  for (const auto& t : toks) {
+    if (t.text == "if") EXPECT_EQ(t.kind, TokenKind::Preprocessor);
+    if (t.text == "y") EXPECT_EQ(t.kind, TokenKind::Identifier);
+  }
+}
+
+TEST(Lexer, FloatAndHexNumbers) {
+  const auto toks = ct::tokenize("double d = 1.5e-3; int h = 0xFF; float f = .25f;");
+  int numbers = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::Number) ++numbers;
+  }
+  EXPECT_EQ(numbers, 3);
+}
+
+TEST(Lexer, LineNumbersTrackNewlines) {
+  const auto toks = ct::tokenize("a\nb\n\nc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(ClassifyLines, BlankCommentAndCode) {
+  const auto classes = ct::classify_lines("int a;\n\n// only comment\nint b; // trailing\n");
+  ASSERT_EQ(classes.size(), 4u);
+  EXPECT_EQ(classes[0], LineClass::Code);
+  EXPECT_EQ(classes[1], LineClass::Blank);
+  EXPECT_EQ(classes[2], LineClass::CommentOnly);
+  EXPECT_EQ(classes[3], LineClass::Code);
+}
+
+TEST(ClassifyLines, BlockCommentInteriorIsCommentOnly) {
+  const auto classes = ct::classify_lines("/*\n body text\n*/\nint x;\n");
+  ASSERT_EQ(classes.size(), 4u);
+  EXPECT_EQ(classes[0], LineClass::CommentOnly);
+  EXPECT_EQ(classes[1], LineClass::CommentOnly);
+  EXPECT_EQ(classes[2], LineClass::CommentOnly);
+  EXPECT_EQ(classes[3], LineClass::Code);
+}
+
+}  // namespace

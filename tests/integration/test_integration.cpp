@@ -1,0 +1,165 @@
+// Cross-module integration: the paper's §III-E executor-sharing story
+// exercised across subsystems - one executor driving several taskflows,
+// the timing engine, and mixed workloads concurrently.
+#include "nn/trainers.hpp"
+#include "taskflow/taskflow.hpp"
+#include "timer/modifier.hpp"
+#include "timer/timers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Integration, SharedExecutorAcrossTimers) {
+  // Two timing engines sharing one executor (no thread over-subscription)
+  // must match two engines with private executors.
+  const auto lib = ot::CellLibrary::make_synthetic();
+  ot::CircuitSpec spec;
+  spec.num_gates = 600;
+  spec.seed = 3;
+
+  auto nl_a = ot::make_circuit(lib, spec);
+  auto nl_b = ot::make_circuit(lib, spec);
+  auto nl_ref = ot::make_circuit(lib, spec);
+
+  ot::TimerOptions opt;
+  opt.num_threads = 4;
+
+  auto shared = tf::make_executor(4);
+  ot::TimerV2 ta(nl_a, opt, shared);
+  ot::TimerV2 tb(nl_b, opt, shared);
+  ot::SeqTimer ref(nl_ref, opt);
+
+  ta.full_update();
+  tb.full_update();
+  ref.full_update();
+
+  EXPECT_NEAR(ta.worst_slack(), ref.worst_slack(), 1e-9);
+  EXPECT_NEAR(tb.worst_slack(), ref.worst_slack(), 1e-9);
+}
+
+TEST(Integration, SharedExecutorTimerPlusGenericTaskflow) {
+  // A timer and an unrelated task graph interleave on the same executor -
+  // the animation-program use case the paper describes (renderer taskflow +
+  // resource-loading taskflows on one executor).
+  const auto lib = ot::CellLibrary::make_synthetic();
+  ot::CircuitSpec spec;
+  spec.num_gates = 400;
+  spec.seed = 9;
+  auto nl = ot::make_circuit(lib, spec);
+  auto nl_ref = ot::make_circuit(lib, spec);
+
+  ot::TimerOptions opt;
+  opt.num_threads = 4;
+  auto shared = tf::make_executor(4);
+  ot::TimerV2 timer(nl, opt, shared);
+  ot::SeqTimer ref(nl_ref, opt);
+
+  std::atomic<int> side_work{0};
+  tf::Taskflow side(shared);
+  for (int i = 0; i < 2000; ++i) side.emplace([&] { side_work++; });
+  side.silent_dispatch();
+
+  timer.full_update();
+  ref.full_update();
+
+  ot::ModifierStream mods(nl, 2);
+  for (int i = 0; i < 5; ++i) {
+    const auto m = mods.next();
+    timer.resize(m.gate, *m.new_cell);
+    ref.netlist().resize_gate(m.gate, *m.new_cell);
+    ref.full_update();
+    ASSERT_NEAR(timer.worst_slack(), ref.worst_slack(), 1e-9);
+  }
+
+  side.wait_for_all();
+  EXPECT_EQ(side_work.load(), 2000);
+}
+
+TEST(Integration, TimerRoundTripThroughNetlistFile) {
+  // Generate -> serialize -> parse -> time: both paths give identical slack.
+  const auto lib = ot::CellLibrary::make_synthetic();
+  ot::CircuitSpec spec;
+  spec.num_gates = 300;
+  spec.seed = 21;
+  auto nl = ot::make_circuit(lib, spec);
+
+  std::stringstream ss;
+  ot::write_netlist(ss, nl);
+  auto parsed = ot::parse_netlist(ss, lib);
+
+  ot::TimerOptions opt;
+  opt.num_threads = 2;
+  ot::SeqTimer t1(nl, opt);
+  ot::SeqTimer t2(parsed, opt);
+  t1.full_update();
+  t2.full_update();
+  EXPECT_NEAR(t1.worst_slack(), t2.worst_slack(), 1e-12);
+}
+
+TEST(Integration, TrainingWhileTimingOnSeparateExecutors) {
+  // Heavy mixed load: DNN training and incremental timing running at the
+  // same time must both produce correct results.
+  const auto lib = ot::CellLibrary::make_synthetic();
+  ot::CircuitSpec spec;
+  spec.num_gates = 500;
+  spec.seed = 77;
+  auto nl = ot::make_circuit(lib, spec);
+  auto nl_ref = ot::make_circuit(lib, spec);
+
+  ot::TimerOptions topt;
+  topt.num_threads = 2;
+  ot::TimerV2 timer(nl, topt);
+  ot::SeqTimer ref(nl_ref, topt);
+
+  const auto ds = nn::make_synthetic(200, 1);
+  nn::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 50;
+  cfg.num_threads = 2;
+
+  nn::Mlp net_par({784, 16, 10}, 3);
+  nn::Mlp net_seq({784, 16, 10}, 3);
+
+  std::thread trainer([&] { (void)nn::train_taskflow(net_par, ds, cfg); });
+
+  timer.full_update();
+  ref.full_update();
+  ot::ModifierStream mods(nl, 4);
+  for (int i = 0; i < 10; ++i) {
+    const auto m = mods.next();
+    timer.resize(m.gate, *m.new_cell);
+    ref.netlist().resize_gate(m.gate, *m.new_cell);
+    ref.full_update();
+    ASSERT_NEAR(timer.worst_slack(), ref.worst_slack(), 1e-9);
+  }
+  trainer.join();
+
+  const auto r_seq = nn::train_sequential(net_seq, ds, cfg);
+  // The concurrently-trained network matches the sequential oracle.
+  for (std::size_t i = 0; i < net_par.num_layers(); ++i) {
+    EXPECT_TRUE(net_par.layer(i).w == net_seq.layer(i).w);
+  }
+  (void)r_seq;
+}
+
+TEST(Integration, ManyTaskflowsOnOneExecutorStress) {
+  auto shared = tf::make_executor(4);
+  std::atomic<long> counter{0};
+  std::vector<std::unique_ptr<tf::Taskflow>> flows;
+  for (int f = 0; f < 16; ++f) {
+    flows.push_back(std::make_unique<tf::Taskflow>(shared));
+    auto& tf_ = *flows.back();
+    // Mix static tasks, subflows and algorithms per flow.
+    for (int i = 0; i < 50; ++i) tf_.emplace([&] { counter++; });
+    tf_.emplace([&](tf::SubflowBuilder& sf) {
+      for (int j = 0; j < 20; ++j) sf.emplace([&] { counter++; });
+    });
+    tf_.parallel_for(0, 100, 1, [&](int) { counter++; });
+    tf_.silent_dispatch();
+  }
+  for (auto& f : flows) f->wait_for_all();
+  EXPECT_EQ(counter.load(), 16 * (50 + 20 + 100));
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Cross-dialect equivalence of the benchmark kernels: every dialect of a
+// benchmark must compute the same result, on a sweep of sizes and thread
+// counts (these kernels feed both Fig. 7 and Tables I/III, so their
+// correctness anchors those reproductions).
+#include "kernels.hpp"
+#include "nn/trainers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+bool near(double a, double b) {
+  return std::abs(a - b) <= 1e-6 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+class WavefrontDialects
+    : public ::testing::TestWithParam<std::tuple<int, int, unsigned>> {};
+
+TEST_P(WavefrontDialects, AllDialectsAgree) {
+  const auto [nb, work, threads] = GetParam();
+  const double ref = kernels::wavefront_seq(nb, work);
+  EXPECT_TRUE(near(ref, kernels::wavefront_taskflow(nb, work, threads)));
+  EXPECT_TRUE(near(ref, kernels::wavefront_tbb(nb, work, threads)));
+  EXPECT_TRUE(near(ref, kernels::wavefront_omp(nb, work, threads)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, WavefrontDialects,
+    ::testing::Values(std::make_tuple(2, 0, 1), std::make_tuple(8, 10, 2),
+                      std::make_tuple(16, 50, 4), std::make_tuple(33, 100, 4),
+                      std::make_tuple(64, 0, 3)));
+
+class TraversalDialects
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {};
+
+TEST_P(TraversalDialects, AllDialectsAgree) {
+  const auto [n, threads] = GetParam();
+  const auto g = kernels::make_traversal_graph(n, 0xBEEF + n);
+  const int work = 20;
+  const double ref = kernels::traversal_seq(g, work);
+  EXPECT_TRUE(near(ref, kernels::traversal_taskflow(g, work, threads)));
+  EXPECT_TRUE(near(ref, kernels::traversal_tbb(g, work, threads)));
+  EXPECT_TRUE(near(ref, kernels::traversal_omp(g, work, threads)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TraversalDialects,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(100, 2),
+                                           std::make_tuple(1000, 4),
+                                           std::make_tuple(20000, 4)));
+
+TEST(TraversalGraph, DegreeCapRespected) {
+  // The paper's OpenMP enumeration is only valid if in/out degrees stay <=4.
+  const auto g = kernels::make_traversal_graph(50000, 7);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    ASSERT_LE(g.preds[v].size(), 4u);
+    ASSERT_LE(g.succs[v].size(), 4u);
+    ASSERT_EQ(g.preds[v].size(), g.in_edge[v].size());
+    ASSERT_EQ(g.succs[v].size(), g.out_edge[v].size());
+  }
+}
+
+TEST(TraversalGraph, EdgesPointForwardAndIdsConsistent) {
+  const auto g = kernels::make_traversal_graph(5000, 9);
+  std::size_t edge_count = 0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (int u : g.preds[v]) ASSERT_LT(u, static_cast<int>(v));  // DAG by construction
+    edge_count += g.preds[v].size();
+  }
+  EXPECT_EQ(edge_count, g.num_edges);
+  // Every in-edge id appears exactly once as some predecessor's out-edge id.
+  std::vector<int> seen(g.num_edges, 0);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (int id : g.out_edge[v]) seen[static_cast<std::size_t>(id)]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(TraversalGraph, Deterministic) {
+  const auto a = kernels::make_traversal_graph(3000, 5);
+  const auto b = kernels::make_traversal_graph(3000, 5);
+  EXPECT_EQ(a.num_edges, b.num_edges);
+  EXPECT_EQ(a.preds, b.preds);
+  const auto c = kernels::make_traversal_graph(3000, 6);
+  EXPECT_NE(a.preds, c.preds);
+}
+
+TEST(DnnKernels, AllDialectsMatchSequential) {
+  const auto ds = nn::make_synthetic(300, 4);
+  const int epochs = 3;
+  const std::size_t batch = 50;
+  const float lr = 0.05f;
+
+  nn::Mlp seq({784, 16, 10}, 2), tfw({784, 16, 10}, 2), tbb({784, 16, 10}, 2),
+      omp({784, 16, 10}, 2);
+  const float l_seq = kernels::dnn_seq(seq, ds, epochs, batch, lr);
+  const float l_tf = kernels::dnn_taskflow(tfw, ds, epochs, batch, lr, 4);
+  const float l_tbb = kernels::dnn_tbb(tbb, ds, epochs, batch, lr, 4);
+  const float l_omp = kernels::dnn_omp(omp, ds, epochs, batch, lr, 4);
+
+  EXPECT_FLOAT_EQ(l_seq, l_tf);
+  EXPECT_FLOAT_EQ(l_seq, l_tbb);
+  EXPECT_FLOAT_EQ(l_seq, l_omp);
+  for (std::size_t i = 0; i < seq.num_layers(); ++i) {
+    EXPECT_TRUE(seq.layer(i).w == tfw.layer(i).w);
+    EXPECT_TRUE(seq.layer(i).w == tbb.layer(i).w);
+    EXPECT_TRUE(seq.layer(i).w == omp.layer(i).w);
+  }
+}
+
+TEST(DnnKernels, MatchFullTrainers) {
+  // The compact Table III kernels and the full nn:: trainers implement the
+  // same decomposition: identical results under identical configs.
+  const auto ds = nn::make_synthetic(200, 8);
+  nn::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 50;
+  cfg.learning_rate = 0.05f;
+  cfg.num_threads = 2;
+
+  nn::Mlp a({784, 16, 10}, 5), b({784, 16, 10}, 5);
+  const auto full = nn::train_taskflow(a, ds, cfg);
+  const float kern = kernels::dnn_taskflow(b, ds, cfg.epochs, cfg.batch_size,
+                                           cfg.learning_rate, 2);
+  EXPECT_FLOAT_EQ(full.last_epoch_loss, kern);
+  for (std::size_t i = 0; i < a.num_layers(); ++i) {
+    EXPECT_TRUE(a.layer(i).w == b.layer(i).w);
+  }
+}
+
+TEST(NodeOp, DeterministicAcrossCalls) {
+  EXPECT_DOUBLE_EQ(kernels::node_op(1.0, 100), kernels::node_op(1.0, 100));
+  EXPECT_DOUBLE_EQ(kernels::node_op(0.0, 0), 1.0);
+}
+
+}  // namespace

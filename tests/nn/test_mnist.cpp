@@ -1,0 +1,158 @@
+#include "nn/mnist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace {
+
+TEST(SyntheticMnist, ShapesAndRanges) {
+  const auto ds = nn::make_synthetic(1000, 7);
+  EXPECT_EQ(ds.size(), 1000u);
+  EXPECT_EQ(ds.images.rows(), 1000u);
+  EXPECT_EQ(ds.images.cols(), nn::kMnistPixels);
+  for (std::size_t i = 0; i < ds.images.size(); ++i) {
+    ASSERT_GE(ds.images.data()[i], 0.0f);
+    ASSERT_LE(ds.images.data()[i], 1.0f);
+  }
+  for (int l : ds.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, nn::kMnistClasses);
+  }
+}
+
+TEST(SyntheticMnist, Deterministic) {
+  const auto a = nn::make_synthetic(200, 11);
+  const auto b = nn::make_synthetic(200, 11);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_TRUE(a.images == b.images);
+}
+
+TEST(SyntheticMnist, SeedChangesImages) {
+  const auto a = nn::make_synthetic(100, 1);
+  const auto b = nn::make_synthetic(100, 2);
+  EXPECT_FALSE(a.images == b.images);
+}
+
+TEST(SyntheticMnist, ClassBalanced) {
+  const auto ds = nn::make_synthetic(1000, 3);
+  std::vector<int> counts(10, 0);
+  for (int l : ds.labels) counts[static_cast<std::size_t>(l)]++;
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(SyntheticMnist, ClassesAreSeparable) {
+  // Same-class images must be closer (on average) than cross-class images -
+  // otherwise training-loss curves would be meaningless.
+  const auto ds = nn::make_synthetic(200, 5);
+  auto dist = [&](std::size_t i, std::size_t j) {
+    double d = 0.0;
+    for (std::size_t p = 0; p < nn::kMnistPixels; ++p) {
+      const double diff = ds.images(i, p) - ds.images(j, p);
+      d += diff * diff;
+    }
+    return d;
+  };
+  double same = 0.0, cross = 0.0;
+  int n_same = 0, n_cross = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = i + 1; j < 50; ++j) {
+      if (ds.labels[i] == ds.labels[j]) {
+        same += dist(i, j);
+        ++n_same;
+      } else {
+        cross += dist(i, j);
+        ++n_cross;
+      }
+    }
+  }
+  EXPECT_LT(same / n_same, cross / n_cross);
+}
+
+class IdxFiles : public ::testing::Test {
+ protected:
+  std::string img_path = ::testing::TempDir() + "/t10k-images-test";
+  std::string lab_path = ::testing::TempDir() + "/t10k-labels-test";
+
+  static void write_be32(std::ofstream& o, std::uint32_t v) {
+    const unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                                static_cast<unsigned char>(v >> 16),
+                                static_cast<unsigned char>(v >> 8),
+                                static_cast<unsigned char>(v)};
+    o.write(reinterpret_cast<const char*>(b), 4);
+  }
+
+  void write_valid(int n) {
+    std::ofstream img(img_path, std::ios::binary);
+    write_be32(img, 0x00000803u);
+    write_be32(img, static_cast<std::uint32_t>(n));
+    write_be32(img, 28);
+    write_be32(img, 28);
+    for (int i = 0; i < n * 784; ++i) {
+      const char c = static_cast<char>(i % 256);
+      img.write(&c, 1);
+    }
+    std::ofstream lab(lab_path, std::ios::binary);
+    write_be32(lab, 0x00000801u);
+    write_be32(lab, static_cast<std::uint32_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const char c = static_cast<char>(i % 10);
+      lab.write(&c, 1);
+    }
+  }
+
+  void TearDown() override {
+    std::remove(img_path.c_str());
+    std::remove(lab_path.c_str());
+  }
+};
+
+TEST_F(IdxFiles, LoadsValidFiles) {
+  write_valid(5);
+  const auto ds = nn::load_idx(img_path, lab_path);
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds.labels[3], 3);
+  EXPECT_NEAR(ds.images(0, 1), 1.0f / 255.0f, 1e-6f);
+}
+
+TEST_F(IdxFiles, RejectsBadMagic) {
+  write_valid(2);
+  {
+    std::ofstream img(img_path, std::ios::binary);
+    write_be32(img, 0xdeadbeefu);
+  }
+  EXPECT_THROW((void)nn::load_idx(img_path, lab_path), std::runtime_error);
+}
+
+TEST_F(IdxFiles, RejectsTruncatedImages) {
+  {
+    std::ofstream img(img_path, std::ios::binary);
+    write_be32(img, 0x00000803u);
+    write_be32(img, 3);
+    write_be32(img, 28);
+    write_be32(img, 28);
+    const char c = 0;
+    img.write(&c, 1);  // far too short
+  }
+  {
+    std::ofstream lab(lab_path, std::ios::binary);
+    write_be32(lab, 0x00000801u);
+    write_be32(lab, 3);
+    const char c[3] = {0, 1, 2};
+    lab.write(c, 3);
+  }
+  EXPECT_THROW((void)nn::load_idx(img_path, lab_path), std::runtime_error);
+}
+
+TEST_F(IdxFiles, MissingFileThrows) {
+  EXPECT_THROW((void)nn::load_idx("/no/such/images", "/no/such/labels"),
+               std::runtime_error);
+}
+
+TEST(LoadOrSynthesize, FallsBackToSynthetic) {
+  const auto ds = nn::load_or_synthesize("/definitely/not/a/dir", 300, 1);
+  EXPECT_EQ(ds.size(), 300u);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include "nn/network.hpp"
+#include "nn/mnist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using nn::Matrix;
+
+std::vector<int> labels_mod(std::size_t n) {
+  std::vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i % 10);
+  return v;
+}
+
+TEST(Mlp, ShapesOfPaperArchitectures) {
+  nn::Mlp three({784, 32, 32, 10}, 1);
+  EXPECT_EQ(three.num_layers(), 3u);
+  EXPECT_EQ(three.tasks_per_batch(), 7u);  // 1 F + 3 G + 3 U
+  nn::Mlp five({784, 64, 32, 16, 8, 10}, 1);
+  EXPECT_EQ(five.num_layers(), 5u);
+  EXPECT_EQ(five.tasks_per_batch(), 11u);
+  EXPECT_EQ(five.layer(0).w.rows(), 784u);
+  EXPECT_EQ(five.layer(0).w.cols(), 64u);
+  EXPECT_EQ(five.layer(4).w.cols(), 10u);
+}
+
+TEST(Mlp, InitialLossNearUniform) {
+  // Softmax cross-entropy at random init must be about ln(10).
+  nn::Mlp net({784, 32, 10}, 3);
+  const auto ds = nn::make_synthetic(100, 1);
+  const float loss = net.forward(ds.images, ds.labels);
+  EXPECT_NEAR(loss, std::log(10.0f), 0.3f);
+}
+
+TEST(Mlp, SeedReproducibility) {
+  nn::Mlp a({784, 16, 10}, 42);
+  nn::Mlp b({784, 16, 10}, 42);
+  EXPECT_TRUE(a.layer(0).w == b.layer(0).w);
+  nn::Mlp c({784, 16, 10}, 43);
+  EXPECT_FALSE(a.layer(0).w == c.layer(0).w);
+}
+
+TEST(Mlp, NumericalGradientCheck) {
+  // Finite-difference check of dW on a tiny network: the backbone
+  // correctness proof for every trainer.
+  nn::Mlp net({6, 5, 4}, 7);
+  support::Xoshiro256 rng(9);
+  Matrix x = Matrix::randn(3, 6, 1.0, rng);
+  std::vector<int> y{0, 2, 3};
+
+  (void)net.forward(x, y);
+  for (std::size_t i = net.num_layers(); i-- > 0;) net.backward_layer(i);
+
+  // Probe several weights in each layer.
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    auto& layer = const_cast<nn::Dense&>(net.layer(li));
+    for (std::size_t probe = 0; probe < 5; ++probe) {
+      const std::size_t r = probe % layer.w.rows();
+      const std::size_t c = (probe * 3) % layer.w.cols();
+      const float analytic = layer.dw(r, c);
+
+      const float eps = 1e-3f;
+      const float orig = layer.w(r, c);
+      layer.w(r, c) = orig + eps;
+      const float lp = net.forward(x, y);
+      layer.w(r, c) = orig - eps;
+      const float lm = net.forward(x, y);
+      layer.w(r, c) = orig;
+      const float numeric = (lp - lm) / (2 * eps);
+
+      EXPECT_NEAR(analytic, numeric, 5e-3f)
+          << "layer " << li << " w(" << r << "," << c << ")";
+    }
+    // Restore caches for the next layer's analytic gradients.
+    (void)net.forward(x, y);
+    for (std::size_t i = net.num_layers(); i-- > 0;) net.backward_layer(i);
+  }
+}
+
+TEST(Mlp, TrainingReducesLossOnSyntheticData) {
+  nn::Mlp net({784, 32, 10}, 5);
+  const auto ds = nn::make_synthetic(500, 2);
+  Matrix batch(100, 784);
+  std::vector<int> labels(100);
+
+  float first = 0.0f, last = 0.0f;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    float sum = 0.0f;
+    for (std::size_t b = 0; b < 5; ++b) {
+      for (std::size_t r = 0; r < 100; ++r) {
+        std::copy_n(ds.images.row(b * 100 + r), 784, batch.row(r));
+        labels[r] = ds.labels[b * 100 + r];
+      }
+      sum += net.train_step(batch, labels, 0.5f);
+    }
+    if (epoch == 0) first = sum / 5;
+    last = sum / 5;
+  }
+  EXPECT_LT(last, first * 0.7f);
+}
+
+TEST(Mlp, AccuracyImprovesOverChance) {
+  nn::Mlp net({784, 32, 10}, 5);
+  const auto ds = nn::make_synthetic(1000, 2);
+  Matrix batch(100, 784);
+  std::vector<int> labels(100);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (std::size_t b = 0; b < 10; ++b) {
+      for (std::size_t r = 0; r < 100; ++r) {
+        std::copy_n(ds.images.row(b * 100 + r), 784, batch.row(r));
+        labels[r] = ds.labels[b * 100 + r];
+      }
+      net.train_step(batch, labels, 0.5f);
+    }
+  }
+  EXPECT_GT(net.accuracy(ds.images, ds.labels), 0.5f);  // chance = 0.1
+}
+
+TEST(Mlp, UpdateLayerAppliesSgdStep) {
+  nn::Mlp net({4, 3, 2}, 1);
+  support::Xoshiro256 rng(2);
+  Matrix x = Matrix::randn(2, 4, 1.0, rng);
+  std::vector<int> y{0, 1};
+  (void)net.forward(x, y);
+  for (std::size_t i = net.num_layers(); i-- > 0;) net.backward_layer(i);
+
+  const float w_before = net.layer(0).w(0, 0);
+  const float g = net.layer(0).dw(0, 0);
+  const_cast<nn::Mlp&>(net).update_layer(0, 0.1f);
+  EXPECT_NEAR(net.layer(0).w(0, 0), w_before - 0.1f * g, 1e-6f);
+}
+
+TEST(Mlp, StepOrderMatchesDecomposedCalls) {
+  // train_step must equal the decomposed F / G_i / U_i call sequence.
+  nn::Mlp a({10, 8, 6, 4}, 3);
+  nn::Mlp b({10, 8, 6, 4}, 3);
+  support::Xoshiro256 rng(4);
+  Matrix x = Matrix::randn(5, 10, 1.0, rng);
+  std::vector<int> y{0, 1, 2, 3, 0};
+
+  const float la = a.train_step(x, y, 0.01f);
+  const float lb = b.forward(x, y);
+  for (std::size_t i = b.num_layers(); i-- > 0;) b.backward_layer(i);
+  for (std::size_t i = 0; i < b.num_layers(); ++i) b.update_layer(i, 0.01f);
+
+  EXPECT_FLOAT_EQ(la, lb);
+  for (std::size_t i = 0; i < a.num_layers(); ++i) {
+    EXPECT_TRUE(a.layer(i).w == b.layer(i).w) << "layer " << i;
+  }
+}
+
+}  // namespace

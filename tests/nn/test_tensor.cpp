@@ -1,0 +1,145 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using nn::Matrix;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m.row(1)[2], 5.0f);
+}
+
+TEST(Matrix, FillAndResize) {
+  Matrix m(2, 2);
+  m.fill(3.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 3.0f);
+  m.resize(3, 1);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_FLOAT_EQ(m(2, 0), 0.0f);  // resize zeroes
+}
+
+TEST(Matrix, RandnMoments) {
+  support::Xoshiro256 rng(3);
+  const auto m = Matrix::randn(100, 100, 0.5, rng);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sq += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  const double mean = sum / static_cast<double>(m.size());
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(sq / static_cast<double>(m.size()) - mean * mean, 0.25, 0.01);
+}
+
+TEST(Gemm, KnownProduct) {
+  Matrix a(2, 3), b(3, 2), c;
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  nn::gemm(a, b, c);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(Gemm, TransposedVariantsAgreeWithExplicitTranspose) {
+  support::Xoshiro256 rng(5);
+  const auto a = Matrix::randn(7, 4, 1.0, rng);
+  const auto b = Matrix::randn(7, 5, 1.0, rng);
+
+  // at = a^T explicitly.
+  Matrix at(4, 7);
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) at(c, r) = a(r, c);
+  }
+  Matrix expected, got;
+  nn::gemm(at, b, expected);
+  nn::gemm_tn(a, b, got);
+  ASSERT_EQ(expected.rows(), got.rows());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected.data()[i], got.data()[i], 1e-4f);
+  }
+}
+
+TEST(Gemm, NtVariantAgrees) {
+  support::Xoshiro256 rng(6);
+  const auto a = Matrix::randn(3, 6, 1.0, rng);
+  const auto b = Matrix::randn(5, 6, 1.0, rng);
+  Matrix bt(6, 5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) bt(c, r) = b(r, c);
+  }
+  Matrix expected, got;
+  nn::gemm(a, bt, expected);
+  nn::gemm_nt(a, b, got);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected.data()[i], got.data()[i], 1e-4f);
+  }
+}
+
+TEST(Axpy, AddsScaled) {
+  Matrix x(1, 3), y(1, 3);
+  x(0, 0) = 1;
+  x(0, 1) = 2;
+  x(0, 2) = 3;
+  y.fill(10.0f);
+  nn::axpy(-2.0f, x, y);
+  EXPECT_FLOAT_EQ(y(0, 0), 8.0f);
+  EXPECT_FLOAT_EQ(y(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(y(0, 2), 4.0f);
+}
+
+TEST(AddBias, PerColumn) {
+  Matrix m(2, 2);
+  nn::add_bias(m, {1.0f, -1.0f});
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), -1.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 1.0f);
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0f;
+  m(0, 1) = 2.0f;
+  m(0, 2) = 3.0f;
+  m(1, 0) = -100.0f;
+  m(1, 1) = 0.0f;
+  m(1, 2) = 100.0f;  // stability test
+  nn::softmax_rows(m);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_GE(m(r, c), 0.0f);
+      sum += m(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_LT(m(0, 0), m(0, 2));
+  EXPECT_NEAR(m(1, 2), 1.0f, 1e-5f);
+  EXPECT_TRUE(std::isfinite(m(1, 0)));
+}
+
+TEST(Argmax, FindsLargestColumn) {
+  Matrix m(2, 4);
+  m(0, 2) = 5.0f;
+  m(1, 0) = 1.0f;
+  EXPECT_EQ(nn::argmax_row(m, 0), 2u);
+  EXPECT_EQ(nn::argmax_row(m, 1), 0u);
+}
+
+}  // namespace

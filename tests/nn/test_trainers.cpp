@@ -1,0 +1,126 @@
+// Cross-trainer equivalence: the four Fig. 11 implementations must produce
+// identical weights and losses given identical shuffles - parallelism must
+// not change the arithmetic.
+#include "nn/trainers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+nn::TrainConfig small_config() {
+  nn::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 50;
+  cfg.learning_rate = 0.05f;
+  cfg.num_threads = 4;
+  cfg.shuffle_seed = 77;
+  return cfg;
+}
+
+void expect_same_weights(const nn::Mlp& a, const nn::Mlp& b) {
+  ASSERT_EQ(a.num_layers(), b.num_layers());
+  for (std::size_t i = 0; i < a.num_layers(); ++i) {
+    EXPECT_TRUE(a.layer(i).w == b.layer(i).w) << "weights differ at layer " << i;
+    EXPECT_EQ(a.layer(i).b, b.layer(i).b) << "biases differ at layer " << i;
+  }
+}
+
+class TrainerEquivalence : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(TrainerEquivalence, AllTrainersMatchSequential) {
+  const auto dims = GetParam();
+  const auto ds = nn::make_synthetic(400, 9);
+  const auto cfg = small_config();
+
+  nn::Mlp seq(dims, 11), tfw(dims, 11), fgr(dims, 11), omp(dims, 11);
+  const auto r_seq = nn::train_sequential(seq, ds, cfg);
+  const auto r_tf = nn::train_taskflow(tfw, ds, cfg);
+  const auto r_fg = nn::train_flowgraph(fgr, ds, cfg);
+  const auto r_omp = nn::train_openmp(omp, ds, cfg);
+
+  expect_same_weights(seq, tfw);
+  expect_same_weights(seq, fgr);
+  expect_same_weights(seq, omp);
+  EXPECT_FLOAT_EQ(r_seq.last_epoch_loss, r_tf.last_epoch_loss);
+  EXPECT_FLOAT_EQ(r_seq.last_epoch_loss, r_fg.last_epoch_loss);
+  EXPECT_FLOAT_EQ(r_seq.last_epoch_loss, r_omp.last_epoch_loss);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, TrainerEquivalence,
+    ::testing::Values(std::vector<std::size_t>{784, 16, 10},
+                      std::vector<std::size_t>{784, 32, 32, 10},          // paper 3-layer
+                      std::vector<std::size_t>{784, 64, 32, 16, 8, 10}  // paper 5-layer
+                      ));
+
+TEST(TrainerAccounting, PaperTaskCounts) {
+  // 60K images / batch 100 = 600 batches: 3-layer -> 4201 tasks/epoch,
+  // 5-layer -> 6601 (paper §IV-C).
+  const auto ds = nn::make_synthetic(6000, 1);  // scaled 10x down: 60 batches
+  nn::TrainConfig cfg;
+  cfg.batch_size = 100;
+  nn::Mlp three({784, 32, 32, 10}, 1);
+  nn::Mlp five({784, 64, 32, 16, 8, 10}, 1);
+  EXPECT_EQ(nn::tasks_per_epoch(three, ds, cfg), 60u * 7u + 1u);
+  EXPECT_EQ(nn::tasks_per_epoch(five, ds, cfg), 60u * 11u + 1u);
+}
+
+TEST(TrainerProgress, LossDecreasesAcrossEpochs) {
+  const auto ds = nn::make_synthetic(500, 3);
+  nn::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 50;
+  cfg.learning_rate = 0.3f;
+  cfg.num_threads = 2;
+
+  nn::Mlp net1({784, 32, 10}, 5);
+  const auto first = nn::train_taskflow(net1, ds, cfg);
+
+  nn::Mlp net2({784, 32, 10}, 5);
+  cfg.epochs = 20;
+  const auto many = nn::train_taskflow(net2, ds, cfg);
+  EXPECT_LT(many.last_epoch_loss, first.last_epoch_loss * 0.8f);
+}
+
+TEST(TrainerConfig, StorageCountRespectsCaps) {
+  const auto ds = nn::make_synthetic(200, 1);
+  nn::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 50;
+  cfg.num_threads = 8;  // 2*8 = 16 storages, but only 2 epochs
+  nn::Mlp net({784, 16, 10}, 1);
+  // Must not crash or deadlock with storages > epochs.
+  const auto r = nn::train_taskflow(net, ds, cfg);
+  EXPECT_GT(r.total_tasks, 0u);
+}
+
+TEST(TrainerConfig, SingleThreadAllTrainersComplete) {
+  const auto ds = nn::make_synthetic(200, 2);
+  nn::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 50;
+  cfg.num_threads = 1;
+
+  nn::Mlp a({784, 16, 10}, 3), b({784, 16, 10}, 3), c({784, 16, 10}, 3),
+      d({784, 16, 10}, 3);
+  const auto rs = nn::train_sequential(a, ds, cfg);
+  const auto rt = nn::train_taskflow(b, ds, cfg);
+  const auto rf = nn::train_flowgraph(c, ds, cfg);
+  const auto ro = nn::train_openmp(d, ds, cfg);
+  EXPECT_FLOAT_EQ(rs.last_epoch_loss, rt.last_epoch_loss);
+  EXPECT_FLOAT_EQ(rs.last_epoch_loss, rf.last_epoch_loss);
+  EXPECT_FLOAT_EQ(rs.last_epoch_loss, ro.last_epoch_loss);
+}
+
+TEST(TrainerResult, ReportsTiming) {
+  const auto ds = nn::make_synthetic(100, 4);
+  nn::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 50;
+  nn::Mlp net({784, 16, 10}, 1);
+  const auto r = nn::train_taskflow(net, ds, cfg);
+  EXPECT_GT(r.elapsed_ms, 0.0);
+  EXPECT_EQ(r.total_tasks, 1u * (2u * 5u + 1u));  // 2 batches * (1+2+2) + 1
+}
+
+}  // namespace

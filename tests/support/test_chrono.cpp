@@ -1,0 +1,73 @@
+#include "support/chrono.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  support::Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = sw.elapsed_ms();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);
+  EXPECT_NEAR(sw.elapsed_s() * 1000.0, sw.elapsed_ms(), 50.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  support::Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.elapsed_ms(), 15.0);
+}
+
+TEST(Summarize, EmptySample) {
+  const auto s = support::summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const auto s = support::summarize({4.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summarize, OddCountMedian) {
+  const auto s = support::summarize({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, EvenCountMedianAveragesMiddle) {
+  const auto s = support::summarize({1.0, 2.0, 3.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Summarize, SampleStddev) {
+  // Sample (n-1) standard deviation of {2,4,4,4,5,5,7,9} is ~2.138.
+  const auto s = support::summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(s.stddev, 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+}
+
+TEST(TimeMinMs, ReturnsMinimumOfRepeats) {
+  int calls = 0;
+  const double t = support::time_min_ms(
+      [&] {
+        ++calls;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      },
+      4);
+  EXPECT_EQ(calls, 4);
+  EXPECT_GE(t, 1.0);
+}
+
+}  // namespace

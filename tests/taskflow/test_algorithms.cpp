@@ -1,0 +1,218 @@
+// Built-in algorithm collection (paper §III-F): parallel_for, reduce,
+// transform, transform_reduce, following STL conventions.
+#include "taskflow/taskflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace {
+
+TEST(ParallelFor, AppliesToEveryElement) {
+  tf::Taskflow tf(4);
+  std::vector<int> data(10007, 0);
+  tf.parallel_for(data.begin(), data.end(), [](int& v) { v += 3; });
+  tf.wait_for_all();
+  for (int v : data) EXPECT_EQ(v, 3);
+}
+
+TEST(ParallelFor, EmptyRangeIsValid) {
+  tf::Taskflow tf(2);
+  std::vector<int> data;
+  auto [s, t] = tf.parallel_for(data.begin(), data.end(), [](int&) { FAIL(); });
+  EXPECT_FALSE(s.empty());
+  EXPECT_FALSE(t.empty());
+  tf.wait_for_all();
+}
+
+TEST(ParallelFor, SingleElement) {
+  tf::Taskflow tf(2);
+  std::vector<int> data{41};
+  tf.parallel_for(data.begin(), data.end(), [](int& v) { ++v; });
+  tf.wait_for_all();
+  EXPECT_EQ(data[0], 42);
+}
+
+TEST(ParallelFor, ExplicitChunkSizeCoversAll) {
+  for (std::size_t chunk : {1u, 2u, 3u, 7u, 100u, 1000u}) {
+    tf::Taskflow tf(4);
+    std::vector<int> data(101, 0);
+    tf.parallel_for(data.begin(), data.end(), [](int& v) { ++v; }, chunk);
+    tf.wait_for_all();
+    for (int v : data) ASSERT_EQ(v, 1) << "chunk=" << chunk;
+  }
+}
+
+TEST(ParallelFor, WorksOnNonRandomAccessIterators) {
+  tf::Taskflow tf(4);
+  std::list<int> data(500, 1);
+  tf.parallel_for(data.begin(), data.end(), [](int& v) { v = 2; });
+  tf.wait_for_all();
+  for (int v : data) EXPECT_EQ(v, 2);
+}
+
+TEST(ParallelFor, SplicesIntoLargerGraph) {
+  tf::Taskflow tf(4);
+  std::vector<int> data(100, 0);
+  std::atomic<bool> pre_done{false};
+  std::atomic<bool> order_ok{true};
+
+  auto pre = tf.emplace([&] { pre_done = true; });
+  auto [s, t] = tf.parallel_for(data.begin(), data.end(), [&](int& v) {
+    if (!pre_done.load()) order_ok = false;
+    v = 1;
+  });
+  auto post = tf.emplace([&] {
+    for (int v : data) {
+      if (v != 1) order_ok = false;
+    }
+  });
+  pre.precede(s);
+  t.precede(post);
+  tf.wait_for_all();
+  EXPECT_TRUE(order_ok.load());
+}
+
+class IndexForP : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(IndexForP, MatchesSequentialLoop) {
+  const auto [beg, end, step] = GetParam();
+  std::vector<int> expected;
+  if (step > 0) {
+    for (int i = beg; i < end; i += step) expected.push_back(i);
+  } else {
+    for (int i = beg; i > end; i += step) expected.push_back(i);
+  }
+
+  tf::Taskflow tf(4);
+  std::mutex m;
+  std::vector<int> got;
+  tf.parallel_for(beg, end, step, [&](int i) {
+    std::scoped_lock lock(m);
+    got.push_back(i);
+  });
+  tf.wait_for_all();
+  std::sort(got.begin(), got.end());
+  auto sorted = expected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(got, sorted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, IndexForP,
+    ::testing::Values(std::make_tuple(0, 100, 1), std::make_tuple(0, 100, 3),
+                      std::make_tuple(5, 6, 1), std::make_tuple(0, 0, 1),
+                      std::make_tuple(10, 0, -1), std::make_tuple(100, -3, -7),
+                      std::make_tuple(-50, 50, 11)));
+
+TEST(Reduce, SumsLargeVector) {
+  tf::Taskflow tf(4);
+  std::vector<long> data(100000);
+  std::iota(data.begin(), data.end(), 1);
+  long result = 0;
+  tf.reduce(data.begin(), data.end(), result, std::plus<long>{});
+  tf.wait_for_all();
+  EXPECT_EQ(result, 100000L * 100001L / 2);
+}
+
+TEST(Reduce, RespectsInitialValue) {
+  tf::Taskflow tf(4);
+  std::vector<int> data(10, 1);
+  int result = 100;
+  tf.reduce(data.begin(), data.end(), result, std::plus<int>{});
+  tf.wait_for_all();
+  EXPECT_EQ(result, 110);
+}
+
+TEST(Reduce, MinReduction) {
+  tf::Taskflow tf(4);
+  std::vector<int> data;
+  for (int i = 0; i < 9999; ++i) data.push_back((i * 7919) % 10007);
+  int result = std::numeric_limits<int>::max();
+  tf.reduce(data.begin(), data.end(), result,
+            [](int a, int b) { return std::min(a, b); });
+  tf.wait_for_all();
+  EXPECT_EQ(result, *std::min_element(data.begin(), data.end()));
+}
+
+TEST(Reduce, EmptyRangeLeavesResultUntouched) {
+  tf::Taskflow tf(2);
+  std::vector<int> data;
+  int result = 7;
+  tf.reduce(data.begin(), data.end(), result, std::plus<int>{});
+  tf.wait_for_all();
+  EXPECT_EQ(result, 7);
+}
+
+TEST(TransformReduce, SumOfSquares) {
+  tf::Taskflow tf(4);
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  long result = 0;
+  tf.transform_reduce(data.begin(), data.end(), result, std::plus<long>{},
+                      [](int v) { return static_cast<long>(v) * v; });
+  tf.wait_for_all();
+  long expected = 0;
+  for (int v : data) expected += static_cast<long>(v) * v;
+  EXPECT_EQ(result, expected);
+}
+
+TEST(TransformReduce, StringLengths) {
+  tf::Taskflow tf(2);
+  std::vector<std::string> words{"task", "dependency", "graph", "", "cpp"};
+  std::size_t total = 0;
+  tf.transform_reduce(words.begin(), words.end(), total, std::plus<std::size_t>{},
+                      [](const std::string& s) { return s.size(); });
+  tf.wait_for_all();
+  EXPECT_EQ(total, 4u + 10u + 5u + 0u + 3u);
+}
+
+TEST(Transform, ElementwiseMap) {
+  tf::Taskflow tf(4);
+  std::vector<int> in(5000);
+  std::iota(in.begin(), in.end(), 0);
+  std::vector<int> out(in.size(), -1);
+  tf.transform(in.begin(), in.end(), out.begin(), [](int v) { return v * 2; });
+  tf.wait_for_all();
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], in[i] * 2);
+}
+
+TEST(Transform, EmptyRange) {
+  tf::Taskflow tf(2);
+  std::vector<int> in, out;
+  tf.transform(in.begin(), in.end(), out.begin(), [](int v) { return v; });
+  tf.wait_for_all();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Transform, TypeConversion) {
+  tf::Taskflow tf(2);
+  std::vector<int> in{1, 2, 3};
+  std::vector<std::string> out(3);
+  tf.transform(in.begin(), in.end(), out.begin(),
+               [](int v) { return std::to_string(v); });
+  tf.wait_for_all();
+  EXPECT_EQ(out[0], "1");
+  EXPECT_EQ(out[1], "2");
+  EXPECT_EQ(out[2], "3");
+}
+
+TEST(Algorithms, ComposeTwoPatternsSequentially) {
+  // transform then reduce, chained through the sync tasks.
+  tf::Taskflow tf(4);
+  std::vector<int> in(1000, 2);
+  std::vector<int> mid(1000, 0);
+  long result = 0;
+  auto [ts, tt] = tf.transform(in.begin(), in.end(), mid.begin(),
+                               [](int v) { return v * 10; });
+  auto [rs, rt] = tf.reduce(mid.begin(), mid.end(), result, std::plus<long>{});
+  tt.precede(rs);
+  tf.wait_for_all();
+  EXPECT_EQ(result, 20000);
+}
+
+}  // namespace

@@ -1,0 +1,265 @@
+// Basic static-tasking semantics (paper §III-A/B, Listings 1-3).
+#include "taskflow/taskflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Records a global completion stamp per task, so dependency order can be
+// asserted after the run.
+class OrderRecorder {
+ public:
+  tf::Task emplace(tf::Taskflow& tf, const std::string& name) {
+    auto t = tf.emplace([this, name] {
+      const int stamp = _clock.fetch_add(1, std::memory_order_relaxed);
+      std::scoped_lock lock(_mutex);
+      _stamps[name] = stamp;
+    });
+    t.name(name);
+    return t;
+  }
+
+  // True when task `a` completed before task `b`.
+  [[nodiscard]] bool before(const std::string& a, const std::string& b) const {
+    return _stamps.at(a) < _stamps.at(b);
+  }
+
+  [[nodiscard]] std::size_t count() const { return _stamps.size(); }
+
+ private:
+  std::atomic<int> _clock{0};
+  mutable std::mutex _mutex;
+  std::map<std::string, int> _stamps;
+};
+
+TEST(Basics, Listing1DiamondOrder) {
+  for (int rep = 0; rep < 20; ++rep) {
+    tf::Taskflow tf(4);
+    OrderRecorder rec;
+    auto A = rec.emplace(tf, "A");
+    auto B = rec.emplace(tf, "B");
+    auto C = rec.emplace(tf, "C");
+    auto D = rec.emplace(tf, "D");
+    A.precede(B, C);
+    B.precede(D);
+    C.precede(D);
+    tf.wait_for_all();
+    EXPECT_EQ(rec.count(), 4u);
+    EXPECT_TRUE(rec.before("A", "B"));
+    EXPECT_TRUE(rec.before("A", "C"));
+    EXPECT_TRUE(rec.before("B", "D"));
+    EXPECT_TRUE(rec.before("C", "D"));
+  }
+}
+
+TEST(Basics, Figure2StaticGraph) {
+  // The seven-task / eight-constraint graph of paper Fig. 2 / Listing 3.
+  for (int rep = 0; rep < 10; ++rep) {
+    tf::Taskflow tf(4);
+    OrderRecorder rec;
+    auto a0 = rec.emplace(tf, "a0");
+    auto a1 = rec.emplace(tf, "a1");
+    auto a2 = rec.emplace(tf, "a2");
+    auto a3 = rec.emplace(tf, "a3");
+    auto b0 = rec.emplace(tf, "b0");
+    auto b1 = rec.emplace(tf, "b1");
+    auto b2 = rec.emplace(tf, "b2");
+    a0.precede(a1);
+    a1.precede(a2, b2);
+    a2.precede(a3);
+    b0.precede(b1);
+    b1.precede(a2, b2);
+    b2.precede(a3);
+    tf.wait_for_all();
+    EXPECT_TRUE(rec.before("a0", "a1"));
+    EXPECT_TRUE(rec.before("a1", "a2"));
+    EXPECT_TRUE(rec.before("a1", "b2"));
+    EXPECT_TRUE(rec.before("a2", "a3"));
+    EXPECT_TRUE(rec.before("b0", "b1"));
+    EXPECT_TRUE(rec.before("b1", "b2"));
+    EXPECT_TRUE(rec.before("b1", "a2"));
+    EXPECT_TRUE(rec.before("b2", "a3"));
+  }
+}
+
+TEST(Basics, EmplaceSingleReturnsTask) {
+  tf::Taskflow tf(1);
+  std::atomic<int> counter{0};
+  auto A = tf.emplace([&] { counter++; });
+  EXPECT_FALSE(A.empty());
+  EXPECT_FALSE(A.is_placeholder());
+  tf.wait_for_all();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(Basics, EmplaceMultipleReturnsTuple) {
+  tf::Taskflow tf(2);
+  std::atomic<int> counter{0};
+  auto [X, Y, Z] = tf.emplace([&] { counter++; }, [&] { counter++; }, [&] { counter++; });
+  EXPECT_FALSE(X.empty());
+  EXPECT_FALSE(Y.empty());
+  EXPECT_FALSE(Z.empty());
+  EXPECT_EQ(tf.num_nodes(), 3u);
+  tf.wait_for_all();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(Basics, DefaultTaskHandleIsEmpty) {
+  tf::Task t;
+  EXPECT_TRUE(t.empty());
+  tf::Task u = t;
+  EXPECT_TRUE(u.empty());
+  EXPECT_EQ(t, u);
+}
+
+TEST(Basics, PlaceholderAssignedLater) {
+  tf::Taskflow tf(2);
+  std::vector<int> order;
+  std::mutex m;
+  auto push = [&](int v) {
+    std::scoped_lock lock(m);
+    order.push_back(v);
+  };
+  auto pre = tf.emplace([&] { push(1); });
+  auto ph = tf.placeholder();
+  EXPECT_TRUE(ph.is_placeholder());
+  pre.precede(ph);
+  // Decide the callable target later (paper §III-A).
+  ph.work([&] { push(2); });
+  EXPECT_FALSE(ph.is_placeholder());
+  tf.wait_for_all();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Basics, UnassignedPlaceholderActsAsSynchronizer) {
+  tf::Taskflow tf(4);
+  OrderRecorder rec;
+  auto A = rec.emplace(tf, "A");
+  auto B = rec.emplace(tf, "B");
+  auto sync = tf.placeholder();
+  auto C = rec.emplace(tf, "C");
+  A.precede(sync);
+  B.precede(sync);
+  sync.precede(C);
+  tf.wait_for_all();
+  EXPECT_TRUE(rec.before("A", "C"));
+  EXPECT_TRUE(rec.before("B", "C"));
+}
+
+TEST(Basics, NamesRoundTrip) {
+  tf::Taskflow tf(1);
+  auto A = tf.emplace([] {});
+  EXPECT_TRUE(A.name().empty());
+  A.name("my-task");
+  EXPECT_EQ(A.name(), "my-task");
+}
+
+TEST(Basics, SucceedMirrorsPrecede) {
+  tf::Taskflow tf(2);
+  OrderRecorder rec;
+  auto A = rec.emplace(tf, "A");
+  auto B = rec.emplace(tf, "B");
+  auto C = rec.emplace(tf, "C");
+  C.succeed(A, B);  // C runs after A and B
+  tf.wait_for_all();
+  EXPECT_TRUE(rec.before("A", "C"));
+  EXPECT_TRUE(rec.before("B", "C"));
+}
+
+TEST(Basics, DegreeAccessors) {
+  tf::Taskflow tf(1);
+  auto A = tf.emplace([] {});
+  auto B = tf.emplace([] {});
+  auto C = tf.emplace([] {});
+  A.precede(B, C);
+  B.precede(C);
+  EXPECT_EQ(A.num_successors(), 2u);
+  EXPECT_EQ(A.num_dependents(), 0u);
+  EXPECT_EQ(C.num_dependents(), 2u);
+  EXPECT_EQ(C.num_successors(), 0u);
+}
+
+TEST(Basics, FreeFunctionPrecede) {
+  tf::Taskflow tf(2);
+  OrderRecorder rec;
+  auto A = rec.emplace(tf, "A");
+  auto B = rec.emplace(tf, "B");
+  tf.precede(A, B);
+  tf.wait_for_all();
+  EXPECT_TRUE(rec.before("A", "B"));
+}
+
+TEST(Basics, LinearizeChains) {
+  tf::Taskflow tf(4);
+  OrderRecorder rec;
+  std::vector<tf::Task> chain;
+  for (int i = 0; i < 8; ++i) chain.push_back(rec.emplace(tf, "t" + std::to_string(i)));
+  tf.linearize(chain);
+  tf.wait_for_all();
+  for (int i = 0; i + 1 < 8; ++i) {
+    EXPECT_TRUE(rec.before("t" + std::to_string(i), "t" + std::to_string(i + 1)));
+  }
+}
+
+TEST(Basics, LinearizeInitializerList) {
+  tf::Taskflow tf(2);
+  OrderRecorder rec;
+  auto A = rec.emplace(tf, "A");
+  auto B = rec.emplace(tf, "B");
+  auto C = rec.emplace(tf, "C");
+  tf.linearize({A, B, C});
+  tf.wait_for_all();
+  EXPECT_TRUE(rec.before("A", "B"));
+  EXPECT_TRUE(rec.before("B", "C"));
+}
+
+TEST(Basics, SingleWorkerExecutesEverything) {
+  tf::Taskflow tf(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) tf.emplace([&] { counter++; });
+  tf.wait_for_all();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Basics, IndependentTasksAllRun) {
+  tf::Taskflow tf(8);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) tf.emplace([&] { counter++; });
+  tf.wait_for_all();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(Basics, WaitForAllIsReentrant) {
+  tf::Taskflow tf(2);
+  std::atomic<int> counter{0};
+  tf.emplace([&] { counter++; });
+  tf.wait_for_all();
+  EXPECT_EQ(counter.load(), 1);
+  // Graph was consumed; a second wait with a new graph runs the new tasks.
+  tf.emplace([&] { counter += 10; });
+  tf.wait_for_all();
+  EXPECT_EQ(counter.load(), 11);
+  // And waiting with nothing pending is a no-op.
+  tf.wait_for_all();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(Basics, TaskflowDestructorWaitsForDispatchedWork) {
+  std::atomic<int> counter{0};
+  {
+    tf::Taskflow tf(2);
+    for (int i = 0; i < 50; ++i) tf.emplace([&] { counter++; });
+    tf.silent_dispatch();
+    // Destructor must block until all 50 tasks finished.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Graph dispatch semantics (paper §III-C, Listing 6): blocking and
+// non-blocking executions, topologies, futures.
+#include "taskflow/taskflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace {
+
+TEST(Dispatch, FutureBecomesReadyAfterCompletion) {
+  tf::Taskflow tf(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) tf.emplace([&] { counter++; });
+  auto fut = tf.dispatch();
+  fut.get();  // block until finish (paper Listing 6)
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Dispatch, NonBlockingReturnsImmediately) {
+  tf::Taskflow tf(2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> done{false};
+  tf.emplace([&] {
+    while (!release.load()) std::this_thread::yield();
+    done = true;
+  });
+  auto fut = tf.dispatch();
+  // The task is blocked on `release`, yet dispatch() already returned:
+  EXPECT_FALSE(done.load());
+  EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(10)), std::future_status::timeout);
+  release = true;
+  fut.get();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Dispatch, OverlapComputationWithGraphExecution) {
+  // The paper's use case: do other work between dispatch() and get().
+  tf::Taskflow tf(2);
+  std::atomic<long> sum{0};
+  for (int i = 0; i < 1000; ++i) tf.emplace([&] { sum.fetch_add(1); });
+  auto fut = tf.dispatch();
+  long overlap_work = 0;
+  for (int i = 0; i < 100000; ++i) overlap_work += i;  // overlapped computation
+  fut.get();
+  EXPECT_EQ(sum.load(), 1000);
+  EXPECT_EQ(overlap_work, 100000L * 99999L / 2);
+}
+
+TEST(Dispatch, SilentDispatchIgnoresStatus) {
+  tf::Taskflow tf(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) tf.emplace([&] { counter++; });
+  tf.silent_dispatch();
+  EXPECT_EQ(tf.num_topologies(), 1u);
+  tf.wait_for_all();
+  EXPECT_EQ(counter.load(), 10);
+  EXPECT_EQ(tf.num_topologies(), 0u);  // wait_for_all releases topologies
+}
+
+TEST(Dispatch, EmptyGraphFutureIsImmediatelyReady) {
+  tf::Taskflow tf(2);
+  auto fut = tf.dispatch();
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(tf.num_topologies(), 0u);
+}
+
+TEST(Dispatch, GraphIsConsumedByDispatch) {
+  tf::Taskflow tf(2);
+  tf.emplace([] {});
+  EXPECT_EQ(tf.num_nodes(), 1u);
+  tf.silent_dispatch();
+  EXPECT_EQ(tf.num_nodes(), 0u);  // present graph is fresh again
+  EXPECT_EQ(tf.num_topologies(), 1u);
+  tf.wait_for_all();
+}
+
+TEST(Dispatch, MultipleTopologiesRunConcurrently) {
+  tf::Taskflow tf(4);
+  std::atomic<int> counter{0};
+
+  // Listing 6 pattern: dispatch one graph, build another, dispatch again.
+  auto A1 = tf.emplace([&] { counter++; });
+  auto B1 = tf.emplace([&] { counter++; });
+  A1.precede(B1);
+  auto f1 = tf.dispatch();
+
+  tf::Task A2, B2;
+  std::tie(A2, B2) = tf.emplace([&] { counter++; }, [&] { counter++; });
+  B2.precede(A2);  // reversed constraint, as in the paper's listing
+  auto f2 = tf.dispatch();
+
+  f1.get();
+  f2.get();
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(Dispatch, ManySmallTopologies) {
+  tf::Taskflow tf(4);
+  std::atomic<int> counter{0};
+  std::vector<std::shared_future<void>> futures;
+  for (int k = 0; k < 50; ++k) {
+    for (int i = 0; i < 20; ++i) tf.emplace([&] { counter++; });
+    futures.push_back(tf.dispatch());
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+  EXPECT_EQ(tf.num_topologies(), 50u);
+  tf.wait_for_all();
+  EXPECT_EQ(tf.num_topologies(), 0u);
+}
+
+TEST(Dispatch, WaitForTopologiesKeepsThemAlive) {
+  tf::Taskflow tf(2);
+  tf.emplace([] {}).name("kept");
+  tf.silent_dispatch();
+  tf.wait_for_topologies();
+  EXPECT_EQ(tf.num_topologies(), 1u);
+  const auto dot = tf.dump_topologies();
+  EXPECT_NE(dot.find("kept"), std::string::npos);
+  tf.wait_for_all();
+}
+
+TEST(Dispatch, SharedFutureCopiesAllObserveCompletion) {
+  tf::Taskflow tf(2);
+  std::atomic<int> counter{0};
+  tf.emplace([&] { counter++; });
+  auto f1 = tf.dispatch();
+  auto f2 = f1;  // shared_future is copyable (paper §III-C)
+  f1.get();
+  f2.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// DOT dump (paper §III-G, Fig. 5): graph visualization output.
+#include "taskflow/dot.hpp"
+#include "taskflow/taskflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+int count_occurrences(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Dot, EmptyGraph) {
+  tf::Taskflow tf(1);
+  const auto dot = tf.dump();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(Dot, NamedNodesAndEdges) {
+  tf::Taskflow tf(1);
+  auto A = tf.emplace([] {}).name("A");
+  auto B = tf.emplace([] {}).name("B");
+  auto C = tf.emplace([] {}).name("C");
+  A.precede(B, C);
+  const auto dot = tf.dump();
+  EXPECT_NE(dot.find("label=\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"B\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"C\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, "->"), 2);
+}
+
+TEST(Dot, UnnamedNodesGetPointerLabels) {
+  tf::Taskflow tf(1);
+  tf.emplace([] {});
+  const auto dot = tf.dump();
+  EXPECT_NE(dot.find("label=\"p0x"), std::string::npos);
+}
+
+TEST(Dot, DumpDoesNotConsumeGraph) {
+  tf::Taskflow tf(1);
+  tf.emplace([] {}).name("X");
+  (void)tf.dump();
+  EXPECT_EQ(tf.num_nodes(), 1u);
+}
+
+TEST(Dot, SubflowRendersAsNestedCluster) {
+  // Reproduces the structure of paper Fig. 5: A spawns A1, A2; A2 spawns
+  // A2_1, A2_2.  Dumped after execution via dump_topologies().
+  tf::Taskflow tf(2);
+  auto A = tf.emplace([](tf::SubflowBuilder& sf) {
+    auto A1 = sf.emplace([] {}).name("A1");
+    auto A2 = sf.emplace([](tf::SubflowBuilder& sf2) {
+      sf2.emplace([] {}).name("A2_1");
+      sf2.emplace([] {}).name("A2_2");
+    });
+    A2.name("A2");
+    A1.precede(A2);
+  });
+  A.name("A");
+  tf.silent_dispatch();
+  tf.wait_for_topologies();
+
+  const auto dot = tf.dump_topologies();
+  EXPECT_EQ(count_occurrences(dot, "subgraph"), 2);  // two nested clusters
+  EXPECT_NE(dot.find("Subflow: A"), std::string::npos);
+  EXPECT_NE(dot.find("Subflow: A2"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"A1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"A2_1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"A2_2\""), std::string::npos);
+  tf.wait_for_all();
+}
+
+TEST(Dot, TitleAppearsInOutput) {
+  tf::Graph g;
+  g.emplace_back().set_name("only");
+  const auto dot = tf::dump_dot(g, "MyTitle");
+  EXPECT_NE(dot.find("digraph \"MyTitle\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"only\""), std::string::npos);
+}
+
+TEST(Dot, EdgesPointFromPredecessorToSuccessor) {
+  tf::Graph g;
+  auto& a = g.emplace_back();
+  auto& b = g.emplace_back();
+  a.set_name("src");
+  b.set_name("dst");
+  a.precede(b);
+  const auto dot = tf::dump_dot(g);
+  // Edge must reference both node ids in one line, source first.
+  const auto arrow = dot.find("->");
+  ASSERT_NE(arrow, std::string::npos);
+  const auto line_start = dot.rfind('\n', arrow);
+  const auto line_end = dot.find('\n', arrow);
+  const auto line = dot.substr(line_start + 1, line_end - line_start - 1);
+  EXPECT_LT(line.find('p'), line.find("->"));
+}
+
+}  // namespace

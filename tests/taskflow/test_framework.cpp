@@ -1,0 +1,180 @@
+// tf::Framework (reusable graphs) and the v1-era API extensions
+// (emplace_future, broadcast/gather).
+#include "taskflow/taskflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace {
+
+TEST(Framework, RunOnceExecutesAllTasks) {
+  tf::Framework fw;
+  std::atomic<int> counter{0};
+  auto [A, B, C] = fw.emplace([&] { counter++; }, [&] { counter++; }, [&] { counter++; });
+  A.precede(B, C);
+  tf::Taskflow tf(2);
+  tf.run(fw).get();
+  EXPECT_EQ(counter.load(), 3);
+  tf.wait_for_all();
+}
+
+TEST(Framework, RunNRepeatsTheSameGraph) {
+  tf::Framework fw;
+  std::atomic<int> counter{0};
+  std::vector<tf::Task> chain;
+  for (int i = 0; i < 10; ++i) chain.push_back(fw.emplace([&] { counter++; }));
+  fw.linearize(chain);
+
+  tf::Taskflow tf(4);
+  tf.run_n(fw, 25);
+  EXPECT_EQ(counter.load(), 250);
+  tf.wait_for_all();
+}
+
+TEST(Framework, DependenciesHoldOnEveryRun) {
+  tf::Framework fw;
+  int value = 0;  // written in strict order on every run
+  bool ok = true;
+  auto A = fw.emplace([&] {
+    if (value % 3 != 0) ok = false;
+    ++value;
+  });
+  auto B = fw.emplace([&] {
+    if (value % 3 != 1) ok = false;
+    ++value;
+  });
+  auto C = fw.emplace([&] {
+    if (value % 3 != 2) ok = false;
+    ++value;
+  });
+  A.precede(B);
+  B.precede(C);
+
+  tf::Taskflow tf(4);
+  tf.run_n(fw, 50);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(value, 150);
+  tf.wait_for_all();
+}
+
+TEST(Framework, DynamicTasksRespawnEachRun) {
+  tf::Framework fw;
+  std::atomic<int> children{0};
+  fw.emplace([&](tf::SubflowBuilder& sf) {
+    for (int i = 0; i < 5; ++i) sf.emplace([&] { children++; });
+  });
+  tf::Taskflow tf(2);
+  tf.run_n(fw, 4);
+  EXPECT_EQ(children.load(), 20);  // 5 children per run, re-spawned
+  tf.wait_for_all();
+}
+
+TEST(Framework, MultipleFrameworksInterleave) {
+  tf::Framework fa, fb;
+  std::atomic<int> a{0}, b{0};
+  fa.emplace([&] { a++; });
+  fb.emplace([&] { b++; });
+  tf::Taskflow tf(2);
+  for (int i = 0; i < 10; ++i) {
+    auto ra = tf.run(fa);
+    auto rb = tf.run(fb);
+    ra.get();
+    rb.get();
+  }
+  EXPECT_EQ(a.load(), 10);
+  EXPECT_EQ(b.load(), 10);
+  tf.wait_for_all();
+}
+
+TEST(Framework, AlgorithmsWorkInsideFrameworks) {
+  tf::Framework fw(4);
+  std::vector<int> data(1000, 0);
+  fw.parallel_for(data.begin(), data.end(), [](int& v) { ++v; });
+  tf::Taskflow tf(4);
+  tf.run_n(fw, 3);
+  for (int v : data) EXPECT_EQ(v, 3);
+  tf.wait_for_all();
+}
+
+TEST(EmplaceFuture, DeliversReturnValue) {
+  tf::Taskflow tf(2);
+  auto [task, future] = tf.emplace_future([] { return 42; });
+  EXPECT_FALSE(task.empty());
+  tf.silent_dispatch();
+  EXPECT_EQ(future.get(), 42);
+  tf.wait_for_all();
+}
+
+TEST(EmplaceFuture, VoidCallableSignalsCompletion) {
+  tf::Taskflow tf(2);
+  std::atomic<bool> ran{false};
+  auto [task, future] = tf.emplace_future([&] { ran = true; });
+  tf.silent_dispatch();
+  future.get();
+  EXPECT_TRUE(ran.load());
+  tf.wait_for_all();
+}
+
+TEST(EmplaceFuture, ComposesWithDependencies) {
+  tf::Taskflow tf(2);
+  int x = 0;
+  auto pre = tf.emplace([&] { x = 10; });
+  auto [task, future] = tf.emplace_future([&] { return x * 2; });
+  pre.precede(task);
+  tf.silent_dispatch();
+  EXPECT_EQ(future.get(), 20);
+  tf.wait_for_all();
+}
+
+TEST(EmplaceFuture, MoveOnlyResult) {
+  tf::Taskflow tf(1);
+  auto [task, future] = tf.emplace_future([] { return std::make_unique<int>(7); });
+  tf.silent_dispatch();
+  EXPECT_EQ(*future.get(), 7);
+  tf.wait_for_all();
+}
+
+TEST(BroadcastGather, VectorForms) {
+  tf::Taskflow tf(4);
+  std::atomic<int> stage{0};
+  std::atomic<bool> order_ok{true};
+
+  auto src = tf.emplace([&] { stage = 1; });
+  std::vector<tf::Task> mids;
+  for (int i = 0; i < 8; ++i) {
+    mids.push_back(tf.emplace([&] {
+      if (stage.load() != 1) order_ok = false;
+    }));
+  }
+  auto sink = tf.emplace([&] {
+    if (stage.exchange(2) != 1) order_ok = false;
+  });
+  src.broadcast(mids);  // src precedes all mids
+  sink.gather(mids);    // sink succeeds all mids
+  tf.wait_for_all();
+  EXPECT_TRUE(order_ok.load());
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(Framework, SubflowsInsideFrameworkJoinBeforeSuccessors) {
+  tf::Framework fw;
+  std::atomic<int> child_sum{0};
+  std::atomic<bool> d_saw_children{true};
+  auto B = fw.emplace([&](tf::SubflowBuilder& sf) {
+    auto c1 = sf.emplace([&] { child_sum++; });
+    auto c2 = sf.emplace([&] { child_sum++; });
+    c1.precede(c2);
+  });
+  auto D = fw.emplace([&] {
+    if (child_sum.load() % 2 != 0) d_saw_children = false;
+  });
+  B.precede(D);
+  tf::Taskflow tf(4);
+  tf.run_n(fw, 10);
+  EXPECT_TRUE(d_saw_children.load());
+  EXPECT_EQ(child_sum.load(), 20);
+  tf.wait_for_all();
+}
+
+}  // namespace

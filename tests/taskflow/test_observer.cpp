@@ -1,0 +1,164 @@
+// Executor observer interface and the recording observer used for the CPU
+// utilization profile (paper Fig. 10 right).
+#include "taskflow/observer.hpp"
+#include "taskflow/taskflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+namespace {
+
+class CountingObserver final : public tf::ExecutorObserverInterface {
+ public:
+  std::atomic<int> setups{0};
+  std::atomic<int> entries{0};
+  std::atomic<int> exits{0};
+  std::atomic<std::size_t> workers{0};
+
+  void set_up(std::size_t num_workers) override {
+    setups++;
+    workers = num_workers;
+  }
+  void on_entry(std::size_t, const tf::Node&) override { entries++; }
+  void on_exit(std::size_t, const tf::Node&) override { exits++; }
+};
+
+TEST(Observer, ReceivesSetUpWithWorkerCount) {
+  auto executor = tf::make_executor(3);
+  auto obs = std::make_shared<CountingObserver>();
+  executor->set_observer(obs);
+  EXPECT_EQ(obs->setups.load(), 1);
+  EXPECT_EQ(obs->workers.load(), 3u);
+}
+
+TEST(Observer, EntryExitPerTask) {
+  auto executor = tf::make_executor(2);
+  auto obs = std::make_shared<CountingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  for (int i = 0; i < 100; ++i) tf.emplace([] {});
+  tf.wait_for_all();
+  EXPECT_EQ(obs->entries.load(), 100);
+  EXPECT_EQ(obs->exits.load(), 100);
+}
+
+TEST(Observer, PlaceholdersAreNotObserved) {
+  auto executor = tf::make_executor(2);
+  auto obs = std::make_shared<CountingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  auto a = tf.emplace([] {});
+  auto p = tf.placeholder();  // no callable: synchronization only
+  a.precede(p);
+  tf.wait_for_all();
+  EXPECT_EQ(obs->entries.load(), 1);
+}
+
+TEST(Observer, DynamicTasksObservedOncePerSpawn) {
+  auto executor = tf::make_executor(2);
+  auto obs = std::make_shared<CountingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  tf.emplace([](tf::SubflowBuilder& sf) {
+    sf.emplace([] {});
+    sf.emplace([] {});
+  });
+  tf.wait_for_all();
+  EXPECT_EQ(obs->entries.load(), 3);  // parent + 2 children
+  EXPECT_EQ(obs->exits.load(), 3);
+}
+
+TEST(RecordingObserver, CountsTasks) {
+  auto executor = tf::make_executor(2);
+  auto obs = std::make_shared<tf::RecordingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  for (int i = 0; i < 50; ++i) tf.emplace([] {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  tf.wait_for_all();
+  EXPECT_EQ(obs->num_tasks(), 50u);
+}
+
+TEST(RecordingObserver, UtilizationReflectsBusyTime) {
+  auto executor = tf::make_executor(2);
+  auto obs = std::make_shared<tf::RecordingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  // One long task: ~40ms busy on one worker.
+  tf.emplace([] { std::this_thread::sleep_for(std::chrono::milliseconds(40)); });
+  tf.wait_for_all();
+  const auto util = obs->utilization(std::chrono::milliseconds(10));
+  ASSERT_GE(util.size(), 3u);
+  double total = 0.0;
+  for (double u : util) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 200.0 + 1e-9);  // 2 workers -> max 200%
+    total += u;
+  }
+  EXPECT_GT(total, 100.0);  // roughly 4 buckets at ~100%
+}
+
+TEST(RecordingObserver, EmptyUtilizationWhenNothingRecorded) {
+  tf::RecordingObserver obs;
+  obs.set_up(2);
+  EXPECT_TRUE(obs.utilization(std::chrono::milliseconds(10)).empty());
+  EXPECT_EQ(obs.num_tasks(), 0u);
+}
+
+TEST(RecordingObserver, ClearResets) {
+  auto executor = tf::make_executor(1);
+  auto obs = std::make_shared<tf::RecordingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  tf.emplace([] {});
+  tf.wait_for_all();
+  EXPECT_EQ(obs->num_tasks(), 1u);
+  obs->clear();
+  EXPECT_EQ(obs->num_tasks(), 0u);
+}
+
+
+TEST(RecordingObserver, ChromeTracingExport) {
+  auto executor = tf::make_executor(2);
+  auto obs = std::make_shared<tf::RecordingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  tf.emplace([] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); })
+      .name("alpha");
+  tf.emplace([] {}).name("beta \"quoted\"");
+  tf.wait_for_all();
+
+  std::ostringstream ss;
+  obs->dump_chrome_tracing(ss);
+  const std::string json = ss.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("beta \\\"quoted\\\""), std::string::npos);  // escaped
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Crude structural validity: balanced braces, one event per task.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 2);
+}
+
+TEST(RecordingObserver, IntervalAccessorsExposeNames) {
+  auto executor = tf::make_executor(1);
+  auto obs = std::make_shared<tf::RecordingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  tf.emplace([] {}).name("only");
+  tf.wait_for_all();
+  ASSERT_EQ(obs->num_workers(), 1u);
+  ASSERT_EQ(obs->intervals(0).size(), 1u);
+  EXPECT_EQ(obs->intervals(0)[0].name, "only");
+  EXPECT_LE(obs->intervals(0)[0].begin, obs->intervals(0)[0].end);
+}
+
+}  // namespace
+

@@ -1,0 +1,219 @@
+// Dynamic tasking (paper §III-D, Fig. 4 / Listing 7): joined and detached
+// subflows, nesting, and the unified-interface property.
+#include "taskflow/taskflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace {
+
+class Stamps {
+ public:
+  void mark(const std::string& name) {
+    const int stamp = _clock.fetch_add(1, std::memory_order_relaxed);
+    std::scoped_lock lock(_mutex);
+    _stamps[name] = stamp;
+  }
+  [[nodiscard]] bool before(const std::string& a, const std::string& b) const {
+    return _stamps.at(a) < _stamps.at(b);
+  }
+  [[nodiscard]] bool has(const std::string& a) const { return _stamps.count(a) > 0; }
+  [[nodiscard]] std::size_t count() const { return _stamps.size(); }
+
+ private:
+  std::atomic<int> _clock{0};
+  mutable std::mutex _mutex;
+  std::map<std::string, int> _stamps;
+};
+
+TEST(Subflow, Figure4JoinedSubflow) {
+  // B spawns B1, B2, B3; joined, so all must finish before D.
+  for (int rep = 0; rep < 20; ++rep) {
+    tf::Taskflow tf(4);
+    Stamps st;
+    auto A = tf.emplace([&] { st.mark("A"); });
+    auto C = tf.emplace([&] { st.mark("C"); });
+    auto D = tf.emplace([&] { st.mark("D"); });
+    auto B = tf.emplace([&](tf::SubflowBuilder& subflow) {
+      st.mark("B");
+      auto [B1, B2, B3] = subflow.emplace([&] { st.mark("B1"); },
+                                          [&] { st.mark("B2"); },
+                                          [&] { st.mark("B3"); });
+      B1.precede(B3);
+      B2.precede(B3);
+    });
+    A.precede(B, C);
+    B.precede(D);
+    C.precede(D);
+    tf.wait_for_all();
+
+    EXPECT_EQ(st.count(), 7u);
+    EXPECT_TRUE(st.before("A", "B"));
+    EXPECT_TRUE(st.before("A", "C"));
+    EXPECT_TRUE(st.before("B", "B1"));
+    EXPECT_TRUE(st.before("B", "B2"));
+    EXPECT_TRUE(st.before("B1", "B3"));
+    EXPECT_TRUE(st.before("B2", "B3"));
+    // Joined: the whole subflow precedes the parent's successor D.
+    EXPECT_TRUE(st.before("B3", "D"));
+    EXPECT_TRUE(st.before("C", "D"));
+  }
+}
+
+TEST(Subflow, DetachedSubflowDoesNotGateSuccessors) {
+  // With detach(), D may run before the subflow, but the topology still
+  // waits for every detached task (paper: "a detached subflow will
+  // eventually join the end of the topology").
+  std::atomic<int> subflow_done{0};
+  std::atomic<int> total{0};
+  for (int rep = 0; rep < 20; ++rep) {
+    tf::Taskflow tf(4);
+    auto B = tf.emplace([&](tf::SubflowBuilder& sf) {
+      auto [x, y] = sf.emplace([&] { subflow_done++; }, [&] { subflow_done++; });
+      x.precede(y);
+      sf.detach();
+      EXPECT_TRUE(sf.detached());
+    });
+    auto D = tf.emplace([&] { total++; });
+    B.precede(D);
+    tf.wait_for_all();
+  }
+  // All detached tasks completed by the time wait_for_all returned.
+  EXPECT_EQ(subflow_done.load(), 40);
+  EXPECT_EQ(total.load(), 20);
+}
+
+TEST(Subflow, JoinAfterDetachRestoresJoining) {
+  tf::Taskflow tf(2);
+  Stamps st;
+  auto B = tf.emplace([&](tf::SubflowBuilder& sf) {
+    st.mark("B");
+    sf.detach();
+    sf.join();  // change of mind: joined again (default behaviour)
+    EXPECT_TRUE(sf.joined());
+    sf.emplace([&] { st.mark("child"); });
+  });
+  auto D = tf.emplace([&] { st.mark("D"); });
+  B.precede(D);
+  tf.wait_for_all();
+  EXPECT_TRUE(st.before("child", "D"));
+}
+
+TEST(Subflow, NestedSubflowsJoinRecursively) {
+  // A spawns A1 and A2; A2 spawns A2_1, A2_2 (paper Fig. 5 structure).
+  for (int rep = 0; rep < 10; ++rep) {
+    tf::Taskflow tf(4);
+    Stamps st;
+    auto A = tf.emplace([&](tf::SubflowBuilder& sfa) {
+      st.mark("A");
+      auto A1 = sfa.emplace([&] { st.mark("A1"); });
+      auto A2 = sfa.emplace([&](tf::SubflowBuilder& sfa2) {
+        st.mark("A2");
+        auto A2_1 = sfa2.emplace([&] { st.mark("A2_1"); });
+        auto A2_2 = sfa2.emplace([&] { st.mark("A2_2"); });
+        A2_1.precede(A2_2);
+      });
+      A1.precede(A2);
+    });
+    auto End = tf.emplace([&] { st.mark("End"); });
+    A.precede(End);
+    tf.wait_for_all();
+
+    EXPECT_EQ(st.count(), 6u);
+    EXPECT_TRUE(st.before("A", "A1"));
+    EXPECT_TRUE(st.before("A1", "A2"));
+    EXPECT_TRUE(st.before("A2", "A2_1"));
+    EXPECT_TRUE(st.before("A2_1", "A2_2"));
+    // The innermost nested task still precedes the outer parent's successor.
+    EXPECT_TRUE(st.before("A2_2", "End"));
+  }
+}
+
+TEST(Subflow, EmptySubflowCompletesNormally) {
+  tf::Taskflow tf(2);
+  std::atomic<int> ran{0};
+  auto B = tf.emplace([&](tf::SubflowBuilder&) { ran++; });
+  auto D = tf.emplace([&] { ran++; });
+  B.precede(D);
+  tf.wait_for_all();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(Subflow, UnifiedInterfaceSupportsAlgorithms) {
+  // The same parallel_for building block used in static tasking works
+  // inside a subflow (the paper's "unified interface" claim).
+  tf::Taskflow tf(4);
+  std::vector<int> data(1000, 0);
+  auto B = tf.emplace([&](tf::SubflowBuilder& sf) {
+    sf.parallel_for(data.begin(), data.end(), [](int& v) { v += 1; });
+  });
+  auto Check = tf.emplace([&] {});
+  B.precede(Check);
+  tf.wait_for_all();
+  for (int v : data) EXPECT_EQ(v, 1);
+}
+
+TEST(Subflow, RecursiveFibonacciViaNestedSubflows) {
+  // Classic recursive decomposition: each level spawns a nested subflow.
+  std::function<int(int)> fib_seq = [&](int n) {
+    return n < 2 ? n : fib_seq(n - 1) + fib_seq(n - 2);
+  };
+
+  struct Spawner {
+    static void spawn(tf::SubflowBuilder& sf, int n, int* out) {
+      if (n < 2) {
+        *out = n;
+        return;
+      }
+      auto lhs = std::make_shared<int>(0);
+      auto rhs = std::make_shared<int>(0);
+      auto L = sf.emplace(
+          [n, lhs](tf::SubflowBuilder& s) { spawn(s, n - 1, lhs.get()); });
+      auto R = sf.emplace(
+          [n, rhs](tf::SubflowBuilder& s) { spawn(s, n - 2, rhs.get()); });
+      auto merge = sf.emplace([out, lhs, rhs] { *out = *lhs + *rhs; });
+      L.precede(merge);
+      R.precede(merge);
+    }
+  };
+
+  int result = 0;
+  tf::Taskflow tf(4);
+  tf.emplace([&](tf::SubflowBuilder& sf) { Spawner::spawn(sf, 12, &result); });
+  tf.wait_for_all();
+  EXPECT_EQ(result, fib_seq(12));  // 144
+}
+
+TEST(Subflow, ManyParallelSubflows) {
+  tf::Taskflow tf(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    tf.emplace([&](tf::SubflowBuilder& sf) {
+      for (int j = 0; j < 10; ++j) sf.emplace([&] { counter++; });
+    });
+  }
+  tf.wait_for_all();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(Subflow, DetachedSubflowCountsTowardTopologyCompletion) {
+  // A lone dynamic task with a detached slow child: wait_for_all must not
+  // return until the child ran.
+  tf::Taskflow tf(2);
+  std::atomic<bool> child_ran{false};
+  tf.emplace([&](tf::SubflowBuilder& sf) {
+    sf.emplace([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      child_ran.store(true);
+    });
+    sf.detach();
+  });
+  tf.wait_for_all();
+  EXPECT_TRUE(child_ran.load());
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Chase-Lev work-stealing queue: owner semantics, growth, and concurrent
+// owner/thief property tests.
+#include "taskflow/wsq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using Queue = tf::WorkStealingQueue<std::intptr_t>;
+
+TEST(Wsq, StartsEmpty) {
+  Queue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.steal().has_value());
+}
+
+TEST(Wsq, OwnerPopIsLifo) {
+  Queue q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(Wsq, StealIsFifo) {
+  Queue q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.steal().value(), 1);
+  EXPECT_EQ(q.steal().value(), 2);
+  EXPECT_EQ(q.steal().value(), 3);
+  EXPECT_FALSE(q.steal().has_value());
+}
+
+TEST(Wsq, MixedPopAndStealMeetInTheMiddle) {
+  Queue q;
+  for (std::intptr_t i = 0; i < 10; ++i) q.push(i);
+  EXPECT_EQ(q.steal().value(), 0);
+  EXPECT_EQ(q.pop().value(), 9);
+  EXPECT_EQ(q.steal().value(), 1);
+  EXPECT_EQ(q.pop().value(), 8);
+  EXPECT_EQ(q.size(), 6u);
+}
+
+TEST(Wsq, GrowsBeyondInitialCapacity) {
+  Queue q(2);
+  constexpr std::intptr_t n = 10000;
+  for (std::intptr_t i = 0; i < n; ++i) q.push(i);
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(n));
+  EXPECT_GE(q.capacity(), n);
+  for (std::intptr_t i = n - 1; i >= 0; --i) EXPECT_EQ(q.pop().value(), i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Wsq, InterleavedPushPopStaysConsistent) {
+  Queue q(4);
+  std::intptr_t pushed = 0, popped = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < (round % 7) + 1; ++i) q.push(pushed++);
+    for (int i = 0; i < (round % 5); ++i) {
+      if (auto v = q.pop()) ++popped;
+    }
+  }
+  while (q.pop()) ++popped;
+  EXPECT_EQ(pushed, popped);
+  EXPECT_TRUE(q.empty());
+}
+
+// Property: with one owner and many thieves, every pushed item is extracted
+// exactly once (no loss, no duplication).
+class WsqConcurrency : public ::testing::TestWithParam<int> {};
+
+TEST_P(WsqConcurrency, EveryItemExtractedExactlyOnce) {
+  const int num_thieves = GetParam();
+  constexpr std::intptr_t n = 50000;
+
+  Queue q(64);
+  std::atomic<bool> done{false};
+  std::vector<std::vector<std::intptr_t>> stolen(static_cast<std::size_t>(num_thieves));
+  std::vector<std::thread> thieves;
+
+  for (int t = 0; t < num_thieves; ++t) {
+    thieves.emplace_back([&, t] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto v = q.steal()) stolen[static_cast<std::size_t>(t)].push_back(*v);
+      }
+      // Final drain so nothing is left behind.
+      while (auto v = q.steal()) stolen[static_cast<std::size_t>(t)].push_back(*v);
+    });
+  }
+
+  std::vector<std::intptr_t> popped;
+  for (std::intptr_t i = 0; i < n; ++i) {
+    q.push(i);
+    if (i % 3 == 0) {
+      if (auto v = q.pop()) popped.push_back(*v);
+    }
+  }
+  while (auto v = q.pop()) popped.push_back(*v);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  std::multiset<std::intptr_t> all(popped.begin(), popped.end());
+  for (const auto& lane : stolen) all.insert(lane.begin(), lane.end());
+
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+  std::intptr_t expect = 0;
+  for (auto v : all) EXPECT_EQ(v, expect++);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thieves, WsqConcurrency, ::testing::Values(1, 2, 4, 8));
+
+// Property: steals preserve FIFO order per thief-free prefix - i.e. a single
+// thief always observes strictly increasing values when the owner only pushes.
+TEST(Wsq, SingleThiefObservesFifoOrder) {
+  Queue q(8);
+  std::atomic<bool> done{false};
+  std::vector<std::intptr_t> seen;
+  std::thread thief([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (auto v = q.steal()) seen.push_back(*v);
+    }
+    while (auto v = q.steal()) seen.push_back(*v);
+  });
+  for (std::intptr_t i = 0; i < 20000; ++i) q.push(i);
+  done.store(true, std::memory_order_release);
+  thief.join();
+  for (std::size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i - 1], seen[i]);
+  EXPECT_EQ(seen.size(), 20000u);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "timer/celllib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+class SyntheticLib : public ::testing::Test {
+ protected:
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+};
+
+TEST_F(SyntheticLib, HasIoPseudoCells) {
+  EXPECT_EQ(lib.input_cell().kind, ot::CellKind::Input);
+  EXPECT_EQ(lib.output_cell().kind, ot::CellKind::Output);
+  EXPECT_EQ(lib.input_cell().num_inputs(), 0);
+  EXPECT_EQ(lib.output_cell().num_inputs(), 1);
+  EXPECT_EQ(lib.output_cell().output_pin(), -1);
+}
+
+TEST_F(SyntheticLib, AllKindsInThreeDrives) {
+  for (ot::CellKind kind :
+       {ot::CellKind::Inv, ot::CellKind::Buf, ot::CellKind::Nand2, ot::CellKind::Nor2,
+        ot::CellKind::And2, ot::CellKind::Or2, ot::CellKind::Xor2, ot::CellKind::Aoi21,
+        ot::CellKind::Oai21, ot::CellKind::Dff}) {
+    const auto v = lib.variants(kind);
+    ASSERT_EQ(v.size(), 3u) << ot::to_string(kind);
+    EXPECT_EQ(v[0]->drive, 1);
+    EXPECT_EQ(v[1]->drive, 2);
+    EXPECT_EQ(v[2]->drive, 4);
+  }
+}
+
+TEST_F(SyntheticLib, LookupByName) {
+  EXPECT_NE(lib.find("NAND2_X1"), nullptr);
+  EXPECT_NE(lib.find("INV_X4"), nullptr);
+  EXPECT_EQ(lib.find("NAND9_X1"), nullptr);
+  EXPECT_THROW((void)lib.at("NAND9_X1"), std::out_of_range);
+  EXPECT_EQ(lib.at("DFF_X2").drive, 2);
+}
+
+TEST_F(SyntheticLib, OneArcPerCombinationalInput) {
+  const ot::Cell& nand2 = lib.at("NAND2_X1");
+  EXPECT_EQ(nand2.num_inputs(), 2);
+  EXPECT_EQ(nand2.arcs.size(), 2u);
+  const ot::Cell& aoi = lib.at("AOI21_X1");
+  EXPECT_EQ(aoi.num_inputs(), 3);
+  EXPECT_EQ(aoi.arcs.size(), 3u);
+}
+
+TEST_F(SyntheticLib, DffHasOnlyClkToQArc) {
+  const ot::Cell& dff = lib.at("DFF_X1");
+  EXPECT_TRUE(dff.is_sequential());
+  ASSERT_EQ(dff.arcs.size(), 1u);
+  EXPECT_TRUE(dff.pins[static_cast<std::size_t>(dff.arcs[0].from_pin)].is_clock);
+  // D pin exists, is an input, and carries no arc.
+  bool has_d = false;
+  for (const auto& p : dff.pins) has_d |= (p.name == "D" && p.is_input);
+  EXPECT_TRUE(has_d);
+}
+
+TEST_F(SyntheticLib, HigherDriveIsFasterUnderLoad) {
+  const ot::Cell& x1 = lib.at("NAND2_X1");
+  const ot::Cell& x4 = lib.at("NAND2_X4");
+  // Same intrinsic family, lower resistance at higher drive.
+  EXPECT_LT(x4.arcs[0].resistance[ot::kRise], x1.arcs[0].resistance[ot::kRise]);
+  // But larger input capacitance (the resize trade-off).
+  EXPECT_GT(x4.pins[0].capacitance, x1.pins[0].capacitance);
+}
+
+TEST_F(SyntheticLib, UnatenessBySenseConvention) {
+  EXPECT_EQ(lib.at("INV_X1").arcs[0].sense, ot::TimingSense::NegativeUnate);
+  EXPECT_EQ(lib.at("BUF_X1").arcs[0].sense, ot::TimingSense::PositiveUnate);
+  EXPECT_EQ(lib.at("XOR2_X1").arcs[0].sense, ot::TimingSense::NonUnate);
+}
+
+TEST_F(SyntheticLib, CombinationalQueryByInputCount) {
+  const auto two = lib.combinational_with_inputs(2);
+  // NAND2/NOR2/AND2/OR2/XOR2 in three drives each.
+  EXPECT_EQ(two.size(), 15u);
+  const auto one = lib.combinational_with_inputs(1);
+  EXPECT_EQ(one.size(), 6u);  // INV, BUF x 3 drives
+  const auto three = lib.combinational_with_inputs(3);
+  EXPECT_EQ(three.size(), 6u);  // AOI21, OAI21 x 3 drives
+}
+
+TEST_F(SyntheticLib, KindNamesRoundTrip) {
+  EXPECT_STREQ(ot::to_string(ot::CellKind::Nand2), "NAND2");
+  EXPECT_STREQ(ot::to_string(ot::CellKind::Dff), "DFF");
+}
+
+}  // namespace

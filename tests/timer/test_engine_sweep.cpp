@@ -1,0 +1,115 @@
+// Parameterized engine-equivalence sweep: v1/v2/seq agreement across
+// circuit sizes, seeds, thread counts, and corner counts (the broad-net
+// counterpart of test_timer_engines.cpp).
+#include "timer/modifier.hpp"
+#include "timer/timers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct SweepParam {
+  std::size_t gates;
+  std::uint64_t seed;
+  unsigned threads;
+  int corners;
+};
+
+class EngineSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+
+  ot::Netlist circuit() const {
+    ot::CircuitSpec spec;
+    spec.num_gates = GetParam().gates;
+    spec.seed = GetParam().seed;
+    spec.num_inputs = 10;
+    return ot::make_circuit(lib, spec);
+  }
+
+  ot::TimerOptions options() const {
+    ot::TimerOptions opt;
+    opt.num_threads = GetParam().threads;
+    opt.corners = GetParam().corners;
+    opt.clock_period = 1.5;
+    return opt;
+  }
+};
+
+TEST_P(EngineSweep, FullAndIncrementalAgreement) {
+  auto nl_v1 = circuit();
+  auto nl_v2 = circuit();
+  auto nl_ref = circuit();
+  const auto opt = options();
+
+  ot::TimerV1 v1(nl_v1, opt);
+  ot::TimerV2 v2(nl_v2, opt);
+  ot::SeqTimer ref(nl_ref, opt);
+  v1.full_update();
+  v2.full_update();
+  ref.full_update();
+  ASSERT_NEAR(v1.worst_slack(), ref.worst_slack(), 1e-9);
+  ASSERT_NEAR(v2.worst_slack(), ref.worst_slack(), 1e-9);
+
+  ot::ModifierStream m1(nl_v1, GetParam().seed + 1);
+  ot::ModifierStream m2(nl_v2, GetParam().seed + 1);
+  ot::ModifierStream mr(nl_ref, GetParam().seed + 1);
+  for (int i = 0; i < 6; ++i) {
+    const auto a = m1.next();
+    const auto b = m2.next();
+    const auto c = mr.next();
+    ASSERT_EQ(a.gate, b.gate);
+    ASSERT_EQ(a.gate, c.gate);
+    v1.resize(a.gate, *a.new_cell);
+    v2.resize(b.gate, *b.new_cell);
+    ref.netlist().resize_gate(c.gate, *c.new_cell);
+    ref.full_update();
+    ASSERT_NEAR(v1.worst_slack(), ref.worst_slack(), 1e-9) << "iteration " << i;
+    ASSERT_NEAR(v2.worst_slack(), ref.worst_slack(), 1e-9) << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineSweep,
+    ::testing::Values(SweepParam{100, 1, 1, 1}, SweepParam{100, 2, 4, 2},
+                      SweepParam{500, 3, 2, 1}, SweepParam{500, 4, 4, 4},
+                      SweepParam{1500, 5, 4, 1}, SweepParam{1500, 6, 8, 2},
+                      SweepParam{3000, 7, 4, 1}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "g" + std::to_string(info.param.gates) + "_s" +
+             std::to_string(info.param.seed) + "_t" +
+             std::to_string(info.param.threads) + "_c" +
+             std::to_string(info.param.corners);
+    });
+
+TEST(Corners, MoreCornersNeverImproveLateTiming) {
+  // Extra corners only add pessimism: late arrivals grow, worst slack
+  // shrinks (or stays), monotonically in the corner count.
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+  ot::CircuitSpec spec;
+  spec.num_gates = 400;
+  spec.seed = 11;
+  double prev_slack = ot::kInf;
+  for (int corners : {1, 2, 4, 8}) {
+    auto nl = ot::make_circuit(lib, spec);
+    ot::TimerOptions opt;
+    opt.corners = corners;
+    ot::SeqTimer t(nl, opt);
+    t.full_update();
+    EXPECT_LE(t.worst_slack(), prev_slack + 1e-12) << corners;
+    prev_slack = t.worst_slack();
+  }
+}
+
+TEST(Corners, SingleCornerMatchesLegacyBehaviour) {
+  // corners=1 must be exactly the nominal analysis (derate = 1.0).
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+  const ot::CellArc& arc = lib.at("NAND2_X1").arcs[0];
+  const double d = ot::cell_arc_delay(arc, ot::kRise, 2.0, 0.05);
+  EXPECT_GT(d, 0.0);
+  // Spot check: the nominal corner of a multi-corner run reproduces the
+  // same first-corner delay (derate 1.0 at c=0).
+  EXPECT_DOUBLE_EQ(ot::cell_arc_delay(arc, ot::kRise, 2.0 * 1.0, 0.05 * 1.0), d);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Liberty reader/writer: the synthetic library must round-trip exactly, and
+// malformed inputs must produce line-numbered errors.
+#include "timer/liberty.hpp"
+#include "timer/timers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+class LibertyTest : public ::testing::Test {
+ protected:
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+};
+
+TEST_F(LibertyTest, WriterEmitsAllCells) {
+  std::stringstream ss;
+  ot::write_liberty(ss, lib);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("library (synthetic45)"), std::string::npos);
+  EXPECT_NE(text.find("cell (NAND2_X1)"), std::string::npos);
+  EXPECT_NE(text.find("cell (DFF_X4)"), std::string::npos);
+  EXPECT_NE(text.find("timing_sense : negative_unate"), std::string::npos);
+  EXPECT_NE(text.find("cell_rise"), std::string::npos);
+  EXPECT_NE(text.find("index_1"), std::string::npos);
+  // IO pseudo cells must NOT leak into the Liberty file.
+  EXPECT_EQ(text.find("__PI__"), std::string::npos);
+}
+
+TEST_F(LibertyTest, RoundTripPreservesEverything) {
+  std::stringstream ss;
+  ot::write_liberty(ss, lib);
+  const auto parsed = ot::parse_liberty(ss);
+
+  EXPECT_EQ(parsed.size(), lib.size());
+  for (const ot::Cell& orig : lib.cells()) {
+    const ot::Cell* got = parsed.find(orig.name);
+    ASSERT_NE(got, nullptr) << orig.name;
+    EXPECT_EQ(got->kind, orig.kind);
+    EXPECT_EQ(got->drive, orig.drive);
+    ASSERT_EQ(got->pins.size(), orig.pins.size());
+    for (std::size_t p = 0; p < orig.pins.size(); ++p) {
+      EXPECT_EQ(got->pins[p].name, orig.pins[p].name);
+      EXPECT_EQ(got->pins[p].is_input, orig.pins[p].is_input);
+      EXPECT_EQ(got->pins[p].is_clock, orig.pins[p].is_clock);
+      EXPECT_DOUBLE_EQ(got->pins[p].capacitance, orig.pins[p].capacitance);
+    }
+    ASSERT_EQ(got->arcs.size(), orig.arcs.size());
+    for (std::size_t a = 0; a < orig.arcs.size(); ++a) {
+      EXPECT_EQ(got->arcs[a].from_pin, orig.arcs[a].from_pin);
+      EXPECT_EQ(got->arcs[a].sense, orig.arcs[a].sense);
+      for (int t = 0; t < 2; ++t) {
+        const auto tt = static_cast<std::size_t>(t);
+        EXPECT_EQ(got->arcs[a].delay_lut[tt].value, orig.arcs[a].delay_lut[tt].value);
+        EXPECT_EQ(got->arcs[a].slew_lut[tt].value, orig.arcs[a].slew_lut[tt].value);
+        EXPECT_EQ(got->arcs[a].delay_lut[tt].slew_axis,
+                  orig.arcs[a].delay_lut[tt].slew_axis);
+      }
+    }
+  }
+}
+
+TEST_F(LibertyTest, ParsedLibraryDrivesTheTimerIdentically) {
+  std::stringstream ss;
+  ot::write_liberty(ss, lib);
+  const auto parsed = ot::parse_liberty(ss);
+
+  ot::CircuitSpec spec;
+  spec.num_gates = 300;
+  spec.seed = 12;
+  auto nl_a = ot::make_circuit(lib, spec);
+  auto nl_b = ot::make_circuit(parsed, spec);
+
+  ot::TimerOptions opt;
+  opt.num_threads = 2;
+  ot::SeqTimer ta(nl_a, opt);
+  ot::SeqTimer tb(nl_b, opt);
+  ta.full_update();
+  tb.full_update();
+  EXPECT_DOUBLE_EQ(ta.worst_slack(), tb.worst_slack());
+}
+
+TEST_F(LibertyTest, CommentsAndWhitespaceTolerated) {
+  std::stringstream ss;
+  ss << "/* header */\n"
+        "library (mini) { // inline\n"
+        "  cell (INV_X1) {\n"
+        "    drive_strength : 1;\n"
+        "    pin (A) { direction : input; capacitance : 1.0; }\n"
+        "    pin (Y) { direction : output; }\n"
+        "  }\n"
+        "}\n";
+  const auto parsed = ot::parse_liberty(ss);
+  const ot::Cell* inv = parsed.find("INV_X1");
+  ASSERT_NE(inv, nullptr);
+  EXPECT_EQ(inv->kind, ot::CellKind::Inv);
+  EXPECT_EQ(inv->num_inputs(), 1);
+}
+
+TEST_F(LibertyTest, FfGroupMarksSequential) {
+  std::stringstream ss;
+  ss << "library (mini) {\n"
+        "  cell (MYDFF_X1) {\n"  // name alone would not say DFF
+        "    ff (IQ, IQN) { }\n"
+        "    pin (CLK) { direction : input; capacitance : 1.0; clock : true; }\n"
+        "    pin (D) { direction : input; capacitance : 1.0; }\n"
+        "    pin (Q) { direction : output; }\n"
+        "  }\n"
+        "}\n";
+  const auto parsed = ot::parse_liberty(ss);
+  const ot::Cell* dff = parsed.find("MYDFF_X1");
+  ASSERT_NE(dff, nullptr);
+  EXPECT_TRUE(dff->is_sequential());
+  EXPECT_TRUE(dff->pins[0].is_clock);
+}
+
+TEST_F(LibertyTest, RejectsMissingLibraryGroup) {
+  std::stringstream ss("cell (X) { }\n");
+  EXPECT_THROW((void)ot::parse_liberty(ss), std::runtime_error);
+}
+
+TEST_F(LibertyTest, RejectsUnknownSense) {
+  std::stringstream ss;
+  ss << "library (m) { cell (INV_X1) {\n"
+        "  pin (A) { direction : input; capacitance : 1; }\n"
+        "  pin (Y) { direction : output;\n"
+        "    timing () { related_pin : \"A\"; timing_sense : sideways; }\n"
+        "  } } }\n";
+  EXPECT_THROW((void)ot::parse_liberty(ss), std::runtime_error);
+}
+
+TEST_F(LibertyTest, RejectsUnknownRelatedPin) {
+  std::stringstream ss;
+  ss << "library (m) { cell (INV_X1) {\n"
+        "  pin (A) { direction : input; capacitance : 1; }\n"
+        "  pin (Y) { direction : output;\n"
+        "    timing () { related_pin : \"Z\"; }\n"
+        "  } } }\n";
+  EXPECT_THROW((void)ot::parse_liberty(ss), std::runtime_error);
+}
+
+TEST_F(LibertyTest, MissingFileThrows) {
+  EXPECT_THROW((void)ot::parse_liberty_file("/no/such.lib"), std::runtime_error);
+}
+
+}  // namespace

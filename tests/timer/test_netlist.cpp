@@ -1,0 +1,201 @@
+#include "timer/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+
+  /// Build the small circuit of paper Fig. 8:
+  /// inp1,inp2 -> u1(NAND2) -> u4(NAND2) -> out; clock -> f1(DFF);
+  /// f1.Q -> u2(INV) -> u3(INV) -> u4.B; u1.Y -> f1.D is simplified here.
+  ot::Netlist make_fig8() {
+    ot::Netlist nl(lib);
+    const int n_inp1 = nl.add_net("inp1_n", 1.0);
+    const int n_inp2 = nl.add_net("inp2_n", 1.0);
+    const int n_clk = nl.add_net("clk_n", 0.5);
+    const int n_u1 = nl.add_net("u1_n", 1.2);
+    const int n_q = nl.add_net("q_n", 1.0);
+    const int n_u2 = nl.add_net("u2_n", 0.8);
+    const int n_u3 = nl.add_net("u3_n", 0.8);
+    const int n_u4 = nl.add_net("u4_n", 2.0);
+
+    nl.add_primary_input("inp1", n_inp1);
+    nl.add_primary_input("inp2", n_inp2);
+    nl.add_primary_input("clock", n_clk);
+
+    const int u1 = nl.add_gate("u1", lib.at("NAND2_X1"));
+    nl.connect(u1, 0, n_inp1);  // A
+    nl.connect(u1, 1, n_inp2);  // B
+    nl.connect(u1, 2, n_u1);    // Y
+
+    const int f1 = nl.add_gate("f1", lib.at("DFF_X1"));
+    nl.connect(f1, 0, n_clk);  // CLK
+    nl.connect(f1, 1, n_u1);   // D
+    nl.connect(f1, 2, n_q);    // Q
+
+    const int u2 = nl.add_gate("u2", lib.at("INV_X1"));
+    nl.connect(u2, 0, n_q);
+    nl.connect(u2, 1, n_u2);
+
+    const int u3 = nl.add_gate("u3", lib.at("INV_X1"));
+    nl.connect(u3, 0, n_u2);
+    nl.connect(u3, 1, n_u3);
+
+    const int u4 = nl.add_gate("u4", lib.at("NAND2_X1"));
+    nl.connect(u4, 0, n_u1);
+    nl.connect(u4, 1, n_u3);
+    nl.connect(u4, 2, n_u4);
+
+    nl.add_primary_output("out", n_u4);
+    nl.validate();
+    return nl;
+  }
+};
+
+TEST_F(NetlistTest, BuildAndValidateFig8) {
+  auto nl = make_fig8();
+  EXPECT_EQ(nl.num_gates(), 9u);  // 3 PI + 1 PO + 5 logic
+  EXPECT_EQ(nl.num_nets(), 8u);
+  EXPECT_EQ(nl.find_gate("u4"), 7);
+  EXPECT_EQ(nl.find_gate("nope"), -1);
+}
+
+TEST_F(NetlistTest, PinNamesFollowGateColonPin) {
+  auto nl = make_fig8();
+  const int u1 = nl.find_gate("u1");
+  const auto& g = nl.gate(u1);
+  EXPECT_EQ(nl.pin_name(g.pins[0]), "u1:A");
+  EXPECT_EQ(nl.pin_name(g.pins[2]), "u1:Y");
+}
+
+TEST_F(NetlistTest, NetLoadSumsWireAndSinkCaps) {
+  auto nl = make_fig8();
+  const int n_u1 = nl.find_net("u1_n");
+  // u1_n: wire 1.2 + sinks f1.D and u4.A.
+  const double expected = 1.2 + lib.at("DFF_X1").pins[1].capacitance +
+                          lib.at("NAND2_X1").pins[0].capacitance;
+  EXPECT_DOUBLE_EQ(nl.net_load(n_u1), expected);
+}
+
+TEST_F(NetlistTest, DoubleDriverRejected) {
+  ot::Netlist nl(lib);
+  const int n = nl.add_net("n", 1.0);
+  nl.add_primary_input("a", n);
+  EXPECT_THROW(nl.add_primary_input("b", n), std::runtime_error);
+}
+
+TEST_F(NetlistTest, DoubleConnectRejected) {
+  ot::Netlist nl(lib);
+  const int n1 = nl.add_net("n1", 1.0);
+  const int n2 = nl.add_net("n2", 1.0);
+  const int g = nl.add_gate("g", lib.at("INV_X1"));
+  nl.connect(g, 0, n1);
+  EXPECT_THROW(nl.connect(g, 0, n2), std::runtime_error);
+}
+
+TEST_F(NetlistTest, ValidateRejectsFloatingPins) {
+  ot::Netlist nl(lib);
+  const int n1 = nl.add_net("n1", 1.0);
+  nl.add_primary_input("a", n1);
+  const int g = nl.add_gate("g", lib.at("INV_X1"));
+  nl.connect(g, 0, n1);  // output Y left floating
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST_F(NetlistTest, ResizeSwapsDriveVariant) {
+  auto nl = make_fig8();
+  const int u1 = nl.find_gate("u1");
+  nl.resize_gate(u1, lib.at("NAND2_X4"));
+  EXPECT_EQ(nl.gate(u1).cell->drive, 4);
+  // Kind mismatch rejected.
+  EXPECT_THROW(nl.resize_gate(u1, lib.at("INV_X1")), std::runtime_error);
+}
+
+TEST_F(NetlistTest, GeneratorProducesValidCircuits) {
+  ot::CircuitSpec spec;
+  spec.num_gates = 2000;
+  spec.num_inputs = 16;
+  spec.seed = 42;
+  const auto nl = ot::make_circuit(lib, spec);  // validate() runs inside
+  EXPECT_GE(nl.num_gates(), 2000u);
+  EXPECT_GE(nl.num_nets(), 2000u);
+}
+
+TEST_F(NetlistTest, GeneratorIsDeterministic) {
+  ot::CircuitSpec spec;
+  spec.num_gates = 500;
+  spec.seed = 7;
+  const auto a = ot::make_circuit(lib, spec);
+  const auto b = ot::make_circuit(lib, spec);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (std::size_t g = 0; g < a.num_gates(); ++g) {
+    EXPECT_EQ(a.gate(static_cast<int>(g)).cell->name,
+              b.gate(static_cast<int>(g)).cell->name);
+  }
+}
+
+TEST_F(NetlistTest, GeneratorSeedChangesStructure) {
+  ot::CircuitSpec spec;
+  spec.num_gates = 500;
+  spec.seed = 7;
+  const auto a = ot::make_circuit(lib, spec);
+  spec.seed = 8;
+  const auto b = ot::make_circuit(lib, spec);
+  bool differs = a.num_nets() != b.num_nets() || a.num_pins() != b.num_pins();
+  for (std::size_t g = 0; !differs && g < std::min(a.num_gates(), b.num_gates()); ++g) {
+    differs = a.gate(static_cast<int>(g)).cell->name !=
+              b.gate(static_cast<int>(g)).cell->name;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(NetlistTest, PresetSpecsMatchPaperGateCounts) {
+  EXPECT_EQ(ot::tv80_spec().num_gates, 5300u);
+  EXPECT_EQ(ot::vga_lcd_spec().num_gates, 139500u);
+  EXPECT_EQ(ot::netcard_spec().num_gates, 1400000u);
+  EXPECT_EQ(ot::leon3mp_spec().num_gates, 1200000u);
+  EXPECT_EQ(ot::tv80_spec(0.1).num_gates, 530u);
+}
+
+TEST_F(NetlistTest, WriterParserRoundTrip) {
+  auto nl = make_fig8();
+  std::stringstream ss;
+  ot::write_netlist(ss, nl);
+  const auto parsed = ot::parse_netlist(ss, lib);
+  EXPECT_EQ(parsed.num_gates(), nl.num_gates());
+  EXPECT_EQ(parsed.num_nets(), nl.num_nets());
+  EXPECT_EQ(parsed.num_pins(), nl.num_pins());
+  const int u4 = parsed.find_gate("u4");
+  ASSERT_GE(u4, 0);
+  EXPECT_EQ(parsed.gate(u4).cell->name, "NAND2_X1");
+  EXPECT_DOUBLE_EQ(parsed.net_load(parsed.find_net("u1_n")), nl.net_load(nl.find_net("u1_n")));
+}
+
+TEST_F(NetlistTest, ParserRejectsUnknownCell) {
+  std::stringstream ss("net n1 1.0\ngate g FOO_X1 A=n1\n");
+  EXPECT_THROW((void)ot::parse_netlist(ss, lib), std::runtime_error);
+}
+
+TEST_F(NetlistTest, ParserRejectsUnknownNet) {
+  std::stringstream ss("net n1 1.0\ninput a missing_net\n");
+  EXPECT_THROW((void)ot::parse_netlist(ss, lib), std::runtime_error);
+}
+
+TEST_F(NetlistTest, ParserRejectsGarbageKeyword) {
+  std::stringstream ss("frobnicate x y\n");
+  EXPECT_THROW((void)ot::parse_netlist(ss, lib), std::runtime_error);
+}
+
+TEST_F(NetlistTest, ParserSkipsCommentsAndBlanks) {
+  std::stringstream ss("# header\n\nnet n1 1.0\ninput a n1\noutput b n1\n");
+  const auto nl = ot::parse_netlist(ss, lib);
+  EXPECT_EQ(nl.num_gates(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// STA propagation kernels: hand-computed golden values on tiny circuits plus
+// structural invariants on generated ones.
+#include "timer/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+class PropTest : public ::testing::Test {
+ protected:
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+  ot::TimerOptions opt;
+
+  PropTest() {
+    opt.clock_period = 2.0;
+    opt.input_slew = 0.05;
+    opt.setup = 0.05;
+  }
+
+  // in -> BUF -> out (positive-unate single arc; easiest golden check).
+  ot::Netlist buf1() {
+    ot::Netlist nl(lib);
+    const int a = nl.add_net("a", 1.0);
+    const int y = nl.add_net("y", 2.0);
+    nl.add_primary_input("in", a);
+    const int g = nl.add_gate("u", lib.at("BUF_X1"));
+    nl.connect(g, 0, a);
+    nl.connect(g, 1, y);
+    nl.add_primary_output("out", y);
+    nl.validate();
+    return nl;
+  }
+
+  void full_seq(const ot::Netlist& nl, const ot::TimingGraph& g, ot::TimingState& st) {
+    for (int p : g.topo_order()) ot::propagate_pin_forward(nl, g, st, p);
+    for (auto it = g.topo_order().rbegin(); it != g.topo_order().rend(); ++it) {
+      ot::propagate_pin_backward(nl, g, st, *it);
+    }
+  }
+};
+
+TEST_F(PropTest, DelayModelExactAtGridPoints) {
+  // NLDM lookup must return the characterized value exactly on grid points.
+  const ot::CellArc& arc = lib.at("BUF_X1").arcs[0];
+  const ot::Lut& lut = arc.delay_lut[ot::kRise];
+  for (int s : {0, 3, ot::Lut::kPoints - 1}) {
+    for (int l : {0, 2, ot::Lut::kPoints - 1}) {
+      const double expect = lut.value[static_cast<std::size_t>(s)][static_cast<std::size_t>(l)];
+      EXPECT_DOUBLE_EQ(ot::cell_arc_delay(arc, ot::kRise,
+                                          lut.load_axis[static_cast<std::size_t>(l)],
+                                          lut.slew_axis[static_cast<std::size_t>(s)]),
+                       expect);
+    }
+  }
+}
+
+TEST_F(PropTest, DelayModelBilinearBetweenPoints) {
+  const ot::CellArc& arc = lib.at("BUF_X1").arcs[0];
+  const ot::Lut& lut = arc.delay_lut[ot::kFall];
+  // Midpoint of a grid cell = average of the four corners (bilinear).
+  const double sm = 0.5 * (lut.slew_axis[2] + lut.slew_axis[3]);
+  const double lm = 0.5 * (lut.load_axis[4] + lut.load_axis[5]);
+  const double expect =
+      0.25 * (lut.value[2][4] + lut.value[2][5] + lut.value[3][4] + lut.value[3][5]);
+  EXPECT_NEAR(lut(sm, lm), expect, 1e-12);
+}
+
+TEST_F(PropTest, DelayModelClampsOutsideWindow) {
+  const ot::CellArc& arc = lib.at("NAND2_X1").arcs[0];
+  const ot::Lut& lut = arc.delay_lut[ot::kRise];
+  EXPECT_DOUBLE_EQ(lut(1e-9, 1e-9), lut.value[0][0]);
+  EXPECT_DOUBLE_EQ(lut(100.0, 1000.0),
+                   lut.value[ot::Lut::kPoints - 1][ot::Lut::kPoints - 1]);
+}
+
+TEST_F(PropTest, DelayModelMonotoneInLoadAndSlew) {
+  const ot::CellArc& arc = lib.at("INV_X1").arcs[0];
+  double prev = -1.0;
+  // Stay inside the characterized load window (values clamp beyond it).
+  for (double load = 0.1; load < 15.5; load += 0.7) {
+    const double d = ot::cell_arc_delay(arc, ot::kRise, load, 0.05);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  prev = -1.0;
+  for (double slew = 0.002; slew < 0.5; slew *= 1.7) {
+    const double d = ot::cell_arc_delay(arc, ot::kFall, 2.0, slew);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST_F(PropTest, SenseMappings) {
+  using ot::TimingSense;
+  EXPECT_TRUE(ot::sense_allows(TimingSense::PositiveUnate, ot::kRise, ot::kRise));
+  EXPECT_FALSE(ot::sense_allows(TimingSense::PositiveUnate, ot::kRise, ot::kFall));
+  EXPECT_TRUE(ot::sense_allows(TimingSense::NegativeUnate, ot::kRise, ot::kFall));
+  EXPECT_FALSE(ot::sense_allows(TimingSense::NegativeUnate, ot::kFall, ot::kFall));
+  EXPECT_TRUE(ot::sense_allows(TimingSense::NonUnate, ot::kRise, ot::kRise));
+  EXPECT_TRUE(ot::sense_allows(TimingSense::NonUnate, ot::kFall, ot::kRise));
+}
+
+TEST_F(PropTest, GoldenBufferChain) {
+  auto nl = buf1();
+  const ot::TimingGraph g(nl);
+  ot::TimingState st(nl, opt);
+  full_seq(nl, g, st);
+
+  const ot::Gate& u = nl.gate(nl.find_gate("u"));
+  const int a_pin = u.pins[0];
+  const int y_pin = u.pins[1];
+  const int in_y = nl.gate(nl.find_gate("in")).pins[0];
+  const int out_a = nl.gate(nl.find_gate("out")).pins[0];
+
+  // Source: at 0, slew = input slew.
+  EXPECT_DOUBLE_EQ(st.data(in_y).at[ot::kLate][ot::kRise], 0.0);
+  EXPECT_DOUBLE_EQ(st.data(in_y).slew[ot::kLate][ot::kRise], 0.05);
+
+  // Net arc in->u:A: wire delay = wire_cap * kWireDelayPerCap.
+  const double wire_a = 1.0 * ot::kWireDelayPerCap;
+  EXPECT_NEAR(st.data(a_pin).at[ot::kLate][ot::kRise], wire_a, 1e-12);
+  EXPECT_NEAR(st.data(a_pin).slew[ot::kLate][ot::kRise], 0.05, 1e-12);
+
+  // Cell arc A->Y: load = net y wire 2.0 + out pin cap.
+  const double load = 2.0 + lib.output_cell().pins[0].capacitance;
+  const ot::CellArc& arc = lib.at("BUF_X1").arcs[0];
+  const double d_rise = ot::cell_arc_delay(arc, ot::kRise, load, 0.05);
+  EXPECT_NEAR(st.data(y_pin).at[ot::kLate][ot::kRise], wire_a + d_rise, 1e-12);
+
+  // PO pin: + wire delay of net y.
+  const double wire_y = 2.0 * ot::kWireDelayPerCap;
+  EXPECT_NEAR(st.data(out_a).at[ot::kLate][ot::kRise], wire_a + d_rise + wire_y, 1e-12);
+
+  // Required at PO = clock period; slack = T - at.
+  EXPECT_DOUBLE_EQ(st.data(out_a).rat[ot::kLate][ot::kRise], 2.0);
+  EXPECT_NEAR(ot::late_slack(st, out_a), 2.0 - (wire_a + d_rise + wire_y), 1e-12);
+}
+
+TEST_F(PropTest, NegativeUnateSwapsTransitions) {
+  // in -> INV -> out: output rise arrival comes from input fall.
+  ot::Netlist nl(lib);
+  const int a = nl.add_net("a", 1.0);
+  const int y = nl.add_net("y", 1.0);
+  nl.add_primary_input("in", a);
+  const int g = nl.add_gate("u", lib.at("INV_X1"));
+  nl.connect(g, 0, a);
+  nl.connect(g, 1, y);
+  nl.add_primary_output("out", y);
+  const ot::TimingGraph tg(nl);
+  ot::TimingState st(nl, opt);
+  full_seq(nl, tg, st);
+
+  const int y_pin = nl.gate(nl.find_gate("u")).pins[1];
+  const ot::CellArc& arc = lib.at("INV_X1").arcs[0];
+  const double load = nl.net_load(y);
+  const double wire_a = 1.0 * ot::kWireDelayPerCap;
+  // INV rise intrinsic (0.010) != fall intrinsic (0.008): rise-out uses the
+  // rise-out model fed by the fall-in arrival.
+  const double d_rise = ot::cell_arc_delay(arc, ot::kRise, load, 0.05);
+  const double d_fall = ot::cell_arc_delay(arc, ot::kFall, load, 0.05);
+  EXPECT_NEAR(st.data(y_pin).at[ot::kLate][ot::kRise], wire_a + d_rise, 1e-12);
+  EXPECT_NEAR(st.data(y_pin).at[ot::kLate][ot::kFall], wire_a + d_fall, 1e-12);
+  EXPECT_NE(d_rise, d_fall);
+}
+
+TEST_F(PropTest, EarlyLateOrdering) {
+  // On any circuit: early arrival <= late arrival, early slew <= late slew.
+  ot::CircuitSpec spec;
+  spec.num_gates = 600;
+  spec.seed = 21;
+  auto nl = ot::make_circuit(lib, spec);
+  const ot::TimingGraph g(nl);
+  ot::TimingState st(nl, opt);
+  full_seq(nl, g, st);
+  for (std::size_t p = 0; p < g.num_pins(); ++p) {
+    const auto& d = st.data(static_cast<int>(p));
+    for (int t : {ot::kRise, ot::kFall}) {
+      const auto tt = static_cast<std::size_t>(t);
+      ASSERT_LE(d.at[ot::kEarly][tt], d.at[ot::kLate][tt] + 1e-12);
+      ASSERT_LE(d.slew[ot::kEarly][tt], d.slew[ot::kLate][tt] + 1e-12);
+      ASSERT_TRUE(std::isfinite(d.at[ot::kLate][tt]));
+      ASSERT_TRUE(std::isfinite(d.rat[ot::kLate][tt]));
+    }
+  }
+}
+
+TEST_F(PropTest, SlackDecreasesAlongCriticalPath) {
+  // The worst endpoint slack is a lower bound of every pin's late slack on
+  // its input cone; globally: min over endpoints == min over all pins.
+  ot::CircuitSpec spec;
+  spec.num_gates = 400;
+  spec.seed = 33;
+  auto nl = ot::make_circuit(lib, spec);
+  const ot::TimingGraph g(nl);
+  ot::TimingState st(nl, opt);
+  full_seq(nl, g, st);
+
+  double min_all = ot::kInf, min_ep = ot::kInf;
+  for (std::size_t p = 0; p < g.num_pins(); ++p) {
+    const double s = ot::late_slack(st, static_cast<int>(p));
+    min_all = std::min(min_all, s);
+    if (g.is_endpoint(static_cast<int>(p))) min_ep = std::min(min_ep, s);
+  }
+  EXPECT_NEAR(min_all, min_ep, 1e-9);
+  EXPECT_NEAR(ot::worst_late_slack(g, st), min_ep, 1e-12);
+}
+
+TEST_F(PropTest, DffDEndpointGetsSetupMargin) {
+  // clock -> DFF(CLK), in -> DFF(D): required at D = T - setup.
+  ot::Netlist nl(lib);
+  const int nc = nl.add_net("c", 0.5);
+  const int nd = nl.add_net("d", 0.5);
+  const int nq = nl.add_net("q", 0.5);
+  nl.add_primary_input("clock", nc);
+  nl.add_primary_input("din", nd);
+  const int f = nl.add_gate("f1", lib.at("DFF_X1"));
+  nl.connect(f, 0, nc);
+  nl.connect(f, 1, nd);
+  nl.connect(f, 2, nq);
+  nl.add_primary_output("qo", nq);
+  const ot::TimingGraph g(nl);
+  ot::TimingState st(nl, opt);
+  full_seq(nl, g, st);
+
+  const int d_pin = nl.gate(f).pins[1];
+  EXPECT_DOUBLE_EQ(st.data(d_pin).rat[ot::kLate][ot::kRise], 2.0 - 0.05);
+  // Q arrival = clock wire + CLK->Q delay > 0.
+  const int q_pin = nl.gate(f).pins[2];
+  EXPECT_GT(st.data(q_pin).at[ot::kLate][ot::kRise], 0.05);
+}
+
+TEST_F(PropTest, LoadCacheTracksResize) {
+  auto nl = buf1();
+  ot::TimingState st(nl, opt);
+  const int in_y = nl.gate(nl.find_gate("in")).pins[0];
+  const double load_before = st.load(in_y);
+  nl.resize_gate(nl.find_gate("u"), lib.at("BUF_X4"));
+  st.update_net_load(nl, nl.find_net("a"));
+  EXPECT_GT(st.load(in_y), load_before);  // X4 input cap is larger
+}
+
+}  // namespace

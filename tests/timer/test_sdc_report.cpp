@@ -1,0 +1,185 @@
+// SDC constraint parsing and timing reports (paths, WNS/TNS, histogram).
+#include "timer/report.hpp"
+#include "timer/sdc.hpp"
+#include "timer/timers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace {
+
+TEST(Sdc, ParsesClockAndTransitions) {
+  std::stringstream ss(
+      "# constraints\n"
+      "create_clock -period 1.5 -name core_clk [get_ports clock]\n"
+      "set_input_transition 0.08 [all_inputs]\n"
+      "set_clock_uncertainty 0.02\n"
+      "set_hold_margin 0.01\n");
+  const auto r = ot::parse_sdc(ss);
+  EXPECT_DOUBLE_EQ(r.options.clock_period, 1.5);
+  EXPECT_DOUBLE_EQ(r.options.input_slew, 0.08);
+  EXPECT_DOUBLE_EQ(r.options.setup, 0.05 + 0.02);  // default margin + uncertainty
+  EXPECT_DOUBLE_EQ(r.options.hold, 0.01);
+  EXPECT_EQ(r.clock_name, "core_clk");
+  EXPECT_EQ(r.clock_port, "clock");
+  EXPECT_EQ(r.num_commands, 4);
+}
+
+TEST(Sdc, StrictModeRejectsUnknownCommands) {
+  std::stringstream ss("set_false_path -from a -to b\n");
+  EXPECT_THROW((void)ot::parse_sdc(ss), std::runtime_error);
+}
+
+TEST(Sdc, LenientModeSkipsUnknownCommands) {
+  std::stringstream ss(
+      "set_false_path -from a -to b\ncreate_clock -period 2.0 [get_ports clk]\n");
+  const auto r = ot::parse_sdc(ss, {}, /*lenient=*/true);
+  EXPECT_EQ(r.num_skipped, 1);
+  EXPECT_DOUBLE_EQ(r.options.clock_period, 2.0);
+}
+
+TEST(Sdc, RejectsMalformedNumbers) {
+  std::stringstream ss("create_clock -period fast [get_ports clk]\n");
+  EXPECT_THROW((void)ot::parse_sdc(ss), std::runtime_error);
+}
+
+TEST(Sdc, WriterRoundTrips) {
+  ot::TimerOptions opt;
+  opt.clock_period = 1.25;
+  opt.input_slew = 0.03;
+  opt.hold = 0.015;
+  std::stringstream ss;
+  ot::write_sdc(ss, opt, "clk_a", "clock");
+  const auto r = ot::parse_sdc(ss);
+  EXPECT_DOUBLE_EQ(r.options.clock_period, 1.25);
+  EXPECT_DOUBLE_EQ(r.options.input_slew, 0.03);
+  EXPECT_DOUBLE_EQ(r.options.hold, 0.015);
+  EXPECT_EQ(r.clock_name, "clk_a");
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+
+  ot::Netlist circuit(std::size_t gates = 500, std::uint64_t seed = 15) {
+    ot::CircuitSpec spec;
+    spec.num_gates = gates;
+    spec.seed = seed;
+    return ot::make_circuit(lib, spec);
+  }
+};
+
+TEST_F(ReportTest, WorstPathMatchesWorstSlack) {
+  auto nl = circuit();
+  ot::TimerOptions opt;
+  opt.num_threads = 2;
+  opt.clock_period = 2.0;
+  ot::SeqTimer t(nl, opt);
+  t.full_update();
+
+  const auto paths = ot::report_paths(nl, t.graph(), t.state(), 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].slack, t.worst_slack(), 1e-12);
+}
+
+TEST_F(ReportTest, PathIsConnectedAndArrivalMonotone) {
+  auto nl = circuit();
+  ot::TimerOptions opt;
+  opt.num_threads = 2;
+  ot::SeqTimer t(nl, opt);
+  t.full_update();
+
+  const auto paths = ot::report_paths(nl, t.graph(), t.state(), 3);
+  ASSERT_EQ(paths.size(), 3u);
+  for (const auto& path : paths) {
+    ASSERT_GE(path.points.size(), 2u);
+    // Starts at a source, ends at the endpoint.
+    EXPECT_TRUE(t.graph().is_source(path.points.front().pin));
+    EXPECT_EQ(path.points.back().pin, path.endpoint);
+    for (std::size_t i = 1; i < path.points.size(); ++i) {
+      // Consecutive points joined by an arc.
+      bool connected = false;
+      for (int aid : t.graph().fanout(path.points[i - 1].pin)) {
+        connected |= (t.graph().arc(aid).to_pin == path.points[i].pin);
+      }
+      EXPECT_TRUE(connected) << "hop " << i;
+      // Arrivals never decrease along the path.
+      EXPECT_GE(path.points[i].arrival, path.points[i - 1].arrival - 1e-12);
+      EXPECT_NEAR(path.points[i].delay,
+                  path.points[i].arrival - path.points[i - 1].arrival, 1e-12);
+    }
+  }
+}
+
+TEST_F(ReportTest, PathsSortedBySlack) {
+  auto nl = circuit(800, 4);
+  ot::TimerOptions opt;
+  opt.num_threads = 2;
+  ot::SeqTimer t(nl, opt);
+  t.full_update();
+  const auto paths = ot::report_paths(nl, t.graph(), t.state(), 10);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].slack, paths[i].slack + 1e-12);
+  }
+}
+
+TEST_F(ReportTest, SlackStatsConsistent) {
+  auto nl = circuit(600, 8);
+  ot::TimerOptions opt;
+  opt.num_threads = 2;
+  opt.clock_period = 1.0;  // tight clock: expect violations
+  ot::SeqTimer t(nl, opt);
+  t.full_update();
+
+  const auto s = ot::slack_stats(t.graph(), t.state(), 10, -2.0, 2.0);
+  EXPECT_GT(s.endpoints, 0);
+  int histo_total = 0;
+  for (int c : s.histogram) histo_total += c;
+  EXPECT_EQ(histo_total, s.endpoints);
+  EXPECT_NEAR(s.wns, std::min(0.0, t.worst_slack()), 1e-12);
+  EXPECT_LE(s.tns, 0.0);
+  EXPECT_GE(s.violations, s.tns == 0.0 ? 0 : 1);
+}
+
+TEST_F(ReportTest, RelaxedClockRemovesViolations) {
+  auto nl = circuit(300, 2);
+  ot::TimerOptions opt;
+  opt.num_threads = 1;
+  opt.clock_period = 100.0;  // absurdly slow clock
+  ot::SeqTimer t(nl, opt);
+  t.full_update();
+  const auto s = ot::slack_stats(t.graph(), t.state());
+  EXPECT_EQ(s.violations, 0);
+  EXPECT_DOUBLE_EQ(s.wns, 0.0);
+  EXPECT_DOUBLE_EQ(s.tns, 0.0);
+}
+
+TEST_F(ReportTest, PrintPathIncludesPinNames) {
+  auto nl = circuit(100, 1);
+  ot::TimerOptions opt;
+  ot::SeqTimer t(nl, opt);
+  t.full_update();
+  const auto paths = ot::report_paths(nl, t.graph(), t.state(), 1);
+  std::stringstream ss;
+  ot::print_path(ss, nl, paths[0]);
+  EXPECT_NE(ss.str().find("slack"), std::string::npos);
+  EXPECT_NE(ss.str().find(":"), std::string::npos);  // gate:PIN names
+}
+
+TEST_F(ReportTest, PathTracingWorksWithMultiCorner) {
+  auto nl = circuit(200, 3);
+  ot::TimerOptions opt;
+  opt.corners = 4;
+  ot::SeqTimer t(nl, opt);
+  t.full_update();
+  const auto paths = ot::report_paths(nl, t.graph(), t.state(), 2);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_NEAR(paths[0].slack, t.worst_slack(), 1e-12);
+  for (std::size_t i = 1; i < paths[0].points.size(); ++i) {
+    EXPECT_GE(paths[0].points[i].arrival, paths[0].points[i - 1].arrival - 1e-12);
+  }
+}
+
+}  // namespace

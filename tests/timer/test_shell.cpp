@@ -1,0 +1,149 @@
+// ot::Shell command-driver tests (stringstream-driven sessions).
+#include "timer/shell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+std::pair<int, std::string> run_session(const std::string& script) {
+  ot::Shell shell;
+  std::istringstream in(script);
+  std::ostringstream out, err;
+  const int failures = shell.run(in, out, err);
+  return {failures, out.str()};
+}
+
+TEST(Shell, HelpAndQuit) {
+  const auto [failures, out] = run_session("help\nquit\n");
+  EXPECT_EQ(failures, 0);
+  EXPECT_NE(out.find("report_timing"), std::string::npos);
+}
+
+TEST(Shell, GenerateInitReport) {
+  const auto [failures, out] = run_session(
+      "generate 300 5\n"
+      "init_timer v2\n"
+      "report_worst_slack\n"
+      "report_slack\n"
+      "report_timing 2\n"
+      "stats\n");
+  EXPECT_EQ(failures, 0);
+  EXPECT_NE(out.find("generated"), std::string::npos);
+  EXPECT_NE(out.find("worst slack"), std::string::npos);
+  EXPECT_NE(out.find("WNS"), std::string::npos);
+  EXPECT_NE(out.find("Path to"), std::string::npos);
+  EXPECT_NE(out.find("gates "), std::string::npos);
+}
+
+TEST(Shell, AllEnginesReportSameSlack) {
+  std::string slack_line[3];
+  const char* engines[] = {"seq", "v1", "v2"};
+  for (int i = 0; i < 3; ++i) {
+    const auto [failures, out] = run_session(
+        std::string("generate 200 9\ninit_timer ") + engines[i] +
+        "\nreport_worst_slack\n");
+    EXPECT_EQ(failures, 0) << engines[i];
+    const auto pos = out.find("worst slack");
+    ASSERT_NE(pos, std::string::npos);
+    slack_line[i] = out.substr(pos, 40);
+  }
+  EXPECT_EQ(slack_line[0], slack_line[1]);
+  EXPECT_EQ(slack_line[0], slack_line[2]);
+}
+
+TEST(Shell, ResizeUpdatesIncrementally) {
+  // Resize every gate u0..u29 to every drive of its own kind: at least one
+  // command must succeed and none may crash; successful ones re-time.
+  std::string script = "generate 300 5\ninit_timer v2\n";
+  for (int g = 0; g < 30; ++g) {
+    for (const char* cell : {"INV_X4", "NAND2_X4", "NOR2_X4", "AND2_X4", "OR2_X4",
+                             "XOR2_X4", "AOI21_X4", "OAI21_X4", "BUF_X4", "DFF_X4"}) {
+      script += "resize_gate u" + std::to_string(g) + " " + cell + "\n";
+    }
+  }
+  const auto [failures, out] = run_session(script);
+  EXPECT_NE(out.find("resized"), std::string::npos);    // some succeeded
+  EXPECT_NE(out.find("tasks re-timed"), std::string::npos);
+  EXPECT_LT(failures, 300);                             // kind mismatches only
+}
+
+TEST(Shell, CommandErrorsAreReportedAndCounted) {
+  const auto [failures, out] = run_session(
+      "report_worst_slack\n"      // no timer
+      "init_timer v2\n"           // no design
+      "frobnicate\n"              // unknown
+      "generate nonsense 1\n");   // bad number
+  EXPECT_EQ(failures, 4);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(Shell, CommentsAndBlankLinesIgnored)
+{
+  const auto [failures, out] = run_session("# a comment\n\n# another\n");
+  EXPECT_EQ(failures, 0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Shell, WriteAndReadBackRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  const std::string v = dir + "/shell_rt.v";
+  const std::string lib = dir + "/shell_rt.lib";
+  const std::string sdc = dir + "/shell_rt.sdc";
+
+  {
+    const auto [failures, out] = run_session(
+        "generate 150 3\n"
+        "write_verilog " + v + "\n" +
+        "write_liberty " + lib + "\n" +
+        "write_sdc " + sdc + "\n");
+    EXPECT_EQ(failures, 0);
+    EXPECT_NE(out.find("wrote"), std::string::npos);
+  }
+  {
+    const auto [failures, out] = run_session(
+        "read_celllib " + lib + "\n" +
+        "read_sdc " + sdc + "\n" +
+        "read_verilog " + v + "\n" +
+        "init_timer seq\nreport_worst_slack\n");
+    EXPECT_EQ(failures, 0);
+    EXPECT_NE(out.find("worst slack"), std::string::npos);
+  }
+  std::remove(v.c_str());
+  std::remove(lib.c_str());
+  std::remove(sdc.c_str());
+}
+
+TEST(Shell, DumpTaskgraphNeedsV2) {
+  const std::string dot = ::testing::TempDir() + "/shell_graph.dot";
+  {
+    const auto [failures, out] = run_session(
+        "generate 100 2\ninit_timer v1\ndump_taskgraph " + dot + "\n");
+    EXPECT_EQ(failures, 1);  // v1 cannot dump a task graph
+    EXPECT_NE(out.find("error"), std::string::npos);
+  }
+  {
+    const auto [failures, out] = run_session(
+        "generate 100 2\ninit_timer v2\ndump_taskgraph " + dot + "\n");
+    EXPECT_EQ(failures, 0);
+    std::ifstream in(dot);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("digraph"), std::string::npos);
+  }
+  std::remove(dot.c_str());
+}
+
+TEST(Shell, QuitStopsProcessing) {
+  ot::Shell shell;
+  std::istringstream in("quit\ngenerate 100 1\n");
+  std::ostringstream out, err;
+  shell.run(in, out, err);
+  EXPECT_TRUE(shell.wants_quit());
+  EXPECT_FALSE(shell.has_design());  // generate never ran
+}
+
+}  // namespace

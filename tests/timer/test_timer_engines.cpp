@@ -1,0 +1,214 @@
+// Engine equivalence: the OpenMP-levelized v1 and the taskflow v2 engines
+// must agree with the sequential oracle on full updates and - crucially -
+// across long incremental resize sequences.
+#include "timer/modifier.hpp"
+#include "timer/timers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+  ot::TimerOptions opt;
+
+  EngineTest() {
+    opt.num_threads = 4;
+    opt.clock_period = 2.0;
+  }
+
+  ot::Netlist circuit(std::size_t gates, std::uint64_t seed) {
+    ot::CircuitSpec spec;
+    spec.num_gates = gates;
+    spec.num_inputs = 16;
+    spec.seed = seed;
+    return ot::make_circuit(lib, spec);
+  }
+
+  static void expect_equal_state(const ot::TimerBase& a, const ot::TimerBase& b,
+                                 double tol = 1e-9) {
+    ASSERT_EQ(a.graph().num_pins(), b.graph().num_pins());
+    for (std::size_t p = 0; p < a.graph().num_pins(); ++p) {
+      const auto& da = a.state().data(static_cast<int>(p));
+      const auto& db = b.state().data(static_cast<int>(p));
+      for (int s : {ot::kEarly, ot::kLate}) {
+        for (int t : {ot::kRise, ot::kFall}) {
+          const auto ss = static_cast<std::size_t>(s);
+          const auto tt = static_cast<std::size_t>(t);
+          ASSERT_NEAR(da.at[ss][tt], db.at[ss][tt], tol) << "pin " << p;
+          ASSERT_NEAR(da.slew[ss][tt], db.slew[ss][tt], tol) << "pin " << p;
+          ASSERT_NEAR(da.rat[ss][tt], db.rat[ss][tt], tol) << "pin " << p;
+        }
+      }
+    }
+  }
+};
+
+TEST_F(EngineTest, FullUpdateAgreesAcrossEngines) {
+  auto nl_seq = circuit(1500, 77);
+  auto nl_v1 = circuit(1500, 77);
+  auto nl_v2 = circuit(1500, 77);
+
+  ot::SeqTimer seq(nl_seq, opt);
+  ot::TimerV1 v1(nl_v1, opt);
+  ot::TimerV2 v2(nl_v2, opt);
+  seq.full_update();
+  v1.full_update();
+  v2.full_update();
+
+  expect_equal_state(seq, v1);
+  expect_equal_state(seq, v2);
+  EXPECT_TRUE(std::isfinite(seq.worst_slack()));
+  EXPECT_NEAR(seq.worst_slack(), v2.worst_slack(), 1e-9);
+}
+
+TEST_F(EngineTest, IncrementalResizeMatchesFullRecompute) {
+  // Oracle: after each incremental update, a from-scratch sequential
+  // recompute over an identical netlist must give identical state.
+  auto nl_inc = circuit(800, 13);
+  auto nl_ref = circuit(800, 13);
+
+  ot::TimerV2 inc(nl_inc, opt);
+  ot::SeqTimer ref(nl_ref, opt);
+  inc.full_update();
+  ref.full_update();
+
+  ot::ModifierStream mods(nl_inc, 99);
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto m = mods.next();
+    inc.resize(m.gate, *m.new_cell);
+    ref.netlist().resize_gate(m.gate, *m.new_cell);
+    ref.full_update();
+    expect_equal_state(ref, inc);
+  }
+}
+
+TEST_F(EngineTest, IncrementalV1MatchesFullRecompute) {
+  auto nl_inc = circuit(800, 13);
+  auto nl_ref = circuit(800, 13);
+
+  ot::TimerV1 inc(nl_inc, opt);
+  ot::SeqTimer ref(nl_ref, opt);
+  inc.full_update();
+  ref.full_update();
+
+  ot::ModifierStream mods(nl_inc, 99);
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto m = mods.next();
+    inc.resize(m.gate, *m.new_cell);
+    ref.netlist().resize_gate(m.gate, *m.new_cell);
+    ref.full_update();
+    expect_equal_state(ref, inc);
+  }
+}
+
+TEST_F(EngineTest, SequentialIncrementalAlsoMatches) {
+  // The cone algebra itself (independent of parallel execution).
+  auto nl_inc = circuit(600, 5);
+  auto nl_ref = circuit(600, 5);
+  ot::SeqTimer inc(nl_inc, opt);
+  ot::SeqTimer ref(nl_ref, opt);
+  inc.full_update();
+  ref.full_update();
+  ot::ModifierStream mods(nl_inc, 7);
+  for (int iter = 0; iter < 25; ++iter) {
+    const auto m = mods.next();
+    inc.resize(m.gate, *m.new_cell);
+    ref.netlist().resize_gate(m.gate, *m.new_cell);
+    ref.full_update();
+    expect_equal_state(ref, inc);
+  }
+}
+
+TEST_F(EngineTest, ResizeIsObservableAndInvertible) {
+  auto nl = circuit(500, 3);
+  auto nl_ref = circuit(500, 3);
+  ot::SeqTimer t(nl, opt);
+  ot::SeqTimer ref(nl_ref, opt);
+  t.full_update();
+  ref.full_update();
+
+  // Find a resizable gate and move it along its drive ladder.
+  ot::ModifierStream mods(nl, 17);
+  const auto m = mods.next();
+  const ot::Cell* original = nl.gate(m.gate).cell;
+
+  t.resize(m.gate, *m.new_cell);
+  // The gate's output arrival must have changed (resistance differs and its
+  // output net carries a positive load).
+  const int out_pin = nl.gate(m.gate).pins[static_cast<std::size_t>(
+      nl.gate(m.gate).cell->output_pin())];
+  EXPECT_NE(t.arrival(out_pin, ot::kLate, ot::kRise),
+            ref.arrival(out_pin, ot::kLate, ot::kRise));
+
+  // Resizing back restores the exact original analysis state.
+  t.resize(m.gate, *original);
+  expect_equal_state(ref, t, 0.0);
+}
+
+TEST_F(EngineTest, LastUpdateTaskCountsReported) {
+  auto nl = circuit(700, 19);
+  ot::TimerV2 t(nl, opt);
+  t.full_update();
+  EXPECT_EQ(t.last_update_tasks(), 2 * nl.num_pins());
+  ot::ModifierStream mods(nl, 1);
+  const auto m = mods.next();
+  t.resize(m.gate, *m.new_cell);
+  EXPECT_GT(t.last_update_tasks(), 0u);
+  EXPECT_LE(t.last_update_tasks(), 2 * nl.num_pins());
+}
+
+TEST_F(EngineTest, V1ReportsLevelBuckets) {
+  auto nl = circuit(400, 23);
+  ot::TimerV1 t(nl, opt);
+  t.full_update();
+  EXPECT_GT(t.last_num_levels(), 2u);
+}
+
+TEST_F(EngineTest, V2DumpsTaskGraphOnSmallUpdates) {
+  auto nl = circuit(60, 2);
+  ot::TimerV2 t(nl, opt);
+  t.full_update();
+  const auto dot = t.dump_last_task_graph();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("fwd:"), std::string::npos);
+  EXPECT_NE(dot.find("bwd:"), std::string::npos);
+}
+
+TEST_F(EngineTest, WorstSlackQueriesAgreeAfterManyMods) {
+  auto nl_v1 = circuit(1000, 41);
+  auto nl_v2 = circuit(1000, 41);
+  ot::TimerV1 v1(nl_v1, opt);
+  ot::TimerV2 v2(nl_v2, opt);
+  v1.full_update();
+  v2.full_update();
+  ot::ModifierStream m1(nl_v1, 5);
+  ot::ModifierStream m2(nl_v2, 5);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = m1.next();
+    const auto b = m2.next();
+    ASSERT_EQ(a.gate, b.gate);
+    v1.resize(a.gate, *a.new_cell);
+    v2.resize(b.gate, *b.new_cell);
+    ASSERT_NEAR(v1.worst_slack(), v2.worst_slack(), 1e-9) << "iteration " << i;
+  }
+}
+
+TEST_F(EngineTest, ModifierStreamIsDeterministicAndValid) {
+  auto nl = circuit(300, 1);
+  ot::ModifierStream a(nl, 42), b(nl, 42);
+  for (int i = 0; i < 50; ++i) {
+    const auto ma = a.next();
+    const auto mb = b.next();
+    EXPECT_EQ(ma.gate, mb.gate);
+    EXPECT_EQ(ma.new_cell, mb.new_cell);
+    EXPECT_NE(ma.new_cell, nl.gate(ma.gate).cell);  // always a real change
+    EXPECT_EQ(ma.new_cell->kind, nl.gate(ma.gate).cell->kind);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+#include "timer/timing_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+
+  ot::Netlist chain3() {
+    // in -> INV(u0) -> INV(u1) -> INV(u2) -> out
+    ot::Netlist nl(lib);
+    const int n_in = nl.add_net("n_in", 1.0);
+    nl.add_primary_input("in", n_in);
+    int prev = n_in;
+    for (int i = 0; i < 3; ++i) {
+      const int g = nl.add_gate("u" + std::to_string(i), lib.at("INV_X1"));
+      const int n = nl.add_net("n" + std::to_string(i), 1.0);
+      nl.connect(g, 0, prev);
+      nl.connect(g, 1, n);
+      prev = n;
+    }
+    nl.add_primary_output("out", prev);
+    nl.validate();
+    return nl;
+  }
+
+  ot::Netlist generated(std::size_t gates = 800, std::uint64_t seed = 11) {
+    ot::CircuitSpec spec;
+    spec.num_gates = gates;
+    spec.num_inputs = 12;
+    spec.seed = seed;
+    return ot::make_circuit(lib, spec);
+  }
+};
+
+TEST_F(GraphTest, ArcCounts) {
+  const auto nl = chain3();
+  const ot::TimingGraph g(nl);
+  // Cell arcs: 3 INV.  Net arcs: 4 nets x 1 sink.
+  EXPECT_EQ(g.num_arcs(), 3u + 4u);
+  EXPECT_EQ(g.num_pins(), nl.num_pins());
+}
+
+TEST_F(GraphTest, SourcesAndEndpoints) {
+  const auto nl = chain3();
+  const ot::TimingGraph g(nl);
+  int sources = 0, endpoints = 0;
+  for (std::size_t p = 0; p < g.num_pins(); ++p) {
+    sources += g.is_source(static_cast<int>(p)) ? 1 : 0;
+    endpoints += g.is_endpoint(static_cast<int>(p)) ? 1 : 0;
+  }
+  EXPECT_EQ(sources, 1);    // the PI's Y pin
+  EXPECT_EQ(endpoints, 1);  // the PO's A pin
+}
+
+TEST_F(GraphTest, TopoOrderRespectsArcs) {
+  const auto nl = generated();
+  const ot::TimingGraph g(nl);
+  for (std::size_t a = 0; a < g.num_arcs(); ++a) {
+    const auto& arc = g.arc(static_cast<int>(a));
+    ASSERT_LT(g.topo_index(arc.from_pin), g.topo_index(arc.to_pin));
+  }
+}
+
+TEST_F(GraphTest, LevelsAreMonotoneAlongArcs) {
+  const auto nl = generated();
+  const ot::TimingGraph g(nl);
+  for (std::size_t a = 0; a < g.num_arcs(); ++a) {
+    const auto& arc = g.arc(static_cast<int>(a));
+    ASSERT_LT(g.level(arc.from_pin), g.level(arc.to_pin));
+  }
+  EXPECT_GT(g.max_level(), 0);
+}
+
+TEST_F(GraphTest, ChainLevels) {
+  const auto nl = chain3();
+  const ot::TimingGraph g(nl);
+  // in:Y -> u0:A -> u0:Y -> u1:A -> u1:Y -> u2:A -> u2:Y -> out:A
+  EXPECT_EQ(g.max_level(), 7);
+}
+
+TEST_F(GraphTest, ForwardConeOfSourceCoversItsReachableSet) {
+  const auto nl = chain3();
+  const ot::TimingGraph g(nl);
+  int src = -1;
+  for (std::size_t p = 0; p < g.num_pins(); ++p) {
+    if (g.is_source(static_cast<int>(p))) src = static_cast<int>(p);
+  }
+  const std::vector<int> seeds{src};
+  const auto cone = g.forward_cone(seeds);
+  EXPECT_EQ(cone.size(), g.num_pins());
+  for (std::size_t i = 1; i < cone.size(); ++i) {
+    EXPECT_LT(g.topo_index(cone[i - 1]), g.topo_index(cone[i]));
+  }
+}
+
+TEST_F(GraphTest, ForwardConeOfEndpointIsItself) {
+  const auto nl = chain3();
+  const ot::TimingGraph g(nl);
+  int ep = -1;
+  for (std::size_t p = 0; p < g.num_pins(); ++p) {
+    if (g.is_endpoint(static_cast<int>(p))) ep = static_cast<int>(p);
+  }
+  const std::vector<int> seeds{ep};
+  EXPECT_EQ(g.forward_cone(seeds).size(), 1u);
+}
+
+TEST_F(GraphTest, BackwardConeIsReverseSortedAndCoversRegion) {
+  const auto nl = generated();
+  const ot::TimingGraph g(nl);
+  const std::vector<int> seeds{g.topo_order()[g.num_pins() / 2]};
+  const auto fwd = g.forward_cone(seeds);
+  const auto bwd = g.backward_cone(fwd);
+  EXPECT_GE(bwd.size(), fwd.size());
+  for (std::size_t i = 1; i < bwd.size(); ++i) {
+    ASSERT_GT(g.topo_index(bwd[i - 1]), g.topo_index(bwd[i]));
+  }
+}
+
+TEST_F(GraphTest, ForwardConeIsClosedUnderFanout) {
+  const auto nl = generated(1000, 3);
+  const ot::TimingGraph g(nl);
+  const std::vector<int> seeds{g.topo_order().front()};
+  const auto cone = g.forward_cone(seeds);
+  std::vector<char> in_cone(g.num_pins(), 0);
+  for (int p : cone) in_cone[static_cast<std::size_t>(p)] = 1;
+  for (int p : cone) {
+    for (int aid : g.fanout(p)) {
+      ASSERT_TRUE(in_cone[static_cast<std::size_t>(g.arc(aid).to_pin)]);
+    }
+  }
+}
+
+TEST_F(GraphTest, DffBreaksCombinationalPathsAtD) {
+  // A DFF's D pin must be an endpoint (no outgoing arcs through the flop).
+  const auto nl = generated(2000, 5);
+  const ot::TimingGraph g(nl);
+  for (std::size_t gi = 0; gi < nl.num_gates(); ++gi) {
+    const ot::Gate& gate = nl.gate(static_cast<int>(gi));
+    if (!gate.cell->is_sequential()) continue;
+    const int d_pin = gate.pins[1];  // CLK, D, Q layout
+    EXPECT_TRUE(g.is_endpoint(d_pin));
+    const int q_pin = gate.pins[2];
+    EXPECT_EQ(g.fanin(q_pin).size(), 1u);  // only CLK->Q
+  }
+}
+
+TEST_F(GraphTest, GeneratedMillionPinGraphBuilds) {
+  // Scale sanity: a ~50K-gate circuit levelizes without recursion issues.
+  const auto nl = generated(50000, 9);
+  const ot::TimingGraph g(nl);
+  EXPECT_EQ(g.topo_order().size(), g.num_pins());
+  EXPECT_GT(g.num_arcs(), g.num_pins());
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Structural Verilog reader/writer round trips and error handling.
+#include "timer/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "timer/timers.hpp"
+
+namespace {
+
+class VerilogTest : public ::testing::Test {
+ protected:
+  ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+
+  static constexpr const char* kSample = R"(
+// a tiny sample design
+module sample (a, b, clock, y);
+  input a, b, clock;
+  output y;
+  wire w1, w2, w3;
+  NAND2_X1 u1 ( .A(a), .B(b), .Y(w1) );
+  DFF_X1   f1 ( .CLK(clock), .D(w1), .Q(w2) );
+  INV_X2   u2 ( .A(w2), .Y(w3) );
+  NAND2_X1 u3 ( .A(w1), .B(w3), .Y(y) );
+endmodule
+)";
+};
+
+TEST_F(VerilogTest, ParsesSampleDesign) {
+  std::stringstream ss(kSample);
+  const auto nl = ot::parse_verilog(ss, lib);
+  EXPECT_EQ(nl.num_gates(), 4u + 4u);  // 4 instances + 3 PI + 1 PO
+  EXPECT_EQ(nl.num_nets(), 7u);        // a b clock y w1 w2 w3
+  const int u1 = nl.find_gate("u1");
+  ASSERT_GE(u1, 0);
+  EXPECT_EQ(nl.gate(u1).cell->name, "NAND2_X1");
+  const int f1 = nl.find_gate("f1");
+  ASSERT_GE(f1, 0);
+  EXPECT_TRUE(nl.gate(f1).cell->is_sequential());
+}
+
+TEST_F(VerilogTest, ParsedDesignIsTimable) {
+  std::stringstream ss(kSample);
+  auto nl = ot::parse_verilog(ss, lib);
+  ot::TimerOptions opt;
+  opt.num_threads = 2;
+  opt.clock_period = 2.0;
+  ot::SeqTimer timer(nl, opt);
+  timer.full_update();
+  EXPECT_TRUE(std::isfinite(timer.worst_slack()));
+  EXPECT_LT(timer.worst_slack(), opt.clock_period);
+}
+
+TEST_F(VerilogTest, WriterRoundTripsGeneratedCircuit) {
+  ot::CircuitSpec spec;
+  spec.num_gates = 400;
+  spec.seed = 6;
+  spec.wire_cap_min = 1.0;  // Verilog carries no wire caps: fix them so the
+  spec.wire_cap_max = 1.0;  // round trip preserves timing exactly
+  auto nl = ot::make_circuit(lib, spec);
+
+  std::stringstream ss;
+  ot::write_verilog(ss, nl, "generated");
+  auto parsed = ot::parse_verilog(ss, lib, /*default_wire_cap=*/1.0);
+
+  EXPECT_EQ(parsed.num_gates(), nl.num_gates());
+  EXPECT_EQ(parsed.num_nets(), nl.num_nets());
+  EXPECT_EQ(parsed.num_pins(), nl.num_pins());
+
+  ot::TimerOptions opt;
+  opt.num_threads = 2;
+  ot::SeqTimer ta(nl, opt);
+  ot::SeqTimer tb(parsed, opt);
+  ta.full_update();
+  tb.full_update();
+  EXPECT_DOUBLE_EQ(ta.worst_slack(), tb.worst_slack());
+}
+
+TEST_F(VerilogTest, RejectsUnknownCell) {
+  std::stringstream ss(
+      "module m (a, y);\n input a;\n output y;\n FOO_X9 u1 ( .A(a), .Y(y) );\n"
+      "endmodule\n");
+  EXPECT_THROW((void)ot::parse_verilog(ss, lib), std::runtime_error);
+}
+
+TEST_F(VerilogTest, RejectsUnknownPin) {
+  std::stringstream ss(
+      "module m (a, y);\n input a;\n output y;\n INV_X1 u1 ( .Q(a), .Y(y) );\n"
+      "endmodule\n");
+  EXPECT_THROW((void)ot::parse_verilog(ss, lib), std::runtime_error);
+}
+
+TEST_F(VerilogTest, RejectsUndeclaredNet) {
+  std::stringstream ss(
+      "module m (a, y);\n input a;\n output y;\n INV_X1 u1 ( .A(ghost), .Y(y) );\n"
+      "endmodule\n");
+  EXPECT_THROW((void)ot::parse_verilog(ss, lib), std::runtime_error);
+}
+
+TEST_F(VerilogTest, RejectsMissingEndmodule) {
+  std::stringstream ss("module m (a);\n input a;\n");
+  EXPECT_THROW((void)ot::parse_verilog(ss, lib), std::runtime_error);
+}
+
+TEST_F(VerilogTest, CommentsIgnored) {
+  std::stringstream ss(
+      "// c1\nmodule m (a, y);\n/* c2\n c3 */ input a;\n output y;\n"
+      " INV_X1 u1 ( .A(a), .Y(y) ); // trailing\nendmodule\n");
+  const auto nl = ot::parse_verilog(ss, lib);
+  EXPECT_EQ(nl.num_gates(), 3u);
+}
+
+}  // namespace

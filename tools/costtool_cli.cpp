@@ -1,0 +1,41 @@
+// costtool_cli - the SLOCCount/Lizard/COCOMO stand-in as a command-line
+// tool: per-file LOC / cyclomatic complexity / token counts plus a COCOMO
+// organic-mode project estimate.
+//
+//   build/tools/costtool_cli <file.cpp> [more files...]
+#include <iostream>
+
+#include "costtool/analyze.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: costtool_cli <file> [files...]\n";
+    return 2;
+  }
+  std::vector<std::string> paths(argv + 1, argv + argc);
+
+  support::Table table({"file", "LOC", "comments", "tokens", "functions", "CC", "MCC"});
+  try {
+    for (const auto& path : paths) {
+      const auto r = ct::analyze_file(path);
+      table.add_row({path, std::to_string(r.loc.code_lines),
+                     std::to_string(r.loc.comment_lines), std::to_string(r.loc.tokens),
+                     std::to_string(r.cc.functions.size()),
+                     std::to_string(r.cc.file_cyclomatic),
+                     std::to_string(r.cc.max_cyclomatic)});
+    }
+    table.print(std::cout);
+
+    const auto project = ct::analyze_files(paths);
+    std::cout << "\nCOCOMO (organic): " << support::fmt(project.cocomo.effort_person_years)
+              << " person-years, " << support::fmt(project.cocomo.developers)
+              << " developers, $"
+              << support::fmt_count(static_cast<long long>(project.cocomo.cost_usd))
+              << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// ot_shell - the interactive mini-OpenTimer shell (see ot::Shell for the
+// command set).  Reads commands from stdin or from files given as args.
+//
+//   build/tools/ot_shell            # interactive
+//   build/tools/ot_shell script.ot  # batch
+#include <fstream>
+#include <iostream>
+
+#include "timer/shell.hpp"
+
+int main(int argc, char** argv) {
+  ot::Shell shell;
+  if (argc > 1) {
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::cerr << "cannot open " << argv[i] << "\n";
+        return 1;
+      }
+      failures += shell.run(in, std::cout, std::cerr);
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  std::cout << "mini-OpenTimer shell (type 'help')\n";
+  return shell.run(std::cin, std::cout, std::cerr) == 0 ? 0 : 1;
+}
