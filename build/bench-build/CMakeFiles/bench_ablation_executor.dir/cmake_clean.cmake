@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_executor"
+  "../bench/bench_ablation_executor.pdb"
+  "CMakeFiles/bench_ablation_executor.dir/bench_ablation_executor.cpp.o"
+  "CMakeFiles/bench_ablation_executor.dir/bench_ablation_executor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_dnn"
+  "../bench/bench_fig12_dnn.pdb"
+  "CMakeFiles/bench_fig12_dnn.dir/bench_fig12_dnn.cpp.o"
+  "CMakeFiles/bench_fig12_dnn.dir/bench_fig12_dnn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

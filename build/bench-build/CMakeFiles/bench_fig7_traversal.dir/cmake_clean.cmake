@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_traversal"
+  "../bench/bench_fig7_traversal.pdb"
+  "CMakeFiles/bench_fig7_traversal.dir/bench_fig7_traversal.cpp.o"
+  "CMakeFiles/bench_fig7_traversal.dir/bench_fig7_traversal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

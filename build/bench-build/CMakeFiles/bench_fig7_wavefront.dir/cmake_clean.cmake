@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_wavefront"
+  "../bench/bench_fig7_wavefront.pdb"
+  "CMakeFiles/bench_fig7_wavefront.dir/bench_fig7_wavefront.cpp.o"
+  "CMakeFiles/bench_fig7_wavefront.dir/bench_fig7_wavefront.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_wavefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_incremental"
+  "../bench/bench_fig9_incremental.pdb"
+  "CMakeFiles/bench_fig9_incremental.dir/bench_fig9_incremental.cpp.o"
+  "CMakeFiles/bench_fig9_incremental.dir/bench_fig9_incremental.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

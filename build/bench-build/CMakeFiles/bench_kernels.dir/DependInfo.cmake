@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/kernels/dnn_omp.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/dnn_omp.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/dnn_omp.cpp.o.d"
+  "/root/repo/bench/kernels/dnn_seq.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/dnn_seq.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/dnn_seq.cpp.o.d"
+  "/root/repo/bench/kernels/dnn_taskflow.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/dnn_taskflow.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/dnn_taskflow.cpp.o.d"
+  "/root/repo/bench/kernels/dnn_tbb.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/dnn_tbb.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/dnn_tbb.cpp.o.d"
+  "/root/repo/bench/kernels/traversal_common.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_common.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_common.cpp.o.d"
+  "/root/repo/bench/kernels/traversal_omp.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_omp.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_omp.cpp.o.d"
+  "/root/repo/bench/kernels/traversal_seq.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_seq.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_seq.cpp.o.d"
+  "/root/repo/bench/kernels/traversal_taskflow.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_taskflow.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_taskflow.cpp.o.d"
+  "/root/repo/bench/kernels/traversal_tbb.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_tbb.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/traversal_tbb.cpp.o.d"
+  "/root/repo/bench/kernels/wavefront_omp.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/wavefront_omp.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/wavefront_omp.cpp.o.d"
+  "/root/repo/bench/kernels/wavefront_seq.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/wavefront_seq.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/wavefront_seq.cpp.o.d"
+  "/root/repo/bench/kernels/wavefront_taskflow.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/wavefront_taskflow.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/wavefront_taskflow.cpp.o.d"
+  "/root/repo/bench/kernels/wavefront_tbb.cpp" "bench-build/CMakeFiles/bench_kernels.dir/kernels/wavefront_tbb.cpp.o" "gcc" "bench-build/CMakeFiles/bench_kernels.dir/kernels/wavefront_tbb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/taskflow/CMakeFiles/taskflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "../lib/libbench_kernels.a"
+  "../lib/libbench_kernels.pdb"
+  "CMakeFiles/bench_kernels.dir/kernels/dnn_omp.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/dnn_omp.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/dnn_seq.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/dnn_seq.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/dnn_taskflow.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/dnn_taskflow.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/dnn_tbb.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/dnn_tbb.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_common.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_common.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_omp.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_omp.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_seq.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_seq.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_taskflow.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_taskflow.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_tbb.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/traversal_tbb.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/wavefront_omp.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/wavefront_omp.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/wavefront_seq.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/wavefront_seq.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/wavefront_taskflow.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/wavefront_taskflow.cpp.o.d"
+  "CMakeFiles/bench_kernels.dir/kernels/wavefront_tbb.cpp.o"
+  "CMakeFiles/bench_kernels.dir/kernels/wavefront_tbb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

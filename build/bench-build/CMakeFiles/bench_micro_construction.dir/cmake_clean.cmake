@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_construction"
+  "../bench/bench_micro_construction.pdb"
+  "CMakeFiles/bench_micro_construction.dir/bench_micro_construction.cpp.o"
+  "CMakeFiles/bench_micro_construction.dir/bench_micro_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_wsq"
+  "../bench/bench_micro_wsq.pdb"
+  "CMakeFiles/bench_micro_wsq.dir/bench_micro_wsq.cpp.o"
+  "CMakeFiles/bench_micro_wsq.dir/bench_micro_wsq.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_wsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

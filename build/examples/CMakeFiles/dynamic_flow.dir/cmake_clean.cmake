@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_flow.dir/dynamic_flow.cpp.o"
+  "CMakeFiles/dynamic_flow.dir/dynamic_flow.cpp.o.d"
+  "dynamic_flow"
+  "dynamic_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_loop.dir/framework_loop.cpp.o"
+  "CMakeFiles/framework_loop.dir/framework_loop.cpp.o.d"
+  "framework_loop"
+  "framework_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

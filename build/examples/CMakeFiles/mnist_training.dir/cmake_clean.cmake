@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_training.dir/mnist_training.cpp.o"
+  "CMakeFiles/mnist_training.dir/mnist_training.cpp.o.d"
+  "mnist_training"
+  "mnist_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

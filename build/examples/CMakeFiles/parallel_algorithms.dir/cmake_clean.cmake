@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_algorithms.dir/parallel_algorithms.cpp.o"
+  "CMakeFiles/parallel_algorithms.dir/parallel_algorithms.cpp.o.d"
+  "parallel_algorithms"
+  "parallel_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualization.dir/visualization.cpp.o"
+  "CMakeFiles/visualization.dir/visualization.cpp.o.d"
+  "visualization"
+  "visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines.dir/flowgraph.cpp.o"
+  "CMakeFiles/baselines.dir/flowgraph.cpp.o.d"
+  "CMakeFiles/baselines.dir/threadpool.cpp.o"
+  "CMakeFiles/baselines.dir/threadpool.cpp.o.d"
+  "libbaselines.a"
+  "libbaselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

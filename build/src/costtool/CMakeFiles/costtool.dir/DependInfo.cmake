@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costtool/analyze.cpp" "src/costtool/CMakeFiles/costtool.dir/analyze.cpp.o" "gcc" "src/costtool/CMakeFiles/costtool.dir/analyze.cpp.o.d"
+  "/root/repo/src/costtool/cocomo.cpp" "src/costtool/CMakeFiles/costtool.dir/cocomo.cpp.o" "gcc" "src/costtool/CMakeFiles/costtool.dir/cocomo.cpp.o.d"
+  "/root/repo/src/costtool/cyclomatic.cpp" "src/costtool/CMakeFiles/costtool.dir/cyclomatic.cpp.o" "gcc" "src/costtool/CMakeFiles/costtool.dir/cyclomatic.cpp.o.d"
+  "/root/repo/src/costtool/lexer.cpp" "src/costtool/CMakeFiles/costtool.dir/lexer.cpp.o" "gcc" "src/costtool/CMakeFiles/costtool.dir/lexer.cpp.o.d"
+  "/root/repo/src/costtool/loc.cpp" "src/costtool/CMakeFiles/costtool.dir/loc.cpp.o" "gcc" "src/costtool/CMakeFiles/costtool.dir/loc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

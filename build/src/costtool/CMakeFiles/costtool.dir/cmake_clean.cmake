@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costtool.dir/analyze.cpp.o"
+  "CMakeFiles/costtool.dir/analyze.cpp.o.d"
+  "CMakeFiles/costtool.dir/cocomo.cpp.o"
+  "CMakeFiles/costtool.dir/cocomo.cpp.o.d"
+  "CMakeFiles/costtool.dir/cyclomatic.cpp.o"
+  "CMakeFiles/costtool.dir/cyclomatic.cpp.o.d"
+  "CMakeFiles/costtool.dir/lexer.cpp.o"
+  "CMakeFiles/costtool.dir/lexer.cpp.o.d"
+  "CMakeFiles/costtool.dir/loc.cpp.o"
+  "CMakeFiles/costtool.dir/loc.cpp.o.d"
+  "libcosttool.a"
+  "libcosttool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for costtool.
+# This may be replaced when dependencies are built.

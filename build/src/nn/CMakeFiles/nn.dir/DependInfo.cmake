@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/mnist.cpp" "src/nn/CMakeFiles/nn.dir/mnist.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/mnist.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer_omp.cpp" "src/nn/CMakeFiles/nn.dir/trainer_omp.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/trainer_omp.cpp.o.d"
+  "/root/repo/src/nn/trainers.cpp" "src/nn/CMakeFiles/nn.dir/trainers.cpp.o" "gcc" "src/nn/CMakeFiles/nn.dir/trainers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/taskflow/CMakeFiles/taskflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

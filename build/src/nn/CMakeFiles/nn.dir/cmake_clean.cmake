@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn.dir/mnist.cpp.o"
+  "CMakeFiles/nn.dir/mnist.cpp.o.d"
+  "CMakeFiles/nn.dir/network.cpp.o"
+  "CMakeFiles/nn.dir/network.cpp.o.d"
+  "CMakeFiles/nn.dir/tensor.cpp.o"
+  "CMakeFiles/nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/nn.dir/trainer_omp.cpp.o"
+  "CMakeFiles/nn.dir/trainer_omp.cpp.o.d"
+  "CMakeFiles/nn.dir/trainers.cpp.o"
+  "CMakeFiles/nn.dir/trainers.cpp.o.d"
+  "libnn.a"
+  "libnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_support.dir/chrono.cpp.o"
+  "CMakeFiles/repro_support.dir/chrono.cpp.o.d"
+  "CMakeFiles/repro_support.dir/env.cpp.o"
+  "CMakeFiles/repro_support.dir/env.cpp.o.d"
+  "CMakeFiles/repro_support.dir/rng.cpp.o"
+  "CMakeFiles/repro_support.dir/rng.cpp.o.d"
+  "CMakeFiles/repro_support.dir/table.cpp.o"
+  "CMakeFiles/repro_support.dir/table.cpp.o.d"
+  "librepro_support.a"
+  "librepro_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

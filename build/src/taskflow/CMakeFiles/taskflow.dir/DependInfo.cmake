@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskflow/dot.cpp" "src/taskflow/CMakeFiles/taskflow.dir/dot.cpp.o" "gcc" "src/taskflow/CMakeFiles/taskflow.dir/dot.cpp.o.d"
+  "/root/repo/src/taskflow/executor.cpp" "src/taskflow/CMakeFiles/taskflow.dir/executor.cpp.o" "gcc" "src/taskflow/CMakeFiles/taskflow.dir/executor.cpp.o.d"
+  "/root/repo/src/taskflow/graph.cpp" "src/taskflow/CMakeFiles/taskflow.dir/graph.cpp.o" "gcc" "src/taskflow/CMakeFiles/taskflow.dir/graph.cpp.o.d"
+  "/root/repo/src/taskflow/observer.cpp" "src/taskflow/CMakeFiles/taskflow.dir/observer.cpp.o" "gcc" "src/taskflow/CMakeFiles/taskflow.dir/observer.cpp.o.d"
+  "/root/repo/src/taskflow/taskflow.cpp" "src/taskflow/CMakeFiles/taskflow.dir/taskflow.cpp.o" "gcc" "src/taskflow/CMakeFiles/taskflow.dir/taskflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

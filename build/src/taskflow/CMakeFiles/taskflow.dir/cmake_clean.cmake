@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskflow.dir/dot.cpp.o"
+  "CMakeFiles/taskflow.dir/dot.cpp.o.d"
+  "CMakeFiles/taskflow.dir/executor.cpp.o"
+  "CMakeFiles/taskflow.dir/executor.cpp.o.d"
+  "CMakeFiles/taskflow.dir/graph.cpp.o"
+  "CMakeFiles/taskflow.dir/graph.cpp.o.d"
+  "CMakeFiles/taskflow.dir/observer.cpp.o"
+  "CMakeFiles/taskflow.dir/observer.cpp.o.d"
+  "CMakeFiles/taskflow.dir/taskflow.cpp.o"
+  "CMakeFiles/taskflow.dir/taskflow.cpp.o.d"
+  "libtaskflow.a"
+  "libtaskflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

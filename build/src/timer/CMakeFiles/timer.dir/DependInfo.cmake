@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timer/celllib.cpp" "src/timer/CMakeFiles/timer.dir/celllib.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/celllib.cpp.o.d"
+  "/root/repo/src/timer/liberty.cpp" "src/timer/CMakeFiles/timer.dir/liberty.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/liberty.cpp.o.d"
+  "/root/repo/src/timer/modifier.cpp" "src/timer/CMakeFiles/timer.dir/modifier.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/modifier.cpp.o.d"
+  "/root/repo/src/timer/netlist.cpp" "src/timer/CMakeFiles/timer.dir/netlist.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/netlist.cpp.o.d"
+  "/root/repo/src/timer/propagation.cpp" "src/timer/CMakeFiles/timer.dir/propagation.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/propagation.cpp.o.d"
+  "/root/repo/src/timer/report.cpp" "src/timer/CMakeFiles/timer.dir/report.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/report.cpp.o.d"
+  "/root/repo/src/timer/sdc.cpp" "src/timer/CMakeFiles/timer.dir/sdc.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/sdc.cpp.o.d"
+  "/root/repo/src/timer/shell.cpp" "src/timer/CMakeFiles/timer.dir/shell.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/shell.cpp.o.d"
+  "/root/repo/src/timer/timer_v1.cpp" "src/timer/CMakeFiles/timer.dir/timer_v1.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/timer_v1.cpp.o.d"
+  "/root/repo/src/timer/timer_v2.cpp" "src/timer/CMakeFiles/timer.dir/timer_v2.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/timer_v2.cpp.o.d"
+  "/root/repo/src/timer/timers.cpp" "src/timer/CMakeFiles/timer.dir/timers.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/timers.cpp.o.d"
+  "/root/repo/src/timer/timing_graph.cpp" "src/timer/CMakeFiles/timer.dir/timing_graph.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/timing_graph.cpp.o.d"
+  "/root/repo/src/timer/verilog.cpp" "src/timer/CMakeFiles/timer.dir/verilog.cpp.o" "gcc" "src/timer/CMakeFiles/timer.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/taskflow/CMakeFiles/taskflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

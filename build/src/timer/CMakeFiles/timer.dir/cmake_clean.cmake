@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer.dir/celllib.cpp.o"
+  "CMakeFiles/timer.dir/celllib.cpp.o.d"
+  "CMakeFiles/timer.dir/liberty.cpp.o"
+  "CMakeFiles/timer.dir/liberty.cpp.o.d"
+  "CMakeFiles/timer.dir/modifier.cpp.o"
+  "CMakeFiles/timer.dir/modifier.cpp.o.d"
+  "CMakeFiles/timer.dir/netlist.cpp.o"
+  "CMakeFiles/timer.dir/netlist.cpp.o.d"
+  "CMakeFiles/timer.dir/propagation.cpp.o"
+  "CMakeFiles/timer.dir/propagation.cpp.o.d"
+  "CMakeFiles/timer.dir/report.cpp.o"
+  "CMakeFiles/timer.dir/report.cpp.o.d"
+  "CMakeFiles/timer.dir/sdc.cpp.o"
+  "CMakeFiles/timer.dir/sdc.cpp.o.d"
+  "CMakeFiles/timer.dir/shell.cpp.o"
+  "CMakeFiles/timer.dir/shell.cpp.o.d"
+  "CMakeFiles/timer.dir/timer_v1.cpp.o"
+  "CMakeFiles/timer.dir/timer_v1.cpp.o.d"
+  "CMakeFiles/timer.dir/timer_v2.cpp.o"
+  "CMakeFiles/timer.dir/timer_v2.cpp.o.d"
+  "CMakeFiles/timer.dir/timers.cpp.o"
+  "CMakeFiles/timer.dir/timers.cpp.o.d"
+  "CMakeFiles/timer.dir/timing_graph.cpp.o"
+  "CMakeFiles/timer.dir/timing_graph.cpp.o.d"
+  "CMakeFiles/timer.dir/verilog.cpp.o"
+  "CMakeFiles/timer.dir/verilog.cpp.o.d"
+  "libtimer.a"
+  "libtimer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

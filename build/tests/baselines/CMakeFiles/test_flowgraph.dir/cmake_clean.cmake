@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowgraph.dir/test_flowgraph.cpp.o"
+  "CMakeFiles/test_flowgraph.dir/test_flowgraph.cpp.o.d"
+  "test_flowgraph"
+  "test_flowgraph.pdb"
+  "test_flowgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowgraph_concurrent.dir/test_flowgraph_concurrent.cpp.o"
+  "CMakeFiles/test_flowgraph_concurrent.dir/test_flowgraph_concurrent.cpp.o.d"
+  "test_flowgraph_concurrent"
+  "test_flowgraph_concurrent.pdb"
+  "test_flowgraph_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowgraph_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

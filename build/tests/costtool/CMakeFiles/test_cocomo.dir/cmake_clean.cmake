@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cocomo.dir/test_cocomo.cpp.o"
+  "CMakeFiles/test_cocomo.dir/test_cocomo.cpp.o.d"
+  "test_cocomo"
+  "test_cocomo.pdb"
+  "test_cocomo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cocomo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

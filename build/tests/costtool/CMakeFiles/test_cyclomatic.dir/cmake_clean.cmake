@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cyclomatic.dir/test_cyclomatic.cpp.o"
+  "CMakeFiles/test_cyclomatic.dir/test_cyclomatic.cpp.o.d"
+  "test_cyclomatic"
+  "test_cyclomatic.pdb"
+  "test_cyclomatic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cyclomatic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

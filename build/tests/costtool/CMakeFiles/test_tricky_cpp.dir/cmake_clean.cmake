@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tricky_cpp.dir/test_tricky_cpp.cpp.o"
+  "CMakeFiles/test_tricky_cpp.dir/test_tricky_cpp.cpp.o.d"
+  "test_tricky_cpp"
+  "test_tricky_cpp.pdb"
+  "test_tricky_cpp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tricky_cpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/costtool
+# Build directory: /root/repo/build/tests/costtool
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/costtool/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/costtool/test_loc[1]_include.cmake")
+include("/root/repo/build/tests/costtool/test_cyclomatic[1]_include.cmake")
+include("/root/repo/build/tests/costtool/test_cocomo[1]_include.cmake")
+include("/root/repo/build/tests/costtool/test_tricky_cpp[1]_include.cmake")

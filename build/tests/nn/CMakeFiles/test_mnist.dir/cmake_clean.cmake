@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mnist.dir/test_mnist.cpp.o"
+  "CMakeFiles/test_mnist.dir/test_mnist.cpp.o.d"
+  "test_mnist"
+  "test_mnist.pdb"
+  "test_mnist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

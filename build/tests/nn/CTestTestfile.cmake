@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/nn
+# Build directory: /root/repo/build/tests/nn
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/nn/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/nn/test_mnist[1]_include.cmake")
+include("/root/repo/build/tests/nn/test_network[1]_include.cmake")
+include("/root/repo/build/tests/nn/test_trainers[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chrono.dir/test_chrono.cpp.o"
+  "CMakeFiles/test_chrono.dir/test_chrono.cpp.o.d"
+  "test_chrono"
+  "test_chrono.pdb"
+  "test_chrono[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chrono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/support
+# Build directory: /root/repo/build/tests/support
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/support/test_chrono[1]_include.cmake")
+include("/root/repo/build/tests/support/test_table[1]_include.cmake")
+include("/root/repo/build/tests/support/test_env[1]_include.cmake")

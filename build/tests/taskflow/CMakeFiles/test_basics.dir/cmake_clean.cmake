@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basics.dir/test_basics.cpp.o"
+  "CMakeFiles/test_basics.dir/test_basics.cpp.o.d"
+  "test_basics"
+  "test_basics.pdb"
+  "test_basics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

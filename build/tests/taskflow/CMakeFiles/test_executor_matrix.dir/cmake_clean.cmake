@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_matrix.dir/test_executor_matrix.cpp.o"
+  "CMakeFiles/test_executor_matrix.dir/test_executor_matrix.cpp.o.d"
+  "test_executor_matrix"
+  "test_executor_matrix.pdb"
+  "test_executor_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

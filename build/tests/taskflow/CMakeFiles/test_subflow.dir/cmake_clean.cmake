@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subflow.dir/test_subflow.cpp.o"
+  "CMakeFiles/test_subflow.dir/test_subflow.cpp.o.d"
+  "test_subflow"
+  "test_subflow.pdb"
+  "test_subflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsq.dir/test_wsq.cpp.o"
+  "CMakeFiles/test_wsq.dir/test_wsq.cpp.o.d"
+  "test_wsq"
+  "test_wsq.pdb"
+  "test_wsq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

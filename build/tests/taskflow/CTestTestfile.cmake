@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/taskflow
+# Build directory: /root/repo/build/tests/taskflow
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/taskflow/test_basics[1]_include.cmake")
+include("/root/repo/build/tests/taskflow/test_wsq[1]_include.cmake")
+include("/root/repo/build/tests/taskflow/test_subflow[1]_include.cmake")
+include("/root/repo/build/tests/taskflow/test_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/taskflow/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/taskflow/test_dot[1]_include.cmake")
+include("/root/repo/build/tests/taskflow/test_dispatch[1]_include.cmake")
+include("/root/repo/build/tests/taskflow/test_observer[1]_include.cmake")
+include("/root/repo/build/tests/taskflow/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/taskflow/test_executor_matrix[1]_include.cmake")

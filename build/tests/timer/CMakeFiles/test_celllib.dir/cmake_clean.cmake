@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_celllib.dir/test_celllib.cpp.o"
+  "CMakeFiles/test_celllib.dir/test_celllib.cpp.o.d"
+  "test_celllib"
+  "test_celllib.pdb"
+  "test_celllib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_celllib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

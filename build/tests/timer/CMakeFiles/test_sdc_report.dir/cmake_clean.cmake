@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdc_report.dir/test_sdc_report.cpp.o"
+  "CMakeFiles/test_sdc_report.dir/test_sdc_report.cpp.o.d"
+  "test_sdc_report"
+  "test_sdc_report.pdb"
+  "test_sdc_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

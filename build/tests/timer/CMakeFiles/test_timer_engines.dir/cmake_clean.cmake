@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timer_engines.dir/test_timer_engines.cpp.o"
+  "CMakeFiles/test_timer_engines.dir/test_timer_engines.cpp.o.d"
+  "test_timer_engines"
+  "test_timer_engines.pdb"
+  "test_timer_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timer_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

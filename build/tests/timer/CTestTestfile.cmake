@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/timer
+# Build directory: /root/repo/build/tests/timer
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/timer/test_celllib[1]_include.cmake")
+include("/root/repo/build/tests/timer/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/timer/test_timing_graph[1]_include.cmake")
+include("/root/repo/build/tests/timer/test_propagation[1]_include.cmake")
+include("/root/repo/build/tests/timer/test_timer_engines[1]_include.cmake")
+include("/root/repo/build/tests/timer/test_liberty[1]_include.cmake")
+include("/root/repo/build/tests/timer/test_verilog[1]_include.cmake")
+include("/root/repo/build/tests/timer/test_sdc_report[1]_include.cmake")
+include("/root/repo/build/tests/timer/test_shell[1]_include.cmake")
+include("/root/repo/build/tests/timer/test_engine_sweep[1]_include.cmake")

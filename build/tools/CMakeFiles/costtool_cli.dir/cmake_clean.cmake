@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costtool_cli.dir/costtool_cli.cpp.o"
+  "CMakeFiles/costtool_cli.dir/costtool_cli.cpp.o.d"
+  "costtool_cli"
+  "costtool_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costtool_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_shell.dir/ot_shell.cpp.o"
+  "CMakeFiles/ot_shell.dir/ot_shell.cpp.o.d"
+  "ot_shell"
+  "ot_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
