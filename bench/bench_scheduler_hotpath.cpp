@@ -1,0 +1,138 @@
+// bench_scheduler_hotpath - microbenchmark of the scheduler fast paths
+// (google-benchmark):
+//   * linear chain: the worker-cache speculative path (no queue traffic);
+//   * fan-out burst: one finishing node releasing many successors at once -
+//     the batched release / wake_n path;
+//   * bursty repeat: small bursts separated by idle gaps, with the
+//     spin-then-park phase on vs off; reports num_parks / num_wakes so the
+//     park/wake churn reduction is directly visible;
+//   * external submit: many small topologies dispatched from a non-worker
+//     thread, exercising the central-queue batch hand-off.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "taskflow/taskflow.hpp"
+
+namespace {
+
+// One source fans out to `fanout` independent tasks which all join a sink;
+// the source's finalization releases the whole middle layer in one batch.
+void run_fanout_burst(const std::shared_ptr<tf::ExecutorInterface>& executor,
+                      int fanout) {
+  tf::Taskflow tf(executor);
+  std::atomic<long> value{0};
+  auto source = tf.emplace([] {});
+  auto sink = tf.emplace([] {});
+  for (int i = 0; i < fanout; ++i) {
+    auto mid = tf.emplace([&value] { value.fetch_add(1, std::memory_order_relaxed); });
+    source.precede(mid);
+    mid.precede(sink);
+  }
+  tf.wait_for_all();
+  benchmark::DoNotOptimize(value.load());
+}
+
+void BM_LinearChain(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  auto executor = tf::make_executor(workers);
+  for (auto _ : state) {
+    tf::Taskflow tf(executor);
+    long value = 0;
+    std::vector<tf::Task> chain;
+    chain.reserve(static_cast<std::size_t>(length));
+    for (int i = 0; i < length; ++i) chain.push_back(tf.emplace([&value] { ++value; }));
+    tf.linearize(chain);
+    tf.wait_for_all();
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * length, benchmark::Counter::kIsRate);
+  state.counters["cache_hits"] = static_cast<double>(executor->num_cache_hits());
+}
+BENCHMARK(BM_LinearChain)
+    ->Args({16384, 1})
+    ->Args({16384, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FanOutBurst(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  auto executor = tf::make_executor(workers);
+  for (auto _ : state) run_fanout_burst(executor, fanout);
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * (fanout + 2), benchmark::Counter::kIsRate);
+  state.counters["wakes"] = static_cast<double>(executor->num_wakes());
+}
+BENCHMARK(BM_FanOutBurst)
+    ->Args({256, 4})
+    ->Args({4096, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Bursts of independent tasks separated by a gap slightly longer than a
+// scheduling quantum.  Without the spin phase every worker parks in each gap
+// and must be woken by the next burst; with it, workers ride out the gap
+// spinning/yielding.  Arg: spin_tries (0 = park immediately, seed behavior).
+void BM_BurstyRepeat(benchmark::State& state) {
+  tf::WorkStealingOptions opt;
+  opt.spin_tries = static_cast<int>(state.range(0));
+  auto executor = tf::make_executor(4, opt);
+  constexpr int kBurst = 64;
+  constexpr int kBurstsPerIter = 32;
+  for (auto _ : state) {
+    for (int b = 0; b < kBurstsPerIter; ++b) {
+      tf::Taskflow tf(executor);
+      std::atomic<long> value{0};
+      for (int i = 0; i < kBurst; ++i) {
+        tf.emplace([&value] { value.fetch_add(1, std::memory_order_relaxed); });
+      }
+      tf.wait_for_all();
+      benchmark::DoNotOptimize(value.load());
+    }
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBurst * kBurstsPerIter,
+      benchmark::Counter::kIsRate);
+  state.counters["parks"] = static_cast<double>(executor->num_parks());
+  state.counters["wakes"] = static_cast<double>(executor->num_wakes());
+  state.counters["parks/burst"] =
+      static_cast<double>(executor->num_parks()) /
+      (static_cast<double>(state.iterations()) * kBurstsPerIter);
+}
+BENCHMARK(BM_BurstyRepeat)->Arg(0)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Many small independent topologies dispatched from the calling (non-worker)
+// thread: every dispatch goes through the external schedule_batch path into
+// parked workers' caches / the central queue.
+void BM_ExternalSubmit(benchmark::State& state) {
+  auto executor = tf::make_executor(static_cast<std::size_t>(state.range(0)));
+  constexpr int kGraphs = 64;
+  constexpr int kTasksPerGraph = 16;
+  for (auto _ : state) {
+    std::atomic<long> value{0};
+    std::vector<std::unique_ptr<tf::Taskflow>> flows;
+    flows.reserve(kGraphs);
+    for (int g = 0; g < kGraphs; ++g) {
+      flows.push_back(std::make_unique<tf::Taskflow>(executor));
+      for (int i = 0; i < kTasksPerGraph; ++i) {
+        flows.back()->emplace(
+            [&value] { value.fetch_add(1, std::memory_order_relaxed); });
+      }
+      flows.back()->silent_dispatch();
+    }
+    for (auto& f : flows) f->wait_for_all();
+    benchmark::DoNotOptimize(value.load());
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kGraphs * kTasksPerGraph,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExternalSubmit)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

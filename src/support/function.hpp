@@ -1,0 +1,145 @@
+// function.hpp - support::SmallFunction, a small-buffer-optimized move-only
+// callable wrapper.
+//
+// std::function heap-allocates any capture larger than its tiny internal
+// buffer (16 bytes on libstdc++) and demands copyability of the target.
+// Task bodies are constructed once, moved into the graph, and invoked from
+// worker threads - they are never copied - so tf::Node stores its work in a
+// SmallFunction instead: callables up to `Capacity` bytes (with fundamental
+// alignment and a noexcept move constructor) are placed directly inside the
+// node, making graph construction allocation-free for typical captures;
+// larger or over-aligned targets transparently fall back to one heap
+// allocation.  Move-only captures (std::unique_ptr, std::promise, ...) are
+// first-class citizens.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace support {
+
+template <typename Signature, std::size_t Capacity = 32>
+class SmallFunction;  // undefined primary; use the R(Args...) specialization
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFunction<R(Args...), Capacity> {
+  // Pointer alignment covers the captures that matter (pointers, references,
+  // integers, doubles); over-aligned targets take the heap path.  Keeping the
+  // buffer alignment at 8 rather than max_align_t avoids padding the wrapper
+  // (and every tf::Node) to a 16-byte multiple.
+  static constexpr std::size_t kAlign = alignof(void*);
+
+ public:
+  /// True when a callable of type F is stored inside the buffer (no heap).
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(F) <= Capacity && alignof(F) <= kAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  SmallFunction() noexcept = default;
+  SmallFunction(std::nullptr_t) noexcept {}
+
+  template <typename F, typename D = std::decay_t<F>>
+    requires(!std::is_same_v<D, SmallFunction> && std::is_invocable_r_v<R, D&, Args...>)
+  SmallFunction(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    if constexpr (stores_inline<D>) {
+      ::new (static_cast<void*>(_buffer)) D(std::forward<F>(f));
+      _ops = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(_buffer)) D*(new D(std::forward<F>(f)));
+      _ops = &heap_ops<D>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& rhs) noexcept { move_from(rhs); }
+
+  SmallFunction& operator=(SmallFunction&& rhs) noexcept {
+    if (this != &rhs) {
+      reset();
+      move_from(rhs);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  /// True when a target is held.
+  explicit operator bool() const noexcept { return _ops != nullptr; }
+
+  /// True when the held target lives in the inline buffer (diagnostic).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return _ops != nullptr && _ops->inline_stored;
+  }
+
+  R operator()(Args... args) const {
+    assert(_ops != nullptr && "invoking an empty SmallFunction");
+    return _ops->invoke(_buffer, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* buffer, Args&&... args);
+    void (*relocate)(void* dst, void* src) noexcept;  // move into dst, destroy src
+    void (*destroy)(void* buffer) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops{
+      [](void* buffer, Args&&... args) -> R {
+        return (*std::launder(static_cast<D*>(buffer)))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        D* s = std::launder(static_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* buffer) noexcept { std::launder(static_cast<D*>(buffer))->~D(); },
+      true};
+
+  template <typename D>
+  static constexpr Ops heap_ops{
+      [](void* buffer, Args&&... args) -> R {
+        return (**std::launder(static_cast<D**>(buffer)))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        // The target stays put on the heap; only its pointer relocates.
+        ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+      },
+      [](void* buffer) noexcept { delete *std::launder(static_cast<D**>(buffer)); },
+      false};
+
+  void move_from(SmallFunction& rhs) noexcept {
+    _ops = rhs._ops;
+    if (_ops != nullptr) {
+      _ops->relocate(_buffer, rhs._buffer);
+      rhs._ops = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (_ops != nullptr) {
+      _ops->destroy(_buffer);
+      _ops = nullptr;
+    }
+  }
+
+  static_assert(Capacity >= sizeof(void*), "buffer must at least hold a heap pointer");
+
+  alignas(kAlign) mutable std::byte _buffer[Capacity];
+  const Ops* _ops{nullptr};
+};
+
+}  // namespace support

@@ -13,8 +13,20 @@ std::string node_id(const Node& n) {
   return os.str();
 }
 
+// DOT double-quoted strings treat `"` and `\` specially; user-supplied
+// names must have them escaped or the emitted file fails to parse.
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 std::string node_label(const Node& n) {
-  return n.name().empty() ? node_id(n) : n.name();
+  return n.name().empty() ? node_id(n) : dot_escape(n.name());
 }
 
 void emit_node(std::ostream& os, const Node& n) {
@@ -33,7 +45,7 @@ void emit_node(std::ostream& os, const Node& n) {
 }  // namespace
 
 void dump_dot(std::ostream& os, const Graph& graph, const std::string& title) {
-  os << "digraph \"" << title << "\" {\n";
+  os << "digraph \"" << dot_escape(title) << "\" {\n";
   for (const auto& node : graph) emit_node(os, node);
   os << "}\n";
 }

@@ -1,5 +1,6 @@
 #include "taskflow/executor.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "taskflow/flow_builder.hpp"
@@ -15,6 +16,17 @@ struct TlsWorker {
   void* worker{nullptr};
 };
 thread_local TlsWorker tls_worker;
+
+// One CPU relax hint (dense spin loops); falls back to a compiler barrier.
+inline void spin_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -67,14 +79,19 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
   }
   // Placeholder (monostate) nodes fall through: they only synchronize.
 
-  finalize(node);
+  // Collect every successor made ready by this completion (including those
+  // released by finalizing joined-subflow parents) and publish them as one
+  // batch: one fence and one wake pass instead of one per successor.
+  detail::ReadyBatch ready;
+  finalize(node, ready);
+  if (!ready.empty()) schedule_batch(ready.data(), ready.size());
 }
 
-void ExecutorInterface::finalize(Node* node) {
+void ExecutorInterface::finalize(Node* node, detail::ReadyBatch& ready) {
   // Release successors whose dependents all finished.
   for (Node* succ : node->_successors) {
     if (succ->_join_counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      schedule(succ);
+      ready.push(succ);
     }
   }
 
@@ -88,7 +105,7 @@ void ExecutorInterface::finalize(Node* node) {
   // through nested subflows.
   if (parent != nullptr &&
       parent->_join_counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    finalize(parent);
+    finalize(parent, ready);
   }
 }
 
@@ -123,7 +140,8 @@ WorkStealingExecutor::~WorkStealingExecutor() {
 }
 
 bool WorkStealingExecutor::all_queues_empty() const noexcept {
-  if (!_central.empty()) return false;
+  // Called under _mutex right after the central queue has been checked, so
+  // only the per-worker queues remain.
   for (const auto& w : _workers) {
     if (!w->queue.empty()) return false;
   }
@@ -153,8 +171,65 @@ void WorkStealingExecutor::schedule(Node* node) {
   wake_one(node);
 }
 
-void WorkStealingExecutor::schedule_batch(const std::vector<Node*>& nodes) {
-  for (Node* n : nodes) schedule(n);
+void WorkStealingExecutor::schedule_batch(Node* const* nodes, std::size_t n) {
+  if (n == 0) return;
+  if (n == 1) {
+    schedule(nodes[0]);
+    return;
+  }
+
+  if (tls_worker.executor == this) {
+    auto* w = static_cast<Worker*>(tls_worker.worker);
+    std::size_t i = 0;
+    // The first ready successor continues on this worker (linear-chain /
+    // depth-first fast path); the rest go to the local queue in one sweep.
+    if (_options.enable_worker_cache && w->cache == nullptr) {
+      w->cache = nodes[0];
+      _cache_hits.fetch_add(1, std::memory_order_relaxed);
+      i = 1;
+    }
+    const std::size_t pushed = n - i;
+    for (; i < n; ++i) w->queue.push(nodes[i]);
+    if (pushed == 0) return;
+    // One Dekker fence and one wake pass for the whole batch (the per-node
+    // path pays both per successor).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const int idlers = _num_idlers.load(std::memory_order_relaxed);
+    if (idlers > 0) {
+      wake_n(std::min(pushed, static_cast<std::size_t>(idlers)));
+    }
+    return;
+  }
+
+  // External submitter: hand tasks straight into the caches of parked
+  // workers (precise wakeup) and spill the rest to the central queue, all
+  // under a single mutex acquisition per chunk; notifications go out after
+  // the lock is released.
+  std::size_t i = 0;
+  while (i < n) {
+    Worker* to_wake[16];
+    std::size_t k = 0;
+    {
+      std::scoped_lock lock(_mutex);
+      while (i < n && k < 16 && !_idlers.empty()) {
+        Worker* victim = _idlers.back();
+        _idlers.pop_back();
+        _num_idlers.fetch_sub(1, std::memory_order_relaxed);
+        victim->idle = false;
+        assert(victim->cache == nullptr);
+        victim->cache = nodes[i++];
+        to_wake[k++] = victim;
+      }
+      if (k < 16 || i == n) {
+        // Idlers exhausted (or batch fully handed off): spill the remainder.
+        for (; i < n; ++i) _central.push_back(nodes[i]);
+        _num_central.store(_central.size(), std::memory_order_release);
+      }
+    }
+    if (k > 0) _wakes.fetch_add(k, std::memory_order_relaxed);
+    for (std::size_t j = 0; j < k; ++j) to_wake[j]->cv.notify_one();
+    if (k < 16) break;  // remainder already spilled under the last lock
+  }
 }
 
 void WorkStealingExecutor::wake_one(Node* direct) {
@@ -162,7 +237,10 @@ void WorkStealingExecutor::wake_one(Node* direct) {
   {
     std::scoped_lock lock(_mutex);
     if (_idlers.empty()) {
-      if (direct != nullptr) _central.push_back(direct);
+      if (direct != nullptr) {
+        _central.push_back(direct);
+        _num_central.store(_central.size(), std::memory_order_release);
+      }
       return;
     }
     victim = _idlers.back();
@@ -174,47 +252,106 @@ void WorkStealingExecutor::wake_one(Node* direct) {
       victim->cache = direct;  // precise wakeup with zero queue traffic
     }
   }
+  _wakes.fetch_add(1, std::memory_order_relaxed);
   victim->cv.notify_one();
+}
+
+void WorkStealingExecutor::wake_n(std::size_t n) {
+  std::size_t woken = 0;
+  while (n > 0) {
+    Worker* batch[16];
+    std::size_t k = 0;
+    const std::size_t want = std::min<std::size_t>(n, 16);
+    {
+      std::scoped_lock lock(_mutex);
+      while (k < want && !_idlers.empty()) {
+        Worker* victim = _idlers.back();
+        _idlers.pop_back();
+        _num_idlers.fetch_sub(1, std::memory_order_relaxed);
+        victim->idle = false;
+        batch[k++] = victim;
+      }
+    }
+    for (std::size_t j = 0; j < k; ++j) batch[j]->cv.notify_one();
+    woken += k;
+    if (k < want) break;  // idler list exhausted
+    n -= k;
+  }
+  if (woken > 0) _wakes.fetch_add(woken, std::memory_order_relaxed);
+}
+
+Node* WorkStealingExecutor::steal_pass(Worker& w) {
+  const std::size_t n = _workers.size();
+  // Try the remembered last victim first (Algorithm 1 line 3).
+  if (w.last_victim != w.id) {
+    if (auto t = _workers[w.last_victim]->queue.steal()) {
+      _steals.fetch_add(1, std::memory_order_relaxed);
+      return *t;
+    }
+  }
+  // Sweep all victims from a random start.
+  const std::size_t start = static_cast<std::size_t>(w.rng.below(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t v = (start + k) % n;
+    if (v == w.id) continue;
+    if (auto t = _workers[v]->queue.steal()) {
+      w.last_victim = v;
+      _steals.fetch_add(1, std::memory_order_relaxed);
+      return *t;
+    }
+  }
+  // Fall back to the central overflow queue; the lock-free probe keeps the
+  // mutex out of the (common) empty case.
+  if (_num_central.load(std::memory_order_acquire) > 0) {
+    std::scoped_lock lock(_mutex);
+    if (!_central.empty()) {
+      Node* t = _central.front();
+      _central.pop_front();
+      _num_central.store(_central.size(), std::memory_order_release);
+      return t;
+    }
+  }
+  return nullptr;
 }
 
 Node* WorkStealingExecutor::try_pop_or_steal(Worker& w) {
   if (auto t = w.queue.pop()) return *t;
 
-  const std::size_t n = _workers.size();
   for (int round = 0; round < _options.steal_rounds; ++round) {
-    // Try the remembered last victim first (Algorithm 1 line 3).
-    if (w.last_victim != w.id) {
-      if (auto t = _workers[w.last_victim]->queue.steal()) {
-        _steals.fetch_add(1, std::memory_order_relaxed);
-        return *t;
-      }
-    }
-    // Sweep all victims from a random start.
-    const std::size_t start = static_cast<std::size_t>(w.rng.below(n));
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t v = (start + k) % n;
-      if (v == w.id) continue;
-      if (auto t = _workers[v]->queue.steal()) {
-        w.last_victim = v;
-        _steals.fetch_add(1, std::memory_order_relaxed);
-        return *t;
-      }
-    }
-    // Fall back to the central overflow queue.
-    {
-      std::scoped_lock lock(_mutex);
-      if (!_central.empty()) {
-        Node* t = _central.front();
-        _central.pop_front();
-        return t;
-      }
-    }
+    if (Node* t = steal_pass(w)) return t;
     std::this_thread::yield();
+  }
+  // Last-chance central probe: external submissions must drain even when
+  // stealing is disabled (steal_rounds = 0).
+  if (_num_central.load(std::memory_order_acquire) > 0) {
+    std::scoped_lock lock(_mutex);
+    if (!_central.empty()) {
+      Node* t = _central.front();
+      _central.pop_front();
+      _num_central.store(_central.size(), std::memory_order_release);
+      return t;
+    }
   }
   return nullptr;
 }
 
-bool WorkStealingExecutor::park(Worker& w) {
+Node* WorkStealingExecutor::spin_for_work(Worker& w) {
+  // Bounded exponential backoff: ride out short work gaps (bursty graphs,
+  // inter-topology gaps) without the park/wake round-trip.  The worker is
+  // not registered as an idler while spinning, so producers skip the wake
+  // syscall entirely and the spinner picks the task up via steal_pass.
+  for (int spin = 0; spin < _options.spin_tries; ++spin) {
+    const int pauses = 1 << std::min(spin, 6);
+    for (int p = 0; p < pauses; ++p) spin_pause();
+    // Donate the time slice once backoff saturates (essential on hosts with
+    // fewer cores than workers: the producer needs CPU to publish work).
+    if (spin >= 4) std::this_thread::yield();
+    if (Node* t = steal_pass(w)) return t;
+  }
+  return nullptr;
+}
+
+bool WorkStealingExecutor::park(Worker& w, Node*& out) {
   std::unique_lock lock(_mutex);
   if (_stop) return false;
 
@@ -223,6 +360,15 @@ bool WorkStealingExecutor::park(Worker& w) {
   // wakes us) or we see its pushed task here.
   _num_idlers.fetch_add(1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!_central.empty()) {
+    // Claim central work directly under the park lock - the guaranteed
+    // drain path for external submissions when stealing is disabled.
+    out = _central.front();
+    _central.pop_front();
+    _num_central.store(_central.size(), std::memory_order_release);
+    _num_idlers.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
   if (!all_queues_empty()) {
     _num_idlers.fetch_sub(1, std::memory_order_relaxed);
     return true;
@@ -230,6 +376,7 @@ bool WorkStealingExecutor::park(Worker& w) {
 
   w.idle = true;
   _idlers.push_back(&w);
+  _parks.fetch_add(1, std::memory_order_relaxed);
   w.cv.wait(lock, [&] { return !w.idle || _stop; });
 
   if (w.idle) {
@@ -249,11 +396,14 @@ void WorkStealingExecutor::worker_loop(Worker& w) {
   Node* task = nullptr;
   for (;;) {
     task = try_pop_or_steal(w);
+    if (task == nullptr && _options.spin_tries > 0) task = spin_for_work(w);
     if (task == nullptr) {
-      if (!park(w)) break;
+      Node* handed = nullptr;
+      if (!park(w, handed)) break;
+      task = handed;
       // Algorithm 1 line 14: a precise wakeup may have deposited a task
       // directly into our cache.
-      if (w.cache != nullptr) {
+      if (task == nullptr && w.cache != nullptr) {
         task = w.cache;
         w.cache = nullptr;
       }
@@ -309,6 +459,19 @@ void SimpleExecutor::schedule(Node* node) {
     _queue.push_back(node);
   }
   _cv.notify_one();
+}
+
+void SimpleExecutor::schedule_batch(Node* const* nodes, std::size_t n) {
+  if (n == 0) return;
+  {
+    std::scoped_lock lock(_mutex);
+    for (std::size_t i = 0; i < n; ++i) _queue.push_back(nodes[i]);
+  }
+  if (n == 1) {
+    _cv.notify_one();
+  } else {
+    _cv.notify_all();
+  }
 }
 
 void SimpleExecutor::worker_loop(std::size_t worker_id) {

@@ -8,15 +8,21 @@
 //  * WorkStealingExecutor - the paper's default scheduler (Algorithm 1):
 //    a mixed work-stealing / work-sharing strategy with
 //      (1) a per-worker exclusive task *cache* enabling speculative
-//          execution of linear task chains without queue round-trips, and
+//          execution of linear task chains without queue round-trips,
 //      (2) a precise *idler list*: preempted workers park on their own
 //          condition variable and are woken one at a time, either exactly
-//          when work arrives or probabilistically for load balancing.
+//          when work arrives or probabilistically for load balancing,
+//      (3) *batched* release: all successors made ready by one finishing
+//          task are published with a single fence and a single wake_n pass
+//          instead of one fence + mutex round-trip per successor, and
+//      (4) a bounded *spin-then-park* phase so workers ride out short gaps
+//          between bursts without paying the park/wake round-trip.
 //
 //  * SimpleExecutor - a plain central-queue work-sharing pool, used as the
 //    pluggable alternative and by the executor ablation benchmark.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -33,6 +39,44 @@
 
 namespace tf {
 
+namespace detail {
+
+/// Ready successors collected while finalizing a task, batched so the
+/// executor can publish them with one fence / one wake pass.  The first
+/// kInline entries (the overwhelmingly common case) live on the stack;
+/// larger fan-outs spill to the heap once.
+class ReadyBatch {
+ public:
+  static constexpr std::size_t kInline = 16;
+
+  void push(Node* node) {
+    if (_spill.empty()) {
+      if (_size < kInline) {
+        _inline[_size++] = node;
+        return;
+      }
+      _spill.reserve(kInline * 2);
+      _spill.assign(_inline.begin(), _inline.end());
+    }
+    _spill.push_back(node);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return _size == 0 && _spill.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return _spill.empty() ? _size : _spill.size();
+  }
+  [[nodiscard]] Node* const* data() const noexcept {
+    return _spill.empty() ? _inline.data() : _spill.data();
+  }
+
+ private:
+  std::array<Node*, kInline> _inline{};
+  std::size_t _size{0};
+  std::vector<Node*> _spill;
+};
+
+}  // namespace detail
+
 class ExecutorInterface {
  public:
   virtual ~ExecutorInterface() = default;
@@ -41,8 +85,13 @@ class ExecutorInterface {
   virtual void schedule(Node* node) = 0;
 
   /// Schedule a batch of ready nodes; default forwards to schedule().
-  virtual void schedule_batch(const std::vector<Node*>& nodes) {
-    for (Node* n : nodes) schedule(n);
+  virtual void schedule_batch(Node* const* nodes, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) schedule(nodes[i]);
+  }
+
+  /// Convenience overload for callers holding a vector (e.g. dispatch).
+  void schedule_batch(const std::vector<Node*>& nodes) {
+    schedule_batch(nodes.data(), nodes.size());
   }
 
   /// Number of worker threads.
@@ -60,12 +109,14 @@ class ExecutorInterface {
 
  protected:
   /// Invoke `node`'s work on worker `worker_id`, expand dynamic subflows,
-  /// and release successors (common to all executors).
+  /// release successors, and schedule every newly ready one as one batch
+  /// (common to all executors).
   void run_task(std::size_t worker_id, Node* node);
 
-  /// Release a finished node's successors, notify its joined-subflow parent,
-  /// and retire it from its topology.
-  void finalize(Node* node);
+  /// Collect a finished node's ready successors into `ready`, notify its
+  /// joined-subflow parent, and retire it from its topology.  Does not
+  /// schedule anything itself: the caller publishes `ready` in one batch.
+  void finalize(Node* node, detail::ReadyBatch& ready);
 
   std::shared_ptr<ExecutorObserverInterface> _observer;
 };
@@ -79,8 +130,13 @@ struct WorkStealingOptions {
   /// Probability that a worker wakes one idler after draining its chain
   /// (Algorithm 1 lines 26-28).  0 disables proactive load balancing.
   double balance_wake_probability{1.0 / 64.0};
-  /// Steal sweeps over all victims before a worker parks.
+  /// Steal sweeps over all victims before a worker gives up a search pass.
   int steal_rounds{2};
+  /// Bounded exponential-backoff spin/yield iterations a worker performs
+  /// after an empty sweep before parking on its condition variable.  Each
+  /// iteration re-checks the local queue, the victims, and the central
+  /// queue.  0 restores park-immediately behavior.
+  int spin_tries{64};
 };
 
 class WorkStealingExecutor final : public ExecutorInterface {
@@ -93,7 +149,8 @@ class WorkStealingExecutor final : public ExecutorInterface {
   WorkStealingExecutor& operator=(const WorkStealingExecutor&) = delete;
 
   void schedule(Node* node) override;
-  void schedule_batch(const std::vector<Node*>& nodes) override;
+  void schedule_batch(Node* const* nodes, std::size_t n) override;
+  using ExecutorInterface::schedule_batch;
 
   [[nodiscard]] std::size_t num_workers() const noexcept override {
     return _workers.size();
@@ -114,6 +171,19 @@ class WorkStealingExecutor final : public ExecutorInterface {
     return _cache_hits.load(std::memory_order_relaxed);
   }
 
+  /// Total times a worker parked on its condition variable (diagnostic:
+  /// together with num_wakes this measures park/wake churn; the
+  /// spin-then-park phase exists to drive it down on bursty workloads).
+  [[nodiscard]] std::size_t num_parks() const noexcept {
+    return _parks.load(std::memory_order_relaxed);
+  }
+
+  /// Total condition-variable wakeups issued (precise, direct-handoff, and
+  /// probabilistic load-balance wakes).
+  [[nodiscard]] std::size_t num_wakes() const noexcept {
+    return _wakes.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Worker {
     WorkStealingQueue<Node*> queue;
@@ -127,13 +197,24 @@ class WorkStealingExecutor final : public ExecutorInterface {
   };
 
   void worker_loop(Worker& w);
+  /// One pass: pop the local queue, then steal_rounds sweeps, then the
+  /// central queue.
   Node* try_pop_or_steal(Worker& w);
+  /// One sweep over all victims (last-victim first) plus the central queue.
+  Node* steal_pass(Worker& w);
+  /// Bounded exponential-backoff spin before parking; returns a task if one
+  /// arrives within the spin window, else nullptr.
+  Node* spin_for_work(Worker& w);
   /// Park `w` on the idler list; returns false when the executor stops.
-  bool park(Worker& w);
+  /// When central work is found under the park lock it is claimed into
+  /// `out` instead of parking (the guaranteed drain when stealing is off).
+  bool park(Worker& w, Node*& out);
   /// Wake one idler; `direct` (optional) is handed straight into the woken
   /// worker's cache (precise wakeup, Algorithm 1 line 27); otherwise, when no
   /// idler exists and `direct` != nullptr, it is pushed to the central queue.
   void wake_one(Node* direct);
+  /// Wake up to `n` idlers under a single mutex acquisition.
+  void wake_n(std::size_t n);
   [[nodiscard]] bool all_queues_empty() const noexcept;
 
   WorkStealingOptions _options;
@@ -145,9 +226,12 @@ class WorkStealingExecutor final : public ExecutorInterface {
   std::vector<Worker*> _idlers;       // parked workers (Algorithm 1 line 8)
   bool _stop{false};
   std::atomic<int> _num_idlers{0};
+  std::atomic<std::size_t> _num_central{0};  // lock-free emptiness probe of _central
 
   std::atomic<std::size_t> _steals{0};
   std::atomic<std::size_t> _cache_hits{0};
+  std::atomic<std::size_t> _parks{0};
+  std::atomic<std::size_t> _wakes{0};
 };
 
 /// Plain work-sharing pool over one shared queue: the simplest conforming
@@ -161,6 +245,8 @@ class SimpleExecutor final : public ExecutorInterface {
   SimpleExecutor& operator=(const SimpleExecutor&) = delete;
 
   void schedule(Node* node) override;
+  void schedule_batch(Node* const* nodes, std::size_t n) override;
+  using ExecutorInterface::schedule_batch;
 
   [[nodiscard]] std::size_t num_workers() const noexcept override { return _threads.size(); }
 

@@ -307,12 +307,15 @@ class SubflowBuilder : public FlowBuilder {
 // SubflowBuilder to be complete.
 template <typename C>
 Task& Task::work(C&& callable) {
+  // emplace<> constructs the wrapper in place inside the node's variant; a
+  // temporary + move would pay an extra relocation per task on the graph
+  // construction hot path.
   if constexpr (detail::is_dynamic_work_v<C>) {
-    _node->_work = DynamicWork(std::forward<C>(callable));
+    _node->_work.emplace<DynamicWork>(std::forward<C>(callable));
   } else {
     static_assert(detail::is_static_work_v<C>,
                   "a task callable must be invocable with () or (SubflowBuilder&)");
-    _node->_work = StaticWork(std::forward<C>(callable));
+    _node->_work.emplace<StaticWork>(std::forward<C>(callable));
   }
   return *this;
 }

@@ -13,11 +13,12 @@
 #include <atomic>
 #include <cstddef>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <variant>
 #include <vector>
+
+#include "support/function.hpp"
 
 namespace tf {
 
@@ -25,11 +26,17 @@ class Graph;
 class SubflowBuilder;
 class Topology;
 
+/// Inline capture capacity of a task callable: lambdas up to this many bytes
+/// (the common case: a few pointers/references plus loop bounds) are stored
+/// directly inside the Node with no heap allocation - twice what libstdc++'s
+/// std::function can hold inline, without growing the node noticeably.
+inline constexpr std::size_t kWorkCapacity = 32;
+
 /// Work signature of a static task.
-using StaticWork = std::function<void()>;
+using StaticWork = support::SmallFunction<void(), kWorkCapacity>;
 /// Work signature of a dynamic task: receives a SubflowBuilder to spawn a
 /// subflow at runtime.
-using DynamicWork = std::function<void(SubflowBuilder&)>;
+using DynamicWork = support::SmallFunction<void(SubflowBuilder&), kWorkCapacity>;
 
 /// One vertex of a task dependency graph.  Internal type: users hold
 /// tf::Task handles instead (paper §III-A).
@@ -46,8 +53,17 @@ class Node {
   /// Add a successor edge this -> v and bump v's dependent count.
   void precede(Node& v);
 
-  [[nodiscard]] const std::string& name() const noexcept { return _name; }
-  void set_name(std::string n) { _name = std::move(n); }
+  [[nodiscard]] const std::string& name() const noexcept {
+    static const std::string empty;
+    return _name == nullptr ? empty : *_name;
+  }
+  void set_name(std::string n) {
+    if (_name == nullptr) {
+      _name = std::make_unique<std::string>(std::move(n));
+    } else {
+      *_name = std::move(n);
+    }
+  }
 
   [[nodiscard]] std::size_t num_successors() const noexcept { return _successors.size(); }
   [[nodiscard]] std::size_t num_dependents() const noexcept {
@@ -67,7 +83,10 @@ class Node {
 
   // -- internal execution state (used by executors and Topology) ----------
 
-  std::string _name;
+  // Names are debug/visualization metadata and almost always absent: keeping
+  // them behind a pointer shrinks every node by 24 bytes, which is what the
+  // large-graph construction and dispatch paths actually traffic in.
+  std::unique_ptr<std::string> _name;
   std::variant<std::monostate, StaticWork, DynamicWork> _work;
   std::vector<Node*> _successors;
   int _static_dependents{0};          // number of predecessors at build time

@@ -1,0 +1,147 @@
+// support::SmallFunction - the small-buffer-optimized move-only callable
+// that backs tf::StaticWork / tf::DynamicWork.
+#include "support/function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace {
+
+using Fn = support::SmallFunction<int(), 32>;
+
+TEST(SmallFunction, DefaultIsEmpty) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  Fn g(nullptr);
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(SmallFunction, InvokesSmallCallableInline) {
+  int x = 41;
+  Fn f([&x] { return x + 1; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(SmallFunction, ForwardsArgumentsAndReturn) {
+  support::SmallFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(20, 22), 42);
+}
+
+TEST(SmallFunction, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(7);
+  Fn f([p = std::move(p)] { return *p; });
+  static_assert(!std::is_copy_constructible_v<Fn>);
+  EXPECT_EQ(f(), 7);
+
+  // ... and survives being moved around.
+  Fn g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT: moved-from check is the point
+  EXPECT_EQ(g(), 7);
+}
+
+TEST(SmallFunction, OversizeCaptureFallsBackToHeap) {
+  std::array<char, 128> big{};
+  big[0] = 1;
+  Fn f([big] { return static_cast<int>(big[0]); });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 1);
+
+  // Heap targets relocate by pointer: moving must preserve the target.
+  Fn g(std::move(f));
+  EXPECT_FALSE(g.is_inline());
+  EXPECT_EQ(g(), 1);
+}
+
+TEST(SmallFunction, ThrowingMoveCaptureFallsBackToHeap) {
+  // A std::string capture is small but (pre-C++17 ABI aside) its lambda's
+  // move may not be noexcept on all standard libraries; what matters here is
+  // the general rule: stores_inline demands a noexcept move.
+  struct ThrowingMove {
+    ThrowingMove() = default;
+    ThrowingMove(ThrowingMove&&) noexcept(false) {}
+    ThrowingMove(const ThrowingMove&) = default;
+    int operator()() const { return 3; }
+  };
+  static_assert(!Fn::stores_inline<ThrowingMove>);
+  Fn f{ThrowingMove{}};
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(), 3);
+}
+
+struct Counted {
+  static int live;
+  static int destroyed;
+  Counted() { ++live; }
+  Counted(const Counted&) { ++live; }
+  Counted(Counted&&) noexcept { ++live; }
+  ~Counted() {
+    --live;
+    ++destroyed;
+  }
+};
+int Counted::live = 0;
+int Counted::destroyed = 0;
+
+TEST(SmallFunction, DestroysInlineTargetExactlyOnce) {
+  Counted::live = 0;
+  Counted::destroyed = 0;
+  {
+    Fn f([c = Counted{}] { return Counted::live; });
+    EXPECT_TRUE(f.is_inline());
+    EXPECT_EQ(Counted::live, 1);
+    const int destroyed_before = Counted::destroyed;
+
+    Fn g(std::move(f));  // relocation moves + destroys the source capture
+    EXPECT_EQ(Counted::live, 1);
+    EXPECT_EQ(Counted::destroyed, destroyed_before + 1);
+
+    g = Fn([] { return 0; });  // assignment destroys the old target
+    EXPECT_EQ(Counted::live, 0);
+  }
+  EXPECT_EQ(Counted::live, 0);
+}
+
+TEST(SmallFunction, DestroysHeapTargetExactlyOnce) {
+  Counted::live = 0;
+  Counted::destroyed = 0;
+  {
+    std::array<char, 128> pad{};
+    Fn f([c = Counted{}, pad] { return static_cast<int>(pad[0]); });
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(Counted::live, 1);
+
+    Fn g(std::move(f));  // heap relocation moves the pointer, not the target
+    EXPECT_EQ(Counted::live, 1);
+  }
+  EXPECT_EQ(Counted::live, 0);
+}
+
+TEST(SmallFunction, MoveAssignReleasesOldTarget) {
+  Counted::live = 0;
+  Fn a([c = Counted{}] { return 1; });
+  Fn b([c = Counted{}] { return 2; });
+  EXPECT_EQ(Counted::live, 2);
+  a = std::move(b);
+  EXPECT_EQ(Counted::live, 1);
+  EXPECT_EQ(a(), 2);
+  a = nullptr;
+  EXPECT_EQ(Counted::live, 0);
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST(SmallFunction, SelfMoveAssignIsSafe) {
+  Fn f([] { return 9; });
+  Fn& alias = f;
+  f = std::move(alias);
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(), 9);
+}
+
+}  // namespace

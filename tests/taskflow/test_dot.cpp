@@ -86,6 +86,18 @@ TEST(Dot, TitleAppearsInOutput) {
   EXPECT_NE(dot.find("label=\"only\""), std::string::npos);
 }
 
+TEST(Dot, QuotesAndBackslashesInNamesAreEscaped) {
+  tf::Graph g;
+  g.emplace_back().set_name("say \"hi\"");
+  g.emplace_back().set_name("back\\slash");
+  const auto dot = tf::dump_dot(g, "a \"quoted\" \\title");
+  EXPECT_NE(dot.find("digraph \"a \\\"quoted\\\" \\\\title\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"back\\\\slash\""), std::string::npos);
+  // No naked inner quote may survive: every label stays one quoted token.
+  EXPECT_EQ(dot.find("label=\"say \"hi"), std::string::npos);
+}
+
 TEST(Dot, EdgesPointFromPredecessorToSuccessor) {
   tf::Graph g;
   auto& a = g.emplace_back();

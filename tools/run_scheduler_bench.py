@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""run_scheduler_bench.py - scheduler performance harness.
+
+Builds and runs the scheduler-sensitive benchmarks (micro construction,
+executor ablation, scheduler hot path, Fig. 7 kernels, Fig. 10 timer sweep),
+collects everything into one JSON document, and - when given a baseline
+produced by an earlier run - attaches per-benchmark percentage deltas.
+The committed BENCH_scheduler.json at the repository root is the output of
+this script with the seed revision as baseline.
+
+Typical use:
+
+    # record the current tree's numbers against a saved baseline
+    python3 tools/run_scheduler_bench.py --baseline BENCH_seed.json \
+        --output BENCH_scheduler.json
+
+    # gate the taskflow test suite under ThreadSanitizer
+    python3 tools/run_scheduler_bench.py --tsan
+
+Benchmarks honor REPRO_MAX_THREADS / REPRO_TIMER_CORNERS / REPRO_SCALE from
+the environment (see EXPERIMENTS.md); pin them for stable comparisons.
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+GOOGLE_BENCHES = [
+    "bench_micro_construction",
+    "bench_ablation_executor",
+    "bench_scheduler_hotpath",
+]
+
+# Figure harnesses emit machine-readable `CSV,<table>,...` lines next to the
+# human-readable tables.
+FIGURE_BENCHES = [
+    "bench_fig7_wavefront",
+    "bench_fig7_traversal",
+    "bench_fig10_scalability",
+]
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, check=True, **kwargs)
+
+
+def build(build_dir, targets):
+    run(["cmake", "-B", build_dir, "-S", REPO_ROOT],
+        stdout=subprocess.DEVNULL)
+    run(["cmake", "--build", build_dir, "-j", "--target"] + targets)
+
+
+def run_google_bench(build_dir, name):
+    """Run one google-benchmark binary; returns {bench_name: record}."""
+    exe = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(exe):
+        print(f"skipping {name}: {exe} not built", file=sys.stderr)
+        return {}
+    out_json = os.path.join(build_dir, name + ".json")
+    run([exe, "--benchmark_format=json",
+         "--benchmark_out=" + out_json, "--benchmark_out_format=json"],
+        stdout=subprocess.DEVNULL)
+    with open(out_json) as f:
+        doc = json.load(f)
+    results = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+        skip = {"name", "run_name", "run_type", "repetitions",
+                "repetition_index", "threads", "iterations", "real_time",
+                "cpu_time", "time_unit", "family_index",
+                "per_family_instance_index"}
+        counters = {k: v for k, v in b.items()
+                    if k not in skip and isinstance(v, (int, float))}
+        results[b["name"]] = {
+            "real_time_ms": b["real_time"] * scale,
+            "cpu_time_ms": b["cpu_time"] * scale,
+            "iterations": b["iterations"],
+            "counters": counters,
+        }
+    return results
+
+
+def run_figure_bench(build_dir, name):
+    """Run one figure harness; returns {table_name: [row dicts]}."""
+    exe = os.path.join(build_dir, "bench", name)
+    proc = run([exe], capture_output=True, text=True)
+    tables = {}
+    headers = {}
+    for line in proc.stdout.splitlines():
+        if not line.startswith("CSV,"):
+            continue
+        fields = line.split(",")[1:]
+        table, cells = fields[0], fields[1:]
+        if table not in headers:
+            headers[table] = cells  # first CSV line of a table is its header
+            tables[table] = []
+            continue
+        row = {}
+        for key, cell in zip(headers[table], cells):
+            try:
+                row[key] = float(cell)
+            except ValueError:
+                row[key] = cell
+        tables[table].append(row)
+    return tables
+
+
+def pct(before, after):
+    if before is None or before == 0:
+        return None
+    return round(100.0 * (after - before) / before, 1)
+
+
+def attach_deltas(doc, baseline):
+    """Per-benchmark %-change vs baseline (negative = faster now)."""
+    deltas = {}
+    base_gb = baseline.get("google_benchmarks", {})
+    for name, rec in doc["google_benchmarks"].items():
+        if name in base_gb:
+            deltas[name] = pct(base_gb[name]["real_time_ms"],
+                               rec["real_time_ms"])
+    base_fig = baseline.get("figures", {})
+    for table, rows in doc["figures"].items():
+        for row in rows:
+            key_cols = [k for k in row if not k.endswith("_ms")]
+            match = next(
+                (r for r in base_fig.get(table, [])
+                 if all(r.get(k) == row[k] for k in key_cols)), None)
+            if match is None:
+                continue
+            for col in row:
+                if col.endswith("_ms"):
+                    d = pct(match.get(col), row[col])
+                    if d is not None:
+                        deltas[f"{table}/{'/'.join(str(row[k]) for k in key_cols)}/{col}"] = d
+    doc["baseline_label"] = baseline.get("label", "baseline")
+    doc["delta_pct_vs_baseline"] = deltas
+
+
+def run_tsan(tsan_dir):
+    """Configure a TSan build and run the taskflow test suite under it."""
+    run(["cmake", "-B", tsan_dir, "-S", REPO_ROOT, "-DREPRO_TSAN=ON"],
+        stdout=subprocess.DEVNULL)
+    targets = ["test_basics", "test_wsq", "test_subflow", "test_algorithms",
+               "test_executor", "test_dot", "test_dispatch", "test_observer",
+               "test_framework", "test_executor_matrix", "test_batch",
+               "test_function"]
+    run(["cmake", "--build", tsan_dir, "-j", "--target"] + targets)
+    run(["ctest", "--test-dir", tsan_dir, "--output-on-failure", "-j2",
+         "-L", "taskflow|support"])
+    print("TSan: taskflow + support suites clean")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--baseline", help="earlier output of this script")
+    ap.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_scheduler.json"))
+    ap.add_argument("--label", default="current",
+                    help="label recorded in the output (e.g. a git revision)")
+    ap.add_argument("--skip-build", action="store_true")
+    ap.add_argument("--skip-figures", action="store_true",
+                    help="micro/ablation/hotpath only (much faster)")
+    ap.add_argument("--tsan", action="store_true",
+                    help="instead of benchmarking, run the taskflow tests "
+                         "under ThreadSanitizer (separate build tree)")
+    ap.add_argument("--tsan-dir", default=os.path.join(REPO_ROOT, "build-tsan"))
+    args = ap.parse_args()
+
+    if args.tsan:
+        run_tsan(args.tsan_dir)
+        return
+
+    # Validate the baseline before spending minutes on benchmark runs.
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"error: cannot read baseline {args.baseline}: {e}")
+
+    figure_benches = [] if args.skip_figures else FIGURE_BENCHES
+    if not args.skip_build:
+        build(args.build_dir, GOOGLE_BENCHES + figure_benches)
+
+    doc = {
+        "label": args.label,
+        "generated_by": "tools/run_scheduler_bench.py",
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpus": os.cpu_count(),
+        },
+        "env": {k: os.environ[k] for k in
+                ("REPRO_MAX_THREADS", "REPRO_TIMER_CORNERS", "REPRO_SCALE",
+                 "REPRO_REPEATS") if k in os.environ},
+        "google_benchmarks": {},
+        "figures": {},
+    }
+    for name in GOOGLE_BENCHES:
+        doc["google_benchmarks"].update(run_google_bench(args.build_dir, name))
+    for name in figure_benches:
+        doc["figures"].update(run_figure_bench(args.build_dir, name))
+
+    if baseline is not None:
+        attach_deltas(doc, baseline)
+
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote", args.output)
+
+
+if __name__ == "__main__":
+    main()
