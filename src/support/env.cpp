@@ -34,4 +34,14 @@ int repro_repeats() {
   return static_cast<int>(env_int("REPRO_REPEATS", 3));
 }
 
+bool repro_cycle_check() { return env_int("REPRO_CYCLE_CHECK", 1) != 0; }
+
+int repro_fault_iters() {
+  return static_cast<int>(env_int("REPRO_FAULT_ITERS", 30));
+}
+
+unsigned long long repro_fault_seed() {
+  return static_cast<unsigned long long>(env_int("REPRO_FAULT_SEED", 42));
+}
+
 }  // namespace support

@@ -1,0 +1,84 @@
+// error.hpp - the error model of the library: exception capture, cooperative
+// cancellation, and cycle diagnostics (the robustness layer over paper §III).
+//
+// Every dispatched Topology owns one detail::ErrorState shared with the
+// ExecutionHandle returned by Taskflow::dispatch()/run().  The first task
+// that throws stores its std::exception_ptr there (first-writer-wins) and
+// flips the topology into *draining* mode: remaining tasks skip their work
+// but still run the finalize bookkeeping (join counters, subflow parents,
+// live-task count), so the topology terminates cleanly and the stored
+// exception is rethrown from the completion future.  ExecutionHandle::cancel
+// uses the same drain path without an exception.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace tf {
+
+/// Thrown by Taskflow::dispatch()/run() when the dependency graph contains a
+/// cycle (which could never complete), and delivered through the completion
+/// future when a dynamically spawned subflow turns out to be cyclic.
+class CycleError : public std::runtime_error {
+ public:
+  explicit CycleError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Error/cancellation state of one dispatched topology, shared (via
+/// std::shared_ptr) between the Topology and any ExecutionHandle so the
+/// handle stays valid after the topology is released by wait_for_all().
+struct ErrorState {
+  /// Draining flag: set by cancel() and by the first captured exception.
+  /// Workers read it once per task to decide the skip-but-finalize path.
+  std::atomic<bool> cancelled{false};
+
+  /// Publication protocol for `exception`: 0 = empty, 1 = a winner is
+  /// writing, 2 = stored.  A task always captures *before* it retires, and
+  /// the final retire_one() synchronizes with every earlier one (acq_rel
+  /// RMW chain), so state 2 is visible to whichever task fulfils the
+  /// completion promise.
+  std::atomic<int> exception_phase{0};
+  std::exception_ptr exception;
+
+  [[nodiscard]] bool draining() const noexcept {
+    return cancelled.load(std::memory_order_acquire);
+  }
+
+  void cancel() noexcept { cancelled.store(true, std::memory_order_release); }
+
+  /// First-writer-wins capture; every caller (winner or not) also flips the
+  /// topology into draining mode.  Returns true for the winner.
+  bool capture(std::exception_ptr e) noexcept {
+    int expected = 0;
+    const bool won =
+        exception_phase.compare_exchange_strong(expected, 1, std::memory_order_acq_rel);
+    if (won) {
+      exception = std::move(e);
+      exception_phase.store(2, std::memory_order_release);
+    }
+    cancelled.store(true, std::memory_order_release);
+    return won;
+  }
+
+  /// The stored exception, or nullptr when none was (fully) captured.
+  [[nodiscard]] std::exception_ptr stored() const noexcept {
+    return exception_phase.load(std::memory_order_acquire) == 2 ? exception : nullptr;
+  }
+};
+
+}  // namespace detail
+
+namespace this_task {
+
+/// True when the topology executing the current task is draining (a sibling
+/// task threw, or ExecutionHandle::cancel was called).  Long-running tasks
+/// poll this to cooperate with cancellation; outside a task it is false.
+[[nodiscard]] bool is_cancelled() noexcept;
+
+}  // namespace this_task
+
+}  // namespace tf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
 
 #include "taskflow/flow_builder.hpp"
 #include "taskflow/topology.hpp"
@@ -16,6 +17,18 @@ struct TlsWorker {
   void* worker{nullptr};
 };
 thread_local TlsWorker tls_worker;
+
+// Error state of the topology whose task the current thread is executing;
+// backs tf::this_task::is_cancelled().  Scoped strictly to the invocation of
+// user work inside run_task.
+thread_local detail::ErrorState* tls_error_state = nullptr;
+
+struct TlsErrorGuard {
+  explicit TlsErrorGuard(detail::ErrorState* s) noexcept { tls_error_state = s; }
+  ~TlsErrorGuard() { tls_error_state = nullptr; }
+  TlsErrorGuard(const TlsErrorGuard&) = delete;
+  TlsErrorGuard& operator=(const TlsErrorGuard&) = delete;
+};
 
 // One CPU relax hint (dense spin loops); falls back to a compiler barrier.
 inline void spin_pause() noexcept {
@@ -35,49 +48,74 @@ inline void spin_pause() noexcept {
 
 void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
   ExecutorObserverInterface* obs = _observer.get();
+  detail::ErrorState* err = node->_topology->error_state();
 
-  if (std::holds_alternative<StaticWork>(node->_work)) {
-    if (obs) obs->on_entry(worker_id, *node);
-    std::get<StaticWork>(node->_work)();
-    if (obs) obs->on_exit(worker_id, *node);
-  } else if (std::holds_alternative<DynamicWork>(node->_work)) {
-    if (!node->_spawned) {
-      node->_spawned = true;
-      node->_subgraph = std::make_unique<Graph>();
-      SubflowBuilder builder(*node->_subgraph, num_workers());
+  // A draining topology (a task threw, or cancel() was called) skips the
+  // user work of every remaining node but still runs the finalize
+  // bookkeeping below: join counters, joined-subflow parents, and the
+  // live-task count all reach their terminal state, so the topology
+  // terminates cleanly instead of leaking stuck nodes.  Skipped tasks are
+  // not reported to the observer (they never executed).
+  if (!err->draining()) {
+    TlsErrorGuard guard(err);  // visibility for tf::this_task::is_cancelled
+    try {
+      if (std::holds_alternative<StaticWork>(node->_work)) {
+        if (obs) obs->on_entry(worker_id, *node);
+        std::get<StaticWork>(node->_work)();
+        if (obs) obs->on_exit(worker_id, *node);
+      } else if (std::holds_alternative<DynamicWork>(node->_work) && !node->_spawned) {
+        node->_spawned = true;
+        node->_subgraph = std::make_unique<Graph>();
+        SubflowBuilder builder(*node->_subgraph, num_workers());
 
-      if (obs) obs->on_entry(worker_id, *node);
-      std::get<DynamicWork>(node->_work)(builder);
-      if (obs) obs->on_exit(worker_id, *node);
+        if (obs) obs->on_entry(worker_id, *node);
+        std::get<DynamicWork>(node->_work)(builder);
+        if (obs) obs->on_exit(worker_id, *node);
 
-      Graph& sub = *node->_subgraph;
-      if (!sub.empty()) {
-        node->_detached = builder.detached();
-        std::vector<Node*> sources;
-        for (auto& child : sub) {
-          child._topology = node->_topology;
-          child._join_counter.store(child._static_dependents, std::memory_order_relaxed);
-          if (!builder.detached()) child._parent = node;
-          if (child._static_dependents == 0) sources.push_back(&child);
-        }
-        assert(!sources.empty() && "a spawned subflow must be acyclic");
-        // Children become live tasks of the same topology before any of them
-        // can possibly run, so the topology cannot complete early.
-        node->_topology->add_active(static_cast<long>(sub.size()));
+        Graph& sub = *node->_subgraph;
+        if (!sub.empty()) {
+          // A cyclic subflow could never complete; surface a descriptive
+          // error through the topology instead of hanging wait_for_all.
+          if (std::string cycle = detail::describe_cycle(sub); !cycle.empty()) {
+            throw CycleError(node->name().empty()
+                                 ? "spawned subflow: " + cycle
+                                 : "subflow of \"" + node->name() + "\": " + cycle);
+          }
+          node->_detached = builder.detached();
+          std::vector<Node*> sources;
+          for (auto& child : sub) {
+            child._topology = node->_topology;
+            child._join_counter.store(child._static_dependents,
+                                      std::memory_order_relaxed);
+            if (!builder.detached()) child._parent = node;
+            if (child._static_dependents == 0) sources.push_back(&child);
+          }
+          // Children become live tasks of the same topology before any of
+          // them can possibly run, so the topology cannot complete early.
+          node->_topology->add_active(static_cast<long>(sub.size()));
 
-        if (!builder.detached()) {
-          // Joined subflow: defer this node's finalization until every child
-          // has finished (the last child triggers it through _join_counter).
-          node->_join_counter.store(static_cast<int>(sub.size()),
-                                    std::memory_order_release);
+          if (!builder.detached()) {
+            // Joined subflow: defer this node's finalization until every
+            // child has finished (the last child triggers it through
+            // _join_counter).
+            node->_join_counter.store(static_cast<int>(sub.size()),
+                                      std::memory_order_release);
+            schedule_batch(sources);
+            return;
+          }
           schedule_batch(sources);
-          return;
         }
-        schedule_batch(sources);
       }
+      // Placeholder (monostate) nodes fall through: they only synchronize.
+    } catch (...) {
+      // First exception wins (atomic first-writer); the topology flips into
+      // draining mode so remaining tasks skip their work.  A partially
+      // built subflow is simply abandoned here: its children are made live
+      // (add_active) only after every throwing point above, so nothing
+      // leaks and nothing was scheduled.
+      err->capture(std::current_exception());
     }
   }
-  // Placeholder (monostate) nodes fall through: they only synchronize.
 
   // Collect every successor made ready by this completion (including those
   // released by finalizing joined-subflow parents) and publish them as one
@@ -109,6 +147,18 @@ void ExecutorInterface::finalize(Node* node, detail::ReadyBatch& ready) {
   }
 }
 
+void ExecutorInterface::dump_state(std::ostream& os) const {
+  os << "executor: " << num_workers() << " worker(s)\n";
+}
+
+namespace this_task {
+
+bool is_cancelled() noexcept {
+  return tls_error_state != nullptr && tls_error_state->draining();
+}
+
+}  // namespace this_task
+
 // ---------------------------------------------------------------------------
 // WorkStealingExecutor (paper Algorithm 1)
 // ---------------------------------------------------------------------------
@@ -137,6 +187,21 @@ WorkStealingExecutor::~WorkStealingExecutor() {
   }
   for (auto& w : _workers) w->cv.notify_all();
   for (auto& t : _threads) t.join();
+}
+
+void WorkStealingExecutor::dump_state(std::ostream& os) const {
+  // Diagnostic snapshot from atomics only: safe to call mid-run from any
+  // thread (per-worker queue sizes are the WSQ's approximate atomic probe).
+  os << "work-stealing executor: " << _workers.size() << " worker(s), "
+     << _num_idlers.load(std::memory_order_relaxed) << " parked, central_depth="
+     << _num_central.load(std::memory_order_relaxed)
+     << ", steals=" << _steals.load(std::memory_order_relaxed)
+     << ", cache_hits=" << _cache_hits.load(std::memory_order_relaxed)
+     << ", parks=" << _parks.load(std::memory_order_relaxed)
+     << ", wakes=" << _wakes.load(std::memory_order_relaxed) << "\n";
+  for (const auto& w : _workers) {
+    os << "  worker " << w->id << ": queue_depth=" << w->queue.size() << "\n";
+  }
 }
 
 bool WorkStealingExecutor::all_queues_empty() const noexcept {
@@ -472,6 +537,16 @@ void SimpleExecutor::schedule_batch(Node* const* nodes, std::size_t n) {
   } else {
     _cv.notify_all();
   }
+}
+
+void SimpleExecutor::dump_state(std::ostream& os) const {
+  std::size_t depth = 0;
+  {
+    std::scoped_lock lock(_mutex);
+    depth = _queue.size();
+  }
+  os << "simple executor: " << _threads.size() << " worker(s), central_depth=" << depth
+     << "\n";
 }
 
 void SimpleExecutor::worker_loop(std::size_t worker_id) {

@@ -27,12 +27,14 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "support/rng.hpp"
+#include "taskflow/error.hpp"
 #include "taskflow/graph.hpp"
 #include "taskflow/observer.hpp"
 #include "taskflow/wsq.hpp"
@@ -97,7 +99,21 @@ class ExecutorInterface {
   /// Number of worker threads.
   [[nodiscard]] virtual std::size_t num_workers() const noexcept = 0;
 
-  /// Attach an observer (must be called while no graph is running).
+  /// Write a one-shot diagnostic snapshot of the executor's scheduling state
+  /// (queue depths, parked workers, counters) to `os` - the executor half of
+  /// Taskflow::stall_report().  Reads only atomics, so it is safe (and
+  /// race-free) to call from any thread while graphs are running; the
+  /// numbers are a best-effort snapshot, not a consistent cut.
+  virtual void dump_state(std::ostream& os) const;
+
+  /// Attach an observer.
+  ///
+  /// MUST be called while no graph is running on this executor: workers read
+  /// the observer pointer without synchronization on every task invocation,
+  /// so attaching (or swapping) during a live run is a data race.  Attach
+  /// once, before the first dispatch - an observer attached before dispatch
+  /// is guaranteed to see the on_entry/on_exit pair of every task of that
+  /// dispatch (tested in test_observer.cpp).
   void set_observer(std::shared_ptr<ExecutorObserverInterface> observer) {
     _observer = std::move(observer);
     if (_observer) _observer->set_up(num_workers());
@@ -109,8 +125,14 @@ class ExecutorInterface {
 
  protected:
   /// Invoke `node`'s work on worker `worker_id`, expand dynamic subflows,
-  /// release successors, and schedule every newly ready one as one batch
-  /// (common to all executors).
+  /// release successors, and schedule every newly ready one as one batch.
+  ///
+  /// This is the single invocation path shared by every executor (both
+  /// WorkStealingExecutor and SimpleExecutor route all tasks through it),
+  /// which is what keeps the error model uniform across pluggable
+  /// executors: the catch-all exception capture and the cancellation
+  /// skip-but-finalize drain live here, so their semantics cannot diverge
+  /// between executor implementations.
   void run_task(std::size_t worker_id, Node* node);
 
   /// Collect a finished node's ready successors into `ready`, notify its
@@ -151,6 +173,8 @@ class WorkStealingExecutor final : public ExecutorInterface {
   void schedule(Node* node) override;
   void schedule_batch(Node* const* nodes, std::size_t n) override;
   using ExecutorInterface::schedule_batch;
+
+  void dump_state(std::ostream& os) const override;
 
   [[nodiscard]] std::size_t num_workers() const noexcept override {
     return _workers.size();
@@ -248,12 +272,14 @@ class SimpleExecutor final : public ExecutorInterface {
   void schedule_batch(Node* const* nodes, std::size_t n) override;
   using ExecutorInterface::schedule_batch;
 
+  void dump_state(std::ostream& os) const override;
+
   [[nodiscard]] std::size_t num_workers() const noexcept override { return _threads.size(); }
 
  private:
   void worker_loop(std::size_t worker_id);
 
-  std::mutex _mutex;
+  mutable std::mutex _mutex;
   std::condition_variable _cv;
   std::deque<Node*> _queue;
   bool _stop{false};

@@ -110,6 +110,11 @@ class FlowBuilder {
   // Each pattern returns a (source, target) pair of synchronization tasks:
   // splice the pattern into a larger graph by preceding the source and
   // succeeding the target.
+  //
+  // Error semantics: if any chunk task throws, the topology drains (the
+  // remaining chunks and the target combiner are skipped - so a reduce
+  // whose workers failed never touches its partial results) and the first
+  // exception is rethrown from the dispatch handle / wait_for_all().
 
   /// Apply `callable` to every element in [beg, end), `chunk` elements per
   /// task (0 = auto: ~4 chunks per worker).

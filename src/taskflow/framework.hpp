@@ -19,7 +19,13 @@
 //    re-spawn), so runs are independent executions of the same structure;
 //  * runs of one framework must not overlap: run() requires the previous
 //    run to have finished (run_n serializes internally);
-//  * the framework must outlive any run in flight.
+//  * the framework must outlive any run in flight;
+//  * errors: run() returns a tf::ExecutionHandle - a task that throws makes
+//    the run drain (remaining tasks skipped) and the exception rethrows
+//    from handle.get(); handle.cancel() requests a cooperative drain; a
+//    cyclic framework graph makes run() throw tf::CycleError.  run_n stops
+//    at the first failing or cancelled run.  The framework graph itself
+//    stays reusable after a failed or cancelled run (the next run re-arms).
 #pragma once
 
 #include "taskflow/flow_builder.hpp"

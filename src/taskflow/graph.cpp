@@ -1,5 +1,12 @@
 #include "taskflow/graph.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 namespace tf {
 
 Node::~Node() = default;
@@ -10,7 +17,122 @@ void Node::precede(Node& v) {
   if (_successors.capacity() == 0) _successors.reserve(4);
   _successors.push_back(&v);
   ++v._static_dependents;
+  // Acyclicity witness, maintained as edges are built: an edge into an
+  // earlier-created node (or a self-loop) breaks the "creation order is a
+  // topological order" invariant, so dispatch must run the full check.
+  if (v._creation_index <= _creation_index) _has_backward_edge = true;
 }
+
+namespace detail {
+namespace {
+
+// Display label of a node inside a cycle diagnostic: the user-given name, or
+// a positional fallback for the (common) unnamed case.
+std::string cycle_label(const Node* node,
+                        const std::unordered_map<const Node*, std::size_t>& index) {
+  if (!node->name().empty()) return "\"" + node->name() + "\"";
+  return "task#" + std::to_string(index.at(node));
+}
+
+}  // namespace
+
+std::string describe_cycle(Graph& g, std::size_t max_named) {
+  // Kahn's algorithm, reusing the join counters as scratch in-degrees.  The
+  // graph is quiescent here (dispatch runs before workers see it; a subflow
+  // is checked before its children are armed), so the counters can be
+  // updated with plain load/store instead of atomic RMWs, and the worklist
+  // is a reused thread-local - the no-cycle path costs one O(V+E) sweep
+  // and no steady-state allocation.
+  // Fast accept: when every edge points from an earlier-created node to a
+  // later one, creation order is already a topological order (the common
+  // case - precede(A, B) written in build order).  Node::precede maintains
+  // that witness per node, so this is one read-only sweep with no edge
+  // dereferences.  Patterns that wire successors backward (e.g. the
+  // parallel_for source/target pair, created before its workers) fall
+  // through to the full check below.
+  {
+    bool forward = true;
+    for (const auto& node : g) {
+      if (node._has_backward_edge) {
+        forward = false;
+        break;
+      }
+    }
+    if (forward) return {};
+  }
+
+  static thread_local std::vector<Node*> worklist;
+  worklist.clear();
+  worklist.reserve(g.size());
+  for (auto& node : g) {
+    node._join_counter.store(node._static_dependents, std::memory_order_relaxed);
+    if (node._static_dependents == 0) worklist.push_back(&node);
+  }
+  std::size_t processed = 0;
+  while (!worklist.empty()) {
+    Node* n = worklist.back();
+    worklist.pop_back();
+    ++processed;
+    for (Node* succ : n->_successors) {
+      const int remaining = succ->_join_counter.load(std::memory_order_relaxed) - 1;
+      succ->_join_counter.store(remaining, std::memory_order_relaxed);
+      if (remaining == 0) worklist.push_back(succ);
+    }
+  }
+  if (processed == g.size()) return {};
+
+  // Error path only: recover one concrete cycle with a colored DFS over the
+  // unprocessed remainder (counter > 0 = on or downstream of a cycle).
+  std::unordered_map<const Node*, std::size_t> index;
+  std::unordered_map<const Node*, int> color;  // 0 white, 1 on path, 2 done
+  index.reserve(g.size());
+  std::size_t i = 0;
+  for (const auto& node : g) index.emplace(&node, i++);
+
+  std::vector<Node*> path;
+  std::string cycle_text;
+  for (auto& root : g) {
+    if (root._join_counter.load(std::memory_order_relaxed) == 0 || color[&root] == 2) {
+      continue;
+    }
+    // Iterative DFS with an explicit (node, next-successor) stack.
+    std::vector<std::pair<Node*, std::size_t>> stack{{&root, 0}};
+    color[&root] = 1;
+    path = {&root};
+    while (!stack.empty() && cycle_text.empty()) {
+      auto& [node, next] = stack.back();
+      if (next < node->_successors.size()) {
+        Node* succ = node->_successors[next++];
+        if (succ->_join_counter.load(std::memory_order_relaxed) == 0) continue;
+        if (color[succ] == 1) {
+          // Back edge: the cycle is the path suffix starting at succ.
+          auto it = std::find(path.begin(), path.end(), succ);
+          std::size_t named = 0;
+          for (; it != path.end() && named < max_named; ++it, ++named) {
+            cycle_text += cycle_label(*it, index) + " -> ";
+          }
+          cycle_text += it == path.end() ? cycle_label(succ, index) : "...";
+          break;
+        }
+        if (color[succ] == 0) {
+          color[succ] = 1;
+          path.push_back(succ);
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        color[node] = 2;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+    if (!cycle_text.empty()) break;
+  }
+  return "dependency cycle detected (" + std::to_string(g.size() - processed) +
+         " of " + std::to_string(g.size()) +
+         " task(s) can never become ready): " + cycle_text;
+}
+
+}  // namespace detail
 
 std::size_t Graph::size_recursive() const {
   std::size_t n = _nodes.size();

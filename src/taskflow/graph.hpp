@@ -92,6 +92,9 @@ class Node {
   int _static_dependents{0};          // number of predecessors at build time
   std::atomic<int> _join_counter{0};  // pending dependents (or pending subflow
                                       // children once spawned); reset at dispatch
+  int _creation_index{0};             // position in the owning graph's build order
+  bool _has_backward_edge{false};     // some successor was created before this
+                                      // node - the cheap acyclicity witness fails
   std::unique_ptr<Graph> _subgraph;   // spawned subflow, built lazily at runtime
   Node* _parent{nullptr};             // joined-subflow parent, else nullptr
   Topology* _topology{nullptr};       // owning dispatched topology
@@ -110,7 +113,11 @@ class Graph {
   Graph& operator=(const Graph&) = delete;
 
   /// Construct a new node in place and return it.
-  Node& emplace_back() { return _nodes.emplace_back(); }
+  Node& emplace_back() {
+    Node& node = _nodes.emplace_back();
+    node._creation_index = static_cast<int>(_nodes.size()) - 1;
+    return node;
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return _nodes.size(); }
   [[nodiscard]] bool empty() const noexcept { return _nodes.empty(); }
@@ -128,5 +135,17 @@ class Graph {
  private:
   std::deque<Node> _nodes;
 };
+
+namespace detail {
+
+/// Kahn's-algorithm acyclicity check over the static edges of `g`: returns
+/// the empty string when the graph is acyclic, otherwise a human-readable
+/// description naming one dependency cycle (up to `max_named` tasks).  The
+/// nodes' join counters are used as scratch in-degrees, so this must only
+/// run while `g` is not executing; Topology::arm / the subflow spawn path
+/// re-initialize the counters right afterwards.
+[[nodiscard]] std::string describe_cycle(Graph& g, std::size_t max_named = 8);
+
+}  // namespace detail
 
 }  // namespace tf

@@ -1,10 +1,28 @@
 #include "taskflow/taskflow.hpp"
 
+#include <exception>
 #include <sstream>
 
+#include "support/env.hpp"
 #include "taskflow/dot.hpp"
 
 namespace tf {
+
+namespace {
+
+// Throws tf::CycleError when `graph` is cyclic.  Runs before the graph is
+// handed to a Topology, so a failed dispatch leaves the caller's graph
+// intact (the scratched join counters are re-initialized by the next arm()).
+// REPRO_CYCLE_CHECK=0 skips the O(V+E) sweep for dispatch-latency-critical
+// code that guarantees acyclicity by construction.
+void throw_if_cyclic(Graph& graph, const char* origin) {
+  if (!support::repro_cycle_check()) return;
+  if (std::string cycle = detail::describe_cycle(graph); !cycle.empty()) {
+    throw CycleError(std::string(origin) + ": " + cycle);
+  }
+}
+
+}  // namespace
 
 Taskflow::Taskflow(std::size_t num_workers)
     : Taskflow(std::make_shared<WorkStealingExecutor>(num_workers)) {}
@@ -21,37 +39,89 @@ Taskflow::Taskflow(std::shared_ptr<ExecutorInterface> executor)
 
 Taskflow::~Taskflow() { wait_for_topologies(); }
 
-std::shared_future<void> Taskflow::dispatch() {
+ExecutionHandle Taskflow::dispatch() {
   if (detail::GraphOwner::graph.empty()) {
-    // Nothing to run: hand back a ready future.
-    std::promise<void> done;
-    done.set_value();
-    return done.get_future().share();
+    // Nothing to run: hand back a ready handle.
+    return ExecutionHandle{};
   }
+  throw_if_cyclic(detail::GraphOwner::graph, "dispatch");
   Topology& topology = _topologies.emplace_back(std::move(detail::GraphOwner::graph));
   detail::GraphOwner::graph = Graph{};  // the moved-from member gets a fresh graph
-  auto future = topology.future();
+  ExecutionHandle handle(topology.future(), topology.shared_error_state());
   _executor->schedule_batch(topology.sources());
-  return future;
+  return handle;
 }
 
 void Taskflow::silent_dispatch() { (void)dispatch(); }
 
-std::shared_future<void> Taskflow::run(Framework& framework) {
+ExecutionHandle Taskflow::run(Framework& framework) {
+  if (framework.graph().empty()) return ExecutionHandle{};
+  throw_if_cyclic(framework.graph(), "run");
   Topology& topology = _topologies.emplace_back(&framework.graph());
-  auto future = topology.future();
+  ExecutionHandle handle(topology.future(), topology.shared_error_state());
   _executor->schedule_batch(topology.sources());
-  return future;
+  return handle;
 }
 
 void Taskflow::run_n(Framework& framework, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) run(framework).wait();
+  // get() (not wait()) so a failing run rethrows immediately and aborts the
+  // remaining iterations; a cancelled run completes its future normally and
+  // likewise stops the sequence instead of spinning through dead runs.
+  for (std::size_t i = 0; i < n; ++i) {
+    ExecutionHandle handle = run(framework);
+    handle.get();
+    if (handle.is_cancelled()) break;
+  }
 }
 
 void Taskflow::wait_for_all() {
   if (!detail::GraphOwner::graph.empty()) silent_dispatch();
   wait_for_topologies();
+  // Every topology has fully drained; now surface the first failure (in
+  // dispatch order).  Release topologies first so the taskflow is reusable
+  // even when rethrowing.
+  std::exception_ptr first;
+  for (auto& topology : _topologies) {
+    if (!first) first = topology.exception();
+  }
   _topologies.clear();
+  if (first) std::rethrow_exception(first);
+}
+
+bool Taskflow::wait_for_all_for(std::chrono::milliseconds timeout) {
+  if (!detail::GraphOwner::graph.empty()) silent_dispatch();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (auto& topology : _topologies) {
+    if (topology.future().wait_until(deadline) != std::future_status::ready) {
+      return false;  // stalled: topologies kept for stall_report / retry
+    }
+  }
+  std::exception_ptr first;
+  for (auto& topology : _topologies) {
+    if (!first) first = topology.exception();
+  }
+  _topologies.clear();
+  if (first) std::rethrow_exception(first);
+  return true;
+}
+
+std::string Taskflow::stall_report() const {
+  std::ostringstream os;
+  os << "=== taskflow stall report ===\n";
+  _executor->dump_state(os);
+  std::size_t i = 0;
+  for (const auto& topology : _topologies) {
+    const long active = topology.num_active();
+    os << "topology " << i++ << ": " << active << " unfinished task(s) of "
+       << topology.graph().size_recursive();
+    if (topology.is_cancelled()) {
+      os << (topology.exception() ? " [draining: task exception]"
+                                  : " [draining: cancelled]");
+    }
+    os << (active == 0 ? " [complete]\n" : "\n");
+  }
+  if (i == 0) os << "no dispatched topologies\n";
+  return os.str();
 }
 
 void Taskflow::wait_for_topologies() {

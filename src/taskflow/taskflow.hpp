@@ -24,8 +24,20 @@
 // A taskflow is NOT thread-safe: one owner thread builds and dispatches;
 // the executor runs the tasks.  Executors are pluggable and shareable
 // across taskflows (paper §III-E) via std::shared_ptr.
+//
+// Error model (see error.hpp / DESIGN.md §"Error model"):
+//  * dispatch()/run() verify the graph is acyclic and throw tf::CycleError
+//    with a descriptive message instead of deadlocking (disable the check
+//    with REPRO_CYCLE_CHECK=0 when dispatch cost matters more than safety);
+//  * a task that throws flips its topology into draining mode (remaining
+//    tasks are skipped, bookkeeping still runs) and the first exception is
+//    rethrown from the handle's get() and from wait_for_all();
+//  * the returned ExecutionHandle supports cooperative cancel(), observable
+//    inside tasks via tf::this_task::is_cancelled();
+//  * wait_for_all_for() + stall_report() bound waits and triage deadlocks.
 #pragma once
 
+#include <chrono>
 #include <future>
 #include <list>
 #include <memory>
@@ -62,28 +74,54 @@ class Taskflow : private detail::GraphOwner, public FlowBuilder {
   Taskflow(const Taskflow&) = delete;
   Taskflow& operator=(const Taskflow&) = delete;
 
-  /// Dispatch the present graph (non-blocking); returns a shared future that
-  /// becomes ready when every task - including dynamically spawned subflow
-  /// tasks - has finished.  The taskflow is left with a fresh empty graph.
-  std::shared_future<void> dispatch();
+  /// Dispatch the present graph (non-blocking); returns a handle whose
+  /// future becomes ready when every task - including dynamically spawned
+  /// subflow tasks - has finished, and which exposes cooperative cancel().
+  /// The handle converts implicitly to std::shared_future<void>, so
+  /// paper-era call sites keep compiling.  The first exception thrown by a
+  /// task is rethrown from the handle's get().  Throws tf::CycleError (and
+  /// leaves the present graph intact) when the graph is cyclic.  On success
+  /// the taskflow is left with a fresh empty graph.
+  ExecutionHandle dispatch();
 
-  /// Dispatch the present graph and ignore the execution status.
+  /// Dispatch the present graph and ignore the execution status (still
+  /// throws tf::CycleError on a cyclic graph).
   void silent_dispatch();
 
-  /// Run a reusable Framework once (non-blocking); the future becomes ready
-  /// when the run completes.  The framework must outlive the run, and runs
-  /// of one framework must not overlap.
-  std::shared_future<void> run(Framework& framework);
+  /// Run a reusable Framework once (non-blocking); the handle's future
+  /// becomes ready when the run completes and rethrows the first task
+  /// exception.  The framework must outlive the run, and runs of one
+  /// framework must not overlap.  Throws tf::CycleError on a cyclic graph.
+  ExecutionHandle run(Framework& framework);
 
-  /// Run a Framework `n` times back-to-back (blocking).
+  /// Run a Framework `n` times back-to-back (blocking).  A run that fails
+  /// (task exception) or is cancelled from another thread stops the
+  /// sequence: the exception, if any, is rethrown immediately.
   void run_n(Framework& framework, std::size_t n);
 
   /// Dispatch the present graph (if non-empty) and block until all
-  /// topologies finish; finished topologies are then released.
+  /// topologies finish; finished topologies are then released.  If any
+  /// topology captured a task exception, the first one (in dispatch order)
+  /// is rethrown - after every topology has fully drained, so no tasks are
+  /// left running or stuck.  Like a shared future, a stored failure is
+  /// rethrown on every observation: it reports here even when the handle's
+  /// get() already delivered it.
   void wait_for_all();
 
+  /// Bounded wait_for_all: returns false when not every topology finished
+  /// within `timeout` (topologies are then kept, so the wait can be retried
+  /// or triaged with stall_report()); returns true after the wait_for_all
+  /// release-and-rethrow behavior.
+  bool wait_for_all_for(std::chrono::milliseconds timeout);
+
+  /// Diagnostic snapshot for deadlock/stall triage: executor scheduling
+  /// state (queue depths, parked workers, counters) plus per-topology
+  /// unfinished-task counts.  Safe to call from any thread at any time.
+  [[nodiscard]] std::string stall_report() const;
+
   /// Block until all already-dispatched topologies finish (keeps them alive
-  /// for inspection / dump_topologies()).
+  /// for inspection / dump_topologies()).  Does not rethrow task
+  /// exceptions - used by the destructor, which must not throw.
   void wait_for_topologies();
 
   /// Number of worker threads in the underlying executor.

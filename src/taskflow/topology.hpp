@@ -1,18 +1,25 @@
 // topology.hpp - tf::Topology, a dispatched task dependency graph
-// (paper §III-C, Fig. 3).
+// (paper §III-C, Fig. 3), and tf::ExecutionHandle, the per-dispatch handle
+// exposing completion waiting plus cooperative cancellation.
 //
 // When a Taskflow dispatches its present graph, the graph is moved into a
 // Topology which owns it for the rest of its lifetime.  The topology keeps
 // the runtime metadata of the dispatch: a promise/shared_future pair for
-// completion signalling and a live-node counter that reaches zero when the
-// last task (including dynamically spawned subflow tasks) finishes.
+// completion signalling, a live-node counter that reaches zero when the
+// last task (including dynamically spawned subflow tasks) finishes, and a
+// shared ErrorState carrying the first captured exception / the
+// cancellation flag (see error.hpp for the drain semantics).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <future>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "taskflow/error.hpp"
 #include "taskflow/graph.hpp"
 
 namespace tf {
@@ -33,7 +40,8 @@ class Topology {
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
-  /// Completion future; shared so multiple parties may wait.
+  /// Completion future; shared so multiple parties may wait.  Becomes ready
+  /// when the last task retires; carries the first captured exception.
   [[nodiscard]] std::shared_future<void> future() const noexcept { return _future; }
 
   /// Source nodes (no dependents) to seed the executor with.
@@ -52,12 +60,34 @@ class Topology {
   /// Internal: add `n` live tasks (called before scheduling spawned children).
   void add_active(long n) noexcept { _num_active.fetch_add(n, std::memory_order_relaxed); }
 
-  /// Internal: retire one task; fulfills the promise on the last one.
+  /// Internal: retire one task; fulfills the promise on the last one,
+  /// delivering the first captured exception when there is one.
   void retire_one() {
     if (_num_active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      _promise.set_value();
+      if (auto e = _state->stored()) {
+        _promise.set_exception(std::move(e));
+      } else {
+        _promise.set_value();
+      }
     }
   }
+
+  /// Shared error/cancellation state (internal; executors read it per task).
+  [[nodiscard]] detail::ErrorState* error_state() const noexcept { return _state.get(); }
+  [[nodiscard]] const std::shared_ptr<detail::ErrorState>& shared_error_state()
+      const noexcept {
+    return _state;
+  }
+
+  /// Request cooperative cancellation: remaining tasks skip their work but
+  /// the topology still drains to completion (the future becomes ready
+  /// without an exception).
+  void cancel() noexcept { _state->cancel(); }
+  [[nodiscard]] bool is_cancelled() const noexcept { return _state->draining(); }
+
+  /// The first exception captured by a task of this topology (nullptr when
+  /// none); populated once the throwing task has finished capturing.
+  [[nodiscard]] std::exception_ptr exception() const noexcept { return _state->stored(); }
 
  private:
   void arm() {
@@ -82,6 +112,70 @@ class Topology {
   std::shared_future<void> _future;
   std::atomic<long> _num_active{0};
   std::vector<Node*> _sources;
+  std::shared_ptr<detail::ErrorState> _state{std::make_shared<detail::ErrorState>()};
+};
+
+/// Handle to one dispatched execution, returned by Taskflow::dispatch() and
+/// Taskflow::run().  Copyable (shared-future semantics) and implicitly
+/// convertible to std::shared_future<void>, so paper-era code written
+/// against the future API keeps compiling unchanged.  On top of waiting it
+/// offers cancel()/is_cancelled(); the handle stays valid after the
+/// taskflow has released the topology (wait_for_all), since the state is
+/// shared, not borrowed.
+class ExecutionHandle {
+ public:
+  /// An empty handle represents an already-completed (empty) dispatch.
+  ExecutionHandle() {
+    std::promise<void> done;
+    done.set_value();
+    _future = done.get_future().share();
+  }
+
+  ExecutionHandle(std::shared_future<void> future,
+                  std::shared_ptr<detail::ErrorState> state) noexcept
+      : _future(std::move(future)), _state(std::move(state)) {}
+
+  /// Request cooperative cancellation: tasks not yet started skip their
+  /// work, running tasks observe tf::this_task::is_cancelled(), and the
+  /// topology drains to a ready future.  No-op on an empty handle.
+  void cancel() const noexcept {
+    if (_state) _state->cancel();
+  }
+
+  /// True once the execution entered draining mode (cancelled by this or
+  /// any other handle, or failed with an exception).
+  [[nodiscard]] bool is_cancelled() const noexcept {
+    return _state != nullptr && _state->draining();
+  }
+
+  /// The first exception a task threw (nullptr when none so far).
+  [[nodiscard]] std::exception_ptr exception() const noexcept {
+    return _state == nullptr ? nullptr : _state->stored();
+  }
+
+  /// Block until the execution finished; rethrows the first task exception.
+  void get() const { _future.get(); }
+
+  /// Block until the execution finished without consuming the exception.
+  void wait() const { _future.wait(); }
+
+  /// Deadline-based waits, forwarding std::shared_future semantics.
+  template <typename Rep, typename Period>
+  std::future_status wait_for(const std::chrono::duration<Rep, Period>& d) const {
+    return _future.wait_for(d);
+  }
+  template <typename Clock, typename Duration>
+  std::future_status wait_until(const std::chrono::time_point<Clock, Duration>& t) const {
+    return _future.wait_until(t);
+  }
+
+  /// The underlying completion future (also available implicitly).
+  [[nodiscard]] const std::shared_future<void>& future() const noexcept { return _future; }
+  operator std::shared_future<void>() const noexcept { return _future; }  // NOLINT
+
+ private:
+  std::shared_future<void> _future;
+  std::shared_ptr<detail::ErrorState> _state;
 };
 
 }  // namespace tf

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 namespace {
@@ -71,6 +72,53 @@ TEST(Observer, DynamicTasksObservedOncePerSpawn) {
   tf.wait_for_all();
   EXPECT_EQ(obs->entries.load(), 3);  // parent + 2 children
   EXPECT_EQ(obs->exits.load(), 3);
+}
+
+TEST(Observer, AttachBeforeDispatchSeesEveryEventIncludingSubflows) {
+  // The documented contract (ISSUE 2 satellite): attach while no graph is
+  // running, and the observer sees every task of subsequently dispatched
+  // graphs - including dynamically spawned subflow children.
+  auto executor = tf::make_executor(2);
+  auto obs = std::make_shared<CountingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  for (int i = 0; i < 20; ++i) {
+    tf.emplace([](tf::SubflowBuilder& sf) {
+      sf.emplace([] {});
+      sf.emplace([] {});
+    });
+  }
+  tf.wait_for_all();
+  EXPECT_EQ(obs->entries.load(), 60);  // 20 parents + 40 children
+  EXPECT_EQ(obs->exits.load(), 60);
+}
+
+TEST(Observer, ThrowingTaskGetsEntryWithoutExit) {
+  auto executor = tf::make_executor(2);
+  auto obs = std::make_shared<CountingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  tf.emplace([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(tf.wait_for_all(), std::runtime_error);
+  EXPECT_EQ(obs->entries.load(), 1);  // the task did start...
+  EXPECT_EQ(obs->exits.load(), 0);    // ...but never completed
+}
+
+TEST(Observer, SkippedTasksProduceNoEvents) {
+  auto executor = tf::make_executor(2);
+  auto obs = std::make_shared<CountingObserver>();
+  executor->set_observer(obs);
+  tf::Taskflow tf(executor);
+  auto a = tf.emplace([] { throw std::runtime_error("boom"); });
+  auto b = tf.emplace([] {});
+  auto c = tf.emplace([] {});
+  a.precede(b);
+  b.precede(c);
+  EXPECT_THROW(tf.wait_for_all(), std::runtime_error);
+  // b and c were drained (their bookkeeping ran) but never executed, so the
+  // observer timeline records only the task that actually ran.
+  EXPECT_EQ(obs->entries.load(), 1);
+  EXPECT_EQ(obs->exits.load(), 0);
 }
 
 TEST(RecordingObserver, CountsTasks) {

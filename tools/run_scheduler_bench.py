@@ -17,6 +17,9 @@ Typical use:
     # gate the taskflow test suite under ThreadSanitizer
     python3 tools/run_scheduler_bench.py --tsan
 
+    # gate it under AddressSanitizer + UBSan (leaks in the error-drain paths)
+    python3 tools/run_scheduler_bench.py --asan
+
 Benchmarks honor REPRO_MAX_THREADS / REPRO_TIMER_CORNERS / REPRO_SCALE from
 the environment (see EXPERIMENTS.md); pin them for stable comparisons.
 """
@@ -146,18 +149,35 @@ def attach_deltas(doc, baseline):
     doc["delta_pct_vs_baseline"] = deltas
 
 
-def run_tsan(tsan_dir):
-    """Configure a TSan build and run the taskflow test suite under it."""
-    run(["cmake", "-B", tsan_dir, "-S", REPO_ROOT, "-DREPRO_TSAN=ON"],
+# Every taskflow/support gtest binary the sanitizer gates build and run,
+# including the error-model suites (test_errors/test_cancel/test_diagnostics)
+# and the fault-injection harness (test_fault, ctest label "fault").
+SANITIZER_TEST_TARGETS = [
+    "test_basics", "test_wsq", "test_subflow", "test_algorithms",
+    "test_executor", "test_dot", "test_dispatch", "test_observer",
+    "test_framework", "test_executor_matrix", "test_batch",
+    "test_errors", "test_cancel", "test_diagnostics", "test_fault",
+    "test_function",
+]
+
+
+def run_sanitized(build_dir, cmake_flag, label):
+    """Configure a sanitizer build tree and run the taskflow suite under it."""
+    run(["cmake", "-B", build_dir, "-S", REPO_ROOT, cmake_flag],
         stdout=subprocess.DEVNULL)
-    targets = ["test_basics", "test_wsq", "test_subflow", "test_algorithms",
-               "test_executor", "test_dot", "test_dispatch", "test_observer",
-               "test_framework", "test_executor_matrix", "test_batch",
-               "test_function"]
-    run(["cmake", "--build", tsan_dir, "-j", "--target"] + targets)
-    run(["ctest", "--test-dir", tsan_dir, "--output-on-failure", "-j2",
+    run(["cmake", "--build", build_dir, "-j", "--target"]
+        + SANITIZER_TEST_TARGETS)
+    run(["ctest", "--test-dir", build_dir, "--output-on-failure", "-j2",
          "-L", "taskflow|support"])
-    print("TSan: taskflow + support suites clean")
+    print(f"{label}: taskflow + support suites clean")
+
+
+def run_tsan(tsan_dir):
+    run_sanitized(tsan_dir, "-DREPRO_TSAN=ON", "TSan")
+
+
+def run_asan(asan_dir):
+    run_sanitized(asan_dir, "-DREPRO_ASAN=ON", "ASan/UBSan")
 
 
 def main():
@@ -174,10 +194,17 @@ def main():
                     help="instead of benchmarking, run the taskflow tests "
                          "under ThreadSanitizer (separate build tree)")
     ap.add_argument("--tsan-dir", default=os.path.join(REPO_ROOT, "build-tsan"))
+    ap.add_argument("--asan", action="store_true",
+                    help="instead of benchmarking, run the taskflow tests "
+                         "under AddressSanitizer + UBSan (separate build tree)")
+    ap.add_argument("--asan-dir", default=os.path.join(REPO_ROOT, "build-asan"))
     args = ap.parse_args()
 
     if args.tsan:
         run_tsan(args.tsan_dir)
+    if args.asan:
+        run_asan(args.asan_dir)
+    if args.tsan or args.asan:
         return
 
     # Validate the baseline before spending minutes on benchmark runs.
