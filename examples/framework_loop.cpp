@@ -1,7 +1,8 @@
-// framework_loop.cpp - tf::Framework: build one task dependency graph and
-// re-run it many times without reconstruction (the iterative inner-loop
-// pattern of the paper's motivating applications: one optimization step =
-// one run of the same analysis graph).
+// framework_loop.cpp - build one task dependency graph and re-run it many
+// times without reconstruction (the iterative inner-loop pattern of the
+// paper's motivating applications: one optimization step = one run of the
+// same analysis graph).  Executor-centric API: the reusable graph is a plain
+// tf::Taskflow and tf::Executor::run_n queues the repeats.
 //
 //   build/examples/framework_loop [iterations]
 #include <cstdlib>
@@ -20,31 +21,32 @@ int main(int argc, char** argv) {
   std::iota(signal.begin(), signal.end(), 0.0);
   double sum = 0.0, sum_sq = 0.0, gain = 1.0, energy = 0.0;
 
-  tf::Framework fw(4);
-  auto scale = fw.emplace([&] {
+  tf::Taskflow pipeline;
+  auto scale = pipeline.emplace([&] {
     for (double& v : signal) v *= gain;
   });
-  auto stat_sum = fw.emplace([&] {
+  auto stat_sum = pipeline.emplace([&] {
     sum = std::accumulate(signal.begin(), signal.end(), 0.0);
   });
-  auto stat_sq = fw.emplace([&] {
+  auto stat_sq = pipeline.emplace([&] {
     sum_sq = 0.0;
     for (double v : signal) sum_sq += v * v;
   });
-  auto merge = fw.emplace([&] {
+  auto merge = pipeline.emplace([&] {
     energy = sum_sq / (1.0 + sum);
     gain = 0.999;  // feedback for the next iteration
   });
   scale.precede(stat_sum, stat_sq);
   merge.gather(std::vector<tf::Task>{stat_sum, stat_sq});
 
-  tf::Taskflow tf(4);
+  tf::Executor executor(4);
   support::Stopwatch sw;
-  tf.run_n(fw, static_cast<std::size_t>(iterations));
-  std::cout << iterations << " runs of a 4-task framework in " << sw.elapsed_ms()
+  executor.run_n(pipeline, static_cast<std::size_t>(iterations)).get();
+  std::cout << iterations << " runs of a 4-task graph in " << sw.elapsed_ms()
             << " ms (energy = " << energy << ")\n";
 
-  // Contrast: the dispatch model would rebuild the graph per iteration.
+  // Contrast: the paper-era dispatch model rebuilds the graph per iteration
+  // (still compiles - the legacy API is shimmed over the executor).
   support::Stopwatch sw2;
   for (int i = 0; i < iterations; ++i) {
     tf::Taskflow rebuild(4);

@@ -1,5 +1,6 @@
-// quickstart.cpp - the paper's Listing 1: a four-task diamond dependency
-// graph with no explicit thread management or locks.
+// quickstart.cpp - the paper's Listing 1 diamond dependency graph, on the
+// executor-centric API: a tf::Taskflow is a pure reusable graph and a
+// tf::Executor is the (shareable) run entry point.
 //
 //   build/examples/quickstart
 #include <iostream>
@@ -7,9 +8,9 @@
 #include "taskflow/taskflow.hpp"
 
 int main() {
-  tf::Taskflow tf;
+  tf::Taskflow taskflow;  // a pure graph: no threads yet
 
-  auto [A, B, C, D] = tf.emplace(
+  auto [A, B, C, D] = taskflow.emplace(
       []() { std::cout << "Task A\n"; },
       []() { std::cout << "Task B\n"; },
       []() { std::cout << "Task C\n"; },
@@ -19,6 +20,7 @@ int main() {
   B.precede(D);     // B runs before D
   C.precede(D);     // C runs before D
 
-  tf.wait_for_all();  // block until finish
+  tf::Executor executor;          // the thread pool
+  executor.run(taskflow).get();   // run once, block until finish
   return 0;
 }

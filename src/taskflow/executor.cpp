@@ -47,7 +47,7 @@ inline void spin_pause() noexcept {
 // ---------------------------------------------------------------------------
 
 void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
-  ExecutorObserverInterface* obs = _observer.get();
+  ExecutorObserverInterface* obs = _observer_raw.load(std::memory_order_acquire);
   detail::ErrorState* err = node->_topology->error_state();
 
   // A draining topology (a task threw, or cancel() was called) skips the

@@ -106,20 +106,25 @@ class ExecutorInterface {
   /// numbers are a best-effort snapshot, not a consistent cut.
   virtual void dump_state(std::ostream& os) const;
 
-  /// Attach an observer.
-  ///
-  /// MUST be called while no graph is running on this executor: workers read
-  /// the observer pointer without synchronization on every task invocation,
-  /// so attaching (or swapping) during a live run is a data race.  Attach
-  /// once, before the first dispatch - an observer attached before dispatch
-  /// is guaranteed to see the on_entry/on_exit pair of every task of that
-  /// dispatch (tested in test_observer.cpp).
+  /// Attach (or swap) an observer.  Safe to call from any thread at any
+  /// time, including while graphs are running: the hot path reads the
+  /// observer through an acquire-loaded pointer, and set_observer publishes
+  /// the fully set-up observer with a release store.  An observer attached
+  /// before a dispatch is guaranteed to see the on_entry/on_exit pair of
+  /// every task of that dispatch (tested in test_observer.cpp); one attached
+  /// mid-run sees the tasks that start after the attach becomes visible.  A
+  /// replaced observer is kept alive until the executor is destroyed, so
+  /// workers holding the old pointer never dangle.
   void set_observer(std::shared_ptr<ExecutorObserverInterface> observer) {
+    if (observer) observer->set_up(num_workers());
+    std::scoped_lock lock(_observer_mutex);
+    if (_observer) _retired_observers.push_back(std::move(_observer));
     _observer = std::move(observer);
-    if (_observer) _observer->set_up(num_workers());
+    _observer_raw.store(_observer.get(), std::memory_order_release);
   }
 
-  [[nodiscard]] const std::shared_ptr<ExecutorObserverInterface>& observer() const noexcept {
+  [[nodiscard]] std::shared_ptr<ExecutorObserverInterface> observer() const {
+    std::scoped_lock lock(_observer_mutex);
     return _observer;
   }
 
@@ -140,7 +145,12 @@ class ExecutorInterface {
   /// schedule anything itself: the caller publishes `ready` in one batch.
   void finalize(Node* node, detail::ReadyBatch& ready);
 
+  /// Acquire/release-published observer pointer read by run_task on every
+  /// task (a plain load on x86); ownership lives behind _observer_mutex.
+  std::atomic<ExecutorObserverInterface*> _observer_raw{nullptr};
+  mutable std::mutex _observer_mutex;
   std::shared_ptr<ExecutorObserverInterface> _observer;
+  std::vector<std::shared_ptr<ExecutorObserverInterface>> _retired_observers;
 };
 
 /// Tuning knobs of WorkStealingExecutor; defaults match the paper's design.

@@ -1,51 +1,22 @@
-// framework.hpp - tf::Framework: a reusable task dependency graph.
+// framework.hpp - compatibility shim: tf::Framework is a deprecated alias of
+// tf::Taskflow.
 //
-// The paper's dispatch model consumes the present graph on every dispatch;
-// iterative applications (e.g. the incremental-timing inner loop, training
-// epochs) that re-run the *same* graph would rebuild it each time.  A
-// Framework keeps one graph alive across runs - the library-evolution
-// feature this reproduction adds as the paper's future-work direction.
+// The paper-era library split "reusable graph" (Framework) from "graph +
+// dispatcher" (Taskflow).  The executor-centric refactor removed the split:
+// tf::Taskflow *is* the pure reusable graph, and tf::Executor is the run
+// entry point (see taskflow.hpp).  The alias keeps paper-era code compiling:
 //
-//   tf::Framework fw;
+//   tf::Framework fw;              // == tf::Taskflow
 //   auto [A, B] = fw.emplace(taskA, taskB);
 //   A.precede(B);
 //
-//   tf::Taskflow tf;
-//   tf.run(fw).get();    // run once (non-blocking without the .get())
-//   tf.run_n(fw, 10);    // run ten times back-to-back (blocking)
+//   tf::Executor executor;
+//   executor.run(fw).get();        // new style
+//   executor.run_n(fw, 10);
 //
-// Semantics:
-//  * each run re-arms every node (join counters reset, dynamic subflows
-//    re-spawn), so runs are independent executions of the same structure;
-//  * runs of one framework must not overlap: run() requires the previous
-//    run to have finished (run_n serializes internally);
-//  * the framework must outlive any run in flight;
-//  * errors: run() returns a tf::ExecutionHandle - a task that throws makes
-//    the run drain (remaining tasks skipped) and the exception rethrows
-//    from handle.get(); handle.cancel() requests a cooperative drain; a
-//    cyclic framework graph makes run() throw tf::CycleError.  run_n stops
-//    at the first failing or cancelled run.  The framework graph itself
-//    stays reusable after a failed or cancelled run (the next run re-arms).
+//   tf::Taskflow tf;               // paper-era style still works:
+//   tf.run(fw).get();              // shims over a lazy private executor
+//   tf.run_n(fw, 10);
 #pragma once
 
-#include "taskflow/flow_builder.hpp"
-
-namespace tf {
-
-class Framework : public FlowBuilder {
- public:
-  /// `default_parallelism` seeds algorithm-pattern chunking, as in Taskflow.
-  explicit Framework(std::size_t default_parallelism = 1)
-      : FlowBuilder(_holder, default_parallelism) {}
-
-  Framework(const Framework&) = delete;
-  Framework& operator=(const Framework&) = delete;
-
-  [[nodiscard]] Graph& graph() noexcept { return _holder; }
-  [[nodiscard]] const Graph& graph() const noexcept { return _holder; }
-
- private:
-  Graph _holder;
-};
-
-}  // namespace tf
+#include "taskflow/taskflow.hpp"

@@ -24,51 +24,321 @@ void throw_if_cyclic(Graph& graph, const char* origin) {
 
 }  // namespace
 
-Taskflow::Taskflow(std::size_t num_workers)
-    : Taskflow(std::make_shared<WorkStealingExecutor>(num_workers)) {}
+namespace detail {
 
-Taskflow::Taskflow(std::shared_ptr<ExecutorInterface> executor)
-    : FlowBuilder(detail::GraphOwner::graph,
-                  executor == nullptr ? 1 : executor->num_workers()),
-      _executor(std::move(executor)) {
-  if (_executor == nullptr) {
-    _executor = std::make_shared<WorkStealingExecutor>();
-    _default_par = _executor->num_workers();
+// One Executor::async submission: a single-node graph and its topology, heap
+// boxed so the executor can delete the whole run from the completion
+// callback once the task retired.
+struct AsyncRun {
+  Graph graph;
+  Topology topology{&graph};
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+Executor::Executor(std::size_t num_workers)
+    : _backend(std::make_shared<WorkStealingExecutor>(num_workers)) {}
+
+Executor::Executor(std::shared_ptr<ExecutorInterface> backend)
+    : _backend(std::move(backend)) {
+  if (_backend == nullptr) _backend = std::make_shared<WorkStealingExecutor>();
+}
+
+Executor::~Executor() { wait_for_all(); }
+
+ExecutionHandle Executor::run(Taskflow& taskflow) {
+  return handle_of(submit(taskflow, 1, nullptr));
+}
+
+ExecutionHandle Executor::run_n(Taskflow& taskflow, std::size_t n) {
+  return handle_of(submit(taskflow, n, nullptr));
+}
+
+ExecutionHandle Executor::run_until(Taskflow& taskflow, std::function<bool()> stop) {
+  return handle_of(submit(taskflow, 1, std::move(stop)));
+}
+
+std::shared_ptr<Topology> Executor::submit(Taskflow& taskflow, std::size_t n,
+                                           std::function<bool()> stop) {
+  if (taskflow.graph().empty() || n == 0) return nullptr;
+
+  auto topology = std::make_shared<Topology>(&taskflow.graph());
+  topology->_client = this;
+  topology->_kind = Topology::RunKind::queued;
+  topology->_remaining = n;
+  topology->_stop_pred = std::move(stop);
+
+  // Find-or-create the client's run queue, then push under BOTH locks
+  // (registry, then queue - the global lock order): releasing the registry
+  // lock before the push would let a concurrent drain erase the queue and a
+  // concurrent submit create a second one, breaking same-taskflow FIFO
+  // serialization.
+  std::unique_lock clients_lock(_clients_mutex);
+  auto& slot = _clients[&taskflow];
+  if (slot == nullptr) slot = std::make_shared<ClientQueue>(&taskflow);
+  std::shared_ptr<ClientQueue> cq = slot;
+  std::unique_lock queue_lock(cq->mutex);
+  clients_lock.unlock();
+
+  const bool start_now = cq->queue.empty();
+  if (start_now) {
+    // An empty queue means nothing of this taskflow is queued or in flight,
+    // so the cycle check (which scratches the graph's join counters) cannot
+    // race task execution.  Queued resubmissions skip the re-check: the
+    // graph is immutable while runs are in flight, so its verdict holds.
+    try {
+      throw_if_cyclic(taskflow.graph(), "run");
+    } catch (...) {
+      queue_lock.unlock();
+      // Drop the (empty) queue we may have just registered, re-checking
+      // under both locks: a concurrent submit may have pushed meanwhile.
+      std::scoped_lock relock(_clients_mutex);
+      auto it = _clients.find(&taskflow);
+      if (it != _clients.end() && it->second == cq) {
+        std::scoped_lock requeue(cq->mutex);
+        if (cq->queue.empty()) _clients.erase(it);
+      }
+      throw;
+    }
+  }
+
+  topology->_client_tag = cq.get();
+  topology->_client_hold = cq;  // the queue outlives every run it holds
+  cq->queue.push_back(topology);
+  // Count under the queue lock: the completion-side decrement pops under
+  // this lock first, so it can never overtake this increment.
+  _num_topologies.fetch_add(1, std::memory_order_relaxed);
+  queue_lock.unlock();
+
+  if (start_now) start(*topology);
+  return topology;
+}
+
+std::shared_ptr<Topology> Executor::dispatch_owned(Graph&& graph) {
+  // Paper-era dispatch: one-shot topologies of one taskflow run
+  // concurrently, so they bypass the per-client FIFO queue.  The caller
+  // (Taskflow::dispatch) has already cycle-checked the graph.
+  auto topology = std::make_shared<Topology>(std::move(graph));
+  topology->_client = this;
+  topology->_kind = Topology::RunKind::dispatched;
+  topology->_client_hold = topology;  // self-keepalive until finish()
+  _num_topologies.fetch_add(1, std::memory_order_relaxed);
+  start(*topology);
+  return topology;
+}
+
+void Executor::submit_async(StaticWork&& work) {
+  auto* box = new detail::AsyncRun;
+  Node& node = box->graph.emplace_back();
+  node._work.emplace<StaticWork>(std::move(work));
+  box->topology._client = this;
+  box->topology._kind = Topology::RunKind::async;
+  box->topology._client_tag = box;
+  _num_asyncs.fetch_add(1, std::memory_order_relaxed);
+  start(box->topology);
+}
+
+void Executor::start(Topology& topology) {
+  topology.arm();
+  _backend->schedule_batch(topology.sources());
+}
+
+void Executor::on_topology_done(Topology& topology) {
+  // Runs on the worker that retired the topology's last task.  Protocol:
+  // executor bookkeeping first, the in-flight decrement + wakeup as the
+  // LAST touch of executor state (a wait_for_all caller - possibly the
+  // destructor - may proceed the instant the counters read zero), and
+  // finish() as the LAST touch of the topology (the handle holder may
+  // release it the moment the future becomes ready).
+  switch (topology._kind) {
+    case Topology::RunKind::async: {
+      auto* box = static_cast<detail::AsyncRun*>(topology._client_tag);
+      delete box;  // the user-visible promise lives in the task callable
+      std::scoped_lock lock(_done_mutex);
+      _num_asyncs.fetch_sub(1, std::memory_order_relaxed);
+      _done_cv.notify_all();
+      return;
+    }
+
+    case Topology::RunKind::dispatched: {
+      std::shared_ptr<Topology> self =
+          std::static_pointer_cast<Topology>(std::move(topology._client_hold));
+      {
+        std::scoped_lock lock(_done_mutex);
+        _num_topologies.fetch_sub(1, std::memory_order_relaxed);
+        _done_cv.notify_all();
+      }
+      self->finish();
+      return;
+    }
+
+    case Topology::RunKind::queued:
+      break;
+  }
+
+  // Queued run (Executor::run / run_n / run_until): decide between the next
+  // repeat and completion.  A draining run (task exception or cancel) stops
+  // the remaining repeats; otherwise run_until consults its predicate and
+  // run_n its countdown.
+  bool done = topology.error_state()->draining();
+  if (!done) {
+    done = topology._stop_pred ? topology._stop_pred() : (--topology._remaining == 0);
+  }
+  if (!done) {
+    start(topology);  // re-arm the same graph for the next repeat
+    return;
+  }
+
+  // Final repeat done: pop from the client FIFO and hand the worker pool to
+  // the next pending run of this taskflow, if any.
+  auto* cq = static_cast<ClientQueue*>(topology._client_tag);
+  std::shared_ptr<Topology> self;  // keeps the topology alive through finish()
+  std::shared_ptr<Topology> next;
+  bool drained = false;
+  {
+    std::scoped_lock lock(cq->mutex);
+    self = std::move(cq->queue.front());
+    cq->queue.pop_front();
+    if (cq->queue.empty()) {
+      drained = true;
+    } else {
+      next = cq->queue.front();
+    }
+  }
+  if (next != nullptr) start(*next);
+  if (drained) release_client(cq);
+  {
+    std::scoped_lock lock(_done_mutex);
+    _num_topologies.fetch_sub(1, std::memory_order_relaxed);
+    _done_cv.notify_all();
+  }
+  self->finish();
+}
+
+void Executor::release_client(ClientQueue* cq) {
+  // Destroy the registry entry only outside both locks (`hold` outlives the
+  // scope), and only when the queue is still drained: a concurrent submit
+  // may have pushed - and holds the registry lock across find+push - so the
+  // re-check under both locks is authoritative.
+  std::shared_ptr<ClientQueue> hold;
+  {
+    std::scoped_lock clients_lock(_clients_mutex);
+    auto it = _clients.find(cq->owner);
+    if (it == _clients.end() || it->second.get() != cq) return;
+    std::scoped_lock queue_lock(cq->mutex);
+    if (!cq->queue.empty()) return;
+    hold = std::move(it->second);
+    _clients.erase(it);
   }
 }
 
+void Executor::wait_for_all() {
+  std::unique_lock lock(_done_mutex);
+  _done_cv.wait(lock, [this] {
+    return _num_topologies.load(std::memory_order_relaxed) == 0 &&
+           _num_asyncs.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+bool Executor::wait_for_all_for(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(_done_mutex);
+  return _done_cv.wait_for(lock, timeout, [this] {
+    return _num_topologies.load(std::memory_order_relaxed) == 0 &&
+           _num_asyncs.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+void Executor::dump_state(std::ostream& os) const {
+  _backend->dump_state(os);
+  os << "in-flight graph runs: " << num_topologies()
+     << ", in-flight asyncs: " << num_asyncs() << "\n";
+  std::scoped_lock clients_lock(_clients_mutex);
+  for (const auto& [owner, cq] : _clients) {
+    std::scoped_lock queue_lock(cq->mutex);
+    os << "client " << owner << ": " << cq->queue.size() << " queued run(s)";
+    if (!cq->queue.empty()) {
+      // Front = the run in flight.  num_active() is an atomic snapshot, so
+      // this stays race-free while the graph executes (unlike a recursive
+      // graph-size walk, which would chase subflow pointers mid-spawn).
+      const auto& front = cq->queue.front();
+      os << "; running: " << front->num_active() << " unfinished task(s)";
+      if (front->is_cancelled()) {
+        os << (front->exception() ? " [draining: task exception]"
+                                  : " [draining: cancelled]");
+      }
+    }
+    os << "\n";
+  }
+}
+
+std::string Executor::stall_report() const {
+  std::ostringstream os;
+  os << "=== executor stall report ===\n";
+  dump_state(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Taskflow
+// ---------------------------------------------------------------------------
+
+Taskflow::Taskflow() : Taskflow(std::thread::hardware_concurrency()) {}
+
+Taskflow::Taskflow(std::size_t num_workers)
+    : FlowBuilder(detail::GraphOwner::graph, num_workers),
+      _legacy_workers(num_workers == 0 ? 1 : num_workers) {}
+
+Taskflow::Taskflow(std::shared_ptr<ExecutorInterface> executor)
+    : FlowBuilder(detail::GraphOwner::graph, 1), _legacy_workers(1) {
+  // A caller-provided backend cannot be adopted lazily (the shared_ptr
+  // would have to be stashed anyway), so wrap it eagerly; no threads are
+  // created here beyond the backend's own.
+  _legacy = std::make_shared<Executor>(std::move(executor));
+  _default_par = _legacy->num_workers();
+}
+
 Taskflow::~Taskflow() { wait_for_topologies(); }
+
+Executor& Taskflow::legacy() const {
+  std::scoped_lock lock(_legacy_mutex);
+  if (_legacy == nullptr) _legacy = std::make_shared<Executor>(_legacy_workers);
+  return *_legacy;
+}
 
 ExecutionHandle Taskflow::dispatch() {
   if (detail::GraphOwner::graph.empty()) {
     // Nothing to run: hand back a ready handle.
     return ExecutionHandle{};
   }
+  // Check before the move so a failed dispatch leaves the graph intact.
   throw_if_cyclic(detail::GraphOwner::graph, "dispatch");
-  Topology& topology = _topologies.emplace_back(std::move(detail::GraphOwner::graph));
+  auto topology = legacy().dispatch_owned(std::move(detail::GraphOwner::graph));
   detail::GraphOwner::graph = Graph{};  // the moved-from member gets a fresh graph
-  ExecutionHandle handle(topology.future(), topology.shared_error_state());
-  _executor->schedule_batch(topology.sources());
-  return handle;
+  _dispatched.push_back(topology);
+  return Executor::handle_of(topology);
 }
 
 void Taskflow::silent_dispatch() { (void)dispatch(); }
 
-ExecutionHandle Taskflow::run(Framework& framework) {
-  if (framework.graph().empty()) return ExecutionHandle{};
-  throw_if_cyclic(framework.graph(), "run");
-  Topology& topology = _topologies.emplace_back(&framework.graph());
-  ExecutionHandle handle(topology.future(), topology.shared_error_state());
-  _executor->schedule_batch(topology.sources());
-  return handle;
+ExecutionHandle Taskflow::run(Taskflow& taskflow) {
+  auto topology = legacy().submit(taskflow, 1, nullptr);
+  if (topology == nullptr) return ExecutionHandle{};
+  // Retain legacy-run topologies like dispatched ones so wait_for_all()
+  // observes (and rethrows) their outcome in submission order.
+  _dispatched.push_back(topology);
+  return Executor::handle_of(topology);
 }
 
-void Taskflow::run_n(Framework& framework, std::size_t n) {
+void Taskflow::run_n(Taskflow& taskflow, std::size_t n) {
   // get() (not wait()) so a failing run rethrows immediately and aborts the
   // remaining iterations; a cancelled run completes its future normally and
   // likewise stops the sequence instead of spinning through dead runs.
   for (std::size_t i = 0; i < n; ++i) {
-    ExecutionHandle handle = run(framework);
+    ExecutionHandle handle = run(taskflow);
     handle.get();
     if (handle.is_cancelled()) break;
   }
@@ -81,26 +351,26 @@ void Taskflow::wait_for_all() {
   // dispatch order).  Release topologies first so the taskflow is reusable
   // even when rethrowing.
   std::exception_ptr first;
-  for (auto& topology : _topologies) {
-    if (!first) first = topology.exception();
+  for (const auto& topology : _dispatched) {
+    if (!first) first = topology->exception();
   }
-  _topologies.clear();
+  _dispatched.clear();
   if (first) std::rethrow_exception(first);
 }
 
 bool Taskflow::wait_for_all_for(std::chrono::milliseconds timeout) {
   if (!detail::GraphOwner::graph.empty()) silent_dispatch();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  for (auto& topology : _topologies) {
-    if (topology.future().wait_until(deadline) != std::future_status::ready) {
+  for (const auto& topology : _dispatched) {
+    if (topology->future().wait_until(deadline) != std::future_status::ready) {
       return false;  // stalled: topologies kept for stall_report / retry
     }
   }
   std::exception_ptr first;
-  for (auto& topology : _topologies) {
-    if (!first) first = topology.exception();
+  for (const auto& topology : _dispatched) {
+    if (!first) first = topology->exception();
   }
-  _topologies.clear();
+  _dispatched.clear();
   if (first) std::rethrow_exception(first);
   return true;
 }
@@ -108,15 +378,15 @@ bool Taskflow::wait_for_all_for(std::chrono::milliseconds timeout) {
 std::string Taskflow::stall_report() const {
   std::ostringstream os;
   os << "=== taskflow stall report ===\n";
-  _executor->dump_state(os);
+  legacy().dump_state(os);
   std::size_t i = 0;
-  for (const auto& topology : _topologies) {
-    const long active = topology.num_active();
+  for (const auto& topology : _dispatched) {
+    const long active = topology->num_active();
     os << "topology " << i++ << ": " << active << " unfinished task(s) of "
-       << topology.graph().size_recursive();
-    if (topology.is_cancelled()) {
-      os << (topology.exception() ? " [draining: task exception]"
-                                  : " [draining: cancelled]");
+       << topology->graph().size_recursive();
+    if (topology->is_cancelled()) {
+      os << (topology->exception() ? " [draining: task exception]"
+                                   : " [draining: cancelled]");
     }
     os << (active == 0 ? " [complete]\n" : "\n");
   }
@@ -125,7 +395,13 @@ std::string Taskflow::stall_report() const {
 }
 
 void Taskflow::wait_for_topologies() {
-  for (auto& topology : _topologies) topology.future().wait();
+  for (const auto& topology : _dispatched) topology->future().wait();
+}
+
+std::size_t Taskflow::num_workers() const { return legacy().num_workers(); }
+
+const std::shared_ptr<ExecutorInterface>& Taskflow::executor() const {
+  return legacy().backend();
 }
 
 std::string Taskflow::dump() const {
@@ -135,8 +411,8 @@ std::string Taskflow::dump() const {
 std::string Taskflow::dump_topologies() const {
   std::ostringstream os;
   std::size_t i = 0;
-  for (const auto& topology : _topologies) {
-    dump_dot(os, topology.graph(), "Topology_" + std::to_string(i++));
+  for (const auto& topology : _dispatched) {
+    dump_dot(os, topology->graph(), "Topology_" + std::to_string(i++));
   }
   return os.str();
 }

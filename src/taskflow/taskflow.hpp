@@ -1,8 +1,8 @@
-// taskflow.hpp - tf::Taskflow, the main entry point of the library
-// (paper §III, Listing 1).
+// taskflow.hpp - the executor-centric core API: tf::Taskflow, a reusable
+// task dependency graph, and tf::Executor, the thread-safe run entry point.
 //
-//   tf::Taskflow tf;
-//   auto [A, B, C, D] = tf.emplace(
+//   tf::Taskflow taskflow;
+//   auto [A, B, C, D] = taskflow.emplace(
 //     [](){ std::cout << "Task A\n"; },
 //     [](){ std::cout << "Task B\n"; },
 //     [](){ std::cout << "Task C\n"; },
@@ -11,68 +11,114 @@
 //   A.precede(B, C);   // A runs before B and C
 //   B.precede(D);      // B runs before D
 //   C.precede(D);      // C runs before D
-//   tf.wait_for_all(); // block until finish
 //
-// A taskflow object owns exactly one *present* graph at a time plus a list
-// of dispatched topologies (paper Fig. 3).  All FlowBuilder building blocks
-// (emplace, placeholder, precede, linearize, parallel_for, reduce,
-// transform, ...) operate on the present graph; dispatch()/silent_dispatch()
-// move it into a topology for execution; wait_for_all() dispatches the
-// present graph (if any) and blocks until every dispatched topology
-// finishes.
+//   tf::Executor executor;            // shared thread pool, many clients
+//   executor.run(taskflow).get();     // run the graph once
+//   executor.run_n(taskflow, 10);     // queue ten more runs (non-blocking)
+//   auto f = executor.async([]{ return 42; });  // fire-and-forget task
+//   executor.wait_for_all();          // drain everything
 //
-// A taskflow is NOT thread-safe: one owner thread builds and dispatches;
-// the executor runs the tasks.  Executors are pluggable and shareable
-// across taskflows (paper §III-E) via std::shared_ptr.
+// Ownership model (successor-system design; see DESIGN.md §7):
+//  * a Taskflow is a pure reusable graph - building it is single-owner, it
+//    spawns no threads, and the deprecated tf::Framework is an alias for it;
+//  * an Executor owns the worker threads (via the pluggable
+//    ExecutorInterface backends, paper §III-E) and is safe to share across
+//    many client threads: run/run_n/run_until/async may be called
+//    concurrently from any thread;
+//  * runs of the *same* taskflow are serialized through a per-taskflow FIFO
+//    topology queue (a queued run starts when its predecessor finishes);
+//    runs of *distinct* taskflows execute concurrently;
+//  * a taskflow must outlive its submitted runs and must not be mutated
+//    while runs are queued or in flight (use handle.get() / wait_for_all()
+//    to quiesce before rebuilding).
 //
-// Error model (see error.hpp / DESIGN.md §"Error model"):
-//  * dispatch()/run() verify the graph is acyclic and throw tf::CycleError
+// Paper-era API (dispatch/silent_dispatch/wait_for_all on Taskflow, the
+// private-executor constructors) is kept as thin shims over the new layer:
+// a Taskflow lazily creates a private Executor the first time a legacy entry
+// point needs one, so existing call sites compile and behave unchanged
+// while new-style code pays for no hidden thread pool.
+//
+// Error model (see error.hpp / DESIGN.md §6):
+//  * run()/dispatch() verify the graph is acyclic and throw tf::CycleError
 //    with a descriptive message instead of deadlocking (disable the check
-//    with REPRO_CYCLE_CHECK=0 when dispatch cost matters more than safety);
+//    with REPRO_CYCLE_CHECK=0 when submission cost matters more than safety);
 //  * a task that throws flips its topology into draining mode (remaining
-//    tasks are skipped, bookkeeping still runs) and the first exception is
-//    rethrown from the handle's get() and from wait_for_all();
+//    tasks are skipped, bookkeeping still runs, repeat runs stop) and the
+//    first exception is rethrown from the handle's get();
 //  * the returned ExecutionHandle supports cooperative cancel(), observable
 //    inside tasks via tf::this_task::is_cancelled();
 //  * wait_for_all_for() + stall_report() bound waits and triage deadlocks.
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
 
 #include "taskflow/executor.hpp"
 #include "taskflow/flow_builder.hpp"
-#include "taskflow/framework.hpp"
 #include "taskflow/topology.hpp"
 
 namespace tf {
 
+class Executor;
+
 namespace detail {
 // Base-from-member: the owned graph must outlive (construction-wise) the
-// FlowBuilder base that points at it.
+// FlowBuilder base that points at it.  This is the single graph-owning base
+// of the library - tf::Taskflow (and thus the deprecated tf::Framework
+// alias) builds on it, so static and reusable graphs share one code path.
 struct GraphOwner {
   Graph graph;
 };
+
+// Heap box of one Executor::async submission: a single-node graph plus its
+// self-deleting topology (defined in taskflow.cpp).
+struct AsyncRun;
 }  // namespace detail
 
+/// A reusable task dependency graph.  Building (emplace/precede/linearize
+/// and the algorithm patterns of FlowBuilder) is single-owner-thread;
+/// execution belongs to tf::Executor, which may run one taskflow any number
+/// of times and many taskflows concurrently.
 class Taskflow : private detail::GraphOwner, public FlowBuilder {
  public:
-  /// Create a taskflow with a private work-stealing executor of
-  /// `num_workers` threads (default: hardware concurrency).
-  explicit Taskflow(std::size_t num_workers = std::thread::hardware_concurrency());
+  /// A pure graph: no executor, no threads.  Run it through tf::Executor.
+  /// Algorithm-pattern chunking defaults to the hardware concurrency.
+  Taskflow();
 
-  /// Create a taskflow that shares `executor` (paper §III-E).
+  /// Paper-era constructor: a taskflow with a private executor of
+  /// `num_workers` threads.  The executor (and its threads) is created
+  /// lazily on first use of a legacy entry point (dispatch / run /
+  /// wait_for_all / executor()), so new-style code that only builds the
+  /// graph pays nothing.
+  explicit Taskflow(std::size_t num_workers);
+
+  /// Paper-era constructor: a taskflow that shares `executor`
+  /// (paper §III-E).  Passing nullptr creates a private default executor.
   explicit Taskflow(std::shared_ptr<ExecutorInterface> executor);
 
-  /// Blocks until all dispatched topologies finish (does not auto-dispatch
-  /// the present graph).
+  /// Blocks until all legacy-dispatched topologies finish.  Runs submitted
+  /// through a tf::Executor are NOT waited here: the taskflow must outlive
+  /// them (quiesce with handle.get() or Executor::wait_for_all first).
   ~Taskflow();
 
   Taskflow(const Taskflow&) = delete;
   Taskflow& operator=(const Taskflow&) = delete;
+
+  /// The underlying present graph (the executor borrows it per run).
+  [[nodiscard]] Graph& graph() noexcept { return detail::GraphOwner::graph; }
+  [[nodiscard]] const Graph& graph() const noexcept { return detail::GraphOwner::graph; }
+
+  // ---- paper-era API, shimmed over tf::Executor --------------------------
 
   /// Dispatch the present graph (non-blocking); returns a handle whose
   /// future becomes ready when every task - including dynamically spawned
@@ -88,16 +134,17 @@ class Taskflow : private detail::GraphOwner, public FlowBuilder {
   /// throws tf::CycleError on a cyclic graph).
   void silent_dispatch();
 
-  /// Run a reusable Framework once (non-blocking); the handle's future
-  /// becomes ready when the run completes and rethrows the first task
-  /// exception.  The framework must outlive the run, and runs of one
-  /// framework must not overlap.  Throws tf::CycleError on a cyclic graph.
-  ExecutionHandle run(Framework& framework);
+  /// Run a reusable taskflow once on the private executor (non-blocking);
+  /// the handle's future becomes ready when the run completes and rethrows
+  /// the first task exception.  `taskflow` must outlive the run.  Throws
+  /// tf::CycleError on a cyclic graph.  (Paper-era Framework entry point;
+  /// new code calls Executor::run.)
+  ExecutionHandle run(Taskflow& taskflow);
 
-  /// Run a Framework `n` times back-to-back (blocking).  A run that fails
-  /// (task exception) or is cancelled from another thread stops the
-  /// sequence: the exception, if any, is rethrown immediately.
-  void run_n(Framework& framework, std::size_t n);
+  /// Run a reusable taskflow `n` times back-to-back (blocking).  A run that
+  /// fails (task exception) or is cancelled stops the sequence: the
+  /// exception, if any, is rethrown immediately.
+  void run_n(Taskflow& taskflow, std::size_t n);
 
   /// Dispatch the present graph (if non-empty) and block until all
   /// topologies finish; finished topologies are then released.  If any
@@ -115,8 +162,9 @@ class Taskflow : private detail::GraphOwner, public FlowBuilder {
   bool wait_for_all_for(std::chrono::milliseconds timeout);
 
   /// Diagnostic snapshot for deadlock/stall triage: executor scheduling
-  /// state (queue depths, parked workers, counters) plus per-topology
-  /// unfinished-task counts.  Safe to call from any thread at any time.
+  /// state (queue depths, parked workers, per-client pending runs, in-flight
+  /// asyncs) plus per-topology unfinished-task counts.  Safe to call from
+  /// any thread at any time.
   [[nodiscard]] std::string stall_report() const;
 
   /// Block until all already-dispatched topologies finish (keeps them alive
@@ -124,16 +172,16 @@ class Taskflow : private detail::GraphOwner, public FlowBuilder {
   /// exceptions - used by the destructor, which must not throw.
   void wait_for_topologies();
 
-  /// Number of worker threads in the underlying executor.
-  [[nodiscard]] std::size_t num_workers() const noexcept { return _executor->num_workers(); }
+  /// Number of worker threads in the private executor (creates it when
+  /// still lazy).
+  [[nodiscard]] std::size_t num_workers() const;
 
-  /// Number of dispatched topologies currently retained.
-  [[nodiscard]] std::size_t num_topologies() const noexcept { return _topologies.size(); }
+  /// Number of legacy-dispatched topologies currently retained.
+  [[nodiscard]] std::size_t num_topologies() const noexcept { return _dispatched.size(); }
 
-  /// The shared executor.
-  [[nodiscard]] const std::shared_ptr<ExecutorInterface>& executor() const noexcept {
-    return _executor;
-  }
+  /// The shared executor backend (creates the private executor when still
+  /// lazy).
+  [[nodiscard]] const std::shared_ptr<ExecutorInterface>& executor() const;
 
   /// GraphViz DOT text of the present (not yet dispatched) graph
   /// (paper §III-G).
@@ -145,8 +193,195 @@ class Taskflow : private detail::GraphOwner, public FlowBuilder {
   [[nodiscard]] std::string dump_topologies() const;
 
  private:
-  std::shared_ptr<ExecutorInterface> _executor;
-  std::list<Topology> _topologies;
+  friend class Executor;
+
+  /// The lazily created private executor backing the paper-era API.
+  Executor& legacy() const;
+
+  std::size_t _legacy_workers;  // worker count of the lazy private executor
+  mutable std::mutex _legacy_mutex;
+  mutable std::shared_ptr<Executor> _legacy;
+  std::list<std::shared_ptr<Topology>> _dispatched;  // legacy-retained runs
+};
+
+/// Deprecated paper-era name for the reusable graph: the Framework/Taskflow
+/// split is gone - a Taskflow *is* the reusable graph, and tf::Executor runs
+/// it.  Existing `tf::Framework` code compiles unchanged.
+using Framework = Taskflow;
+
+/// The run entry point: owns (or shares) a scheduler backend and accepts
+/// graph runs and async tasks from many client threads concurrently.
+///
+/// Thread safety: every public member may be called from any thread at any
+/// time.  Runs of one Taskflow are serialized in submission (FIFO) order;
+/// runs of distinct Taskflows and async tasks interleave freely on the
+/// shared worker pool.  The executor must outlive all submitted work; the
+/// destructor blocks until everything drained (without rethrowing - task
+/// errors stay observable through the per-run handles).
+class Executor : private detail::TopologyClient {
+ public:
+  /// An executor with a private work-stealing backend of `num_workers`
+  /// threads (default: hardware concurrency).
+  explicit Executor(std::size_t num_workers = std::thread::hardware_concurrency());
+
+  /// An executor over an existing pluggable backend (paper §III-E); several
+  /// Executors may share one backend without thread over-subscription.
+  /// Passing nullptr creates a private default work-stealing backend.
+  explicit Executor(std::shared_ptr<ExecutorInterface> backend);
+
+  /// Blocks until all submitted runs and async tasks finished.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Run `taskflow` once (non-blocking).  Returns a handle whose future
+  /// becomes ready when the run - including dynamically spawned subflow
+  /// tasks - completes; the first task exception rethrows from get().
+  /// Throws tf::CycleError when the graph is cyclic (checked when no run of
+  /// this taskflow is pending; queued resubmissions of the same - immutable
+  /// while in flight - graph skip the re-check).
+  ExecutionHandle run(Taskflow& taskflow);
+
+  /// Run `taskflow` `n` times back-to-back (non-blocking).  The handle
+  /// completes after the n-th run; a task exception or a cancel() stops the
+  /// remaining repeats (the exception rethrows from get()).
+  ExecutionHandle run_n(Taskflow& taskflow, std::size_t n);
+
+  /// Run `taskflow` repeatedly until `stop` returns true (evaluated after
+  /// each completed run, on a worker thread).  Runs at least once.
+  ExecutionHandle run_until(Taskflow& taskflow, std::function<bool()> stop);
+
+  /// Submit one callable as a task; the result (or thrown exception) is
+  /// delivered through the returned future.  Safe from any thread,
+  /// including from inside running tasks.
+  template <typename F>
+  auto async(F&& callable) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto state = std::make_shared<std::promise<R>>();
+    std::future<R> future = state->get_future();
+    // Errors are delivered through the caller's future, not the topology's
+    // ErrorState: an async failure never poisons unrelated work.
+    submit_async(StaticWork(
+        [state = std::move(state), fn = std::forward<F>(callable)]() mutable {
+          try {
+            if constexpr (std::is_void_v<R>) {
+              fn();
+              state->set_value();
+            } else {
+              state->set_value(fn());
+            }
+          } catch (...) {
+            state->set_exception(std::current_exception());
+          }
+        }));
+    return future;
+  }
+
+  /// Block until every submitted run and async task finished.  Does not
+  /// rethrow task exceptions (with many concurrent clients no single caller
+  /// owns them): observe failures through each run's ExecutionHandle.
+  void wait_for_all();
+
+  /// Bounded wait_for_all: false when work is still in flight after
+  /// `timeout` (triage with stall_report()).
+  bool wait_for_all_for(std::chrono::milliseconds timeout);
+
+  /// Number of worker threads in the backend.
+  [[nodiscard]] std::size_t num_workers() const noexcept { return _backend->num_workers(); }
+
+  /// Graph runs currently queued or in flight (all clients).
+  [[nodiscard]] std::size_t num_topologies() const noexcept {
+    return _num_topologies.load(std::memory_order_relaxed);
+  }
+
+  /// Async tasks currently in flight.
+  [[nodiscard]] std::size_t num_asyncs() const noexcept {
+    return _num_asyncs.load(std::memory_order_relaxed);
+  }
+
+  /// One-shot diagnostic snapshot: backend scheduling state plus, per
+  /// client taskflow, the pending-topology queue depth and the running
+  /// topology's unfinished-task count, plus the in-flight async count.
+  /// Safe (and race-free) to call from any thread while graphs run.
+  void dump_state(std::ostream& os) const;
+
+  /// dump_state() wrapped as the executor stall report string.
+  [[nodiscard]] std::string stall_report() const;
+
+  /// Attach an observer to the backend (safe during live runs; see
+  /// ExecutorInterface::set_observer).
+  void set_observer(std::shared_ptr<ExecutorObserverInterface> observer) {
+    _backend->set_observer(std::move(observer));
+  }
+  [[nodiscard]] std::shared_ptr<ExecutorObserverInterface> observer() const {
+    return _backend->observer();
+  }
+
+  /// The pluggable scheduler backend.
+  [[nodiscard]] const std::shared_ptr<ExecutorInterface>& backend() const noexcept {
+    return _backend;
+  }
+
+ private:
+  friend class Taskflow;
+
+  /// Per-client FIFO of pending runs; front = the run in flight.  Owned by
+  /// the executor (keyed by client address) and kept alive by every queued
+  /// topology, so tear-down never races client destruction.
+  struct ClientQueue {
+    explicit ClientQueue(const Taskflow* o) : owner(o) {}
+    const Taskflow* owner;
+    std::mutex mutex;
+    std::deque<std::shared_ptr<Topology>> queue;
+  };
+
+  /// Enqueue a (n, stop)-repeat run of `taskflow`; nullptr when there is
+  /// nothing to do (empty graph or n == 0).  Starts it immediately when the
+  /// client's queue was empty.
+  std::shared_ptr<Topology> submit(Taskflow& taskflow, std::size_t n,
+                                   std::function<bool()> stop);
+
+  /// Legacy Taskflow::dispatch entry: a one-shot topology owning `graph`,
+  /// started immediately (dispatched topologies of one taskflow run
+  /// concurrently, matching the paper's semantics).
+  std::shared_ptr<Topology> dispatch_owned(Graph&& graph);
+
+  /// Type-erased half of async(): boxes `work` into a single-node graph and
+  /// schedules it.
+  void submit_async(StaticWork&& work);
+
+  /// Arm `topology` for its (next) run and seed the backend with its
+  /// sources.
+  void start(Topology& topology);
+
+  /// Completion callback (TopologyClient): decides re-arm vs finish, hands
+  /// the client queue to the next pending run, and keeps the in-flight
+  /// accounting.  Runs on the worker that retired the last task.
+  void on_topology_done(Topology& topology) final;
+
+  /// Drop `cq` from the client registry when its queue drained (so the
+  /// registry tracks live clients only).
+  void release_client(ClientQueue* cq);
+
+  /// Wake wait_for_all waiters after a decrement of the in-flight counters.
+  void note_done();
+
+  static ExecutionHandle handle_of(const std::shared_ptr<Topology>& topology) {
+    return topology == nullptr
+               ? ExecutionHandle{}
+               : ExecutionHandle{topology->future(), topology->shared_error_state()};
+  }
+
+  std::shared_ptr<ExecutorInterface> _backend;
+
+  mutable std::mutex _clients_mutex;  // registry of per-taskflow run queues
+  std::unordered_map<const Taskflow*, std::shared_ptr<ClientQueue>> _clients;
+
+  std::atomic<std::size_t> _num_topologies{0};
+  std::atomic<std::size_t> _num_asyncs{0};
+  mutable std::mutex _done_mutex;  // wait_for_all protocol
+  mutable std::condition_variable _done_cv;
 };
 
 }  // namespace tf

@@ -1,19 +1,28 @@
-// topology.hpp - tf::Topology, a dispatched task dependency graph
-// (paper §III-C, Fig. 3), and tf::ExecutionHandle, the per-dispatch handle
+// topology.hpp - tf::Topology, one executable run of a task dependency graph
+// (paper §III-C, Fig. 3), and tf::ExecutionHandle, the per-run handle
 // exposing completion waiting plus cooperative cancellation.
 //
-// When a Taskflow dispatches its present graph, the graph is moved into a
-// Topology which owns it for the rest of its lifetime.  The topology keeps
-// the runtime metadata of the dispatch: a promise/shared_future pair for
-// completion signalling, a live-node counter that reaches zero when the
-// last task (including dynamically spawned subflow tasks) finishes, and a
-// shared ErrorState carrying the first captured exception / the
-// cancellation flag (see error.hpp for the drain semantics).
+// A topology either owns a one-shot graph (paper-era Taskflow::dispatch moves
+// the present graph in) or borrows a reusable one (tf::Executor::run and the
+// deprecated Framework path).  It keeps the runtime metadata of the run: a
+// promise/shared_future pair for completion signalling, a live-node counter
+// that reaches zero when the last task (including dynamically spawned subflow
+// tasks) finishes, and a shared ErrorState carrying the first captured
+// exception / the cancellation flag (see error.hpp for the drain semantics).
+//
+// Since the executor-centric refactor a topology is *not* started at
+// construction: the owning tf::Executor arms it (arm() resets per-node state
+// and collects source nodes) when the run reaches the head of its taskflow's
+// FIFO queue, and may re-arm it for repeated runs (run_n / run_until).  When
+// the live-node counter hits zero the topology notifies its registered
+// detail::TopologyClient - the executor - which decides between re-arming
+// for the next repeat and finishing (fulfilling the promise).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <utility>
@@ -24,35 +33,81 @@
 
 namespace tf {
 
+class Executor;
+class Topology;
+
+namespace detail {
+
+/// Callback target a Topology notifies when a run completes (its live-node
+/// counter reaches zero).  tf::Executor implements this to drive repeat
+/// runs, FIFO queue hand-off, and completion accounting.  The callee may
+/// destroy the topology before returning (async one-shots), so retire_one()
+/// must not touch any member after the call.
+struct TopologyClient {
+  virtual void on_topology_done(Topology& topology) = 0;
+
+ protected:
+  ~TopologyClient() = default;
+};
+
+}  // namespace detail
+
 class Topology {
  public:
-  /// Take ownership of a one-shot graph (Taskflow::dispatch).
-  explicit Topology(Graph&& graph) : _owned(std::move(graph)), _graph(&_owned) {
-    arm();
-  }
+  /// How this topology reached the executor - selects the completion path
+  /// in Executor::on_topology_done.
+  enum class RunKind : unsigned char {
+    dispatched,  // paper-era dispatch(): one shot, owns its moved-in graph
+    queued,      // Executor::run/run_n/run_until: serialized per taskflow
+    async,       // Executor::async: self-deleting single-task run
+  };
 
-  /// Borrow a reusable graph (Framework runs, paper-successor feature).
-  /// The caller must keep `graph` alive and un-mutated until completion;
-  /// node state (join counters, spawned subflows) is re-armed here so the
-  /// same graph can run again afterwards.
-  explicit Topology(Graph* graph) : _graph(graph) { arm(); }
+  /// Take ownership of a one-shot graph (paper-era Taskflow::dispatch).
+  /// Does not arm: the executor arms and schedules the topology.
+  explicit Topology(Graph&& graph) : _owned(std::move(graph)), _graph(&_owned) {}
+
+  /// Borrow a reusable graph (Executor::run family).  The caller must keep
+  /// `graph` alive and un-mutated until completion.
+  explicit Topology(Graph* graph) : _graph(graph) {}
 
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
+  /// (Re)initialize the run state of every node - join counters, subflow
+  /// spawn flags, topology back-pointers - and collect the source nodes.
+  /// Called by the executor before (re)scheduling; callable once per run so
+  /// the same graph executes repeatedly (run_n / run_until).  Must not run
+  /// concurrently with task execution of this graph.
+  void arm() {
+    _sources.clear();
+    _num_active.store(static_cast<long>(_graph->size()), std::memory_order_relaxed);
+    for (auto& node : *_graph) {
+      node._topology = this;
+      node._parent = nullptr;
+      node._join_counter.store(node._static_dependents, std::memory_order_relaxed);
+      // Re-armed dynamic nodes spawn a fresh subflow on the next run.
+      node._spawned = false;
+      node._subgraph.reset();
+      if (node._static_dependents == 0) _sources.push_back(&node);
+    }
+  }
+
   /// Completion future; shared so multiple parties may wait.  Becomes ready
-  /// when the last task retires; carries the first captured exception.
+  /// when the last run retires its last task; carries the first captured
+  /// exception.
   [[nodiscard]] std::shared_future<void> future() const noexcept { return _future; }
 
-  /// Source nodes (no dependents) to seed the executor with.
+  /// Source nodes (no dependents) of the current arming, to seed the
+  /// executor with.
   [[nodiscard]] const std::vector<Node*>& sources() const noexcept { return _sources; }
 
   /// The graph run by this topology (valid after completion, used by
   /// dump_topologies to render spawned subflows - paper Fig. 5).
   [[nodiscard]] const Graph& graph() const noexcept { return *_graph; }
 
-  /// Number of tasks not yet finished.  Dynamic spawns increment it before
-  /// their children are scheduled, so it never prematurely reaches zero.
+  /// Number of tasks not yet finished in the current run.  Dynamic spawns
+  /// increment it before their children are scheduled, so it never
+  /// prematurely reaches zero.
   [[nodiscard]] long num_active() const noexcept {
     return _num_active.load(std::memory_order_acquire);
   }
@@ -60,15 +115,30 @@ class Topology {
   /// Internal: add `n` live tasks (called before scheduling spawned children).
   void add_active(long n) noexcept { _num_active.fetch_add(n, std::memory_order_relaxed); }
 
-  /// Internal: retire one task; fulfills the promise on the last one,
-  /// delivering the first captured exception when there is one.
+  /// Internal: retire one task.  On the last one the registered client (the
+  /// executor) is notified - it re-arms for the next repeat or finishes the
+  /// topology; without a client the topology finishes directly.  The client
+  /// may destroy this topology inside the callback, so nothing is touched
+  /// after it returns.
   void retire_one() {
     if (_num_active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      if (auto e = _state->stored()) {
-        _promise.set_exception(std::move(e));
+      if (_client != nullptr) {
+        _client->on_topology_done(*this);  // may re-arm, finish, or delete *this
       } else {
-        _promise.set_value();
+        finish();
       }
+    }
+  }
+
+  /// Fulfill the completion promise, delivering the first captured task
+  /// exception when there is one.  Called exactly once, after the final run.
+  /// This is the very last thing that touches the topology: a waiter may
+  /// release it the moment the future becomes ready.
+  void finish() {
+    if (auto e = _state->stored()) {
+      _promise.set_exception(std::move(e));
+    } else {
+      _promise.set_value();
     }
   }
 
@@ -81,7 +151,8 @@ class Topology {
 
   /// Request cooperative cancellation: remaining tasks skip their work but
   /// the topology still drains to completion (the future becomes ready
-  /// without an exception).
+  /// without an exception).  On a multi-run topology this also stops the
+  /// remaining repeats.
   void cancel() noexcept { _state->cancel(); }
   [[nodiscard]] bool is_cancelled() const noexcept { return _state->draining(); }
 
@@ -90,41 +161,35 @@ class Topology {
   [[nodiscard]] std::exception_ptr exception() const noexcept { return _state->stored(); }
 
  private:
-  void arm() {
-    _future = _promise.get_future().share();
-    _num_active.store(static_cast<long>(_graph->size()), std::memory_order_relaxed);
-    for (auto& node : *_graph) {
-      node._topology = this;
-      node._parent = nullptr;
-      node._join_counter.store(node._static_dependents, std::memory_order_relaxed);
-      // Re-armed dynamic nodes spawn a fresh subflow on the next run.
-      node._spawned = false;
-      node._subgraph.reset();
-      if (node._static_dependents == 0) _sources.push_back(&node);
-    }
-    // An empty graph is complete by construction.
-    if (_graph->empty()) _promise.set_value();
-  }
+  friend class Executor;
 
   Graph _owned;
   Graph* _graph{nullptr};
   std::promise<void> _promise;
-  std::shared_future<void> _future;
+  std::shared_future<void> _future{_promise.get_future().share()};
   std::atomic<long> _num_active{0};
   std::vector<Node*> _sources;
   std::shared_ptr<detail::ErrorState> _state{std::make_shared<detail::ErrorState>()};
+
+  // -- executor-managed run state (see Executor::on_topology_done) ---------
+  detail::TopologyClient* _client{nullptr};  // notified at each run completion
+  void* _client_tag{nullptr};                // ClientQueue* / AsyncRun*, per kind
+  std::shared_ptr<void> _client_hold;        // keeps the tagged object alive
+  RunKind _kind{RunKind::dispatched};
+  std::size_t _remaining{1};                 // repeats left (run_n)
+  std::function<bool()> _stop_pred;          // optional stop test (run_until)
 };
 
-/// Handle to one dispatched execution, returned by Taskflow::dispatch() and
-/// Taskflow::run().  Copyable (shared-future semantics) and implicitly
-/// convertible to std::shared_future<void>, so paper-era code written
-/// against the future API keeps compiling unchanged.  On top of waiting it
-/// offers cancel()/is_cancelled(); the handle stays valid after the
-/// taskflow has released the topology (wait_for_all), since the state is
-/// shared, not borrowed.
+/// Handle to one submitted execution, returned by Executor::run/run_n/
+/// run_until and the paper-era Taskflow::dispatch()/run().  Copyable
+/// (shared-future semantics) and implicitly convertible to
+/// std::shared_future<void>, so paper-era code written against the future
+/// API keeps compiling unchanged.  On top of waiting it offers
+/// cancel()/is_cancelled(); the handle stays valid after the topology has
+/// been released (wait_for_all), since the state is shared, not borrowed.
 class ExecutionHandle {
  public:
-  /// An empty handle represents an already-completed (empty) dispatch.
+  /// An empty handle represents an already-completed (empty) submission.
   ExecutionHandle() {
     std::promise<void> done;
     done.set_value();
@@ -137,7 +202,8 @@ class ExecutionHandle {
 
   /// Request cooperative cancellation: tasks not yet started skip their
   /// work, running tasks observe tf::this_task::is_cancelled(), and the
-  /// topology drains to a ready future.  No-op on an empty handle.
+  /// topology drains to a ready future (repeat runs are stopped).  No-op on
+  /// an empty handle.
   void cancel() const noexcept {
     if (_state) _state->cancel();
   }

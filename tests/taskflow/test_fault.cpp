@@ -231,6 +231,94 @@ TEST_P(FaultModel, ThrowVersusCancelRace) {
   }
 }
 
+// Executor-centric multi-client fault storm (ISSUE 3): several client
+// threads share one tf::Executor and hammer run / run_n / run_until / async
+// while faults fire and external cancels race live runs.  Every client's
+// every handle must drain (bounded wait), errors must stay confined to the
+// handle that owns them, and the executor must end fully drained.
+TEST_P(FaultModel, ConcurrentClientsSurviveFaultStorm) {
+  constexpr int kClients = 8;
+  const int iters = std::max(4, support::repro_fault_iters() / 4);
+  tf::Executor executor(make());
+
+  // A taskflow contended by every client, with a probabilistic thrower:
+  // FIFO serialization must hold even while runs of it fail and drain.
+  tf::Taskflow shared_flow;
+  std::atomic<int> shared_in_flight{0};
+  std::atomic<bool> shared_overlap{false};
+  std::atomic<std::uint64_t> shared_ticket{0};
+  // The probe balances its counter within one task: a throwing or cancelled
+  // run skips the *rest* of its graph (skip-but-finalize drain), so a
+  // two-node enter/exit pair would leak an increment and report a false
+  // overlap.  The fault fires only after the slot is released.
+  auto probe = shared_flow.emplace([&] {
+    if (shared_in_flight.fetch_add(1) != 0) shared_overlap = true;
+    for (int i = 0; i < 32; ++i) std::this_thread::yield();
+    shared_in_flight.fetch_sub(1);
+    if (shared_ticket.fetch_add(1) % 7 == 6) throw InjectedFault();
+  });
+  probe.precede(shared_flow.emplace([] {}));
+
+  std::atomic<long> drained_handles{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto rng = stream(30013 + c);
+      tf::Taskflow mine;
+      std::atomic<long> mine_runs{0};
+      std::uint64_t fault_mask = rng();
+      auto head = mine.emplace([&, c] {
+        const auto run = static_cast<std::uint64_t>(mine_runs.fetch_add(1));
+        if ((fault_mask >> (run % 64)) & 1) throw InjectedFault();
+      });
+      // A joined subflow keeps the drain paths honest under concurrency too.
+      auto tail = mine.emplace([&](tf::SubflowBuilder& sf) {
+        sf.emplace([] {});
+        sf.emplace([] {});
+      });
+      head.precede(tail);
+
+      for (int iter = 0; iter < iters; ++iter) {
+        std::vector<tf::ExecutionHandle> handles;
+        handles.push_back(executor.run(mine));
+        handles.push_back(executor.run(shared_flow));
+        handles.push_back(executor.run_n(mine, 1 + rng.below(6)));
+        const long target = mine_runs.load() + 3;
+        handles.push_back(executor.run_until(
+            mine, [&mine_runs, target] { return mine_runs.load() >= target; }));
+        auto async_future =
+            executor.async([iter]() noexcept { return iter; });
+        if (rng.bernoulli(0.4)) {
+          for (std::uint64_t spins = rng.below(100); spins > 0; --spins) {
+            std::this_thread::yield();  // race the cancel against execution
+          }
+          handles[rng.below(handles.size())].cancel();
+        }
+        for (auto& h : handles) {
+          ASSERT_EQ(h.wait_for(kDrainDeadline), std::future_status::ready)
+              << "client " << c << " iteration " << iter << " stalled\n"
+              << executor.stall_report();
+          try {
+            h.get();
+          } catch (const InjectedFault&) {
+            EXPECT_TRUE(h.is_cancelled());  // an error always drains
+          }
+          drained_handles++;
+        }
+        EXPECT_EQ(async_future.get(), iter);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  executor.wait_for_all();
+  EXPECT_FALSE(shared_overlap.load()) << "shared-taskflow runs overlapped";
+  EXPECT_EQ(drained_handles.load(), static_cast<long>(kClients) * iters * 4);
+  EXPECT_EQ(executor.num_topologies(), 0u);
+  EXPECT_EQ(executor.num_asyncs(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Executors, FaultModel,
                          ::testing::Values("work_stealing", "simple"),
                          [](const ::testing::TestParamInfo<const char*>& info) {

@@ -14,6 +14,10 @@ Typical use:
     python3 tools/run_scheduler_bench.py --baseline BENCH_seed.json \
         --output BENCH_scheduler.json
 
+    # regression gate: fail when a hot-path bench regresses > 10% vs the
+    # committed record
+    python3 tools/run_scheduler_bench.py --compare BENCH_scheduler.json
+
     # gate the taskflow test suite under ThreadSanitizer
     python3 tools/run_scheduler_bench.py --tsan
 
@@ -150,14 +154,15 @@ def attach_deltas(doc, baseline):
 
 
 # Every taskflow/support gtest binary the sanitizer gates build and run,
-# including the error-model suites (test_errors/test_cancel/test_diagnostics)
-# and the fault-injection harness (test_fault, ctest label "fault").
+# including the error-model suites (test_errors/test_cancel/test_diagnostics),
+# the fault-injection harness (test_fault, ctest label "fault"), and the
+# multi-client executor suite (test_executor_api, label "executor_api").
 SANITIZER_TEST_TARGETS = [
     "test_basics", "test_wsq", "test_subflow", "test_algorithms",
     "test_executor", "test_dot", "test_dispatch", "test_observer",
     "test_framework", "test_executor_matrix", "test_batch",
     "test_errors", "test_cancel", "test_diagnostics", "test_fault",
-    "test_function",
+    "test_executor_api", "test_function",
 ]
 
 
@@ -180,6 +185,52 @@ def run_asan(asan_dir):
     run_sanitized(asan_dir, "-DREPRO_ASAN=ON", "ASan/UBSan")
 
 
+def run_compare(args):
+    """Regression gate: re-run the hot-path benches and fail when any one
+    regresses beyond the noise threshold against the committed record."""
+    try:
+        with open(args.compare) as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read record {args.compare}: {e}")
+    recorded = record.get("google_benchmarks", {})
+    if not recorded:
+        sys.exit(f"error: {args.compare} has no google_benchmarks section")
+
+    if not args.skip_build:
+        build(args.build_dir, GOOGLE_BENCHES)
+    current = {}
+    for name in GOOGLE_BENCHES:
+        current.update(run_google_bench(args.build_dir, name))
+
+    regressions, compared = [], 0
+    width = max((len(n) for n in current), default=0)
+    print(f"\ncomparing against {args.compare} "
+          f"(label: {record.get('label', '?')}, "
+          f"threshold: +{args.threshold:.0f}%)")
+    for name in sorted(current):
+        if name not in recorded:
+            print(f"  {name:<{width}}  (new benchmark, no record)")
+            continue
+        compared += 1
+        delta = pct(recorded[name]["real_time_ms"], current[name]["real_time_ms"])
+        verdict = "ok"
+        if delta is not None and delta > args.threshold:
+            verdict = "REGRESSION"
+            regressions.append((name, delta))
+        print(f"  {name:<{width}}  {recorded[name]['real_time_ms']:10.4f} ms"
+              f" -> {current[name]['real_time_ms']:10.4f} ms"
+              f"  {delta:+6.1f}%  {verdict}")
+    if compared == 0:
+        sys.exit("error: no benchmark overlaps with the record")
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        sys.exit(f"FAIL: {len(regressions)} hot-path bench(es) beyond "
+                 f"+{args.threshold:.0f}% (worst: {worst[0]} {worst[1]:+.1f}%)")
+    print(f"PASS: {compared} hot-path benches within +{args.threshold:.0f}% "
+          "of the record")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
@@ -198,6 +249,13 @@ def main():
                     help="instead of benchmarking, run the taskflow tests "
                          "under AddressSanitizer + UBSan (separate build tree)")
     ap.add_argument("--asan-dir", default=os.path.join(REPO_ROOT, "build-asan"))
+    ap.add_argument("--compare", metavar="BENCH_scheduler.json",
+                    help="instead of recording, re-run the hot-path benches "
+                         "and exit non-zero when any regresses beyond "
+                         "--threshold vs this record")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="noise threshold for --compare, in percent "
+                         "(default: 10)")
     args = ap.parse_args()
 
     if args.tsan:
@@ -205,6 +263,9 @@ def main():
     if args.asan:
         run_asan(args.asan_dir)
     if args.tsan or args.asan:
+        return
+    if args.compare:
+        run_compare(args)
         return
 
     # Validate the baseline before spending minutes on benchmark runs.
