@@ -1,5 +1,6 @@
 // error.hpp - the error model of the library: exception capture, cooperative
-// cancellation, and cycle diagnostics (the robustness layer over paper §III).
+// cancellation, run deadlines, and cycle diagnostics (the robustness layer
+// over paper §III).
 //
 // Every dispatched Topology owns one detail::ErrorState shared with the
 // ExecutionHandle returned by Taskflow::dispatch()/run().  The first task
@@ -8,11 +9,17 @@
 // but still run the finalize bookkeeping (join counters, subflow parents,
 // live-task count), so the topology terminates cleanly and the stored
 // exception is rethrown from the completion future.  ExecutionHandle::cancel
-// uses the same drain path without an exception.
+// uses the same drain path without an exception; a run deadline
+// (Executor::run with a RunPolicy, or ExecutionHandle::cancel_after) uses it
+// *with* one - a tf::TimeoutError captured through the same first-writer
+// protocol, so a timeout and a task exception can race and exactly one wins.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -26,6 +33,22 @@ class CycleError : public std::runtime_error {
   explicit CycleError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Delivered through ExecutionHandle::get() when a run exceeded the deadline
+/// of its RunPolicy: the topology flipped into the drain path at expiry and
+/// completed with this error instead of its normal result.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by Executor::run/run_n/run_until/async/dispatch after
+/// Executor::shutdown() began: a shutting-down executor finishes its
+/// in-flight work but accepts no new submissions.
+class ShutdownError : public std::runtime_error {
+ public:
+  explicit ShutdownError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 
 /// Error/cancellation state of one dispatched topology, shared (via
@@ -35,6 +58,15 @@ struct ErrorState {
   /// Draining flag: set by cancel() and by the first captured exception.
   /// Workers read it once per task to decide the skip-but-finalize path.
   std::atomic<bool> cancelled{false};
+
+  /// Deadline of the run in steady-clock nanoseconds since epoch (0 = none).
+  /// Set once at submission when the run carries a RunPolicy timeout; read
+  /// by tf::this_task::deadline() and by the watchdog's deadline sweep.
+  std::atomic<std::int64_t> deadline_ns{0};
+
+  /// Set (with the drain) when the deadline fired - distinguishes
+  /// "[draining: deadline exceeded]" from a plain cancel in stall reports.
+  std::atomic<bool> timed_out{false};
 
   /// Publication protocol for `exception`: 0 = empty, 1 = a winner is
   /// writing, 2 = stored.  A task always captures *before* it retires, and
@@ -68,6 +100,30 @@ struct ErrorState {
   [[nodiscard]] std::exception_ptr stored() const noexcept {
     return exception_phase.load(std::memory_order_acquire) == 2 ? exception : nullptr;
   }
+
+  /// Deadline-expiry drain: capture a tf::TimeoutError through the normal
+  /// first-writer protocol (so a timeout racing a task exception resolves to
+  /// exactly one stored error) and mark the state timed out.  Returns true
+  /// when the timeout won the capture race.
+  bool expire(const std::string& what) noexcept {
+    const bool won = capture(std::make_exception_ptr(TimeoutError(what)));
+    // Flag only the winner: when a task exception beat the timeout, get()
+    // rethrows that exception and timed_out() must not claim otherwise.
+    if (won) timed_out.store(true, std::memory_order_release);
+    return won;
+  }
+
+  /// Steady-clock deadline accessors (0 sentinel = no deadline).
+  void set_deadline(std::chrono::steady_clock::time_point t) noexcept {
+    deadline_ns.store(t.time_since_epoch().count(), std::memory_order_release);
+  }
+  [[nodiscard]] std::optional<std::chrono::steady_clock::time_point> deadline()
+      const noexcept {
+    const auto ns = deadline_ns.load(std::memory_order_acquire);
+    if (ns == 0) return std::nullopt;
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(ns));
+  }
 };
 
 }  // namespace detail
@@ -75,9 +131,17 @@ struct ErrorState {
 namespace this_task {
 
 /// True when the topology executing the current task is draining (a sibling
-/// task threw, or ExecutionHandle::cancel was called).  Long-running tasks
-/// poll this to cooperate with cancellation; outside a task it is false.
+/// task threw, ExecutionHandle::cancel was called, or the run's deadline
+/// expired).  Long-running tasks poll this to cooperate with cancellation;
+/// outside a task it is false.
 [[nodiscard]] bool is_cancelled() noexcept;
+
+/// Remaining time budget of the run executing the current task: nullopt when
+/// the run carries no deadline (or outside a task), otherwise the duration
+/// until the deadline - negative once it has expired.  Long tasks poll this
+/// to exit early (checkpoint, degrade, or abandon) instead of being caught
+/// mid-flight by the drain.
+[[nodiscard]] std::optional<std::chrono::nanoseconds> deadline() noexcept;
 
 }  // namespace this_task
 

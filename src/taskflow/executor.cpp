@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <functional>
 #include <ostream>
 
 #include "taskflow/flow_builder.hpp"
@@ -40,6 +42,28 @@ inline void spin_pause() noexcept {
   asm volatile("" ::: "memory");
 #endif
 }
+
+// Exponential backoff with jitter for attempt `failed` (1-based count of
+// failures so far): delay = backoff * multiplier^(failed-1), capped at
+// max_backoff, then jittered down by a uniform fraction of `jitter`.
+std::chrono::nanoseconds retry_delay(const RetryPolicy& policy, int failed) noexcept {
+  if (policy.backoff.count() <= 0) return std::chrono::nanoseconds{0};
+  double d = static_cast<double>(policy.backoff.count());
+  for (int i = 1; i < failed; ++i) {
+    d *= policy.multiplier;
+    if (d >= static_cast<double>(policy.max_backoff.count())) break;
+  }
+  d = std::min(d, static_cast<double>(policy.max_backoff.count()));
+  if (policy.jitter > 0.0) {
+    // Per-thread stream: retries are rare, seeding quality is irrelevant,
+    // decorrelation across workers is what matters.
+    thread_local support::Xoshiro256 rng(
+        0xda3e39cb94b95bdbULL ^
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    d *= 1.0 - policy.jitter * rng.uniform();
+  }
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(d));
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -50,12 +74,35 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
   ExecutorObserverInterface* obs = _observer_raw.load(std::memory_order_acquire);
   detail::ErrorState* err = node->_topology->error_state();
 
-  // A draining topology (a task threw, or cancel() was called) skips the
-  // user work of every remaining node but still runs the finalize
-  // bookkeeping below: join counters, joined-subflow parents, and the
-  // live-task count all reach their terminal state, so the topology
-  // terminates cleanly instead of leaking stuck nodes.  Skipped tasks are
-  // not reported to the observer (they never executed).
+  // Watchdog progress probes: stamp the task into this worker's slot for the
+  // duration of the invocation.  One acquire load when disabled (the common
+  // case); two relaxed stores + a clock read per task when a watchdog asked
+  // for them.  The guard clears the slot on every exit path (normal, joined-
+  // subflow defer, and retry re-enqueue).
+  WorkerProbe* probes = _probes_raw.load(std::memory_order_acquire);
+  struct ProbeGuard {
+    WorkerProbe* slot{nullptr};
+    ~ProbeGuard() {
+      if (slot != nullptr) {
+        slot->current.store(nullptr, std::memory_order_relaxed);
+        slot->completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } probe_guard;
+  if (probes != nullptr) {
+    probes[worker_id].since_ns.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_relaxed);
+    probes[worker_id].current.store(node, std::memory_order_relaxed);
+    probe_guard.slot = &probes[worker_id];
+  }
+
+  // A draining topology (a task threw, cancel() was called, or the run's
+  // deadline expired) skips the user work of every remaining node but still
+  // runs the finalize bookkeeping below: join counters, joined-subflow
+  // parents, and the live-task count all reach their terminal state, so the
+  // topology terminates cleanly instead of leaking stuck nodes.  Skipped
+  // tasks are not reported to the observer (they never executed).
   if (!err->draining()) {
     TlsErrorGuard guard(err);  // visibility for tf::this_task::is_cancelled
     try {
@@ -108,12 +155,59 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
       }
       // Placeholder (monostate) nodes fall through: they only synchronize.
     } catch (...) {
+      // Failure path - the only place resilience policies are consulted, so
+      // the zero-policy success path stays branch- and allocation-neutral.
+      std::exception_ptr eptr = std::current_exception();
+      detail::ResiliencePolicy* pol = node->_policy.get();
+      if (pol != nullptr && !err->draining()) {
+        const int failed = pol->failed_attempts.load(std::memory_order_relaxed) + 1;
+        pol->failed_attempts.store(failed, std::memory_order_relaxed);
+        bool retryable = failed < pol->retry.max_attempts;
+        if (retryable && pol->retry.retry_if) {
+          try {
+            retryable = pol->retry.retry_if(eptr);
+          } catch (...) {
+            retryable = false;  // a throwing filter surfaces the original error
+          }
+        }
+        if (retryable) {
+          // A retried dynamic node respawns a fresh subflow on the next
+          // attempt; the partially built one was never made live (children
+          // attach only after every throwing point above), so dropping it
+          // leaks nothing and nothing of it was scheduled.
+          node->_spawned = false;
+          node->_subgraph.reset();
+          if (obs) obs->on_task_retry(worker_id, *node, failed);
+          const auto delay = retry_delay(pol->retry, failed);
+          if (delay.count() <= 0) {
+            schedule(node);
+          } else {
+            // Park the node on the timer wheel: no worker blocks while the
+            // backoff elapses, and the wheel re-enqueues through the normal
+            // external-submission path.
+            timer_wheel()->schedule_after(delay, [this, node] { schedule(node); });
+          }
+          return;  // NOT finalized: the node is still a live task of its run
+        }
+        if (pol->fallback) {
+          // Retry budget exhausted (or no retries): degrade instead of
+          // failing the topology.  A throwing fallback surfaces *its*
+          // exception - it is the later, more specific failure.
+          if (obs) obs->on_task_fallback(worker_id, *node);
+          try {
+            pol->fallback();
+            eptr = nullptr;
+          } catch (...) {
+            eptr = std::current_exception();
+          }
+        }
+      }
       // First exception wins (atomic first-writer); the topology flips into
       // draining mode so remaining tasks skip their work.  A partially
       // built subflow is simply abandoned here: its children are made live
       // (add_active) only after every throwing point above, so nothing
       // leaks and nothing was scheduled.
-      err->capture(std::current_exception());
+      if (eptr) err->capture(std::move(eptr));
     }
   }
 
@@ -151,10 +245,77 @@ void ExecutorInterface::dump_state(std::ostream& os) const {
   os << "executor: " << num_workers() << " worker(s)\n";
 }
 
+const std::shared_ptr<detail::TimerWheel>& ExecutorInterface::timer_wheel() {
+  // Double-checked lazy creation: the service thread only exists once some
+  // resilience feature (retry backoff, deadline, cancel_after) is used.
+  if (_timer_wheel_raw.load(std::memory_order_acquire) == nullptr) {
+    std::scoped_lock lock(_resilience_mutex);
+    if (_timer_wheel == nullptr) {
+      _timer_wheel = std::make_shared<detail::TimerWheel>();
+      _timer_wheel_raw.store(_timer_wheel.get(), std::memory_order_release);
+    }
+  }
+  return _timer_wheel;
+}
+
+std::shared_ptr<detail::TimerWheel> ExecutorInterface::timer_wheel_if_created()
+    const {
+  if (_timer_wheel_raw.load(std::memory_order_acquire) == nullptr) return nullptr;
+  std::scoped_lock lock(_resilience_mutex);
+  return _timer_wheel;
+}
+
+void ExecutorInterface::stop_timer_wheel() noexcept {
+  std::shared_ptr<detail::TimerWheel> wheel;
+  {
+    std::scoped_lock lock(_resilience_mutex);
+    wheel = _timer_wheel;
+  }
+  // stop() joins the service thread, so after this no wheel callback can be
+  // re-entering schedule() on the (derived) executor being destroyed.
+  if (wheel != nullptr) wheel->stop();
+}
+
+void ExecutorInterface::enable_progress_probes() {
+  std::scoped_lock lock(_resilience_mutex);
+  if (_probes != nullptr) return;
+  _num_probes = num_workers();
+  _probes = std::make_unique<WorkerProbe[]>(_num_probes);
+  _probes_raw.store(_probes.get(), std::memory_order_release);
+}
+
+std::vector<ExecutorInterface::ProbeSample> ExecutorInterface::sample_probes()
+    const {
+  WorkerProbe* probes = _probes_raw.load(std::memory_order_acquire);
+  if (probes == nullptr) return {};
+  std::vector<ProbeSample> out(_num_probes);
+  const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  for (std::size_t i = 0; i < _num_probes; ++i) {
+    // Read the timestamp first: if `current` is set from a concurrent task
+    // start in between, the pairing is off by one task but the age can only
+    // be *under*-reported - a stall is never invented.
+    const std::int64_t since = probes[i].since_ns.load(std::memory_order_relaxed);
+    const Node* node = probes[i].current.load(std::memory_order_relaxed);
+    out[i].node = node;
+    out[i].busy_for =
+        node == nullptr ? std::chrono::nanoseconds{0}
+                        : std::chrono::nanoseconds(std::max<std::int64_t>(0, now - since));
+    out[i].completed = probes[i].completed.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 namespace this_task {
 
 bool is_cancelled() noexcept {
   return tls_error_state != nullptr && tls_error_state->draining();
+}
+
+std::optional<std::chrono::nanoseconds> deadline() noexcept {
+  if (tls_error_state == nullptr) return std::nullopt;
+  const auto t = tls_error_state->deadline();
+  if (!t) return std::nullopt;
+  return *t - std::chrono::steady_clock::now();
 }
 
 }  // namespace this_task
@@ -181,6 +342,9 @@ WorkStealingExecutor::WorkStealingExecutor(std::size_t num_workers,
 }
 
 WorkStealingExecutor::~WorkStealingExecutor() {
+  // Join the timer-wheel service thread first: its callbacks re-enter the
+  // virtual schedule(), which must not race worker teardown.
+  stop_timer_wheel();
   {
     std::scoped_lock lock(_mutex);
     _stop = true;
@@ -510,6 +674,7 @@ SimpleExecutor::SimpleExecutor(std::size_t num_workers) {
 }
 
 SimpleExecutor::~SimpleExecutor() {
+  stop_timer_wheel();  // see WorkStealingExecutor::~WorkStealingExecutor
   {
     std::scoped_lock lock(_mutex);
     _stop = true;

@@ -37,6 +37,7 @@
 #include "taskflow/error.hpp"
 #include "taskflow/graph.hpp"
 #include "taskflow/observer.hpp"
+#include "taskflow/timer_wheel.hpp"
 #include "taskflow/wsq.hpp"
 
 namespace tf {
@@ -128,6 +129,35 @@ class ExecutorInterface {
     return _observer;
   }
 
+  /// The executor's timer wheel (retry backoff, run deadlines, cancel_after).
+  /// Created - together with its service thread - on first call, so
+  /// executors that never touch a resilience feature never pay the thread.
+  [[nodiscard]] const std::shared_ptr<detail::TimerWheel>& timer_wheel();
+
+  /// The wheel if one was ever created, else nullptr (diagnostics: pending
+  /// timer count in stall reports without forcing the thread into being).
+  [[nodiscard]] std::shared_ptr<detail::TimerWheel> timer_wheel_if_created() const;
+
+  // ---- per-worker progress probes (watchdog substrate) --------------------
+
+  /// One sampled worker: the node it is currently executing (nullptr when
+  /// between tasks), how long it has been on it, and its completion count.
+  struct ProbeSample {
+    const Node* node{nullptr};
+    std::chrono::nanoseconds busy_for{0};
+    std::uint64_t completed{0};
+  };
+
+  /// Switch on per-worker progress probes (idempotent; normally done by
+  /// Executor::enable_watchdog).  While enabled, run_task stamps each task's
+  /// begin/end into per-worker atomic slots - two relaxed stores plus one
+  /// clock read per task, paid only when a watchdog asked for them.
+  void enable_progress_probes();
+
+  /// Race-free snapshot of every worker's probe; empty when probes were
+  /// never enabled.  Safe from any thread while graphs run.
+  [[nodiscard]] std::vector<ProbeSample> sample_probes() const;
+
  protected:
   /// Invoke `node`'s work on worker `worker_id`, expand dynamic subflows,
   /// release successors, and schedule every newly ready one as one batch.
@@ -145,12 +175,38 @@ class ExecutorInterface {
   /// schedule anything itself: the caller publishes `ready` in one batch.
   void finalize(Node* node, detail::ReadyBatch& ready);
 
+  /// Stop and join the timer wheel thread if one exists.  Every derived
+  /// destructor MUST call this before tearing down its own scheduling state:
+  /// wheel callbacks re-enter the virtual schedule(), so the wheel may not
+  /// outlive the derived object.  Entries still pending are dropped - legal
+  /// because an executor is only destroyed after all topologies (including
+  /// any with waiting retries or live deadlines) have drained.
+  void stop_timer_wheel() noexcept;
+
   /// Acquire/release-published observer pointer read by run_task on every
   /// task (a plain load on x86); ownership lives behind _observer_mutex.
   std::atomic<ExecutorObserverInterface*> _observer_raw{nullptr};
   mutable std::mutex _observer_mutex;
   std::shared_ptr<ExecutorObserverInterface> _observer;
   std::vector<std::shared_ptr<ExecutorObserverInterface>> _retired_observers;
+
+ private:
+  /// One worker's progress slot, cache-line padded so the per-task stamps of
+  /// neighbouring workers never share a line.
+  struct alignas(64) WorkerProbe {
+    std::atomic<const Node*> current{nullptr};
+    std::atomic<std::int64_t> since_ns{0};
+    std::atomic<std::uint64_t> completed{0};
+  };
+
+  /// Lazily created resilience plumbing; the raw pointers are the hot-path
+  /// probes (one acquire load each), ownership sits behind _resilience_mutex.
+  mutable std::mutex _resilience_mutex;
+  std::shared_ptr<detail::TimerWheel> _timer_wheel;
+  std::atomic<detail::TimerWheel*> _timer_wheel_raw{nullptr};
+  std::unique_ptr<WorkerProbe[]> _probes;
+  std::atomic<WorkerProbe*> _probes_raw{nullptr};
+  std::size_t _num_probes{0};  // written once before _probes_raw publishes
 };
 
 /// Tuning knobs of WorkStealingExecutor; defaults match the paper's design.

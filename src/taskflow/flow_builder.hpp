@@ -308,6 +308,18 @@ class SubflowBuilder : public FlowBuilder {
   bool _detached{false};
 };
 
+// Task::fallback is defined here because it shares the static-work traits
+// with Task::work below.  A fallback is always static work - it runs on the
+// plain run_task failure path, which has no SubflowBuilder to offer.
+template <typename C>
+Task& Task::fallback(C&& callable) {
+  static_assert(detail::is_static_work_v<C> && !detail::is_dynamic_work_v<C>,
+                "a fallback must be invocable with () - dynamic (subflow) "
+                "fallbacks are not supported");
+  _node->policy().fallback = StaticWork(std::forward<C>(callable));
+  return *this;
+}
+
 // Task::work is defined here because the static/dynamic dispatch needs
 // SubflowBuilder to be complete.
 template <typename C>

@@ -11,8 +11,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <deque>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <string>
 #include <variant>
@@ -37,6 +40,44 @@ using StaticWork = support::SmallFunction<void(), kWorkCapacity>;
 /// Work signature of a dynamic task: receives a SubflowBuilder to spawn a
 /// subflow at runtime.
 using DynamicWork = support::SmallFunction<void(SubflowBuilder&), kWorkCapacity>;
+
+/// Per-task retry policy (Task::retry): how often and with what delay a
+/// throwing task is re-attempted before the failure is surfaced.
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1; 1 = no retry).
+  int max_attempts{1};
+  /// Delay before the first retry; 0 re-enqueues immediately.
+  std::chrono::nanoseconds backoff{std::chrono::milliseconds(1)};
+  /// Exponential growth factor of the delay per further retry (>= 1).
+  double multiplier{2.0};
+  /// Delay ceiling the exponential growth saturates at.
+  std::chrono::nanoseconds max_backoff{std::chrono::seconds(1)};
+  /// Uniform jitter fraction in [0, 1]: each delay d becomes a uniform draw
+  /// from [d * (1 - jitter), d] to decorrelate retry storms.
+  double jitter{0.1};
+  /// Optional failure filter: return false to surface the exception at once
+  /// (e.g. retry only transient I/O errors).  Empty = retry everything.
+  std::function<bool(const std::exception_ptr&)> retry_if{};
+};
+
+namespace detail {
+
+/// Resilience state of one node, allocated lazily by Task::retry /
+/// Task::fallback.  Nodes without policies keep a null pointer, so the
+/// zero-policy execution hot path never touches (or allocates) any of this -
+/// the executor reads the pointer only on the failure path.
+struct ResiliencePolicy {
+  RetryPolicy retry;
+  /// Degradation handler: runs (on the worker) when retries are exhausted;
+  /// if it returns normally the topology proceeds as if the task succeeded.
+  StaticWork fallback;
+  /// Failed attempts of the current run; reset at arm() and when a re-armed
+  /// dynamic node respawns.  Atomic only for race-free stall reporting - the
+  /// executor mutates it single-threaded per node.
+  std::atomic<int> failed_attempts{0};
+};
+
+}  // namespace detail
 
 /// One vertex of a task dependency graph.  Internal type: users hold
 /// tf::Task handles instead (paper §III-A).
@@ -81,6 +122,22 @@ class Node {
   /// True once this node has spawned a (non-empty or empty) subflow.
   [[nodiscard]] bool has_subgraph() const noexcept { return _subgraph != nullptr; }
 
+  /// True when a retry policy or fallback is attached (Task::retry/fallback).
+  [[nodiscard]] bool has_policy() const noexcept { return _policy != nullptr; }
+
+  /// The node's resilience state, created on first access (build-time only;
+  /// the executor never calls this).
+  [[nodiscard]] detail::ResiliencePolicy& policy() {
+    if (_policy == nullptr) _policy = std::make_unique<detail::ResiliencePolicy>();
+    return *_policy;
+  }
+
+  /// Read-only view of the resilience state (nullptr when none attached);
+  /// never allocates - used by stall reports and tests.
+  [[nodiscard]] const detail::ResiliencePolicy* resilience() const noexcept {
+    return _policy.get();
+  }
+
   // -- internal execution state (used by executors and Topology) ----------
 
   // Names are debug/visualization metadata and almost always absent: keeping
@@ -93,14 +150,24 @@ class Node {
   std::atomic<int> _join_counter{0};  // pending dependents (or pending subflow
                                       // children once spawned); reset at dispatch
   int _creation_index{0};             // position in the owning graph's build order
+  // The flags pack into the ints' tail padding: Node must stay <= 128 bytes
+  // so a deque block (512 B) holds 4 nodes - construction throughput is
+  // directly proportional to nodes per block allocation.
   bool _has_backward_edge{false};     // some successor was created before this
                                       // node - the cheap acyclicity witness fails
-  std::unique_ptr<Graph> _subgraph;   // spawned subflow, built lazily at runtime
-  Node* _parent{nullptr};             // joined-subflow parent, else nullptr
-  Topology* _topology{nullptr};       // owning dispatched topology
   bool _spawned{false};               // dynamic work already expanded
   bool _detached{false};              // subflow spawned by this node detached
+  std::unique_ptr<Graph> _subgraph;   // spawned subflow, built lazily at runtime
+  // Retry/fallback policy, absent (nullptr) on the overwhelming majority of
+  // nodes: one pointer of storage, dereferenced only on the failure path.
+  std::unique_ptr<detail::ResiliencePolicy> _policy;
+  Node* _parent{nullptr};             // joined-subflow parent, else nullptr
+  Topology* _topology{nullptr};       // owning dispatched topology
 };
+
+static_assert(sizeof(Node) <= 128,
+              "Node must fit 4-per-512B-deque-block; see the flag-packing "
+              "comment above");
 
 /// An owning container of nodes with pointer stability (std::deque), movable
 /// so a Taskflow can hand its present graph to a Topology at dispatch time.

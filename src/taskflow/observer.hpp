@@ -37,6 +37,30 @@ class ExecutorObserverInterface {
     (void)worker_id;
     (void)node;
   }
+
+  // ---- resilience events (DESIGN.md §8); default no-op so pre-resilience
+  // ---- observers compile unchanged -----------------------------------------
+
+  /// Called by worker `worker_id` when `node`'s attempt number `attempt`
+  /// (1-based) failed and the task is about to be re-enqueued for another
+  /// attempt (immediately or after its backoff delay).
+  virtual void on_task_retry(std::size_t worker_id, const Node& node, int attempt) {
+    (void)worker_id;
+    (void)node;
+    (void)attempt;
+  }
+
+  /// Called by worker `worker_id` just before `node`'s fallback handler runs
+  /// (its retry budget - if any - is exhausted).
+  virtual void on_task_fallback(std::size_t worker_id, const Node& node) {
+    (void)worker_id;
+    (void)node;
+  }
+
+  /// Called when a run's RunPolicy deadline expired and won the drain race
+  /// (the run will complete with tf::TimeoutError).  Invoked from the timer
+  /// or watchdog thread, not from a worker.
+  virtual void on_topology_timeout() {}
 };
 
 /// Records per-worker busy intervals with steady-clock timestamps.

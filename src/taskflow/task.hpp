@@ -4,6 +4,7 @@
 // Task is *empty* and can be used as a placeholder variable until assigned.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <string>
 #include <type_traits>
@@ -77,6 +78,42 @@ class Task {
   /// dispatch rules as FlowBuilder::emplace apply.
   template <typename C>
   Task& work(C&& callable);
+
+  // ---- resilience policies (DESIGN.md §8) --------------------------------
+
+  /// Allow up to `n` retries after a failed first attempt (n + 1 total
+  /// attempts), re-enqueued immediately with no backoff.  Only after every
+  /// attempt failed does the error drain the topology (or the fallback run).
+  Task& retry(int n) {
+    RetryPolicy p;
+    p.max_attempts = (n < 0 ? 0 : n) + 1;
+    p.backoff = std::chrono::nanoseconds{0};
+    return retry(std::move(p));
+  }
+
+  /// Attach a full retry policy: attempt budget, exponential backoff with
+  /// jitter (the node re-enqueues through the executor's timer wheel - no
+  /// worker blocks during the delay), and an optional failure filter.
+  Task& retry(RetryPolicy p) {
+    if (p.max_attempts < 1) p.max_attempts = 1;
+    if (p.multiplier < 1.0) p.multiplier = 1.0;
+    if (p.jitter < 0.0) p.jitter = 0.0;
+    if (p.jitter > 1.0) p.jitter = 1.0;
+    if (p.max_backoff < p.backoff) p.max_backoff = p.backoff;
+    _node->policy().retry = std::move(p);
+    return *this;
+  }
+
+  /// Attach a degradation handler, run on the worker when the task's retry
+  /// budget is exhausted (or on the first failure without a retry policy).
+  /// If it returns normally the topology proceeds as if the task succeeded;
+  /// if it throws, its exception drains the topology instead of the
+  /// original.  Defined in flow_builder.hpp (needs the static-work traits).
+  template <typename C>
+  Task& fallback(C&& callable);
+
+  /// True when a retry policy or fallback is attached.
+  [[nodiscard]] bool has_policy() const noexcept { return _node->has_policy(); }
 
   [[nodiscard]] bool operator==(const Task& rhs) const noexcept {
     return _node == rhs._node;

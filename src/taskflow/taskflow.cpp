@@ -48,7 +48,7 @@ Executor::Executor(std::shared_ptr<ExecutorInterface> backend)
   if (_backend == nullptr) _backend = std::make_shared<WorkStealingExecutor>();
 }
 
-Executor::~Executor() { wait_for_all(); }
+Executor::~Executor() { shutdown(ShutdownMode::drain); }
 
 ExecutionHandle Executor::run(Taskflow& taskflow) {
   return handle_of(submit(taskflow, 1, nullptr));
@@ -62,8 +62,29 @@ ExecutionHandle Executor::run_until(Taskflow& taskflow, std::function<bool()> st
   return handle_of(submit(taskflow, 1, std::move(stop)));
 }
 
+ExecutionHandle Executor::run(Taskflow& taskflow, RunPolicy policy) {
+  return handle_of(submit(taskflow, 1, nullptr, policy));
+}
+
+ExecutionHandle Executor::run_n(Taskflow& taskflow, std::size_t n, RunPolicy policy) {
+  return handle_of(submit(taskflow, n, nullptr, policy));
+}
+
+ExecutionHandle Executor::run_until(Taskflow& taskflow, std::function<bool()> stop,
+                                    RunPolicy policy) {
+  return handle_of(submit(taskflow, 1, std::move(stop), policy));
+}
+
+void Executor::throw_if_shutdown() const {
+  if (_shutdown.load(std::memory_order_acquire)) {
+    throw ShutdownError("executor is shut down: new submissions are rejected");
+  }
+}
+
 std::shared_ptr<Topology> Executor::submit(Taskflow& taskflow, std::size_t n,
-                                           std::function<bool()> stop) {
+                                           std::function<bool()> stop,
+                                           RunPolicy policy) {
+  throw_if_shutdown();
   if (taskflow.graph().empty() || n == 0) return nullptr;
 
   auto topology = std::make_shared<Topology>(&taskflow.graph());
@@ -112,6 +133,11 @@ std::shared_ptr<Topology> Executor::submit(Taskflow& taskflow, std::size_t n,
   // Count under the queue lock: the completion-side decrement pops under
   // this lock first, so it can never overtake this increment.
   _num_topologies.fetch_add(1, std::memory_order_relaxed);
+  register_live(topology);
+  // Arm the deadline before the lock is released: the completion side (which
+  // disarms the timer) acquires this lock to pop, so the timer-id write can
+  // never race it.  The budget starts now - FIFO queue time counts.
+  if (policy.timeout.count() > 0) arm_deadline(*topology, policy);
   queue_lock.unlock();
 
   if (start_now) start(*topology);
@@ -122,16 +148,20 @@ std::shared_ptr<Topology> Executor::dispatch_owned(Graph&& graph) {
   // Paper-era dispatch: one-shot topologies of one taskflow run
   // concurrently, so they bypass the per-client FIFO queue.  The caller
   // (Taskflow::dispatch) has already cycle-checked the graph.
+  throw_if_shutdown();
   auto topology = std::make_shared<Topology>(std::move(graph));
   topology->_client = this;
   topology->_kind = Topology::RunKind::dispatched;
   topology->_client_hold = topology;  // self-keepalive until finish()
   _num_topologies.fetch_add(1, std::memory_order_relaxed);
+  // Register for shutdown before the first task can retire the run.
+  register_live(topology);
   start(*topology);
   return topology;
 }
 
 void Executor::submit_async(StaticWork&& work) {
+  throw_if_shutdown();
   auto* box = new detail::AsyncRun;
   Node& node = box->graph.emplace_back();
   node._work.emplace<StaticWork>(std::move(work));
@@ -149,11 +179,15 @@ void Executor::start(Topology& topology) {
 
 void Executor::on_topology_done(Topology& topology) {
   // Runs on the worker that retired the topology's last task.  Protocol:
-  // executor bookkeeping first, the in-flight decrement + wakeup as the
-  // LAST touch of executor state (a wait_for_all caller - possibly the
-  // destructor - may proceed the instant the counters read zero), and
-  // finish() as the LAST touch of the topology (the handle holder may
-  // release it the moment the future becomes ready).
+  // executor bookkeeping first, the in-flight decrement + wakeup next, and
+  // finish() as the worker's very LAST action: set_value wakes the handle
+  // waiter, and on a loaded host that wake can preempt this worker - any
+  // work placed after finish() (even an uncontended atomic op that another
+  // thread polls) turns into extra context switches per topology (measured
+  // +1-3us on BM_DispatchFuture).  Consequently the counters can read zero
+  // a few instructions before the last promise is set; the stronger
+  // "every handle is ready" guarantee is provided only by shutdown() /
+  // the destructor, which wait on the futures themselves via _live.
   switch (topology._kind) {
     case Topology::RunKind::async: {
       auto* box = static_cast<detail::AsyncRun*>(topology._client_tag);
@@ -167,6 +201,9 @@ void Executor::on_topology_done(Topology& topology) {
     case Topology::RunKind::dispatched: {
       std::shared_ptr<Topology> self =
           std::static_pointer_cast<Topology>(std::move(topology._client_hold));
+      // The _live entry is NOT erased here (that would be executor work after
+      // the hot tail): it expires when the last shared_ptr drops and is
+      // pruned lazily by register_live() / collected by shutdown().
       {
         std::scoped_lock lock(_done_mutex);
         _num_topologies.fetch_sub(1, std::memory_order_relaxed);
@@ -209,6 +246,7 @@ void Executor::on_topology_done(Topology& topology) {
       next = cq->queue.front();
     }
   }
+  disarm_deadline(*self);  // a finished run's timer must not pin its state
   if (next != nullptr) start(*next);
   if (drained) release_client(cq);
   {
@@ -217,6 +255,47 @@ void Executor::on_topology_done(Topology& topology) {
     _done_cv.notify_all();
   }
   self->finish();
+}
+
+void Executor::register_live(const std::shared_ptr<Topology>& topology) {
+  std::scoped_lock lock(_live_mutex);
+  // Completing workers never erase their entry (finish() must stay their
+  // last action), so dead entries pile up here until a writer reclaims
+  // them.  Prune only once they clearly outnumber the live runs, keeping
+  // the amortized cost of this call O(1).
+  if (_live.size() >=
+      2 * _num_topologies.load(std::memory_order_relaxed) + 8) {
+    for (auto it = _live.begin(); it != _live.end();) {
+      it = it->second.expired() ? _live.erase(it) : std::next(it);
+    }
+  }
+  // insert_or_assign: the allocator can reuse a retired topology's address,
+  // so an expired entry may still squat on this key.
+  _live.insert_or_assign(topology.get(), topology);
+}
+
+void Executor::arm_deadline(Topology& topology, RunPolicy policy) {
+  detail::ErrorState* state = topology.error_state();
+  state->set_deadline(std::chrono::steady_clock::now() + policy.timeout);
+  // The callback captures the *shared* state (not the topology), so a run
+  // finishing before its deadline is never pinned nor dangled; the backend
+  // pointer is safe because wheel callbacks run on the wheel's service
+  // thread, which the backend joins before any of its teardown.
+  topology._deadline_timer = _backend->timer_wheel()->schedule_after(
+      policy.timeout,
+      [shared = topology.shared_error_state(), backend = _backend.get()] {
+        if (shared->expire("run deadline exceeded")) {
+          if (auto obs = backend->observer()) obs->on_topology_timeout();
+        }
+      });
+}
+
+void Executor::disarm_deadline(Topology& topology) {
+  if (topology._deadline_timer == detail::TimerWheel::kInvalidTimer) return;
+  if (auto wheel = _backend->timer_wheel_if_created()) {
+    wheel->cancel(topology._deadline_timer);
+  }
+  topology._deadline_timer = detail::TimerWheel::kInvalidTimer;
 }
 
 void Executor::release_client(ClientQueue* cq) {
@@ -237,6 +316,11 @@ void Executor::release_client(ClientQueue* cq) {
 }
 
 void Executor::wait_for_all() {
+  // Counter-based drain: returns once every run has retired its last task.
+  // The completing worker sets the run's promise a few instructions AFTER
+  // this wakeup (finish() is deliberately its last action; see
+  // on_topology_done) - callers needing every handle future ready as well
+  // should go through shutdown(), which additionally waits on the futures.
   std::unique_lock lock(_done_mutex);
   _done_cv.wait(lock, [this] {
     return _num_topologies.load(std::memory_order_relaxed) == 0 &&
@@ -252,8 +336,141 @@ bool Executor::wait_for_all_for(std::chrono::milliseconds timeout) {
   });
 }
 
+void Executor::shutdown(ShutdownMode mode) {
+  // Serialized so concurrent shutdown() callers (including the destructor
+  // after an explicit shutdown) all block until the drain completed.
+  std::scoped_lock shutdown_lock(_shutdown_mutex);
+  _shutdown.store(true, std::memory_order_release);
+  // Pin every registered run (queued and dispatched) that is still alive.
+  // The flag above is already set, so no new run can register concurrently
+  // except one that passed throw_if_shutdown() just before it - that run
+  // completes normally and is covered by the counter wait below.
+  std::vector<std::shared_ptr<Topology>> live;
+  {
+    std::scoped_lock lock(_live_mutex);
+    live.reserve(_live.size());
+    for (auto& [ptr, weak] : _live) {
+      if (auto topology = weak.lock()) live.push_back(std::move(topology));
+    }
+  }
+  if (mode == ShutdownMode::abort) {
+    // Cancel every queued and in-flight graph run; each drains through the
+    // cooperative skip-but-finalize path, so completion (and thus the
+    // wait below) stays deterministic.  In-flight asyncs are left to run:
+    // skipping one would leave its promise forever unfulfilled.
+    for (auto& topology : live) topology->cancel();
+  }
+  wait_for_all();
+  // Readiness guarantee: the counters hit zero a few instructions before the
+  // last promise is set (see on_topology_done), so wait each pinned run's
+  // future into readiness - a ready future costs one load, and at most the
+  // runs mid-tail block for those few instructions.  Asyncs need no such
+  // pass: their promise is fulfilled inside the task, before the counter
+  // decrement.  After this, every handle handed out is ready.
+  for (auto& topology : live) topology->future().wait();
+  {
+    std::scoped_lock lock(_live_mutex);
+    _live.clear();
+  }
+  disable_watchdog();
+}
+
+void Executor::enable_watchdog(WatchdogOptions options) {
+  // Probes first: the watchdog thread samples them from its first tick.
+  _backend->enable_progress_probes();
+  std::scoped_lock lock(_watchdog_mutex);
+  _watchdog_options = std::move(options);
+  if (_watchdog.joinable()) return;  // already running: options updated
+  _watchdog_stop = false;
+  _watchdog = std::thread([this] { watchdog_loop(); });
+}
+
+void Executor::disable_watchdog() {
+  std::thread worker;
+  {
+    std::scoped_lock lock(_watchdog_mutex);
+    if (!_watchdog.joinable()) return;
+    _watchdog_stop = true;
+    worker = std::move(_watchdog);
+  }
+  _watchdog_cv.notify_all();
+  worker.join();
+}
+
+bool Executor::watchdog_enabled() const {
+  std::scoped_lock lock(_watchdog_mutex);
+  return _watchdog.joinable();
+}
+
+void Executor::watchdog_loop() {
+  std::unique_lock lock(_watchdog_mutex);
+  while (!_watchdog_stop) {
+    const WatchdogOptions options = _watchdog_options;
+    if (_watchdog_cv.wait_for(lock, options.period, [this] { return _watchdog_stop; })) {
+      break;
+    }
+    lock.unlock();
+
+    // 1. Deadline sweep (belt-and-braces over the timer wheel): collect the
+    // expired states under the registry locks, fire expire() outside them -
+    // the observer hook is user code and must not run under our locks.
+    std::vector<std::shared_ptr<detail::ErrorState>> expired;
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::scoped_lock clients_lock(_clients_mutex);
+      for (auto& [owner, cq] : _clients) {
+        std::scoped_lock queue_lock(cq->mutex);
+        for (auto& topology : cq->queue) {
+          detail::ErrorState* state = topology->error_state();
+          if (state->draining()) continue;
+          if (auto d = state->deadline(); d && *d <= now) {
+            expired.push_back(topology->shared_error_state());
+          }
+        }
+      }
+    }
+    for (auto& state : expired) {
+      if (state->expire("run deadline exceeded")) {
+        if (auto obs = _backend->observer()) obs->on_topology_timeout();
+      }
+    }
+
+    // 2. Progress-probe scan: a worker continuously inside one task for
+    // longer than the threshold flags a stall.
+    bool stalled = false;
+    for (const auto& sample : _backend->sample_probes()) {
+      if (sample.node != nullptr && sample.busy_for >= options.task_threshold) {
+        stalled = true;
+        break;
+      }
+    }
+    if (stalled && options.on_stall) options.on_stall(stall_report());
+
+    lock.lock();
+  }
+}
+
 void Executor::dump_state(std::ostream& os) const {
   _backend->dump_state(os);
+  // Progress probes (allocated by enable_watchdog): one line per busy
+  // worker, from atomics only - the Node* is deliberately NOT dereferenced
+  // (the task may retire, and an async run free its node, mid-print).
+  const auto samples = _backend->sample_probes();
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].node == nullptr) continue;
+    os << "worker " << i << ": busy in one task for "
+       << std::chrono::duration_cast<std::chrono::milliseconds>(samples[i].busy_for)
+              .count()
+       << " ms (" << samples[i].completed << " task(s) completed)\n";
+  }
+  if (auto wheel = _backend->timer_wheel_if_created()) {
+    if (const std::size_t pending = wheel->num_pending(); pending > 0) {
+      os << "pending resilience timers (retry backoff / deadline / "
+            "cancel_after): "
+         << pending << "\n";
+    }
+  }
   os << "in-flight graph runs: " << num_topologies()
      << ", in-flight asyncs: " << num_asyncs() << "\n";
   std::scoped_lock clients_lock(_clients_mutex);
@@ -266,9 +483,35 @@ void Executor::dump_state(std::ostream& os) const {
       // graph-size walk, which would chase subflow pointers mid-spawn).
       const auto& front = cq->queue.front();
       os << "; running: " << front->num_active() << " unfinished task(s)";
+      // Resilience policies of the running graph: top-level nodes only (the
+      // list is immutable during the run; subflows are not chased mid-spawn).
+      std::size_t with_policy = 0;
+      int failed_attempts = 0;
+      for (const auto& node : front->graph()) {
+        if (const auto* pol = node.resilience()) {
+          ++with_policy;
+          failed_attempts += pol->failed_attempts.load(std::memory_order_relaxed);
+        }
+      }
+      if (with_policy > 0) {
+        os << "; " << with_policy << " task(s) with retry/fallback policies ("
+           << failed_attempts << " failed attempt(s) so far)";
+      }
+      detail::ErrorState* state = front->error_state();
+      if (auto d = state->deadline()) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(*d - now);
+        if (remaining.count() >= 0) {
+          os << " [deadline in " << remaining.count() << " ms]";
+        } else if (!state->draining()) {
+          os << " [deadline exceeded " << -remaining.count() << " ms ago]";
+        }
+      }
       if (front->is_cancelled()) {
-        os << (front->exception() ? " [draining: task exception]"
-                                  : " [draining: cancelled]");
+        os << (state->timed_out.load(std::memory_order_relaxed)
+                   ? " [draining: deadline exceeded]"
+               : front->exception() ? " [draining: task exception]"
+                                    : " [draining: cancelled]");
       }
     }
     os << "\n";
@@ -319,7 +562,7 @@ ExecutionHandle Taskflow::dispatch() {
   auto topology = legacy().dispatch_owned(std::move(detail::GraphOwner::graph));
   detail::GraphOwner::graph = Graph{};  // the moved-from member gets a fresh graph
   _dispatched.push_back(topology);
-  return Executor::handle_of(topology);
+  return legacy().handle_of(topology);
 }
 
 void Taskflow::silent_dispatch() { (void)dispatch(); }
@@ -330,7 +573,7 @@ ExecutionHandle Taskflow::run(Taskflow& taskflow) {
   // Retain legacy-run topologies like dispatched ones so wait_for_all()
   // observes (and rethrows) their outcome in submission order.
   _dispatched.push_back(topology);
-  return Executor::handle_of(topology);
+  return legacy().handle_of(topology);
 }
 
 void Taskflow::run_n(Taskflow& taskflow, std::size_t n) {

@@ -59,6 +59,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -209,6 +210,40 @@ class Taskflow : private detail::GraphOwner, public FlowBuilder {
 /// it.  Existing `tf::Framework` code compiles unchanged.
 using Framework = Taskflow;
 
+/// Per-submission execution policy (DESIGN.md §8).  `timeout` bounds the
+/// whole submission - every repeat of run_n / run_until shares the one
+/// budget, measured from submission (a run waiting in its taskflow's FIFO
+/// queue spends budget too).  On expiry the run flips into the cooperative
+/// drain path (remaining tasks are skipped but the topology still completes
+/// deterministically) and the handle's get() rethrows tf::TimeoutError;
+/// running tasks observe the remaining budget via tf::this_task::deadline().
+/// A zero timeout means unbounded (the default), costing nothing.
+struct RunPolicy {
+  std::chrono::nanoseconds timeout{0};
+};
+
+/// How Executor::shutdown treats work submitted before the call.
+enum class ShutdownMode : unsigned char {
+  drain,  // let queued and in-flight runs finish normally
+  abort,  // cancel queued and in-flight graph runs (they drain cooperatively)
+};
+
+/// Configuration of the executor watchdog thread (Executor::enable_watchdog).
+struct WatchdogOptions {
+  /// Sampling period of the background watchdog thread.
+  std::chrono::milliseconds period{100};
+
+  /// A task running continuously for longer than this flags its worker as
+  /// stalled and (together with at least one flagged worker) fires on_stall.
+  std::chrono::milliseconds task_threshold{1000};
+
+  /// Stall hook, called from the watchdog thread with the executor's
+  /// stall_report() snapshot whenever at least one worker exceeds
+  /// `task_threshold`.  Default: none (the watchdog still enforces run
+  /// deadlines).  The hook must not submit work to or destroy the executor.
+  std::function<void(const std::string& report)> on_stall{};
+};
+
 /// The run entry point: owns (or shares) a scheduler backend and accepts
 /// graph runs and async tasks from many client threads concurrently.
 ///
@@ -252,6 +287,53 @@ class Executor : private detail::TopologyClient {
   /// each completed run, on a worker thread).  Runs at least once.
   ExecutionHandle run_until(Taskflow& taskflow, std::function<bool()> stop);
 
+  // ---- resilience policies (DESIGN.md §8) --------------------------------
+
+  /// run/run_n/run_until with a RunPolicy: `policy.timeout` deadlines the
+  /// whole submission.  On expiry the run drains cooperatively and the
+  /// handle's get() rethrows tf::TimeoutError.
+  ExecutionHandle run(Taskflow& taskflow, RunPolicy policy);
+  ExecutionHandle run_n(Taskflow& taskflow, std::size_t n, RunPolicy policy);
+  ExecutionHandle run_until(Taskflow& taskflow, std::function<bool()> stop,
+                            RunPolicy policy);
+
+  /// Start the background watchdog thread: every `options.period` it
+  /// enforces expired run deadlines (belt-and-braces over the timer wheel)
+  /// and samples per-worker progress probes; a worker stuck in one task for
+  /// longer than `options.task_threshold` fires `options.on_stall` with a
+  /// stall_report() snapshot.  Calling it again replaces the options.
+  void enable_watchdog(WatchdogOptions options);
+  void enable_watchdog(std::chrono::milliseconds period) {
+    WatchdogOptions options;
+    options.period = period;
+    enable_watchdog(std::move(options));
+  }
+
+  /// Stop (join) the watchdog thread; no-op when not enabled.
+  void disable_watchdog();
+
+  /// True while the watchdog thread is running.
+  [[nodiscard]] bool watchdog_enabled() const;
+
+  /// Begin shutting down: new submissions (run/run_n/run_until/async and the
+  /// legacy dispatch path) throw tf::ShutdownError from now on.  `drain`
+  /// lets every already-submitted run finish normally; `abort` cancels
+  /// queued and in-flight graph runs, which then drain cooperatively
+  /// (skip-but-finalize), so completion stays deterministic.  In-flight
+  /// async tasks always run to completion (their promises must be kept).
+  /// Blocks until everything drained and the watchdog stopped; on return
+  /// every handle/future ever handed out is ready (unlike plain
+  /// wait_for_all, which may return an instant before the final promise is
+  /// set).  Idempotent, and safe to call from several threads (all of them
+  /// block until the drain completes).  The destructor routes through
+  /// shutdown(drain).
+  void shutdown(ShutdownMode mode = ShutdownMode::drain);
+
+  /// True once shutdown() began: submissions are rejected.
+  [[nodiscard]] bool is_shutdown() const noexcept {
+    return _shutdown.load(std::memory_order_acquire);
+  }
+
   /// Submit one callable as a task; the result (or thrown exception) is
   /// delivered through the returned future.  Safe from any thread,
   /// including from inside running tasks.
@@ -281,6 +363,9 @@ class Executor : private detail::TopologyClient {
   /// Block until every submitted run and async task finished.  Does not
   /// rethrow task exceptions (with many concurrent clients no single caller
   /// owns them): observe failures through each run's ExecutionHandle.
+  /// Each handle's future becomes ready within a few instructions of this
+  /// returning; code needing the strict all-ready guarantee should use
+  /// shutdown(), or wait the specific handle it cares about.
   void wait_for_all();
 
   /// Bounded wait_for_all: false when work is still in flight after
@@ -338,9 +423,12 @@ class Executor : private detail::TopologyClient {
 
   /// Enqueue a (n, stop)-repeat run of `taskflow`; nullptr when there is
   /// nothing to do (empty graph or n == 0).  Starts it immediately when the
-  /// client's queue was empty.
+  /// client's queue was empty.  A non-zero `policy.timeout` arms a deadline
+  /// timer on the backend's wheel.  Throws tf::ShutdownError after
+  /// shutdown() began.
   std::shared_ptr<Topology> submit(Taskflow& taskflow, std::size_t n,
-                                   std::function<bool()> stop);
+                                   std::function<bool()> stop,
+                                   RunPolicy policy = {});
 
   /// Legacy Taskflow::dispatch entry: a one-shot topology owning `graph`,
   /// started immediately (dispatched topologies of one taskflow run
@@ -367,10 +455,34 @@ class Executor : private detail::TopologyClient {
   /// Wake wait_for_all waiters after a decrement of the in-flight counters.
   void note_done();
 
-  static ExecutionHandle handle_of(const std::shared_ptr<Topology>& topology) {
+  /// Throw tf::ShutdownError when shutdown() already began.
+  void throw_if_shutdown() const;
+
+  /// Record a freshly created graph run in the weak shutdown registry
+  /// (pruning expired entries when they accumulate).
+  void register_live(const std::shared_ptr<Topology>& topology);
+
+  /// Arm the RunPolicy deadline of a freshly submitted topology: stamp the
+  /// shared ErrorState (for this_task::deadline() and the watchdog sweep)
+  /// and schedule the expiry on the backend's timer wheel.
+  void arm_deadline(Topology& topology, RunPolicy policy);
+
+  /// Withdraw a completed run's deadline timer from the wheel, so a finished
+  /// run's state is not pinned by a timer that can no longer matter.
+  void disarm_deadline(Topology& topology);
+
+  /// Watchdog thread body: periodic deadline sweep + progress-probe scan.
+  void watchdog_loop();
+
+  /// Handles carry a weak reference to the backend's timer wheel so
+  /// cancel_after() outlives neither laziness nor the executor (a late
+  /// handle degrades to a no-op).  Creates the wheel object (not its
+  /// service thread - that starts on first use) on first call.
+  [[nodiscard]] ExecutionHandle handle_of(const std::shared_ptr<Topology>& topology) {
     return topology == nullptr
                ? ExecutionHandle{}
-               : ExecutionHandle{topology->future(), topology->shared_error_state()};
+               : ExecutionHandle{topology->future(), topology->shared_error_state(),
+                                 _backend->timer_wheel()};
   }
 
   std::shared_ptr<ExecutorInterface> _backend;
@@ -378,10 +490,27 @@ class Executor : private detail::TopologyClient {
   mutable std::mutex _clients_mutex;  // registry of per-taskflow run queues
   std::unordered_map<const Taskflow*, std::shared_ptr<ClientQueue>> _clients;
 
+  // Weak registry of every submitted/dispatched graph run.  Completing
+  // workers never touch it (their last action must stay finish(); see
+  // on_topology_done): entries simply expire, and writers prune the dead
+  // ones lazily in register_live().  shutdown() uses it to abort-cancel and
+  // to wait each surviving run's future into readiness.
+  std::mutex _live_mutex;
+  std::unordered_map<Topology*, std::weak_ptr<Topology>> _live;
+
   std::atomic<std::size_t> _num_topologies{0};
   std::atomic<std::size_t> _num_asyncs{0};
   mutable std::mutex _done_mutex;  // wait_for_all protocol
   mutable std::condition_variable _done_cv;
+
+  // -- shutdown + watchdog state (DESIGN.md §8) ----------------------------
+  std::atomic<bool> _shutdown{false};
+  std::mutex _shutdown_mutex;  // serializes concurrent shutdown() callers
+  mutable std::mutex _watchdog_mutex;
+  std::condition_variable _watchdog_cv;
+  std::thread _watchdog;
+  bool _watchdog_stop{false};
+  WatchdogOptions _watchdog_options;
 };
 
 }  // namespace tf

@@ -1,0 +1,123 @@
+#include "taskflow/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace tf {
+namespace detail {
+
+TimerWheel::TimerId TimerWheel::schedule_after(std::chrono::nanoseconds delay,
+                                               Callback fn) {
+  const std::int64_t delay_ticks = std::max<std::int64_t>(
+      1, (delay.count() + kTickNs - 1) / kTickNs);  // ceil, never the current tick
+
+  std::unique_lock lock(_mutex);
+  if (_stop) return kInvalidTimer;  // shutting down: drop (see stop() contract)
+  if (!_started) {
+    _started = true;
+    _epoch = std::chrono::steady_clock::now();
+    _cursor_tick = 0;
+    _thread = std::thread([this] { service_loop(); });
+  }
+  // Anchor the due tick at max(cursor, wall clock): relative to the cursor
+  // alone, a service loop lagging behind wall time (late OS wake) would
+  // catch up through the entry's slot and fire it *early*; relative to the
+  // wall clock alone, an entry could land in a slot the cursor already
+  // passed this revolution, silently adding a full revolution of delay.
+  const std::int64_t now_tick =
+      (std::chrono::steady_clock::now() - _epoch).count() / kTickNs;
+  const std::int64_t due_tick = std::max(_cursor_tick, now_tick) + delay_ticks;
+  const TimerId id = _next_id++;
+  Entry entry;
+  entry.id = id;
+  // The cursor first visits the due slot (due - cursor - 1) % kSlots + 1
+  // ticks from now; every earlier visit (one per revolution) must skip the
+  // entry, hence the rounds counter.
+  entry.rounds =
+      static_cast<std::uint32_t>((due_tick - _cursor_tick - 1) / kSlots);
+  entry.fn = std::move(fn);
+  _slots[static_cast<std::size_t>(due_tick) % kSlots].push_back(std::move(entry));
+  _live.insert(id);
+  ++_num_live;
+  lock.unlock();
+  _cv.notify_one();
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  if (id == kInvalidTimer) return false;
+  std::scoped_lock lock(_mutex);
+  // The slot entry stays put (erasing would mean a per-slot scan here); the
+  // service pass skips and reclaims entries whose id is no longer live.
+  if (_live.erase(id) == 0) return false;
+  --_num_live;
+  return true;
+}
+
+std::size_t TimerWheel::num_pending() const {
+  std::scoped_lock lock(_mutex);
+  return _num_live;
+}
+
+void TimerWheel::stop() {
+  {
+    std::scoped_lock lock(_mutex);
+    _stop = true;
+  }
+  _cv.notify_all();
+  if (_thread.joinable()) _thread.join();
+}
+
+void TimerWheel::service_loop() {
+  std::unique_lock lock(_mutex);
+  std::vector<Callback> due;  // fired outside the lock
+  while (!_stop) {
+    if (_num_live == 0) {
+      // Empty wheel: sleep until a schedule or stop.  The cursor re-anchors
+      // to "now" on wake so an idle wheel never replays missed ticks.
+      _cv.wait(lock, [this] { return _stop || _num_live > 0; });
+      if (_stop) break;
+      const auto now = std::chrono::steady_clock::now();
+      const std::int64_t now_tick = (now - _epoch).count() / kTickNs;
+      _cursor_tick = std::max(_cursor_tick, now_tick);
+    }
+    const auto next_tick_time =
+        _epoch + std::chrono::steady_clock::duration((_cursor_tick + 1) * kTickNs);
+    if (_cv.wait_until(lock, next_tick_time,
+                       [this] { return _stop; })) {
+      break;
+    }
+    // Service every tick between the cursor and wall time (a late wake - OS
+    // jitter, long callback - services several slots in one pass).
+    const auto now = std::chrono::steady_clock::now();
+    const std::int64_t now_tick = (now - _epoch).count() / kTickNs;
+    while (_cursor_tick < now_tick) {
+      ++_cursor_tick;
+      auto& slot = _slots[static_cast<std::size_t>(_cursor_tick) % kSlots];
+      for (std::size_t i = 0; i < slot.size();) {
+        Entry& e = slot[i];
+        if (e.rounds > 0 && _live.find(e.id) != _live.end()) {
+          --e.rounds;  // due on a later revolution
+          ++i;
+          continue;
+        }
+        // Fire (rounds exhausted) or reclaim (cancelled) - either way the
+        // entry leaves the slot via swap-remove.
+        if (_live.erase(e.id) > 0) {
+          --_num_live;
+          due.push_back(std::move(e.fn));
+        }
+        if (&e != &slot.back()) e = std::move(slot.back());
+        slot.pop_back();
+      }
+    }
+    if (!due.empty()) {
+      lock.unlock();
+      for (auto& fn : due) fn();  // may re-enter schedule_after/cancel
+      due.clear();
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace tf

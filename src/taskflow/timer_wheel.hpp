@@ -1,0 +1,90 @@
+// timer_wheel.hpp - detail::TimerWheel, the monotonic delayed-callback engine
+// behind the resilience layer (retry backoff, run deadlines, cancel_after).
+//
+// A classic hashed timing wheel (Varghese & Lauck): kSlots buckets of
+// kTickNs-granularity ticks, a cursor advancing one slot per tick, and a
+// per-entry rounds counter for delays longer than one revolution.  One
+// background thread services the wheel; it is created lazily by the first
+// schedule_after() call, so executors that never use a resilience feature
+// never pay a thread.  No worker ever blocks on a delay: a retrying task
+// parks its node *here* and the worker moves on to other work.
+//
+// Entries are cancelable (deadline timers of runs that finish in time are
+// withdrawn so they don't pin the run's error state until expiry), and all
+// callbacks run on the wheel thread outside the wheel lock - a callback may
+// re-enter schedule_after()/cancel().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace tf {
+namespace detail {
+
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  /// Wheel geometry: 512 slots of 1 ms cover one revolution of ~0.5 s; longer
+  /// delays carry a rounds counter.  1 ms is also the scheduling granularity
+  /// floor - a 0-delay entry fires on the next tick.
+  static constexpr std::int64_t kTickNs = 1'000'000;
+  static constexpr std::size_t kSlots = 512;
+
+  TimerWheel() = default;
+  ~TimerWheel() { stop(); }
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arrange for `fn` to run on the wheel thread after at least `delay`
+  /// (rounded up to the tick granularity).  Returns an id usable with
+  /// cancel().  Starts the wheel thread on first use.
+  TimerId schedule_after(std::chrono::nanoseconds delay, Callback fn);
+
+  /// Withdraw a pending entry.  Returns true when the entry had not fired
+  /// yet (its callback will never run); false when it already fired, was
+  /// already cancelled, or the id is unknown.  The entry's callback (and
+  /// captured state) is destroyed by the next service pass of its slot.
+  bool cancel(TimerId id);
+
+  /// Entries scheduled and not yet fired/cancelled (diagnostic snapshot).
+  [[nodiscard]] std::size_t num_pending() const;
+
+  /// Join the wheel thread.  Pending entries are dropped without firing:
+  /// the owning executor only stops the wheel after it has drained all work
+  /// that could still be waiting on a timer.  Idempotent.
+  void stop();
+
+ private:
+  struct Entry {
+    TimerId id{kInvalidTimer};
+    std::uint32_t rounds{0};  // full revolutions left before firing
+    Callback fn;
+  };
+
+  void service_loop();
+
+  mutable std::mutex _mutex;
+  std::condition_variable _cv;
+  std::vector<Entry> _slots[kSlots];
+  std::unordered_set<TimerId> _live;  // scheduled, not yet fired/cancelled
+  std::chrono::steady_clock::time_point _epoch;  // time of tick 0
+  std::int64_t _cursor_tick{0};                  // next tick to service
+  TimerId _next_id{1};
+  std::size_t _num_live{0};
+  bool _started{false};
+  bool _stop{false};
+  std::thread _thread;
+};
+
+}  // namespace detail
+}  // namespace tf

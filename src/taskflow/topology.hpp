@@ -30,6 +30,7 @@
 
 #include "taskflow/error.hpp"
 #include "taskflow/graph.hpp"
+#include "taskflow/timer_wheel.hpp"
 
 namespace tf {
 
@@ -88,6 +89,10 @@ class Topology {
       // Re-armed dynamic nodes spawn a fresh subflow on the next run.
       node._spawned = false;
       node._subgraph.reset();
+      // A fresh run gets a fresh retry budget.
+      if (node._policy != nullptr) {
+        node._policy->failed_attempts.store(0, std::memory_order_relaxed);
+      }
       if (node._static_dependents == 0) _sources.push_back(&node);
     }
   }
@@ -178,6 +183,9 @@ class Topology {
   RunKind _kind{RunKind::dispatched};
   std::size_t _remaining{1};                 // repeats left (run_n)
   std::function<bool()> _stop_pred;          // optional stop test (run_until)
+  // Deadline timer of the run's RunPolicy; withdrawn from the wheel when the
+  // run completes in time (so a finished run's state isn't pinned by it).
+  detail::TimerWheel::TimerId _deadline_timer{detail::TimerWheel::kInvalidTimer};
 };
 
 /// Handle to one submitted execution, returned by Executor::run/run_n/
@@ -197,8 +205,11 @@ class ExecutionHandle {
   }
 
   ExecutionHandle(std::shared_future<void> future,
-                  std::shared_ptr<detail::ErrorState> state) noexcept
-      : _future(std::move(future)), _state(std::move(state)) {}
+                  std::shared_ptr<detail::ErrorState> state,
+                  std::weak_ptr<detail::TimerWheel> timers = {}) noexcept
+      : _future(std::move(future)),
+        _state(std::move(state)),
+        _timers(std::move(timers)) {}
 
   /// Request cooperative cancellation: tasks not yet started skip their
   /// work, running tasks observe tf::this_task::is_cancelled(), and the
@@ -206,6 +217,26 @@ class ExecutionHandle {
   /// an empty handle.
   void cancel() const noexcept {
     if (_state) _state->cancel();
+  }
+
+  /// Deferred cancel: like cancel(), fired from the executor's timer wheel
+  /// after `delay` - unless the execution finished first, in which case the
+  /// late fire is a harmless no-op on the shared state.  Unlike a RunPolicy
+  /// deadline this is a *plain* cancel: the future completes without a
+  /// TimeoutError.  An explicit cancel() may still land first; whichever
+  /// fires first starts the drain and the other is idempotent.  No-op on an
+  /// empty handle or once the owning executor is gone.
+  void cancel_after(std::chrono::nanoseconds delay) const {
+    if (_state == nullptr) return;
+    if (auto wheel = _timers.lock()) {
+      wheel->schedule_after(delay, [state = _state] { state->cancel(); });
+    }
+  }
+
+  /// True when the execution drained because its RunPolicy deadline expired
+  /// (get() then rethrows tf::TimeoutError).
+  [[nodiscard]] bool timed_out() const noexcept {
+    return _state != nullptr && _state->timed_out.load(std::memory_order_relaxed);
   }
 
   /// True once the execution entered draining mode (cancelled by this or
@@ -242,6 +273,9 @@ class ExecutionHandle {
  private:
   std::shared_future<void> _future;
   std::shared_ptr<detail::ErrorState> _state;
+  // The submitting executor's timer wheel (cancel_after); weak so a handle
+  // outliving its executor degrades to a no-op instead of dangling.
+  std::weak_ptr<detail::TimerWheel> _timers;
 };
 
 }  // namespace tf

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -317,6 +318,74 @@ TEST_P(FaultModel, ConcurrentClientsSurviveFaultStorm) {
   EXPECT_EQ(drained_handles.load(), static_cast<long>(kClients) * iters * 4);
   EXPECT_EQ(executor.num_topologies(), 0u);
   EXPECT_EQ(executor.num_asyncs(), 0u);
+}
+
+// Flaky-task mode (resilience tentpole): every task fails its first k
+// attempts (k drawn per node from the seeded stream) and carries a retry
+// budget.  Tasks whose k fits the budget must converge; tasks whose k
+// exceeds it must degrade through their fallback - so under concurrent
+// multi-client load, no handle may ever surface an error.
+TEST_P(FaultModel, FlakyTasksConvergeUnderConcurrentLoad) {
+  constexpr int kClients = 6;
+  const int iters = std::max(3, support::repro_fault_iters() / 8);
+  tf::Executor executor(make());
+  std::atomic<long> fallbacks{0};
+  std::atomic<long> expected_fallbacks{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto rng = stream(40009 + c);
+      constexpr int kNodes = 12;
+      tf::Taskflow flow;
+      // One failure counter per node, reset before every run (the executor
+      // resets the *policy* budget per run; the injected flakiness must
+      // reset too so each run replays its fail-first-k script).
+      std::vector<std::unique_ptr<std::atomic<int>>> counters;
+      std::vector<int> fail_first;
+      std::vector<tf::Task> tasks;
+      for (int i = 0; i < kNodes; ++i) {
+        counters.push_back(std::make_unique<std::atomic<int>>(0));
+        // k in [0, 4]; retry budget allows 3 failures -> k == 4 must fall
+        // back, everything else must converge.
+        const int k = static_cast<int>(rng.below(5));
+        fail_first.push_back(k);
+        std::atomic<int>* counter = counters.back().get();
+        tf::RetryPolicy policy;
+        policy.max_attempts = 4;
+        policy.backoff = rng.bernoulli(0.5) ? 500us : 0us;  // wheel + direct
+        policy.jitter = 0.5;
+        auto task = flow.emplace([counter, k] {
+          if (counter->fetch_add(1) < k) throw InjectedFault();
+        });
+        task.retry(policy);
+        task.fallback([&fallbacks] { fallbacks++; });
+        tasks.push_back(task);
+      }
+      for (int v = 1; v < kNodes; ++v) {  // forward edges: acyclic
+        tasks[static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(v)))]
+            .precede(tasks[static_cast<std::size_t>(v)]);
+      }
+      const long unlucky = static_cast<long>(
+          std::count(fail_first.begin(), fail_first.end(), 4));
+
+      for (int iter = 0; iter < iters; ++iter) {
+        for (auto& counter : counters) counter->store(0);
+        expected_fallbacks += unlucky;
+        auto handle = executor.run(flow);
+        ASSERT_EQ(handle.wait_for(kDrainDeadline), std::future_status::ready)
+            << "client " << c << " iteration " << iter << " stalled\n"
+            << executor.stall_report();
+        EXPECT_NO_THROW(handle.get()) << "client " << c << " iteration " << iter;
+        EXPECT_FALSE(handle.is_cancelled());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  executor.wait_for_all();
+  EXPECT_EQ(fallbacks.load(), expected_fallbacks.load());
+  EXPECT_EQ(executor.num_topologies(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Executors, FaultModel,

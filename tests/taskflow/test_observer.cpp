@@ -195,6 +195,74 @@ TEST(RecordingObserver, ChromeTracingExport) {
   EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 2);
 }
 
+class ResilienceObserver final : public tf::ExecutorObserverInterface {
+ public:
+  std::atomic<int> retries{0};
+  std::atomic<int> last_attempt{0};
+  std::atomic<int> fallbacks{0};
+  std::atomic<int> timeouts{0};
+
+  void on_task_retry(std::size_t, const tf::Node&, int attempt) override {
+    retries++;
+    last_attempt = attempt;
+  }
+  void on_task_fallback(std::size_t, const tf::Node&) override { fallbacks++; }
+  void on_topology_timeout() override { timeouts++; }
+};
+
+TEST(Observer, RetryAndFallbackEvents) {
+  tf::Executor executor(2);
+  auto obs = std::make_shared<ResilienceObserver>();
+  executor.set_observer(obs);
+  tf::Taskflow taskflow;
+  // Fails all 3 attempts, then degrades: 2 retry events (after attempts 1
+  // and 2), then 1 fallback event.
+  taskflow.emplace([] { throw std::runtime_error("boom"); })
+      .retry(2)
+      .fallback([] {});
+  executor.run(taskflow).get();
+  EXPECT_EQ(obs->retries.load(), 2);
+  EXPECT_EQ(obs->last_attempt.load(), 2);
+  EXPECT_EQ(obs->fallbacks.load(), 1);
+  EXPECT_EQ(obs->timeouts.load(), 0);
+}
+
+TEST(Observer, TopologyTimeoutEventFiresExactlyOnce) {
+  tf::Executor executor(2);
+  auto obs = std::make_shared<ResilienceObserver>();
+  executor.set_observer(obs);
+  tf::Taskflow taskflow;
+  taskflow.emplace([] {
+    const auto hard_stop = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!tf::this_task::is_cancelled() &&
+           std::chrono::steady_clock::now() < hard_stop) {
+      std::this_thread::yield();
+    }
+  });
+  auto handle = executor.run(taskflow, tf::RunPolicy{std::chrono::milliseconds(10)});
+  EXPECT_THROW(handle.get(), tf::TimeoutError);
+  // Exactly one expiry wins the first-writer race (wheel vs watchdog sweep).
+  EXPECT_EQ(obs->timeouts.load(), 1);
+  EXPECT_EQ(obs->retries.load(), 0);
+  EXPECT_EQ(obs->fallbacks.load(), 0);
+}
+
+TEST(Observer, DefaultResilienceHandlersAreNoOps) {
+  // A pre-resilience observer (CountingObserver overrides nothing new) must
+  // compile and run unchanged through retries, fallbacks, and timeouts.
+  tf::Executor executor(2);
+  auto obs = std::make_shared<CountingObserver>();
+  executor.set_observer(obs);
+  tf::Taskflow taskflow;
+  std::atomic<int> attempts{0};
+  taskflow.emplace([&] {
+    if (attempts.fetch_add(1) == 0) throw std::runtime_error("boom");
+  }).retry(1);
+  executor.run(taskflow).get();
+  EXPECT_EQ(obs->entries.load(), 2);  // both attempts started
+  EXPECT_EQ(obs->exits.load(), 1);    // only the successful one completed
+}
+
 TEST(RecordingObserver, IntervalAccessorsExposeNames) {
   auto executor = tf::make_executor(1);
   auto obs = std::make_shared<tf::RecordingObserver>();

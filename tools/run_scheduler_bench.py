@@ -155,14 +155,15 @@ def attach_deltas(doc, baseline):
 
 # Every taskflow/support gtest binary the sanitizer gates build and run,
 # including the error-model suites (test_errors/test_cancel/test_diagnostics),
-# the fault-injection harness (test_fault, ctest label "fault"), and the
-# multi-client executor suite (test_executor_api, label "executor_api").
+# the fault-injection harness (test_fault, ctest label "fault"), the
+# multi-client executor suite (test_executor_api, label "executor_api"), and
+# the resilience-policy suite (test_resilience, label "resilience").
 SANITIZER_TEST_TARGETS = [
     "test_basics", "test_wsq", "test_subflow", "test_algorithms",
     "test_executor", "test_dot", "test_dispatch", "test_observer",
     "test_framework", "test_executor_matrix", "test_batch",
     "test_errors", "test_cancel", "test_diagnostics", "test_fault",
-    "test_executor_api", "test_function",
+    "test_executor_api", "test_function", "test_resilience",
 ]
 
 
