@@ -1,0 +1,172 @@
+// bench_algorithms - partitioner-driven parallel algorithms (DESIGN.md §9):
+// for each scheduling strategy, run an index-space parallel_for over n
+// elements and report wall time plus the number of task nodes the pattern
+// emplaced.  Strategies:
+//
+//   * guided / static / dynamic - the O(workers)-node range-worker engine
+//     with the three partitioners;
+//   * per_chunk_auto / per_chunk_1024 - the pre-partitioner design this PR
+//     replaced, reproduced here verbatim: one task node per chunk, chunk
+//     frozen at construction time (auto = ceil(n / (4 W)), the old default);
+//   * threads - a hand-rolled std::thread static split, the no-scheduler
+//     floor.
+//
+// Two per-element cost profiles:
+//
+//   * uniform - every element costs one hash round; isolates pure
+//     construction + scheduling overhead (node allocs, edge wires, grabs);
+//   * skewed - the last 1% of the index space costs 64x; a construction-time
+//     static split assigns the whole expensive tail to one worker, while
+//     decaying guided chunks backfill it.  The tail is kept narrow so the
+//     total compute stays small enough for per-node overhead to be visible
+//     in the same run.
+//
+// Note (EXPERIMENTS.md): load-balancing deltas between strategies only
+// materialize with real parallel hardware; on few-core hosts the dominant
+// measured effect is the per-node construction/scheduling overhead, which is
+// exactly what the per_chunk_* strategies pay and the O(W) engine does not.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "taskflow/taskflow.hpp"
+
+namespace {
+
+constexpr std::size_t kWorkers = 4;
+
+/// One unit of per-element work: a 64-bit mix round the optimizer cannot
+/// hoist or fold across elements.
+inline std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return x;
+}
+
+/// Element cost in mix rounds: uniform = 1; skewed = 64 for the last 1%.
+template <bool Skewed>
+inline std::uint64_t process(std::size_t i, std::size_t n) {
+  std::uint64_t acc = i;
+  const std::size_t rounds = (Skewed && i >= n - n / 100) ? 64 : 1;
+  for (std::size_t r = 0; r < rounds; ++r) acc = mix(acc + r);
+  return acc;
+}
+
+/// The O(workers)-node engine with a given partitioner.
+template <bool Skewed, typename P>
+void run_partitioned(benchmark::State& state, P part) {
+  const std::size_t n = bench::scaled(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint64_t> sink(n);
+  tf::Taskflow tf(kWorkers);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    std::uint64_t* out = sink.data();
+    tf.parallel_for(std::size_t{0}, n, std::size_t{1},
+                    [out, n](std::size_t i) { out[i] = process<Skewed>(i, n); },
+                    part);
+    nodes = tf.num_nodes();
+    tf.wait_for_all();
+    benchmark::DoNotOptimize(sink.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["elements"] = static_cast<double>(n);
+}
+
+/// The strategy this PR replaced: one task node per chunk, wired between a
+/// source/target pair, chunk size frozen before dispatch.
+template <bool Skewed>
+void run_per_chunk_node(benchmark::State& state, std::size_t chunk) {
+  const std::size_t n = bench::scaled(static_cast<std::size_t>(state.range(0)));
+  if (chunk == 0) chunk = std::max<std::size_t>(1, (n + 4 * kWorkers - 1) / (4 * kWorkers));
+  std::vector<std::uint64_t> sink(n);
+  tf::Taskflow tf(kWorkers);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    std::uint64_t* out = sink.data();
+    auto source = tf.emplace([] {});
+    auto target = tf.emplace([] {});
+    for (std::size_t beg = 0; beg < n; beg += chunk) {
+      const std::size_t end = std::min(beg + chunk, n);
+      auto node = tf.emplace([out, n, beg, end] {
+        for (std::size_t i = beg; i < end; ++i) out[i] = process<Skewed>(i, n);
+      });
+      source.precede(node);
+      node.precede(target);
+    }
+    nodes = tf.num_nodes();
+    tf.wait_for_all();
+    benchmark::DoNotOptimize(sink.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["elements"] = static_cast<double>(n);
+}
+
+/// Hand-rolled std::thread static split: no task graph, no scheduler.
+template <bool Skewed>
+void run_threads(benchmark::State& state) {
+  const std::size_t n = bench::scaled(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint64_t> sink(n);
+  for (auto _ : state) {
+    std::uint64_t* out = sink.data();
+    std::vector<std::thread> pool;
+    pool.reserve(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      const std::size_t beg = w * n / kWorkers;
+      const std::size_t end = (w + 1) * n / kWorkers;
+      pool.emplace_back([out, n, beg, end] {
+        for (std::size_t i = beg; i < end; ++i) out[i] = process<Skewed>(i, n);
+      });
+    }
+    for (auto& t : pool) t.join();
+    benchmark::DoNotOptimize(sink.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["nodes"] = 0;
+  state.counters["elements"] = static_cast<double>(n);
+}
+
+// ---- uniform cost ----------------------------------------------------------
+
+void BM_uniform_guided(benchmark::State& s) { run_partitioned<false>(s, tf::GuidedPartitioner{}); }
+void BM_uniform_static(benchmark::State& s) { run_partitioned<false>(s, tf::StaticPartitioner{}); }
+void BM_uniform_dynamic1024(benchmark::State& s) { run_partitioned<false>(s, tf::DynamicPartitioner{1024}); }
+void BM_uniform_per_chunk_auto(benchmark::State& s) { run_per_chunk_node<false>(s, 0); }
+void BM_uniform_per_chunk_1024(benchmark::State& s) { run_per_chunk_node<false>(s, 1024); }
+void BM_uniform_threads(benchmark::State& s) { run_threads<false>(s); }
+
+#define UNIFORM_ARGS ->Arg(10000)->Arg(1000000)->Arg(10000000)->Unit(benchmark::kMillisecond)
+BENCHMARK(BM_uniform_guided) UNIFORM_ARGS;
+BENCHMARK(BM_uniform_static) UNIFORM_ARGS;
+BENCHMARK(BM_uniform_dynamic1024) UNIFORM_ARGS;
+BENCHMARK(BM_uniform_per_chunk_auto) UNIFORM_ARGS;
+BENCHMARK(BM_uniform_per_chunk_1024) UNIFORM_ARGS;
+BENCHMARK(BM_uniform_threads) UNIFORM_ARGS;
+
+// ---- skewed cost (64x tail) ------------------------------------------------
+
+void BM_skewed_guided(benchmark::State& s) { run_partitioned<true>(s, tf::GuidedPartitioner{}); }
+void BM_skewed_static(benchmark::State& s) { run_partitioned<true>(s, tf::StaticPartitioner{}); }
+void BM_skewed_dynamic1024(benchmark::State& s) { run_partitioned<true>(s, tf::DynamicPartitioner{1024}); }
+void BM_skewed_per_chunk_auto(benchmark::State& s) { run_per_chunk_node<true>(s, 0); }
+void BM_skewed_per_chunk_1024(benchmark::State& s) { run_per_chunk_node<true>(s, 1024); }
+void BM_skewed_threads(benchmark::State& s) { run_threads<true>(s); }
+
+#define SKEWED_ARGS ->Arg(1000000)->Arg(10000000)->Unit(benchmark::kMillisecond)
+BENCHMARK(BM_skewed_guided) SKEWED_ARGS;
+BENCHMARK(BM_skewed_static) SKEWED_ARGS;
+BENCHMARK(BM_skewed_dynamic1024) SKEWED_ARGS;
+BENCHMARK(BM_skewed_per_chunk_auto) SKEWED_ARGS;
+BENCHMARK(BM_skewed_per_chunk_1024) SKEWED_ARGS;
+BENCHMARK(BM_skewed_threads) SKEWED_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,17 +18,23 @@ int main() {
   double sum = 0.0;
   double sum_sq = 0.0;
 
-  // Stage 1: fill with parallel_for over an index range.
+  // Stage 1: fill with parallel_for over an index range.  Every algorithm
+  // emplaces O(worker-count) range-worker tasks pulling index ranges from a
+  // shared cursor through a partitioner - GuidedPartitioner (decaying
+  // chunks) when omitted; pass one explicitly to pick the schedule.
   auto [fill_s, fill_t] =
       tf.parallel_for(std::size_t{0}, data.size(), std::size_t{1},
-                      [&](std::size_t i) { data[i] = 1.0 + static_cast<double>(i % 7); });
+                      [&](std::size_t i) { data[i] = 1.0 + static_cast<double>(i % 7); },
+                      tf::GuidedPartitioner{});
 
   // Stage 2a: reduce to a sum.
   auto [sum_s, sum_t] = tf.reduce(data.begin(), data.end(), sum, std::plus<double>{});
 
-  // Stage 2b: transform into squares (runs concurrently with 2a).
+  // Stage 2b: transform into squares (runs concurrently with 2a).  Uniform
+  // per-element cost balances fine statically: one even range per worker.
   auto [tr_s, tr_t] = tf.transform(data.begin(), data.end(), squared.begin(),
-                                   [](double v) { return v * v; });
+                                   [](double v) { return v * v; },
+                                   tf::StaticPartitioner{});
 
   // Stage 3: transform_reduce on the squares.
   auto [sq_s, sq_t] = tf.reduce(squared.begin(), squared.end(), sum_sq,

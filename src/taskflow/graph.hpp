@@ -189,6 +189,9 @@ class Graph {
   [[nodiscard]] std::size_t size() const noexcept { return _nodes.size(); }
   [[nodiscard]] bool empty() const noexcept { return _nodes.empty(); }
 
+  /// The index-th node in creation order (0-based, index < size()).
+  [[nodiscard]] Node& node_at(std::size_t index) noexcept { return _nodes[index]; }
+
   void clear() { _nodes.clear(); }
 
   [[nodiscard]] auto begin() noexcept { return _nodes.begin(); }

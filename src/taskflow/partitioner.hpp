@@ -1,0 +1,202 @@
+// partitioner.hpp - pluggable range partitioners for the algorithm patterns
+// (paper §III-F; DESIGN.md §9).
+//
+// The algorithm patterns of FlowBuilder (parallel_for / transform / reduce /
+// transform_reduce) no longer emplace one task per chunk.  Each pattern
+// creates O(num_workers) *range worker* nodes that loop "grab the next
+// [beg, end) index range -> process it" against a shared, cache-line-aligned
+// atomic cursor until the iteration space drains.  A partitioner decides how
+// large each grabbed range is:
+//
+//  * StaticPartitioner  - fixed chunk size (0 = even split: ceil(N/W)).
+//    Cheapest protocol (one relaxed fetch_add per grab), best locality,
+//    no adaptation to load imbalance.
+//  * DynamicPartitioner - fixed small chunk (default 1), like OpenMP's
+//    schedule(dynamic): maximum balancing, one atomic RMW per chunk, so
+//    pick a chunk that amortizes the grab over the per-element cost.
+//  * GuidedPartitioner  - decaying chunks, like OpenMP's schedule(guided):
+//    chunk = max(remaining / (2W), min_chunk).  Large early grabs amortize
+//    the atomic traffic; small late grabs absorb skewed per-element cost.
+//    This is the default of every algorithm overload.
+//
+// The cursor protocol is cooperative and wait-free for the fetch_add
+// partitioners (a drained worker performs exactly one overshooting
+// fetch_add, so the counter stays within total + W * grain of the domain
+// size and can never wrap).  GuidedPartitioner uses a CAS loop because its
+// chunk size depends on the remaining length; a failed CAS simply recomputes
+// from the freshly observed cursor.  All cursor operations are relaxed: the
+// ranges handed out are disjoint by construction, and the data processed
+// inside them is published to the combiner/successor tasks by the
+// scheduler's join-counter edges, not by the cursor.
+//
+// A custom partitioner is any type that provides
+//     bool grab(detail::RangeCursor&, detail::IndexRange&) const noexcept;
+//     std::size_t ranges_hint(std::size_t total, std::size_t workers) const;
+// and opts into tf::detail::is_partitioner<P>.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <type_traits>
+
+namespace tf {
+
+namespace detail {
+
+/// One half-open index range [begin, end) handed to a range worker.
+struct IndexRange {
+  std::size_t begin{0};
+  std::size_t end{0};
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// The shared iteration cursor of one algorithm pattern: its own cache line,
+/// so the workers' grab traffic never false-shares with the pattern's
+/// payload (iterators, callables, partial results) that sits next to it in
+/// the control block.  `total` and `workers` are immutable after
+/// construction; `next` is reset by the pattern's source task at the start
+/// of every run (run_n re-runs the same graph).
+struct alignas(64) RangeCursor {
+  std::atomic<std::size_t> next{0};
+  std::size_t total{0};
+  std::size_t workers{1};
+
+  RangeCursor() = default;
+  RangeCursor(std::size_t t, std::size_t w) : total(t), workers(w == 0 ? 1 : w) {}
+
+  void reset() noexcept { next.store(0, std::memory_order_relaxed); }
+};
+
+}  // namespace detail
+
+/// Fixed-size chunks handed out from the shared cursor.  `chunk == 0` (the
+/// default, and what the legacy `chunk = 0` auto parameter maps to) means an
+/// even split: ceil(total / workers), i.e. each worker typically grabs
+/// exactly one range - the classic static schedule with maximal locality and
+/// minimal cursor traffic.
+class StaticPartitioner {
+ public:
+  constexpr StaticPartitioner() = default;
+  constexpr explicit StaticPartitioner(std::size_t chunk) : _chunk(chunk) {}
+
+  [[nodiscard]] constexpr std::size_t chunk() const noexcept { return _chunk; }
+
+  [[nodiscard]] std::size_t grain(std::size_t total, std::size_t workers) const noexcept {
+    if (_chunk != 0) return _chunk;
+    return std::max<std::size_t>(1, (total + workers - 1) / workers);
+  }
+
+  bool grab(detail::RangeCursor& c, detail::IndexRange& out) const noexcept {
+    const std::size_t g = grain(c.total, c.workers);
+    const std::size_t beg = c.next.fetch_add(g, std::memory_order_relaxed);
+    if (beg >= c.total) return false;
+    out = {beg, std::min(beg + g, c.total)};
+    return true;
+  }
+
+  /// Upper bound of ranges this partitioner will hand out - lets the
+  /// patterns spawn no more workers than there are ranges to grab.
+  [[nodiscard]] std::size_t ranges_hint(std::size_t total, std::size_t workers) const {
+    const std::size_t g = grain(total, workers);
+    return (total + g - 1) / g;
+  }
+
+ private:
+  std::size_t _chunk{0};
+};
+
+/// Fixed small chunks (default 1) grabbed on demand - OpenMP's
+/// schedule(dynamic).  One atomic RMW per chunk: choose `chunk` so the
+/// per-element work amortizes it (e.g. a few hundred for ~ns elements).
+class DynamicPartitioner {
+ public:
+  constexpr DynamicPartitioner() = default;
+  constexpr explicit DynamicPartitioner(std::size_t chunk)
+      : _chunk(chunk == 0 ? 1 : chunk) {}
+
+  [[nodiscard]] constexpr std::size_t chunk() const noexcept { return _chunk; }
+
+  bool grab(detail::RangeCursor& c, detail::IndexRange& out) const noexcept {
+    const std::size_t beg = c.next.fetch_add(_chunk, std::memory_order_relaxed);
+    if (beg >= c.total) return false;
+    out = {beg, std::min(beg + _chunk, c.total)};
+    return true;
+  }
+
+  [[nodiscard]] std::size_t ranges_hint(std::size_t total, std::size_t /*workers*/) const {
+    return (total + _chunk - 1) / _chunk;
+  }
+
+ private:
+  std::size_t _chunk{1};
+};
+
+/// Exponentially decaying chunks - OpenMP's schedule(guided) and the default
+/// of every algorithm overload:
+///
+///     chunk = max(remaining / (2 * workers), min_chunk)
+///
+/// The first grabs hand out total/(2W)-sized ranges (few atomics, good
+/// locality while every worker is busy anyway); as the space drains the
+/// ranges shrink geometrically, so stragglers working on expensive elements
+/// near the end are backfilled at min_chunk granularity.  A CAS loop is
+/// required because the chunk depends on the remaining length; contention is
+/// bounded by W and each failure just recomputes from the fresh cursor.
+class GuidedPartitioner {
+ public:
+  constexpr GuidedPartitioner() = default;
+  constexpr explicit GuidedPartitioner(std::size_t min_chunk)
+      : _min_chunk(min_chunk == 0 ? 1 : min_chunk) {}
+
+  [[nodiscard]] constexpr std::size_t min_chunk() const noexcept { return _min_chunk; }
+
+  bool grab(detail::RangeCursor& c, detail::IndexRange& out) const noexcept {
+    std::size_t beg = c.next.load(std::memory_order_relaxed);
+    while (beg < c.total) {
+      const std::size_t remaining = c.total - beg;
+      std::size_t len = remaining / (2 * c.workers);
+      if (len < _min_chunk) len = _min_chunk;
+      if (len > remaining) len = remaining;
+      if (c.next.compare_exchange_weak(beg, beg + len, std::memory_order_relaxed)) {
+        out = {beg, beg + len};
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t ranges_hint(std::size_t total, std::size_t workers) const {
+    // Decaying chunks always produce at least one range per worker early on;
+    // never a reason to spawn fewer than W workers (the patterns still cap
+    // by the domain size).
+    return total < workers ? total : workers;
+  }
+
+ private:
+  std::size_t _min_chunk{1};
+};
+
+/// The partitioner used when an algorithm overload is called without one.
+using DefaultPartitioner = GuidedPartitioner;
+
+namespace detail {
+
+/// Opt-in trait gating the partitioner overloads of the algorithm patterns
+/// (so `parallel_for(beg, end, f, 256)` still resolves the legacy chunk
+/// overload).  Specialize to true_type to plug in a custom partitioner.
+template <typename P>
+struct is_partitioner : std::false_type {};
+template <>
+struct is_partitioner<StaticPartitioner> : std::true_type {};
+template <>
+struct is_partitioner<DynamicPartitioner> : std::true_type {};
+template <>
+struct is_partitioner<GuidedPartitioner> : std::true_type {};
+
+template <typename P>
+inline constexpr bool is_partitioner_v = is_partitioner<std::decay_t<P>>::value;
+
+}  // namespace detail
+
+}  // namespace tf

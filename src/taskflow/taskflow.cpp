@@ -541,7 +541,7 @@ Taskflow::Taskflow(std::shared_ptr<ExecutorInterface> executor)
   // would have to be stashed anyway), so wrap it eagerly; no threads are
   // created here beyond the backend's own.
   _legacy = std::make_shared<Executor>(std::move(executor));
-  _default_par = _legacy->num_workers();
+  default_parallelism(_legacy->num_workers());
 }
 
 Taskflow::~Taskflow() { wait_for_topologies(); }

@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
 #include <list>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -199,6 +204,305 @@ TEST(Transform, TypeConversion) {
   EXPECT_EQ(out[0], "1");
   EXPECT_EQ(out[1], "2");
   EXPECT_EQ(out[2], "3");
+}
+
+// ---- partitioner-driven overloads (DESIGN.md §9) ---------------------------
+
+template <typename P>
+void run_all_patterns_with(P part) {
+  tf::Taskflow tf(4);
+  std::vector<int> data(10007, 1);
+  std::vector<int> out(data.size(), 0);
+  std::atomic<long> stepped_sum{0};
+  long reduced = 0;
+  long transform_reduced = 0;
+
+  tf.parallel_for(data.begin(), data.end(), [](int& v) { v += 1; }, part);
+  tf.wait_for_all();
+  for (int v : data) ASSERT_EQ(v, 2);
+
+  tf.parallel_for(0, 1000, 3, [&](int i) { stepped_sum += i; }, part);
+  tf.wait_for_all();
+  long expected_stepped = 0;
+  for (int i = 0; i < 1000; i += 3) expected_stepped += i;
+  ASSERT_EQ(stepped_sum.load(), expected_stepped);
+
+  tf.transform(data.begin(), data.end(), out.begin(),
+               [](int v) { return v * 5; }, part);
+  tf.wait_for_all();
+  for (int v : out) ASSERT_EQ(v, 10);
+
+  tf.reduce(data.begin(), data.end(), reduced, std::plus<long>{}, part);
+  tf.wait_for_all();
+  ASSERT_EQ(reduced, 2L * static_cast<long>(data.size()));
+
+  tf.transform_reduce(data.begin(), data.end(), transform_reduced,
+                      std::plus<long>{}, [](int v) { return v * 10L; }, part);
+  tf.wait_for_all();
+  ASSERT_EQ(transform_reduced, 20L * static_cast<long>(data.size()));
+}
+
+TEST(Partitioned, StaticCoversEveryPattern) {
+  run_all_patterns_with(tf::StaticPartitioner{});
+  run_all_patterns_with(tf::StaticPartitioner{64});
+}
+
+TEST(Partitioned, DynamicCoversEveryPattern) {
+  run_all_patterns_with(tf::DynamicPartitioner{});
+  run_all_patterns_with(tf::DynamicPartitioner{128});
+}
+
+TEST(Partitioned, GuidedCoversEveryPattern) {
+  run_all_patterns_with(tf::GuidedPartitioner{});
+  run_all_patterns_with(tf::GuidedPartitioner{16});
+}
+
+TEST(Partitioned, NonRandomAccessIteratorsWithEveryPartitioner) {
+  std::list<int> data(2000, 1);
+  auto check = [&](auto part) {
+    tf::Taskflow tf(4);
+    std::atomic<long> sum{0};
+    tf.parallel_for(data.begin(), data.end(), [&](int v) { sum += v; }, part);
+    tf.wait_for_all();
+    ASSERT_EQ(sum.load(), 2000);
+  };
+  check(tf::StaticPartitioner{});
+  check(tf::DynamicPartitioner{100});
+  check(tf::GuidedPartitioner{});
+}
+
+// The tentpole acceptance criterion: node count scales with the executor's
+// worker count, never with the element count.
+TEST(Partitioned, NodeCountIsIndependentOfElementCount) {
+  for (std::size_t n : {std::size_t{100}, std::size_t{100000}, std::size_t{1000000}}) {
+    tf::Taskflow tf(4);
+    std::vector<char> data(n, 0);
+    const auto before = tf.num_nodes();
+    tf.parallel_for(data.begin(), data.end(), [](char& c) { c = 1; });
+    // source + target + min(workers, ranges_hint) range workers.
+    EXPECT_EQ(tf.num_nodes() - before, 2u + 4u) << "n=" << n;
+    tf.wait_for_all();
+  }
+}
+
+TEST(Partitioned, NodeCountCappedByDomainAndHint) {
+  tf::Taskflow tf(8);
+  std::vector<int> tiny(3, 0);
+  const auto before = tf.num_nodes();
+  tf.parallel_for(tiny.begin(), tiny.end(), [](int& v) { ++v; });
+  EXPECT_EQ(tf.num_nodes() - before, 2u + 3u);  // 3 elements -> 3 workers
+
+  // A static chunk of 1000 over 2000 elements yields 2 ranges -> 2 workers.
+  const auto before2 = tf.num_nodes();
+  std::vector<int> data(2000, 0);
+  tf.parallel_for(data.begin(), data.end(), [](int& v) { ++v; },
+                  tf::StaticPartitioner{1000});
+  EXPECT_EQ(tf.num_nodes() - before2, 2u + 2u);
+  tf.wait_for_all();
+}
+
+TEST(Partitioned, ReduceAndSteppedNodeCounts) {
+  tf::Taskflow tf(4);
+  std::vector<long> data(500000, 1);
+  long result = 0;
+  const auto before = tf.num_nodes();
+  tf.reduce(data.begin(), data.end(), result, std::plus<long>{});
+  EXPECT_EQ(tf.num_nodes() - before, 2u + 4u);
+
+  const auto before2 = tf.num_nodes();
+  std::atomic<long> count{0};
+  tf.parallel_for(0, 1000000, 1, [&](int) { count++; });
+  EXPECT_EQ(tf.num_nodes() - before2, 2u + 4u);
+  tf.wait_for_all();
+  EXPECT_EQ(result, 500000);
+  EXPECT_EQ(count.load(), 1000000);
+}
+
+TEST(Partitioned, DefaultParallelismIsAdjustable) {
+  tf::Taskflow tf(4);
+  EXPECT_EQ(tf.default_parallelism(), 4u);
+  tf.default_parallelism(2);
+  std::vector<int> data(10000, 0);
+  const auto before = tf.num_nodes();
+  tf.parallel_for(data.begin(), data.end(), [](int& v) { ++v; });
+  EXPECT_EQ(tf.num_nodes() - before, 2u + 2u);
+  tf.wait_for_all();
+  for (int v : data) ASSERT_EQ(v, 1);
+}
+
+// run_n re-runs the same graph: the source task must rewind the cursor (and
+// clear the reduce partials) so every run covers the full domain again.
+TEST(Partitioned, FrameworkRunNReplaysTheFullDomain) {
+  tf::Taskflow tf(4);
+  tf::Framework fw;
+  fw.default_parallelism(4);
+  std::vector<int> data(5000, 0);
+  fw.parallel_for(data.begin(), data.end(), [](int& v) { ++v; },
+                  tf::GuidedPartitioner{});
+  tf.run_n(fw, 3);
+  tf.wait_for_all();
+  for (int v : data) ASSERT_EQ(v, 3);
+}
+
+TEST(Partitioned, FrameworkRunNReduceDoesNotDoubleCountPartials) {
+  tf::Taskflow tf(4);
+  tf::Framework fw;
+  fw.default_parallelism(4);
+  std::vector<long> data(1000, 1);
+  long result = 0;
+  fw.reduce(data.begin(), data.end(), result, std::plus<long>{});
+  tf.run_n(fw, 3);
+  tf.wait_for_all();
+  // Each run folds the full (freshly recomputed) partials into result once.
+  EXPECT_EQ(result, 3000);
+}
+
+// ---- stepped-range hardening ----------------------------------------------
+
+TEST(IndexFor, ZeroStepThrowsBeforeWiringAnyNode) {
+  tf::Taskflow tf(2);
+  const auto before = tf.num_nodes();
+  EXPECT_THROW(tf.parallel_for(0, 10, 0, [](int) {}), std::invalid_argument);
+  EXPECT_THROW(tf.parallel_for(0, 10, 0, [](int) {}, tf::StaticPartitioner{4}),
+               std::invalid_argument);
+  EXPECT_THROW(tf.parallel_for(0, 10, 0, [](int) {}, std::size_t{4}),
+               std::invalid_argument);
+  EXPECT_EQ(tf.num_nodes(), before);  // no broken graph was wired
+  tf.wait_for_all();
+}
+
+TEST(IndexFor, DirectionMismatchIsAnEmptyRange) {
+  tf::Taskflow tf(2);
+  std::atomic<int> calls{0};
+  tf.parallel_for(10, 0, 1, [&](int) { calls++; });    // beg > end, step > 0
+  tf.parallel_for(0, 10, -1, [&](int) { calls++; });   // beg < end, step < 0
+  tf.parallel_for(5, 5, 1, [&](int) { calls++; });     // empty either way
+  tf.wait_for_all();
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(IndexFor, FullIntRangeDoesNotOverflowTheTripCount) {
+  // span = 2^32 - 1 does not fit in int; the unsigned trip-count math must
+  // still produce the exact ceil(span / step) count.
+  tf::Taskflow tf(4);
+  constexpr int kStep = 1 << 24;
+  std::atomic<long> count{0};
+  std::atomic<long> first{std::numeric_limits<long>::max()};
+  tf.parallel_for(std::numeric_limits<int>::min(), std::numeric_limits<int>::max(),
+                  kStep, [&](int i) {
+                    count++;
+                    long v = i;
+                    long cur = first.load();
+                    while (v < cur && !first.compare_exchange_weak(cur, v)) {
+                    }
+                  });
+  tf.wait_for_all();
+  EXPECT_EQ(count.load(), 256);  // ceil((2^32 - 1) / 2^24)
+  EXPECT_EQ(first.load(), std::numeric_limits<int>::min());
+}
+
+TEST(IndexFor, UnsignedIndexTypeWraparoundSafe) {
+  tf::Taskflow tf(2);
+  std::atomic<int> calls{0};
+  // An empty unsigned range whose naive (end - beg) is huge.
+  tf.parallel_for(std::size_t{10}, std::size_t{0}, std::size_t{1},
+                  [&](std::size_t) { calls++; });
+  tf.wait_for_all();
+  EXPECT_EQ(calls.load(), 0);
+}
+
+// ---- error-model interplay (PR 2 semantics × range workers) ---------------
+
+struct AlgoError : std::runtime_error {
+  AlgoError() : std::runtime_error("algo error") {}
+};
+
+TEST(AlgoErrors, ThrowMidTransformReduceDrainsAndSkipsCombiner) {
+  tf::Taskflow tf(4);
+  std::vector<int> data(10000, 1);
+  long result = -7;  // must stay untouched: the combiner target is skipped
+  tf.transform_reduce(data.begin(), data.end(), result, std::plus<long>{},
+                      [&](const int& v) -> long {
+                        if (&v == &data[2500]) throw AlgoError{};
+                        return v;
+                      },
+                      tf::DynamicPartitioner{100});
+  EXPECT_THROW(tf.wait_for_all(), AlgoError);
+  EXPECT_EQ(result, -7);
+  EXPECT_EQ(tf.num_topologies(), 0u);  // drained, not wedged
+}
+
+TEST(AlgoErrors, CancellationStopsWorkersBetweenRanges) {
+  tf::Taskflow tf(2);
+  std::vector<int> data(100000, 0);
+  std::atomic<std::size_t> processed{0};
+  tf.parallel_for(data.begin(), data.end(),
+                  [&](int&) {
+                    processed++;
+                    // Hold the current range open until the run is cancelled;
+                    // every later element of the range then passes instantly,
+                    // and the worker stops at the next grab.
+                    while (!tf::this_task::is_cancelled()) {
+                      std::this_thread::yield();
+                    }
+                  },
+                  tf::DynamicPartitioner{64});
+  auto handle = tf.dispatch();
+  while (processed.load() == 0) std::this_thread::yield();
+  handle.cancel();
+  handle.get();  // cancellation is not an error
+  EXPECT_TRUE(handle.is_cancelled());
+  EXPECT_GE(processed.load(), 1u);
+  EXPECT_LT(processed.load(), data.size());  // the cursor was NOT drained
+  tf.wait_for_all();
+}
+
+// Retry on a range worker re-enters its grab loop: the cursor is not
+// rewound, so exactly the range that failed mid-flight is abandoned and
+// everything else is still processed.
+TEST(AlgoErrors, RetryOnRangeWorkersResumesGrabbing) {
+  tf::Taskflow tf(2);
+  std::vector<int> data(1000, 0);
+  std::atomic<int> processed{0};
+  std::atomic<bool> thrown{false};
+  const auto before = tf.num_nodes();
+  tf.parallel_for(data.begin(), data.end(),
+                  [&](int&) {
+                    if (!thrown.exchange(true)) throw AlgoError{};
+                    processed++;
+                  },
+                  tf::DynamicPartitioner{100});
+  const auto after = tf.num_nodes();
+  ASSERT_EQ(after - before, 2u + 2u);
+  // The range workers sit right after the (source, target) pair - reach
+  // them through the task_at escape hatch to attach the policy.
+  for (auto i = before + 2; i < after; ++i) tf.task_at(i).retry(2);
+  tf.wait_for_all();  // the retried worker makes the run succeed
+  EXPECT_TRUE(thrown.load());
+  // One 100-element range was abandoned (1 threw + 99 never processed).
+  EXPECT_EQ(processed.load(), 900);
+}
+
+TEST(AlgoErrors, FallbackOnRangeWorkersDegradesOneRange) {
+  tf::Taskflow tf(2);
+  std::vector<int> data(1000, 0);
+  std::atomic<int> processed{0};
+  std::atomic<int> fallbacks{0};
+  const auto before = tf.num_nodes();
+  tf.parallel_for(data.begin(), data.end(),
+                  [&](int& v) {
+                    if (&v - data.data() < 100) throw AlgoError{};
+                    processed++;
+                  },
+                  tf::DynamicPartitioner{100});
+  const auto after = tf.num_nodes();
+  for (auto i = before + 2; i < after; ++i) {
+    tf.task_at(i).fallback([&] { fallbacks++; });
+  }
+  tf.wait_for_all();  // fallback degrades the failing worker; no rethrow
+  EXPECT_EQ(fallbacks.load(), 1);  // exactly one worker hit the bad range
+  // The sibling worker drained every range except the abandoned [0, 100).
+  EXPECT_EQ(processed.load(), 900);
 }
 
 TEST(Algorithms, ComposeTwoPatternsSequentially) {

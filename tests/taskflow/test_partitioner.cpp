@@ -1,0 +1,199 @@
+// Partitioner protocol unit tests (DESIGN.md §9): the Static/Dynamic/Guided
+// partitioners must hand out disjoint [beg, end) ranges that exactly tile the
+// iteration space, from any number of threads, and the cursor must support
+// the reset-per-run protocol the algorithm source tasks rely on.
+#include "taskflow/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using tf::detail::IndexRange;
+using tf::detail::RangeCursor;
+
+/// Single-threaded drain: collect every range `part` hands out.
+template <typename P>
+std::vector<IndexRange> drain(const P& part, std::size_t total, std::size_t workers) {
+  RangeCursor cursor(total, workers);
+  std::vector<IndexRange> ranges;
+  IndexRange r;
+  while (part.grab(cursor, r)) ranges.push_back(r);
+  return ranges;
+}
+
+/// The ranges must tile [0, total) exactly: disjoint, gap-free, in-bounds.
+void expect_tiles(const std::vector<IndexRange>& ranges, std::size_t total) {
+  auto sorted = ranges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const IndexRange& a, const IndexRange& b) { return a.begin < b.begin; });
+  std::size_t expected_begin = 0;
+  for (const IndexRange& r : sorted) {
+    ASSERT_EQ(r.begin, expected_begin);
+    ASSERT_GT(r.end, r.begin);  // empty ranges are never handed out
+    expected_begin = r.end;
+  }
+  ASSERT_EQ(expected_begin, total);
+}
+
+TEST(StaticPartitioner, EvenSplitWhenChunkIsZero) {
+  tf::StaticPartitioner part;  // chunk 0 = even split
+  const auto ranges = drain(part, 100, 4);
+  expect_tiles(ranges, 100);
+  ASSERT_EQ(ranges.size(), 4u);  // ceil(100/4) = 25 per range
+  for (const auto& r : ranges) EXPECT_EQ(r.size(), 25u);
+}
+
+TEST(StaticPartitioner, ExplicitChunkTilesWithRemainder) {
+  tf::StaticPartitioner part(30);
+  const auto ranges = drain(part, 100, 4);
+  expect_tiles(ranges, 100);
+  ASSERT_EQ(ranges.size(), 4u);  // 30 + 30 + 30 + 10
+  EXPECT_EQ(ranges.back().size(), 10u);
+}
+
+TEST(StaticPartitioner, GrainNeverZero) {
+  tf::StaticPartitioner part;
+  EXPECT_EQ(part.grain(3, 8), 1u);  // more workers than elements
+  EXPECT_EQ(part.grain(0, 4), 1u);
+  EXPECT_EQ(tf::StaticPartitioner{7}.grain(100, 4), 7u);
+}
+
+TEST(StaticPartitioner, RangesHintMatchesDrain) {
+  for (std::size_t total : {1u, 7u, 100u, 1001u}) {
+    for (std::size_t chunk : {0u, 1u, 3u, 64u}) {
+      tf::StaticPartitioner part(chunk);
+      EXPECT_EQ(part.ranges_hint(total, 4), drain(part, total, 4).size())
+          << "total=" << total << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(DynamicPartitioner, DefaultChunkIsOneElementPerGrab) {
+  tf::DynamicPartitioner part;
+  const auto ranges = drain(part, 17, 4);
+  expect_tiles(ranges, 17);
+  ASSERT_EQ(ranges.size(), 17u);
+}
+
+TEST(DynamicPartitioner, ZeroChunkIsCoercedToOne) {
+  tf::DynamicPartitioner part(0);
+  EXPECT_EQ(part.chunk(), 1u);
+  expect_tiles(drain(part, 5, 2), 5);
+}
+
+TEST(DynamicPartitioner, ChunkedTiling) {
+  tf::DynamicPartitioner part(64);
+  const auto ranges = drain(part, 1000, 4);
+  expect_tiles(ranges, 1000);
+  EXPECT_EQ(ranges.size(), part.ranges_hint(1000, 4));
+}
+
+TEST(GuidedPartitioner, ChunksDecayToMinChunk) {
+  tf::GuidedPartitioner part(4);
+  const auto ranges = drain(part, 10000, 4);
+  expect_tiles(ranges, 10000);
+  // First grab: remaining / (2W) = 10000 / 8 = 1250.
+  EXPECT_EQ(ranges.front().size(), 1250u);
+  // Sequentially drained, sizes never grow, and the floor is min_chunk
+  // (except possibly the final remainder).
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i].size(), ranges[i - 1].size());
+  }
+  for (std::size_t i = 0; i + 1 < ranges.size(); ++i) {
+    EXPECT_GE(ranges[i].size(), 4u);
+  }
+}
+
+TEST(GuidedPartitioner, HandsOutFarFewerRangesThanDynamic) {
+  tf::GuidedPartitioner part(1);
+  const auto ranges = drain(part, 1 << 20, 4);
+  expect_tiles(ranges, 1 << 20);
+  // Geometric decay: O(W log N) grabs instead of N.
+  EXPECT_LT(ranges.size(), 300u);
+}
+
+TEST(GuidedPartitioner, TinyDomains) {
+  tf::GuidedPartitioner part;
+  expect_tiles(drain(part, 1, 8), 1);
+  expect_tiles(drain(part, 3, 8), 3);
+  EXPECT_EQ(part.ranges_hint(3, 8), 3u);   // capped by the domain
+  EXPECT_EQ(part.ranges_hint(100, 8), 8u);  // one worker slot each
+}
+
+TEST(RangeCursorTest, ResetReplaysTheDomain) {
+  // The algorithm source tasks reset the cursor at the start of every run
+  // (run_n re-runs the same graph); a drained cursor must replay in full.
+  tf::GuidedPartitioner part;
+  RangeCursor cursor(1000, 4);
+  IndexRange r;
+  std::size_t covered = 0;
+  while (part.grab(cursor, r)) covered += r.size();
+  EXPECT_EQ(covered, 1000u);
+  EXPECT_FALSE(part.grab(cursor, r));  // drained stays drained...
+  cursor.reset();                      // ...until the next run resets it
+  covered = 0;
+  while (part.grab(cursor, r)) covered += r.size();
+  EXPECT_EQ(covered, 1000u);
+}
+
+TEST(RangeCursorTest, ZeroWorkersCoercedToOne) {
+  RangeCursor cursor(10, 0);
+  EXPECT_EQ(cursor.workers, 1u);
+}
+
+/// Concurrent grab stress: T threads drain one cursor; every index must be
+/// claimed exactly once.  This is the new concurrency surface the sanitizer
+/// gates exercise.
+template <typename P>
+void concurrent_tiling(const P& part, std::size_t total, std::size_t threads) {
+  RangeCursor cursor(total, threads);
+  std::vector<std::atomic<int>> claims(total);
+  for (auto& c : claims) c.store(0, std::memory_order_relaxed);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      IndexRange r;
+      while (part.grab(cursor, r)) {
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          claims[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(claims[i].load(), 1) << "index " << i << " claimed != once";
+  }
+}
+
+TEST(PartitionerConcurrency, StaticTilesExactlyOnce) {
+  concurrent_tiling(tf::StaticPartitioner{}, 100000, 4);
+  concurrent_tiling(tf::StaticPartitioner{17}, 100000, 4);
+}
+
+TEST(PartitionerConcurrency, DynamicTilesExactlyOnce) {
+  concurrent_tiling(tf::DynamicPartitioner{7}, 100000, 4);
+}
+
+TEST(PartitionerConcurrency, GuidedTilesExactlyOnce) {
+  concurrent_tiling(tf::GuidedPartitioner{}, 100000, 4);
+  concurrent_tiling(tf::GuidedPartitioner{32}, 100000, 8);
+}
+
+TEST(PartitionerTrait, GatesTheAlgorithmOverloads) {
+  static_assert(tf::detail::is_partitioner_v<tf::StaticPartitioner>);
+  static_assert(tf::detail::is_partitioner_v<tf::DynamicPartitioner>);
+  static_assert(tf::detail::is_partitioner_v<tf::GuidedPartitioner>);
+  static_assert(tf::detail::is_partitioner_v<const tf::GuidedPartitioner&>);
+  // Plain integers must NOT qualify - that is what keeps the legacy
+  // `parallel_for(beg, end, f, chunk)` overloads resolvable.
+  static_assert(!tf::detail::is_partitioner_v<int>);
+  static_assert(!tf::detail::is_partitioner_v<std::size_t>);
+  SUCCEED();
+}
+
+}  // namespace

@@ -6,7 +6,9 @@ executor ablation, scheduler hot path, Fig. 7 kernels, Fig. 10 timer sweep),
 collects everything into one JSON document, and - when given a baseline
 produced by an earlier run - attaches per-benchmark percentage deltas.
 The committed BENCH_scheduler.json at the repository root is the output of
-this script with the seed revision as baseline.
+this script with the seed revision as baseline; BENCH_algorithms.json is the
+algorithm-pattern record (partitioners vs the legacy per-chunk-node
+strategy) written by the same record run and gated by the same --compare.
 
 Typical use:
 
@@ -41,6 +43,13 @@ GOOGLE_BENCHES = [
     "bench_micro_construction",
     "bench_ablation_executor",
     "bench_scheduler_hotpath",
+]
+
+# The algorithm-pattern benches (partitioners vs the legacy per-chunk-node
+# strategy vs a std::thread baseline) record into their own document,
+# BENCH_algorithms.json, gated by --compare alongside the scheduler record.
+ALGO_BENCHES = [
+    "bench_algorithms",
 ]
 
 # Figure harnesses emit machine-readable `CSV,<table>,...` lines next to the
@@ -160,8 +169,8 @@ def attach_deltas(doc, baseline):
 # the resilience-policy suite (test_resilience, label "resilience").
 SANITIZER_TEST_TARGETS = [
     "test_basics", "test_wsq", "test_subflow", "test_algorithms",
-    "test_executor", "test_dot", "test_dispatch", "test_observer",
-    "test_framework", "test_executor_matrix", "test_batch",
+    "test_partitioner", "test_executor", "test_dot", "test_dispatch",
+    "test_observer", "test_framework", "test_executor_matrix", "test_batch",
     "test_errors", "test_cancel", "test_diagnostics", "test_fault",
     "test_executor_api", "test_function", "test_resilience",
 ]
@@ -186,29 +195,27 @@ def run_asan(asan_dir):
     run_sanitized(asan_dir, "-DREPRO_ASAN=ON", "ASan/UBSan")
 
 
-def run_compare(args):
-    """Regression gate: re-run the hot-path benches and fail when any one
-    regresses beyond the noise threshold against the committed record."""
+def compare_record(record_path, benches, build_dir, threshold):
+    """Re-run `benches` and compare against one committed record; returns
+    (compared, regressions) where regressions is a list of (name, delta)."""
     try:
-        with open(args.compare) as f:
+        with open(record_path) as f:
             record = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read record {args.compare}: {e}")
+        sys.exit(f"error: cannot read record {record_path}: {e}")
     recorded = record.get("google_benchmarks", {})
     if not recorded:
-        sys.exit(f"error: {args.compare} has no google_benchmarks section")
+        sys.exit(f"error: {record_path} has no google_benchmarks section")
 
-    if not args.skip_build:
-        build(args.build_dir, GOOGLE_BENCHES)
     current = {}
-    for name in GOOGLE_BENCHES:
-        current.update(run_google_bench(args.build_dir, name))
+    for name in benches:
+        current.update(run_google_bench(build_dir, name))
 
     regressions, compared = [], 0
     width = max((len(n) for n in current), default=0)
-    print(f"\ncomparing against {args.compare} "
+    print(f"\ncomparing against {record_path} "
           f"(label: {record.get('label', '?')}, "
-          f"threshold: +{args.threshold:.0f}%)")
+          f"threshold: +{threshold:.0f}%)")
     for name in sorted(current):
         if name not in recorded:
             print(f"  {name:<{width}}  (new benchmark, no record)")
@@ -216,20 +223,43 @@ def run_compare(args):
         compared += 1
         delta = pct(recorded[name]["real_time_ms"], current[name]["real_time_ms"])
         verdict = "ok"
-        if delta is not None and delta > args.threshold:
+        if delta is not None and delta > threshold:
             verdict = "REGRESSION"
             regressions.append((name, delta))
         print(f"  {name:<{width}}  {recorded[name]['real_time_ms']:10.4f} ms"
               f" -> {current[name]['real_time_ms']:10.4f} ms"
               f"  {delta:+6.1f}%  {verdict}")
     if compared == 0:
-        sys.exit("error: no benchmark overlaps with the record")
+        sys.exit(f"error: no benchmark overlaps with {record_path}")
+    return compared, regressions
+
+
+def run_compare(args):
+    """Regression gate: re-run the hot-path benches (and, when its record
+    exists, the algorithm benches) and fail when any one regresses beyond the
+    noise threshold against the committed records."""
+    gate_algorithms = os.path.exists(args.algo_record)
+    benches = GOOGLE_BENCHES + (ALGO_BENCHES if gate_algorithms else [])
+    if not args.skip_build:
+        build(args.build_dir, benches)
+
+    compared, regressions = compare_record(
+        args.compare, GOOGLE_BENCHES, args.build_dir, args.threshold)
+    if gate_algorithms:
+        c, r = compare_record(
+            args.algo_record, ALGO_BENCHES, args.build_dir, args.threshold)
+        compared += c
+        regressions += r
+    else:
+        print(f"note: {args.algo_record} not found, "
+              "algorithm benches not gated")
+
     if regressions:
         worst = max(regressions, key=lambda r: r[1])
-        sys.exit(f"FAIL: {len(regressions)} hot-path bench(es) beyond "
+        sys.exit(f"FAIL: {len(regressions)} bench(es) beyond "
                  f"+{args.threshold:.0f}% (worst: {worst[0]} {worst[1]:+.1f}%)")
-    print(f"PASS: {compared} hot-path benches within +{args.threshold:.0f}% "
-          "of the record")
+    print(f"\nPASS: {compared} benches within +{args.threshold:.0f}% "
+          "of the records")
 
 
 def main():
@@ -253,7 +283,17 @@ def main():
     ap.add_argument("--compare", metavar="BENCH_scheduler.json",
                     help="instead of recording, re-run the hot-path benches "
                          "and exit non-zero when any regresses beyond "
-                         "--threshold vs this record")
+                         "--threshold vs this record (the algorithm benches "
+                         "are gated against --algo-record the same way)")
+    ap.add_argument("--algo-output",
+                    default=os.path.join(REPO_ROOT, "BENCH_algorithms.json"),
+                    help="output of the algorithm-pattern benches "
+                         "(default: BENCH_algorithms.json)")
+    ap.add_argument("--algo-record",
+                    default=os.path.join(REPO_ROOT, "BENCH_algorithms.json"),
+                    help="committed algorithm-bench record gated by --compare")
+    ap.add_argument("--skip-algorithms", action="store_true",
+                    help="record mode: skip the algorithm benches")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="noise threshold for --compare, in percent "
                          "(default: 10)")
@@ -279,8 +319,9 @@ def main():
             sys.exit(f"error: cannot read baseline {args.baseline}: {e}")
 
     figure_benches = [] if args.skip_figures else FIGURE_BENCHES
+    algo_benches = [] if args.skip_algorithms else ALGO_BENCHES
     if not args.skip_build:
-        build(args.build_dir, GOOGLE_BENCHES + figure_benches)
+        build(args.build_dir, GOOGLE_BENCHES + figure_benches + algo_benches)
 
     doc = {
         "label": args.label,
@@ -308,6 +349,22 @@ def main():
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
     print("wrote", args.output)
+
+    if algo_benches:
+        algo_doc = {
+            "label": args.label,
+            "generated_by": "tools/run_scheduler_bench.py",
+            "host": doc["host"],
+            "env": doc["env"],
+            "google_benchmarks": {},
+        }
+        for name in algo_benches:
+            algo_doc["google_benchmarks"].update(
+                run_google_bench(args.build_dir, name))
+        with open(args.algo_output, "w") as f:
+            json.dump(algo_doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("wrote", args.algo_output)
 
 
 if __name__ == "__main__":
