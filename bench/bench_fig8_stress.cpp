@@ -1,0 +1,104 @@
+// bench_fig8_stress - scaled-up stress variant of the paper's Fig. 8
+// scenario (google-benchmark): instead of the toy 5-gate circuit whose
+// update graph the figure renders, this builds synthetic designs of 4K-64K
+// gates and times the *task-graph machinery* of TimerV2 updates.  With
+// corners=1 the per-task arithmetic is minimal, so each update is dominated
+// by constructing, dispatching and retiring the pin-level task dependency
+// graph - the construction path the arena/CSR layout is meant to speed up.
+//
+// Recorded into BENCH_construction.json by tools/run_scheduler_bench.py and
+// gated by its --compare mode alongside bench_micro_construction.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <map>
+#include <memory>
+
+#include "timer/timers.hpp"
+
+namespace {
+
+// The generated netlists are cached per gate count: benchmark re-enters the
+// same function many times (timing runs, repetitions) and circuit synthesis
+// is far more expensive than the updates under measurement.
+ot::Netlist& stress_circuit(std::size_t num_gates) {
+  static const ot::CellLibrary lib = ot::CellLibrary::make_synthetic();
+  static std::map<std::size_t, std::unique_ptr<ot::Netlist>> cache;
+  auto& slot = cache[num_gates];
+  if (slot == nullptr) {
+    ot::CircuitSpec spec;
+    spec.num_gates = num_gates;
+    spec.num_inputs = 64;
+    spec.num_outputs = 64;
+    slot = std::make_unique<ot::Netlist>(ot::make_circuit(lib, spec));
+  }
+  return *slot;
+}
+
+ot::TimerOptions stress_options() {
+  ot::TimerOptions opt;
+  opt.num_threads = 4;
+  opt.clock_period = 2.0;
+  opt.corners = 1;  // minimal per-task math: graph construction dominates
+  return opt;
+}
+
+// Repeated full updates: every iteration builds one task per pin direction
+// over the whole design (2 * num_pins tasks) plus the dependency edges of
+// the timing graph, runs it, and tears it down.
+void BM_Fig8StressFullUpdate(benchmark::State& state) {
+  ot::Netlist& nl = stress_circuit(static_cast<std::size_t>(state.range(0)));
+  ot::TimerV2 timer(nl, stress_options());
+  for (auto _ : state) {
+    timer.full_update();
+    benchmark::DoNotOptimize(timer.worst_slack());
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(timer.last_update_tasks()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig8StressFullUpdate)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+// Repeated incremental updates: alternate one gate between two drive
+// strengths, re-timing its cone each iteration - the steady-state design
+// transform loop of Fig. 9, here measured for its per-iteration task-graph
+// construction cost.
+void BM_Fig8StressIncremental(benchmark::State& state) {
+  ot::Netlist& nl = stress_circuit(static_cast<std::size_t>(state.range(0)));
+  const ot::CellLibrary& lib = nl.library();
+  int victim = -1;
+  for (std::size_t i = 0; i < nl.num_gates(); ++i) {
+    if (nl.gate(static_cast<int>(i)).cell->kind == ot::CellKind::Nand2) {
+      victim = static_cast<int>(i);
+      break;
+    }
+  }
+  if (victim < 0) {
+    state.SkipWithError("no NAND2 gate in the generated circuit");
+    return;
+  }
+  ot::TimerV2 timer(nl, stress_options());
+  timer.full_update();
+  bool upsized = false;
+  std::size_t tasks = 0;
+  for (auto _ : state) {
+    upsized = !upsized;
+    timer.resize(victim, lib.at(upsized ? "NAND2_X2" : "NAND2_X1"));
+    tasks += timer.last_update_tasks();
+    benchmark::DoNotOptimize(timer.worst_slack());
+  }
+  state.counters["tasks/s"] =
+      benchmark::Counter(static_cast<double>(tasks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig8StressIncremental)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

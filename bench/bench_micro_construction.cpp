@@ -22,7 +22,11 @@ void BM_Emplace(benchmark::State& state) {
       static_cast<double>(state.iterations()) * static_cast<double>(n),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Emplace)->Arg(1024)->Arg(65536)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Emplace)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_PrecedeEdges(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -41,7 +45,30 @@ void BM_PrecedeEdges(benchmark::State& state) {
       static_cast<double>(state.iterations()) * static_cast<double>(n - 1),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_PrecedeEdges)->Arg(65536)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PrecedeEdges)
+    ->Arg(65536)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PrecedeFanout(benchmark::State& state) {
+  // One hub preceding `n` spokes: stresses successor-array growth (the
+  // worst case for any inline-successor layout) rather than edge-per-node.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto executor = tf::make_executor(1);
+  for (auto _ : state) {
+    tf::Taskflow tf(executor);
+    tf::Task hub = tf.emplace([] {});
+    for (std::size_t i = 0; i < n; ++i) {
+      tf::Task spoke = tf.emplace([] {});
+      hub.precede(spoke);
+    }
+    benchmark::DoNotOptimize(tf.num_nodes());
+  }
+  state.counters["edges/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PrecedeFanout)->Arg(65536)->Arg(1 << 20)->Unit(benchmark::kMicrosecond);
 
 void BM_EndToEndEmptyTasks(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -31,7 +31,7 @@ std::string node_label(const Node& n) {
 
 void emit_node(std::ostream& os, const Node& n) {
   os << "  \"" << node_id(n) << "\" [label=\"" << node_label(n) << "\"];\n";
-  for (const Node* succ : n._successors) {
+  for (const Node* succ : n.successors()) {
     os << "  \"" << node_id(n) << "\" -> \"" << node_id(*succ) << "\";\n";
   }
   if (n._subgraph != nullptr && !n._subgraph->empty()) {

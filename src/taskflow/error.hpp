@@ -113,6 +113,18 @@ struct ErrorState {
     return won;
   }
 
+  /// Re-initialize for reuse (recycled Executor::async run boxes).  Only
+  /// valid when no other thread can touch the state - the pool recycles a
+  /// box strictly after its single task retired and before the next
+  /// submission publishes it.
+  void reset() noexcept {
+    cancelled.store(false, std::memory_order_relaxed);
+    deadline_ns.store(0, std::memory_order_relaxed);
+    timed_out.store(false, std::memory_order_relaxed);
+    exception = nullptr;
+    exception_phase.store(0, std::memory_order_release);
+  }
+
   /// Steady-clock deadline accessors (0 sentinel = no deadline).
   void set_deadline(std::chrono::steady_clock::time_point t) noexcept {
     deadline_ns.store(t.time_since_epoch().count(), std::memory_order_release);

@@ -112,7 +112,15 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
         if (obs) obs->on_exit(worker_id, *node);
       } else if (std::holds_alternative<DynamicWork>(node->_work) && !node->_spawned) {
         node->_spawned = true;
-        node->_subgraph = std::make_unique<Graph>();
+        // Recycle a previous run's (or attempt's) subgraph in place: the
+        // nodes are destroyed but the arena slabs stay, so run_n replays and
+        // retries of a dynamic task rebuild their subflow with no heap
+        // traffic.
+        if (node->_subgraph != nullptr) {
+          node->_subgraph->recycle();
+        } else {
+          node->_subgraph = std::make_unique<Graph>();
+        }
         SubflowBuilder builder(*node->_subgraph, num_workers());
 
         if (obs) obs->on_entry(worker_id, *node);
@@ -129,7 +137,14 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
                                  : "subflow of \"" + node->name() + "\": " + cycle);
           }
           node->_detached = builder.detached();
-          std::vector<Node*> sources;
+          sub.finalize_edges();  // pack spilled successor arrays (CSR step)
+          // Reused per-thread scratch: the sources are consumed by
+          // schedule_batch below (which only enqueues, never runs tasks
+          // inline) and workers process one task at a time, so reuse across
+          // invocations - and thus across run_n subflow respawns - is safe
+          // and keeps replays allocation-free.
+          static thread_local std::vector<Node*> sources;
+          sources.clear();
           for (auto& child : sub) {
             child._topology = node->_topology;
             child._join_counter.store(child._static_dependents,
@@ -173,10 +188,9 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
         if (retryable) {
           // A retried dynamic node respawns a fresh subflow on the next
           // attempt; the partially built one was never made live (children
-          // attach only after every throwing point above), so dropping it
-          // leaks nothing and nothing of it was scheduled.
+          // attach only after every throwing point above), so nothing of it
+          // was scheduled - its storage is recycled in place at respawn.
           node->_spawned = false;
-          node->_subgraph.reset();
           if (obs) obs->on_task_retry(worker_id, *node, failed);
           const auto delay = retry_delay(pol->retry, failed);
           if (delay.count() <= 0) {
@@ -220,8 +234,9 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
 }
 
 void ExecutorInterface::finalize(Node* node, detail::ReadyBatch& ready) {
-  // Release successors whose dependents all finished.
-  for (Node* succ : node->_successors) {
+  // Release successors whose dependents all finished.  The successor arrays
+  // were packed contiguously at arm()/spawn time, so this walk is linear.
+  for (Node* succ : node->successors()) {
     if (succ->_join_counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       ready.push(succ);
     }

@@ -173,6 +173,13 @@ class FlowBuilder {
   /// (paper §III-A).
   Task placeholder() { return Task(_graph->emplace_back()); }
 
+  /// Pre-size the graph arena for `nodes` emplaces and `edges` precede
+  /// calls (Graph::reserve): the fast path for graphs of known shape -
+  /// construction after this performs no heap allocation.
+  void reserve(std::size_t nodes, std::size_t edges = 0) {
+    _graph->reserve(nodes, edges);
+  }
+
   /// Create a task from a value-returning callable; the result is delivered
   /// through the returned std::future once the task has run (the paper-era
   /// emplace/silent_emplace split: use plain emplace when the status is not

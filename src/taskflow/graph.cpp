@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -12,15 +13,67 @@ namespace tf {
 Node::~Node() = default;
 
 void Node::precede(Node& v) {
-  // Most tasks carry only a handful of successors: skip the 1->2->4 growth
-  // reallocations of the default geometric policy.
-  if (_successors.capacity() == 0) _successors.reserve(4);
-  _successors.push_back(&v);
+  if (_num_successors == _succ_capacity) {
+    grow_successors(_num_successors + 1);
+  }
+  successor_data()[_num_successors++] = &v;
   ++v._static_dependents;
   // Acyclicity witness, maintained as edges are built: an edge into an
   // earlier-created node (or a self-loop) breaks the "creation order is a
   // topological order" invariant, so dispatch must run the full check.
   if (v._creation_index <= _creation_index) _has_backward_edge = true;
+}
+
+void Node::grow_successors(std::uint32_t min_capacity) {
+  // 2 (inline) -> 8 -> x4: few growth steps even for huge fan-out, and the
+  // abandoned chunks are arena slack, not heap churn.
+  std::uint32_t capacity =
+      _succ_capacity <= kInlineSuccessors ? 8 : _succ_capacity * 4;
+  if (capacity < min_capacity) capacity = min_capacity;
+  Node** spill = _graph->allocate_edges(capacity);
+  std::memcpy(spill, successor_data(), _num_successors * sizeof(Node*));
+  _succ_spill = spill;
+  _succ_capacity = capacity;
+  _graph->_edges_dirty = true;
+}
+
+void Graph::finalize_edges() {
+  if (!_edges_dirty) return;
+  _edges_dirty = false;
+  std::size_t spilled = 0;
+  for (const Node* node : _index) {
+    if (node->_succ_capacity > Node::kInlineSuccessors) {
+      spilled += node->_num_successors;
+    }
+  }
+  if (spilled == 0) return;
+  // One contiguous block in creation order: the scheduler's finalize sweep
+  // then walks successor arrays in (roughly) address order.  Capacities are
+  // trimmed to size; a later precede() on a packed node re-spills.
+  Node** block = allocate_edges(spilled);
+  for (Node* node : _index) {
+    if (node->_succ_capacity <= Node::kInlineSuccessors) continue;
+    std::memcpy(block, node->_succ_spill, node->_num_successors * sizeof(Node*));
+    node->_succ_spill = block;
+    // A spilled node always has > kInlineSuccessors successors (growth only
+    // happens on overflow), so the spill representation stays in force.
+    node->_succ_capacity = node->_num_successors;
+    block += node->_num_successors;
+  }
+}
+
+void Graph::set_node_name(const Node& node, std::string name) {
+  if (_names == nullptr) {
+    _names = std::make_unique<std::unordered_map<const Node*, std::string>>();
+  }
+  (*_names)[&node] = std::move(name);
+}
+
+const std::string& Graph::node_name(const Node& node) const noexcept {
+  static const std::string empty;
+  if (_names == nullptr) return empty;
+  auto it = _names->find(&node);
+  return it == _names->end() ? empty : it->second;
 }
 
 namespace detail {
@@ -73,7 +126,7 @@ std::string describe_cycle(Graph& g, std::size_t max_named) {
     Node* n = worklist.back();
     worklist.pop_back();
     ++processed;
-    for (Node* succ : n->_successors) {
+    for (Node* succ : n->successors()) {
       const int remaining = succ->_join_counter.load(std::memory_order_relaxed) - 1;
       succ->_join_counter.store(remaining, std::memory_order_relaxed);
       if (remaining == 0) worklist.push_back(succ);
@@ -101,8 +154,8 @@ std::string describe_cycle(Graph& g, std::size_t max_named) {
     path = {&root};
     while (!stack.empty() && cycle_text.empty()) {
       auto& [node, next] = stack.back();
-      if (next < node->_successors.size()) {
-        Node* succ = node->_successors[next++];
+      if (next < node->num_successors()) {
+        Node* succ = node->successor_data()[next++];
         if (succ->_join_counter.load(std::memory_order_relaxed) == 0) continue;
         if (color[succ] == 1) {
           // Back edge: the cycle is the path suffix starting at succ.
@@ -135,9 +188,9 @@ std::string describe_cycle(Graph& g, std::size_t max_named) {
 }  // namespace detail
 
 std::size_t Graph::size_recursive() const {
-  std::size_t n = _nodes.size();
-  for (const auto& node : _nodes) {
-    if (node._subgraph) n += node._subgraph->size_recursive();
+  std::size_t n = _index.size();
+  for (const Node* node : _index) {
+    if (node->_subgraph) n += node->_subgraph->size_recursive();
   }
   return n;
 }

@@ -5,19 +5,34 @@
 // links, a runtime join counter of unfinished dependents, and - for dynamic
 // tasking - the spawned subgraph plus a link to its parent node.
 //
+// Storage layout (DESIGN.md §10): nodes and successor arrays are carved out
+// of large cache-aligned slabs owned by the Graph's arena, not the general-
+// purpose heap.  Each node holds a small inline successor array (covering
+// the common fan-out of <= 2) that spills to an arena-allocated chunk when
+// it overflows; Graph::finalize_edges() packs the spilled arrays into one
+// contiguous block at dispatch time so the scheduler walks linear memory
+// (a CSR-style layout).  Graph::reserve(nodes, edges) pre-sizes the arena
+// so steady-state construction performs no heap allocation at all.
+//
 // Nodes are created through tf::FlowBuilder (Taskflow / SubflowBuilder) and
 // manipulated through the lightweight tf::Task handle; this header is the
 // internal storage layer.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <cstring>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <new>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -77,12 +92,162 @@ struct ResiliencePolicy {
   std::atomic<int> failed_attempts{0};
 };
 
+/// Slab/bump allocator behind one Graph: nodes and successor chunks are
+/// carved sequentially out of cache-line-aligned slabs, so a million-node
+/// build performs O(log n) heap allocations instead of one per node/edge
+/// (and exactly the reserved ones after GraphArena::reserve).  Nothing is
+/// freed individually - construction garbage (abandoned successor chunks
+/// after growth) stays in the slab until release()/reset(), which is the
+/// right trade for build-once-run-many graphs.
+class GraphArena {
+ public:
+  /// Slab start alignment: one cache line, so the first node of every slab
+  /// (and, at 128 B per node, every node after it) is cache-line aligned.
+  static constexpr std::size_t kSlabAlignment = 64;
+  /// Every allocation is rounded up to this granule; covers the alignment
+  /// of everything the graph stores (Node's strictest member is 8-aligned).
+  static constexpr std::size_t kGranule = 16;
+  /// First slab size: small, so a single-node graph (Executor::async) does
+  /// not commit more than the old per-node allocation scheme did.
+  static constexpr std::size_t kFirstSlabBytes = 512;
+  /// Slab growth doubles up to this cap, bounding worst-case slack on huge
+  /// graphs to one slab.
+  static constexpr std::size_t kMaxSlabBytes = std::size_t{4} << 20;
+
+  GraphArena() = default;
+  ~GraphArena() { release(); }
+
+  GraphArena(GraphArena&& other) noexcept
+      : _slabs(std::move(other._slabs)), _active(other._active) {
+    other._slabs.clear();
+    other._active = 0;
+  }
+  GraphArena& operator=(GraphArena&& other) noexcept {
+    if (this != &other) {
+      release();
+      _slabs = std::move(other._slabs);
+      _active = other._active;
+      other._slabs.clear();
+      other._active = 0;
+    }
+    return *this;
+  }
+  GraphArena(const GraphArena&) = delete;
+  GraphArena& operator=(const GraphArena&) = delete;
+
+  /// Bump-allocate `bytes` (rounded up to kGranule).  The returned storage
+  /// is never individually freed; it lives until release()/reset().
+  [[nodiscard]] void* allocate(std::size_t bytes) {
+    bytes = (bytes + kGranule - 1) & ~(kGranule - 1);
+    // Advance through (possibly recycled) slabs until one fits; slack left
+    // behind in a skipped slab is abandoned, as in any bump allocator.
+    while (_active < _slabs.size()) {
+      Slab& s = _slabs[_active];
+      if (s.used + bytes <= s.size) {
+        void* p = s.data + s.used;
+        s.used += bytes;
+        return p;
+      }
+      ++_active;
+    }
+    grow(bytes);
+    Slab& s = _slabs.back();
+    void* p = s.data + s.used;
+    s.used += bytes;
+    return p;
+  }
+
+  /// Ensure at least `bytes` can be allocated without acquiring a new slab:
+  /// the fast path behind Graph::reserve.
+  void reserve(std::size_t bytes) {
+    bytes = (bytes + kGranule - 1) & ~(kGranule - 1);
+    std::size_t free = 0;
+    for (std::size_t i = _active; i < _slabs.size(); ++i) {
+      free += _slabs[i].size - _slabs[i].used;
+    }
+    if (free >= bytes) return;
+    _slabs.push_back(make_slab(bytes - free));
+    if (_slabs.size() == 1) _active = 0;
+  }
+
+  /// Rewind every slab to empty, keeping the memory for reuse (graph
+  /// recycling: subflow respawn, topology replays, async-box reuse).
+  void reset() noexcept {
+    for (Slab& s : _slabs) s.used = 0;
+    _active = 0;
+  }
+
+  /// Free every slab (Graph::clear / destruction).
+  void release() noexcept {
+    for (Slab& s : _slabs) {
+      ::operator delete(s.data, std::align_val_t{kSlabAlignment});
+    }
+    _slabs.clear();
+    _active = 0;
+  }
+
+  /// Drop slabs not touched since the last reset (Graph::shrink_to_fit).
+  void shrink_to_fit() noexcept {
+    while (!_slabs.empty() && _slabs.back().used == 0) {
+      ::operator delete(_slabs.back().data, std::align_val_t{kSlabAlignment});
+      _slabs.pop_back();
+    }
+    if (_active >= _slabs.size() && _active > 0) {
+      _active = _slabs.empty() ? 0 : _slabs.size() - 1;
+    }
+    _slabs.shrink_to_fit();
+  }
+
+  // Introspection for tests and reports.
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    std::size_t n = 0;
+    for (const Slab& s : _slabs) n += s.size;
+    return n;
+  }
+  [[nodiscard]] std::size_t bytes_used() const noexcept {
+    std::size_t n = 0;
+    for (const Slab& s : _slabs) n += s.used;
+    return n;
+  }
+  [[nodiscard]] std::size_t num_slabs() const noexcept { return _slabs.size(); }
+
+ private:
+  struct Slab {
+    std::byte* data{nullptr};
+    std::size_t size{0};
+    std::size_t used{0};
+  };
+
+  [[nodiscard]] static Slab make_slab(std::size_t bytes) {
+    bytes = (bytes + kSlabAlignment - 1) & ~(kSlabAlignment - 1);
+    return Slab{static_cast<std::byte*>(
+                    ::operator new(bytes, std::align_val_t{kSlabAlignment})),
+                bytes, 0};
+  }
+
+  void grow(std::size_t min_bytes) {
+    std::size_t next = _slabs.empty()
+                           ? kFirstSlabBytes
+                           : std::min(_slabs.back().size * 2, kMaxSlabBytes);
+    if (next < min_bytes) next = min_bytes;
+    _slabs.push_back(make_slab(next));
+    _active = _slabs.size() - 1;
+  }
+
+  std::vector<Slab> _slabs;
+  std::size_t _active{0};  // slab currently bumped into
+};
+
 }  // namespace detail
 
 /// One vertex of a task dependency graph.  Internal type: users hold
 /// tf::Task handles instead (paper §III-A).
 class Node {
  public:
+  /// Successor pointers stored directly in the node before spilling to an
+  /// arena chunk: covers the dominant <= 2 fan-out (chains, diamonds).
+  static constexpr std::uint32_t kInlineSuccessors = 2;
+
   Node() = default;
   ~Node();  // out-of-line: Graph is incomplete here
 
@@ -94,21 +259,22 @@ class Node {
   /// Add a successor edge this -> v and bump v's dependent count.
   void precede(Node& v);
 
-  [[nodiscard]] const std::string& name() const noexcept {
-    static const std::string empty;
-    return _name == nullptr ? empty : *_name;
-  }
-  void set_name(std::string n) {
-    if (_name == nullptr) {
-      _name = std::make_unique<std::string>(std::move(n));
-    } else {
-      *_name = std::move(n);
-    }
-  }
+  /// Name accessors.  Names are rare debug/visualization metadata: they live
+  /// in a side table on the owning Graph (node_name), not in the node, so
+  /// the node spends its 128-byte budget on what dispatch actually reads.
+  [[nodiscard]] const std::string& name() const noexcept;
+  void set_name(std::string n);
 
-  [[nodiscard]] std::size_t num_successors() const noexcept { return _successors.size(); }
+  [[nodiscard]] std::size_t num_successors() const noexcept {
+    return _num_successors;
+  }
   [[nodiscard]] std::size_t num_dependents() const noexcept {
     return static_cast<std::size_t>(_static_dependents);
+  }
+
+  /// Successors in insertion order (contiguous; see Graph::finalize_edges).
+  [[nodiscard]] std::span<Node* const> successors() const noexcept {
+    return {successor_data(), _num_successors};
   }
 
   /// True when no callable has been assigned (a placeholder).
@@ -140,71 +306,237 @@ class Node {
 
   // -- internal execution state (used by executors and Topology) ----------
 
-  // Names are debug/visualization metadata and almost always absent: keeping
-  // them behind a pointer shrinks every node by 24 bytes, which is what the
-  // large-graph construction and dispatch paths actually traffic in.
-  std::unique_ptr<std::string> _name;
+  [[nodiscard]] Node* const* successor_data() const noexcept {
+    return _succ_capacity <= kInlineSuccessors ? _succ_inline : _succ_spill;
+  }
+  [[nodiscard]] Node** successor_data() noexcept {
+    return _succ_capacity <= kInlineSuccessors ? _succ_inline : _succ_spill;
+  }
+
+  Graph* _graph{nullptr};  // owning graph: arena for edge spill, name table
   std::variant<std::monostate, StaticWork, DynamicWork> _work;
-  std::vector<Node*> _successors;
+  // Successor storage: the inline array while _succ_capacity stays at
+  // kInlineSuccessors, an arena-allocated chunk once it spills.  Same 24
+  // bytes as the std::vector it replaced, but growth allocates from the
+  // graph arena and dispatch-time finalize packs the chunks contiguously.
+  union {
+    Node* _succ_inline[kInlineSuccessors];
+    Node** _succ_spill;
+  };
+  std::uint32_t _num_successors{0};
+  std::uint32_t _succ_capacity{kInlineSuccessors};
   int _static_dependents{0};          // number of predecessors at build time
   std::atomic<int> _join_counter{0};  // pending dependents (or pending subflow
                                       // children once spawned); reset at dispatch
   int _creation_index{0};             // position in the owning graph's build order
   // The flags pack into the ints' tail padding: Node must stay <= 128 bytes
-  // so a deque block (512 B) holds 4 nodes - construction throughput is
-  // directly proportional to nodes per block allocation.
+  // (two cache lines) so arena slabs hold a round number of cache-aligned
+  // nodes - construction throughput is directly proportional to nodes per
+  // slab allocation.
   bool _has_backward_edge{false};     // some successor was created before this
                                       // node - the cheap acyclicity witness fails
   bool _spawned{false};               // dynamic work already expanded
   bool _detached{false};              // subflow spawned by this node detached
-  std::unique_ptr<Graph> _subgraph;   // spawned subflow, built lazily at runtime
+  std::unique_ptr<Graph> _subgraph;   // spawned subflow; recycled across runs
   // Retry/fallback policy, absent (nullptr) on the overwhelming majority of
   // nodes: one pointer of storage, dereferenced only on the failure path.
   std::unique_ptr<detail::ResiliencePolicy> _policy;
   Node* _parent{nullptr};             // joined-subflow parent, else nullptr
   Topology* _topology{nullptr};       // owning dispatched topology
+
+ private:
+  friend class Graph;
+
+  /// Move the successor array to an arena chunk of at least `min_capacity`.
+  void grow_successors(std::uint32_t min_capacity);
 };
 
-static_assert(sizeof(Node) <= 128,
-              "Node must fit 4-per-512B-deque-block; see the flag-packing "
-              "comment above");
+static_assert(sizeof(Node) == 128,
+              "Node must stay exactly two cache lines; see the flag-packing "
+              "comment above before growing it");
+static_assert(alignof(Node) <= detail::GraphArena::kGranule,
+              "arena granule must satisfy Node alignment");
 
-/// An owning container of nodes with pointer stability (std::deque), movable
+/// An owning container of nodes with pointer stability (arena slabs), movable
 /// so a Taskflow can hand its present graph to a Topology at dispatch time.
 class Graph {
  public:
   Graph() = default;
-  Graph(Graph&&) noexcept = default;
-  Graph& operator=(Graph&&) noexcept = default;
+  ~Graph() { destroy_nodes(); }
+
+  /// Moves transfer the slabs (node addresses stay stable) and re-point each
+  /// node's owner link: O(n), but only the legacy one-shot dispatch path
+  /// moves graphs, and it pays an O(n) arm() right after anyway.
+  Graph(Graph&& other) noexcept
+      : _arena(std::move(other._arena)),
+        _index(std::move(other._index)),
+        _names(std::move(other._names)),
+        _edges_dirty(other._edges_dirty) {
+    for (Node* node : _index) node->_graph = this;
+    other._edges_dirty = false;
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) {
+      destroy_nodes();
+      _arena = std::move(other._arena);
+      _index = std::move(other._index);
+      _names = std::move(other._names);
+      _edges_dirty = other._edges_dirty;
+      for (Node* node : _index) node->_graph = this;
+      other._edges_dirty = false;
+    }
+    return *this;
+  }
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
 
-  /// Construct a new node in place and return it.
+  /// Construct a new node in place (in the arena) and return it.
   Node& emplace_back() {
-    Node& node = _nodes.emplace_back();
-    node._creation_index = static_cast<int>(_nodes.size()) - 1;
-    return node;
+    void* mem = _arena.allocate(sizeof(Node));
+    Node* node = new (mem) Node();
+    node->_graph = this;
+    node->_creation_index = static_cast<int>(_index.size());
+    _index.push_back(node);
+    return *node;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return _nodes.size(); }
-  [[nodiscard]] bool empty() const noexcept { return _nodes.empty(); }
+  /// Pre-size the arena (and the node index) for `nodes` nodes and `edges`
+  /// precede() calls: the fast path for graphs of known shape - steady-state
+  /// emplace/precede after this performs no heap allocation (heavy fan-out
+  /// past the growth slack may still acquire one more slab).
+  void reserve(std::size_t nodes, std::size_t edges = 0) {
+    _arena.reserve(nodes * sizeof(Node) + 2 * edges * sizeof(Node*));
+    _index.reserve(_index.size() + nodes);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return _index.size(); }
+  [[nodiscard]] bool empty() const noexcept { return _index.empty(); }
 
   /// The index-th node in creation order (0-based, index < size()).
-  [[nodiscard]] Node& node_at(std::size_t index) noexcept { return _nodes[index]; }
+  [[nodiscard]] Node& node_at(std::size_t index) noexcept { return *_index[index]; }
 
-  void clear() { _nodes.clear(); }
+  /// Destroy every node and release the arena slabs back to the heap: a
+  /// cleared million-node graph pins no memory.
+  void clear() {
+    destroy_nodes();
+    _arena.release();
+    std::vector<Node*>().swap(_index);
+    _edges_dirty = false;
+  }
 
-  [[nodiscard]] auto begin() noexcept { return _nodes.begin(); }
-  [[nodiscard]] auto end() noexcept { return _nodes.end(); }
-  [[nodiscard]] auto begin() const noexcept { return _nodes.begin(); }
-  [[nodiscard]] auto end() const noexcept { return _nodes.end(); }
+  /// Destroy every node but keep the slabs (and index capacity) for reuse:
+  /// the respawn path of recycled subflows and async runs builds the next
+  /// generation of nodes with zero heap traffic.
+  void recycle() {
+    destroy_nodes();
+    _arena.reset();
+    _edges_dirty = false;
+  }
+
+  /// Return slab memory not used since the last recycle to the heap.
+  void shrink_to_fit() {
+    _arena.shrink_to_fit();
+    _index.shrink_to_fit();
+  }
+
+  /// Pack every spilled successor array into one contiguous arena block in
+  /// creation order (the CSR finalize step), so dispatch walks linear
+  /// memory.  Idempotent and cheap when nothing spilled since the last call;
+  /// must not run concurrently with task execution (same contract as arm()).
+  void finalize_edges();
+
+  // Iteration in creation order, yielding Node& (the nodes themselves live
+  // in arena slabs; the index holds stable pointers to them).
+  template <typename NodeT>
+  class Iterator {
+   public:
+    using value_type = NodeT;
+    using reference = NodeT&;
+    using pointer = NodeT*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    Iterator() = default;
+    explicit Iterator(Node* const* it) noexcept : _it(it) {}
+
+    [[nodiscard]] reference operator*() const noexcept { return **_it; }
+    [[nodiscard]] pointer operator->() const noexcept { return *_it; }
+    Iterator& operator++() noexcept {
+      ++_it;
+      return *this;
+    }
+    Iterator operator++(int) noexcept {
+      Iterator copy = *this;
+      ++_it;
+      return copy;
+    }
+    [[nodiscard]] bool operator==(const Iterator&) const noexcept = default;
+
+   private:
+    Node* const* _it{nullptr};
+  };
+  using iterator = Iterator<Node>;
+  using const_iterator = Iterator<const Node>;
+
+  [[nodiscard]] iterator begin() noexcept { return iterator(_index.data()); }
+  [[nodiscard]] iterator end() noexcept {
+    return iterator(_index.data() + _index.size());
+  }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(_index.data());
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(_index.data() + _index.size());
+  }
 
   /// Total node count including recursively spawned subgraphs.
   [[nodiscard]] std::size_t size_recursive() const;
 
+  /// Name side table (see Node::name): empty string when unnamed.
+  void set_node_name(const Node& node, std::string name);
+  [[nodiscard]] const std::string& node_name(const Node& node) const noexcept;
+
+  // Arena introspection for tests and memory reports.
+  [[nodiscard]] std::size_t arena_bytes_reserved() const noexcept {
+    return _arena.bytes_reserved();
+  }
+  [[nodiscard]] std::size_t arena_bytes_used() const noexcept {
+    return _arena.bytes_used();
+  }
+  [[nodiscard]] std::size_t arena_slabs() const noexcept {
+    return _arena.num_slabs();
+  }
+
  private:
-  std::deque<Node> _nodes;
+  friend class Node;
+
+  /// Arena storage for a spilled successor array of `count` pointers.
+  [[nodiscard]] Node** allocate_edges(std::size_t count) {
+    return static_cast<Node**>(_arena.allocate(count * sizeof(Node*)));
+  }
+
+  void destroy_nodes() noexcept {
+    for (Node* node : _index) node->~Node();
+    _index.clear();
+    if (_names != nullptr) _names->clear();
+  }
+
+  detail::GraphArena _arena;
+  std::vector<Node*> _index;  // creation order; stable across arena growth
+  // Lazily allocated: the overwhelming majority of graphs name no task.
+  std::unique_ptr<std::unordered_map<const Node*, std::string>> _names;
+  bool _edges_dirty{false};  // a successor array spilled since finalize_edges
 };
+
+inline const std::string& Node::name() const noexcept {
+  static const std::string empty;
+  return _graph == nullptr ? empty : _graph->node_name(*this);
+}
+
+inline void Node::set_name(std::string n) {
+  assert(_graph != nullptr);
+  _graph->set_node_name(*this, std::move(n));
+}
 
 namespace detail {
 

@@ -1,7 +1,11 @@
 #include "taskflow/taskflow.hpp"
 
+#include <atomic>
 #include <exception>
+#include <functional>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/env.hpp"
 #include "taskflow/dot.hpp"
@@ -27,11 +31,84 @@ void throw_if_cyclic(Graph& graph, const char* origin) {
 namespace detail {
 
 // One Executor::async submission: a single-node graph and its topology, heap
-// boxed so the executor can delete the whole run from the completion
-// callback once the task retired.
+// boxed so the executor can retire the whole run from the completion
+// callback once the task retired.  An async topology never calls finish()
+// (the user-visible promise lives in the task callable), so its promise /
+// future pair is never consumed and the box is reusable: the graph recycles
+// its arena in place and the shared ErrorState resets.
 struct AsyncRun {
   Graph graph;
   Topology topology{&graph};
+};
+
+// Freelist of retired AsyncRun boxes, sharded so an async storm's concurrent
+// submitters and completers don't contend on one lock: each thread hashes to
+// a home shard (workers are long-lived threads, so this behaves like a
+// per-worker freelist).  Shards are bounded; overflow falls back to the heap.
+class AsyncRunPool {
+ public:
+  static constexpr std::size_t kShards = 8;
+  static constexpr std::size_t kMaxPerShard = 64;
+
+  ~AsyncRunPool() {
+    // Runs after the executor drained: no box is in flight.
+    for (Shard& shard : _shards) {
+      for (AsyncRun* box : shard.items) delete box;
+    }
+  }
+
+  /// A recycled box (already reset) or nullptr when the pool is empty.
+  /// Tries the home shard first; on a miss it probes the others - boxes are
+  /// released on the *completing* worker's shard, so a submitter draining a
+  /// different shard than it fills is the normal steady state.
+  [[nodiscard]] AsyncRun* acquire() {
+    const std::size_t home = home_index();
+    for (std::size_t i = 0; i < kShards; ++i) {
+      Shard& shard = _shards[(home + i) % kShards];
+      SpinGuard guard(shard.lock);
+      if (!shard.items.empty()) {
+        AsyncRun* box = shard.items.back();
+        shard.items.pop_back();
+        return box;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Return a retired box; false when the home shard is full (caller
+  /// deletes - the pool stays bounded under sustained storms).
+  [[nodiscard]] bool release(AsyncRun* box) {
+    Shard& shard = _shards[home_index()];
+    SpinGuard guard(shard.lock);
+    if (shard.items.size() >= kMaxPerShard) return false;
+    shard.items.push_back(box);
+    return true;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    std::vector<AsyncRun*> items;
+  };
+
+  struct SpinGuard {
+    explicit SpinGuard(std::atomic_flag& f) : flag(f) {
+      while (flag.test_and_set(std::memory_order_acquire)) {
+        // Uncontended in the common case (one thread per shard); a brief
+        // spin beats a futex round trip for the push/pop critical section.
+      }
+    }
+    ~SpinGuard() { flag.clear(std::memory_order_release); }
+    std::atomic_flag& flag;
+  };
+
+  [[nodiscard]] static std::size_t home_index() {
+    const std::size_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return h % kShards;
+  }
+
+  Shard _shards[kShards];
 };
 
 }  // namespace detail
@@ -41,10 +118,12 @@ struct AsyncRun {
 // ---------------------------------------------------------------------------
 
 Executor::Executor(std::size_t num_workers)
-    : _backend(std::make_shared<WorkStealingExecutor>(num_workers)) {}
+    : _backend(std::make_shared<WorkStealingExecutor>(num_workers)),
+      _async_pool(std::make_unique<detail::AsyncRunPool>()) {}
 
 Executor::Executor(std::shared_ptr<ExecutorInterface> backend)
-    : _backend(std::move(backend)) {
+    : _backend(std::move(backend)),
+      _async_pool(std::make_unique<detail::AsyncRunPool>()) {
   if (_backend == nullptr) _backend = std::make_shared<WorkStealingExecutor>();
 }
 
@@ -162,7 +241,11 @@ std::shared_ptr<Topology> Executor::dispatch_owned(Graph&& graph) {
 
 void Executor::submit_async(StaticWork&& work) {
   throw_if_shutdown();
-  auto* box = new detail::AsyncRun;
+  // Reuse a retired box when one is pooled: its graph arena already holds a
+  // node-sized slab and its topology was reset at release, so the steady
+  // state of an async storm allocates nothing.
+  detail::AsyncRun* box = _async_pool->acquire();
+  if (box == nullptr) box = new detail::AsyncRun;
   Node& node = box->graph.emplace_back();
   node._work.emplace<StaticWork>(std::move(work));
   box->topology._client = this;
@@ -190,8 +273,15 @@ void Executor::on_topology_done(Topology& topology) {
   // the destructor, which wait on the futures themselves via _live.
   switch (topology._kind) {
     case Topology::RunKind::async: {
+      // The user-visible promise lives in the task callable (already
+      // fulfilled), so the box can be recycled: destroy the node (and its
+      // captured state) but keep the arena slab, and reset the shared error
+      // state for the next submission.  No other thread can reach the box
+      // here - its single task retired and it was never registered in _live.
       auto* box = static_cast<detail::AsyncRun*>(topology._client_tag);
-      delete box;  // the user-visible promise lives in the task callable
+      box->graph.recycle();
+      box->topology.error_state()->reset();
+      if (!_async_pool->release(box)) delete box;
       std::scoped_lock lock(_done_mutex);
       _num_asyncs.fetch_sub(1, std::memory_order_relaxed);
       _done_cv.notify_all();

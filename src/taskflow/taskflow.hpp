@@ -82,8 +82,12 @@ struct GraphOwner {
 };
 
 // Heap box of one Executor::async submission: a single-node graph plus its
-// self-deleting topology (defined in taskflow.cpp).
+// topology (defined in taskflow.cpp).
 struct AsyncRun;
+// Sharded freelist of retired AsyncRun boxes (defined in taskflow.cpp):
+// async storms reuse box + graph-arena storage instead of hitting the heap
+// per submission, and shards keep concurrent submitters off one lock.
+class AsyncRunPool;
 }  // namespace detail
 
 /// A reusable task dependency graph.  Building (emplace/precede/linearize
@@ -500,6 +504,9 @@ class Executor : private detail::TopologyClient {
 
   std::atomic<std::size_t> _num_topologies{0};
   std::atomic<std::size_t> _num_asyncs{0};
+  // Recycled async-run boxes; destroyed (and its boxes freed) after the
+  // drain in ~Executor, when no worker can touch a box anymore.
+  std::unique_ptr<detail::AsyncRunPool> _async_pool;
   mutable std::mutex _done_mutex;  // wait_for_all protocol
   mutable std::condition_variable _done_cv;
 

@@ -80,15 +80,20 @@ class Topology {
   /// the same graph executes repeatedly (run_n / run_until).  Must not run
   /// concurrently with task execution of this graph.
   void arm() {
+    // Pack any spilled successor arrays contiguously before workers walk
+    // them; a no-op on every re-arm (run_n repeats) once the graph settled.
+    _graph->finalize_edges();
     _sources.clear();
     _num_active.store(static_cast<long>(_graph->size()), std::memory_order_relaxed);
     for (auto& node : *_graph) {
       node._topology = this;
       node._parent = nullptr;
       node._join_counter.store(node._static_dependents, std::memory_order_relaxed);
-      // Re-armed dynamic nodes spawn a fresh subflow on the next run.
+      // Re-armed dynamic nodes spawn a fresh subflow on the next run.  The
+      // previous run's subgraph is kept (its slabs are recycled in place at
+      // respawn time - see ExecutorInterface::run_task), so repeat runs of a
+      // dynamic graph stop paying per-iteration allocation.
       node._spawned = false;
-      node._subgraph.reset();
       // A fresh run gets a fresh retry budget.
       if (node._policy != nullptr) {
         node._policy->failed_attempts.store(0, std::memory_order_relaxed);

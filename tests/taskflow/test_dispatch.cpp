@@ -133,4 +133,53 @@ TEST(Dispatch, SharedFutureCopiesAllObserveCompletion) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+// dispatch() moves the working graph into the topology.  The graph move
+// re-points every node's owner link, and spilled successor arrays plus the
+// name side table ride along wholesale - ordering and names must survive.
+TEST(Dispatch, MovedGraphKeepsSpilledEdgesAndNames) {
+  tf::Taskflow tf(4);
+  std::atomic<bool> hub_done{false};
+  std::atomic<int> order_violations{0};
+  std::atomic<int> spokes_run{0};
+  auto hub = tf.emplace([&] { hub_done = true; }).name("hub-of-spokes");
+  for (int i = 0; i < 64; ++i) {  // 64 successors: far past the inline pair
+    auto spoke = tf.emplace([&] {
+      if (!hub_done.load()) order_violations++;
+      spokes_run++;
+    });
+    hub.precede(spoke);
+  }
+  tf.dispatch().get();
+  EXPECT_EQ(spokes_run.load(), 64);
+  EXPECT_EQ(order_violations.load(), 0);
+  // The name table moved with the graph: the retained topology still
+  // renders the hub by name.
+  EXPECT_NE(tf.dump_topologies().find("hub-of-spokes"), std::string::npos);
+  tf.wait_for_all();
+}
+
+// Every dispatch round rebuilds the working graph from scratch while the
+// previous rounds' topologies (and their moved arenas) are still in flight:
+// per-round spilled fan-outs must stay correct and isolated.
+TEST(Dispatch, RepeatedSpilledDispatchesStayCorrect) {
+  tf::Taskflow tf(4);
+  std::atomic<bool> hub_done[100] = {};
+  std::atomic<int> spokes{0};
+  std::atomic<int> order_violations{0};
+  for (int round = 0; round < 100; ++round) {
+    auto hub = tf.emplace([&, round] { hub_done[round] = true; });
+    for (int i = 0; i < 16; ++i) {
+      auto s = tf.emplace([&, round] {
+        if (!hub_done[round].load()) order_violations++;
+        spokes++;
+      });
+      hub.precede(s);
+    }
+    tf.silent_dispatch();
+  }
+  tf.wait_for_all();
+  EXPECT_EQ(spokes.load(), 1600);
+  EXPECT_EQ(order_violations.load(), 0);
+}
+
 }  // namespace

@@ -670,4 +670,143 @@ TEST(Resilience, RetriesAndFallbacksConvergeUnderConcurrentClients) {
   EXPECT_EQ(converged.load(), kClients * 5 * 3);  // nodes 0-2, every run
 }
 
+// ---------------------------------------------------------------------------
+// Topology recycling interplay (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+// run_n replays re-arm one Topology in place and recycle spawned subflow
+// graphs instead of rebuilding them; these tests pin the recycled state
+// against the resilience layer - retry budgets, fallbacks, deadlines and
+// cancellation must behave exactly as on a freshly built topology.
+
+TEST(Resilience, ThousandReplaysKeepOrderingOnRecycledTopology) {
+  tf::Executor executor(4);
+  tf::Taskflow taskflow;
+  std::atomic<int> stage{0};
+  std::atomic<int> violations{0};
+  auto a = taskflow.emplace([&] { stage = 1; });
+  auto b = taskflow.emplace([&] { if (stage.load() != 1) violations++; });
+  auto c = taskflow.emplace([&] { if (stage.load() != 1) violations++; });
+  auto d = taskflow.emplace([&] { if (stage.exchange(0) != 1) violations++; });
+  a.precede(b);
+  a.precede(c);
+  b.precede(d);
+  c.precede(d);
+  // Every replay re-arms the same join counters and walks the same packed
+  // successor spans: a stale counter or edge would break the diamond order.
+  EXPECT_NO_THROW(executor.run_n(taskflow, 1000).get());
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(Resilience, RecycledSubflowRetriesAcrossManyReplays) {
+  tf::Executor executor(4);
+  tf::Taskflow taskflow;
+  std::atomic<int> parent_attempts{0};
+  std::atomic<int> child_runs{0};
+  std::atomic<int> in_run{0};
+  auto reset = taskflow.emplace([&] { in_run = 0; });
+  auto parent = taskflow.emplace([&](tf::SubflowBuilder& sf) {
+    parent_attempts++;
+    for (int i = 0; i < 4; ++i) sf.emplace([&] { child_runs++; });
+    if (in_run.fetch_add(1) == 0) throw Flaky();  // first attempt, every run
+  });
+  reset.precede(parent);
+  parent.retry(1);
+
+  constexpr int kRuns = 1000;
+  EXPECT_NO_THROW(executor.run_n(taskflow, kRuns).get());
+  // Fresh retry budget per replay: two attempts each run.  Only the
+  // successful attempt's children became live, built in the subgraph the
+  // failed attempt (and the previous 999 runs) recycled in place.
+  EXPECT_EQ(parent_attempts.load(), 2 * kRuns);
+  EXPECT_EQ(child_runs.load(), 4 * kRuns);
+}
+
+TEST(Resilience, FallbackAbandonsRecycledSubflowChildren) {
+  tf::Executor executor(2);
+  tf::Taskflow taskflow;
+  std::atomic<int> degraded{0};
+  std::atomic<int> child_runs{0};
+  taskflow.emplace([&](tf::SubflowBuilder& sf) {
+    sf.emplace([&] { child_runs++; });
+    throw Flaky();  // children are never made live
+  }).fallback([&] { degraded++; });
+
+  constexpr int kRuns = 200;
+  EXPECT_NO_THROW(executor.run_n(taskflow, kRuns).get());
+  EXPECT_EQ(degraded.load(), kRuns);  // degrade once per replay...
+  EXPECT_EQ(child_runs.load(), 0);    // ...abandoned children never run
+}
+
+TEST(Resilience, DeadlineMidReplaysLeavesTaskflowReusable) {
+  tf::Executor executor(2);
+  tf::Taskflow taskflow;
+  std::atomic<int> child_runs{0};
+  taskflow.emplace([&](tf::SubflowBuilder& sf) {
+    sf.emplace([&] {
+      child_runs++;
+      std::this_thread::sleep_for(1ms);
+    });
+  });
+
+  auto handle = executor.run_n(taskflow, 1000000, tf::RunPolicy{50ms});
+  EXPECT_THROW(handle.get(), tf::TimeoutError);
+  EXPECT_TRUE(handle.timed_out());
+  EXPECT_LT(child_runs.load(), 1000000);
+
+  // Expiry drained the sequence mid-replay, possibly with the subflow
+  // half-spawned; a fresh run of the same taskflow must re-arm the recycled
+  // topology cleanly and complete every remaining replay.
+  child_runs = 0;
+  auto again = executor.run_n(taskflow, 50);
+  EXPECT_NO_THROW(again.get());
+  EXPECT_FALSE(again.timed_out());
+  EXPECT_EQ(child_runs.load(), 50);
+}
+
+TEST(Resilience, CancelMidReplaysLeavesTaskflowReusable) {
+  tf::Executor executor(2);
+  tf::Taskflow taskflow;
+  std::atomic<int> runs{0};
+  taskflow.emplace([&](tf::SubflowBuilder& sf) {
+    runs++;
+    for (int i = 0; i < 8; ++i) sf.emplace([] {});
+  });
+
+  auto handle = executor.run_n(taskflow, 1000000);
+  while (runs.load() < 10) std::this_thread::yield();
+  handle.cancel();
+  EXPECT_NO_THROW(handle.get());  // cancellation is not an error
+  EXPECT_TRUE(handle.is_cancelled());
+  EXPECT_LT(runs.load(), 1000000);
+
+  const int after_cancel = runs.load();
+  auto again = executor.run_n(taskflow, 25);
+  EXPECT_NO_THROW(again.get());
+  EXPECT_FALSE(again.is_cancelled());
+  EXPECT_EQ(runs.load(), after_cancel + 25);
+}
+
+TEST(Resilience, CancelDrainsLiveRecycledSubflowChildren) {
+  tf::Executor executor(4);
+  tf::Taskflow taskflow;
+  std::atomic<int> spawned{0};
+  taskflow.emplace([&](tf::SubflowBuilder& sf) {
+    for (int i = 0; i < 4; ++i) {
+      sf.emplace([&] {
+        spawned++;
+        spin_until_cancelled();
+      });
+    }
+  });
+
+  // Children of a replayed (recycled) subflow are live and stalling when
+  // the cancel lands: they must observe it and drain without error.
+  auto handle = executor.run_n(taskflow, 100);
+  while (spawned.load() == 0) std::this_thread::yield();
+  handle.cancel();
+  EXPECT_NO_THROW(handle.get());
+  EXPECT_TRUE(handle.is_cancelled());
+  executor.wait_for_all();
+}
+
 }  // namespace

@@ -8,7 +8,9 @@ produced by an earlier run - attaches per-benchmark percentage deltas.
 The committed BENCH_scheduler.json at the repository root is the output of
 this script with the seed revision as baseline; BENCH_algorithms.json is the
 algorithm-pattern record (partitioners vs the legacy per-chunk-node
-strategy) written by the same record run and gated by the same --compare.
+strategy) and BENCH_construction.json the graph-construction record
+(micro construction + the Fig. 8 stress variant), written by the same
+record run and gated by the same --compare.
 
 Typical use:
 
@@ -25,6 +27,10 @@ Typical use:
 
     # gate it under AddressSanitizer + UBSan (leaks in the error-drain paths)
     python3 tools/run_scheduler_bench.py --asan
+
+    # peak-RSS probe of the construction benches (massif-friendly: prints
+    # the valgrind command for a full allocation profile)
+    python3 tools/run_scheduler_bench.py --peak-rss
 
 Benchmarks honor REPRO_MAX_THREADS / REPRO_TIMER_CORNERS / REPRO_SCALE from
 the environment (see EXPERIMENTS.md); pin them for stable comparisons.
@@ -52,6 +58,16 @@ ALGO_BENCHES = [
     "bench_algorithms",
 ]
 
+# The graph-construction benches (arena/CSR layout, DESIGN.md §10): emplace
+# and precede throughput at up to 1M nodes plus the scaled-up Fig. 8 timing
+# stress.  They record into BENCH_construction.json and are gated by
+# --compare the same way.  bench_micro_construction also feeds the scheduler
+# record; record/compare runs execute each binary once and reuse the result.
+CONSTRUCTION_BENCHES = [
+    "bench_micro_construction",
+    "bench_fig8_stress",
+]
+
 # Figure harnesses emit machine-readable `CSV,<table>,...` lines next to the
 # human-readable tables.
 FIGURE_BENCHES = [
@@ -72,8 +88,15 @@ def build(build_dir, targets):
     run(["cmake", "--build", build_dir, "-j", "--target"] + targets)
 
 
+# One run per binary per invocation: bench_micro_construction feeds both the
+# scheduler and the construction records, and --compare gates it twice.
+_google_bench_cache = {}
+
+
 def run_google_bench(build_dir, name):
     """Run one google-benchmark binary; returns {bench_name: record}."""
+    if (build_dir, name) in _google_bench_cache:
+        return _google_bench_cache[(build_dir, name)]
     exe = os.path.join(build_dir, "bench", name)
     if not os.path.exists(exe):
         print(f"skipping {name}: {exe} not built", file=sys.stderr)
@@ -102,6 +125,7 @@ def run_google_bench(build_dir, name):
             "iterations": b["iterations"],
             "counters": counters,
         }
+    _google_bench_cache[(build_dir, name)] = results
     return results
 
 
@@ -165,14 +189,17 @@ def attach_deltas(doc, baseline):
 # Every taskflow/support gtest binary the sanitizer gates build and run,
 # including the error-model suites (test_errors/test_cancel/test_diagnostics),
 # the fault-injection harness (test_fault, ctest label "fault"), the
-# multi-client executor suite (test_executor_api, label "executor_api"), and
-# the resilience-policy suite (test_resilience, label "resilience").
+# multi-client executor suite (test_executor_api, label "executor_api"), the
+# resilience-policy suite (test_resilience, label "resilience"), and the
+# graph-memory suite (test_arena, label "arena").  test_alloc is deliberately
+# absent: its operator-new interposer cannot coexist with the sanitizer
+# runtimes, so CMake only builds it in plain trees.
 SANITIZER_TEST_TARGETS = [
     "test_basics", "test_wsq", "test_subflow", "test_algorithms",
     "test_partitioner", "test_executor", "test_dot", "test_dispatch",
     "test_observer", "test_framework", "test_executor_matrix", "test_batch",
     "test_errors", "test_cancel", "test_diagnostics", "test_fault",
-    "test_executor_api", "test_function", "test_resilience",
+    "test_executor_api", "test_function", "test_resilience", "test_arena",
 ]
 
 
@@ -185,6 +212,40 @@ def run_sanitized(build_dir, cmake_flag, label):
     run(["ctest", "--test-dir", build_dir, "--output-on-failure", "-j2",
          "-L", "taskflow|support"])
     print(f"{label}: taskflow + support suites clean")
+
+
+def run_peak_rss(build_dir, benches):
+    """Peak-RSS probe of the construction benches: fork each binary, wait
+    with os.wait4 and report the child's ru_maxrss - the same high-water
+    mark massif tracks, without requiring valgrind in the image.  For a full
+    allocation profile run the printed massif command by hand."""
+    rows = []
+    for name in benches:
+        exe = os.path.join(build_dir, "bench", name)
+        if not os.path.exists(exe):
+            print(f"skipping {name}: {exe} not built", file=sys.stderr)
+            continue
+        print("+", exe, "(peak-RSS probe)", flush=True)
+        pid = os.fork()
+        if pid == 0:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, 1)
+            os.execv(exe, [exe])
+        _, status, rusage = os.wait4(pid, 0)
+        if not (os.WIFEXITED(status) and os.WEXITSTATUS(status) == 0):
+            sys.exit(f"error: {name} exited abnormally (status {status})")
+        rows.append((name, rusage.ru_maxrss))  # KiB on Linux
+
+    if not rows:
+        sys.exit("error: no construction bench binary found")
+    width = max(len(n) for n, _ in rows)
+    print("\npeak RSS (ru_maxrss):")
+    for name, kib in rows:
+        print(f"  {name:<{width}}  {kib / 1024.0:10.1f} MiB")
+    print("\nfor a full heap profile: valgrind --tool=massif "
+          f"{os.path.join(build_dir, 'bench', rows[0][0])} "
+          "--benchmark_filter=<name>")
+    return {name: kib for name, kib in rows}
 
 
 def run_tsan(tsan_dir):
@@ -235,11 +296,14 @@ def compare_record(record_path, benches, build_dir, threshold):
 
 
 def run_compare(args):
-    """Regression gate: re-run the hot-path benches (and, when its record
-    exists, the algorithm benches) and fail when any one regresses beyond the
-    noise threshold against the committed records."""
+    """Regression gate: re-run the hot-path benches (and, when their records
+    exist, the algorithm and construction benches) and fail when any one
+    regresses beyond the noise threshold against the committed records."""
     gate_algorithms = os.path.exists(args.algo_record)
-    benches = GOOGLE_BENCHES + (ALGO_BENCHES if gate_algorithms else [])
+    gate_construction = os.path.exists(args.construction_record)
+    benches = GOOGLE_BENCHES + (ALGO_BENCHES if gate_algorithms else []) \
+        + (CONSTRUCTION_BENCHES if gate_construction else [])
+    benches = list(dict.fromkeys(benches))  # micro_construction appears twice
     if not args.skip_build:
         build(args.build_dir, benches)
 
@@ -253,6 +317,15 @@ def run_compare(args):
     else:
         print(f"note: {args.algo_record} not found, "
               "algorithm benches not gated")
+    if gate_construction:
+        c, r = compare_record(
+            args.construction_record, CONSTRUCTION_BENCHES, args.build_dir,
+            args.threshold)
+        compared += c
+        regressions += r
+    else:
+        print(f"note: {args.construction_record} not found, "
+              "construction benches not gated")
 
     if regressions:
         worst = max(regressions, key=lambda r: r[1])
@@ -294,6 +367,20 @@ def main():
                     help="committed algorithm-bench record gated by --compare")
     ap.add_argument("--skip-algorithms", action="store_true",
                     help="record mode: skip the algorithm benches")
+    ap.add_argument("--construction-output",
+                    default=os.path.join(REPO_ROOT, "BENCH_construction.json"),
+                    help="output of the graph-construction benches "
+                         "(default: BENCH_construction.json)")
+    ap.add_argument("--construction-record",
+                    default=os.path.join(REPO_ROOT, "BENCH_construction.json"),
+                    help="committed construction-bench record gated by "
+                         "--compare")
+    ap.add_argument("--skip-construction", action="store_true",
+                    help="record mode: skip the construction benches")
+    ap.add_argument("--peak-rss", action="store_true",
+                    help="instead of benchmarking, fork the construction "
+                         "benches and report each binary's peak RSS "
+                         "(ru_maxrss)")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="noise threshold for --compare, in percent "
                          "(default: 10)")
@@ -304,6 +391,11 @@ def main():
     if args.asan:
         run_asan(args.asan_dir)
     if args.tsan or args.asan:
+        return
+    if args.peak_rss:
+        if not args.skip_build:
+            build(args.build_dir, CONSTRUCTION_BENCHES)
+        run_peak_rss(args.build_dir, CONSTRUCTION_BENCHES)
         return
     if args.compare:
         run_compare(args)
@@ -320,8 +412,11 @@ def main():
 
     figure_benches = [] if args.skip_figures else FIGURE_BENCHES
     algo_benches = [] if args.skip_algorithms else ALGO_BENCHES
+    construction_benches = [] if args.skip_construction else CONSTRUCTION_BENCHES
     if not args.skip_build:
-        build(args.build_dir, GOOGLE_BENCHES + figure_benches + algo_benches)
+        build(args.build_dir, list(dict.fromkeys(
+            GOOGLE_BENCHES + figure_benches + algo_benches
+            + construction_benches)))
 
     doc = {
         "label": args.label,
@@ -365,6 +460,22 @@ def main():
             json.dump(algo_doc, f, indent=2, sort_keys=True)
             f.write("\n")
         print("wrote", args.algo_output)
+
+    if construction_benches:
+        construction_doc = {
+            "label": args.label,
+            "generated_by": "tools/run_scheduler_bench.py",
+            "host": doc["host"],
+            "env": doc["env"],
+            "google_benchmarks": {},
+        }
+        for name in construction_benches:
+            construction_doc["google_benchmarks"].update(
+                run_google_bench(args.build_dir, name))
+        with open(args.construction_output, "w") as f:
+            json.dump(construction_doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("wrote", args.construction_output)
 
 
 if __name__ == "__main__":
