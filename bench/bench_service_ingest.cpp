@@ -1,0 +1,212 @@
+// bench_service_ingest.cpp - multi-client service-ingest latency under
+// oversubscription (ISSUE 7, DESIGN.md §11).
+//
+// Models a task-graph service: N client threads (default 8, a 4x
+// oversubscription of the default 2 workers) each submit a stream of small
+// two-node request graphs to one shared executor and harvest the results in
+// FIFO order.  Three admission modes, one per process so the peak-RSS
+// high-water mark (getrusage ru_maxrss) isolates each policy's queue buildup:
+//
+//   unbounded  no admission control: every request is accepted immediately
+//              and queues inside the executor.  Accepted-request latency
+//              (admission -> completion) grows linearly with queue depth and
+//              the topology backlog dominates peak RSS.
+//   bounded    max_pending_per_client bounds each client's backlog; run()
+//              blocks the submitter (backpressure) until a slot frees.
+//              Accepted requests see a short bounded queue; the wait moves
+//              to the submission edge where the client can react.
+//   shed       a shed watermark caps the global backlog; excess accepted
+//              requests complete immediately with tf::OverloadError and the
+//              survivors keep bounded latency.
+//
+// Latency is measured from successful admission (run() returning a handle)
+// to completion - the service-level claim of admission control is that
+// *accepted* requests get predictable latency, with overload pushed to the
+// edge (blocking) or converted to explicit shed errors, never into an
+// unbounded invisible queue.  Reported percentiles aggregate all clients.
+//
+// Output: human-readable summary plus a machine-readable CSV line
+//   CSV,service_ingest,<header...> / CSV,service_ingest,<row...>
+// consumed by tools/run_scheduler_bench.py into BENCH_service.json.
+//
+// Knobs: REPRO_SERVICE_MODE      unbounded|bounded|shed (default bounded)
+//        REPRO_SERVICE_CLIENTS   client threads (default 8)
+//        REPRO_SERVICE_REQUESTS  requests per client (default 1500)
+//        REPRO_SERVICE_WORKERS   executor workers (default 2)
+//        REPRO_SERVICE_BOUND     per-client bound / watermark unit (default 4)
+//        REPRO_SERVICE_WORK_US   per-request busy work in us (default 40)
+#include "taskflow/taskflow.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/env.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void busy_spin(std::chrono::microseconds d) {
+  const auto until = Clock::now() + d;
+  while (Clock::now() < until) {
+  }
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+double peak_rss_mib() {
+  // Prefer /proc/self/status VmHWM: unlike ru_maxrss it resets on execve,
+  // so a fork()ing launcher (the python harness) doesn't bequeath its own
+  // resident pages to our high-water mark.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      long kib = 0;
+      if (std::sscanf(line, "VmHWM: %ld kB", &kib) == 1) {
+        std::fclose(f);
+        return static_cast<double>(kib) / 1024.0;
+      }
+    }
+    std::fclose(f);
+  }
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KiB -> MiB on Linux
+}
+
+}  // namespace
+
+int main() {
+  const std::string mode = [] {
+    const char* m = std::getenv("REPRO_SERVICE_MODE");
+    return std::string(m != nullptr ? m : "bounded");
+  }();
+  const auto clients =
+      static_cast<std::size_t>(support::env_int("REPRO_SERVICE_CLIENTS", 8));
+  const auto requests =
+      static_cast<std::size_t>(support::env_int("REPRO_SERVICE_REQUESTS", 1500));
+  const auto workers =
+      static_cast<std::size_t>(support::env_int("REPRO_SERVICE_WORKERS", 2));
+  const auto bound =
+      static_cast<std::size_t>(support::env_int("REPRO_SERVICE_BOUND", 4));
+  const std::chrono::microseconds work_us(
+      support::env_int("REPRO_SERVICE_WORK_US", 40));
+
+  tf::ExecutorOptions opts;  // "unbounded": all knobs zero = no admission
+  if (mode == "bounded") {
+    opts.max_pending_per_client = bound;
+  } else if (mode == "shed") {
+    opts.shed_watermark = clients * bound;
+  } else if (mode != "unbounded") {
+    std::fprintf(stderr, "unknown REPRO_SERVICE_MODE '%s'\n", mode.c_str());
+    return 1;
+  }
+
+  // One request graph per client, outliving the executor drain below.  The
+  // sink node stamps each run's completion time: same-taskflow runs are FIFO
+  // serialized, so the per-client index needs no synchronization, and the
+  // k-th stamp belongs to the k-th run that executed (shed runs never do).
+  std::vector<std::unique_ptr<tf::Taskflow>> graphs;
+  std::vector<std::vector<Clock::time_point>> done_at(clients);
+  std::vector<std::size_t> done_idx(clients, 0);
+  for (std::size_t c = 0; c < clients; ++c) {
+    done_at[c].resize(requests);
+    graphs.push_back(std::make_unique<tf::Taskflow>());
+    auto ingest = graphs.back()->emplace([work_us] { busy_spin(work_us); });
+    auto* stamps = done_at[c].data();
+    auto* cursor = &done_idx[c];
+    ingest.precede(
+        graphs.back()->emplace([stamps, cursor] { stamps[(*cursor)++] = Clock::now(); }));
+  }
+
+  std::vector<std::vector<double>> latencies_us(clients);
+  std::atomic<long> shed_count{0};
+  const auto wall_begin = Clock::now();
+  {
+    tf::Executor executor(workers, opts);
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        auto& flow = *graphs[c];
+        auto& lat = latencies_us[c];
+        lat.reserve(requests);
+        std::vector<tf::ExecutionHandle> handles;
+        std::vector<Clock::time_point> admitted_at;
+        handles.reserve(requests);
+        admitted_at.reserve(requests);
+        for (std::size_t r = 0; r < requests; ++r) {
+          // In bounded mode this blocks at the per-client bound: the wait
+          // lands here, at the edge, not in the accepted-request latency.
+          handles.push_back(executor.run(flow));
+          admitted_at.push_back(Clock::now());
+        }
+        // Successful runs executed in FIFO order: the k-th success pairs
+        // with the k-th completion stamp the sink recorded.
+        std::size_t k = 0;
+        for (std::size_t r = 0; r < requests; ++r) {
+          try {
+            handles[r].get();
+            lat.push_back(std::chrono::duration<double, std::micro>(
+                              done_at[c][k++] - admitted_at[r])
+                              .count());
+          } catch (const tf::OverloadError&) {
+            shed_count.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    executor.wait_for_all();
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - wall_begin)
+          .count();
+
+  std::vector<double> all_us;
+  for (auto& lat : latencies_us) {
+    all_us.insert(all_us.end(), lat.begin(), lat.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  const double p50 = percentile(all_us, 0.50);
+  const double p99 = percentile(all_us, 0.99);
+  const double p999 = percentile(all_us, 0.999);
+  const double rss = peak_rss_mib();
+  const auto completed = static_cast<long>(all_us.size());
+  const double oversub =
+      static_cast<double>(clients) / static_cast<double>(workers);
+
+  std::printf("service ingest: mode=%s clients=%zu requests=%zu workers=%zu "
+              "(%.1fx oversubscription) bound=%zu work=%lldus\n",
+              mode.c_str(), clients, requests, workers, oversub, bound,
+              static_cast<long long>(work_us.count()));
+  std::printf("  completed %ld, shed %ld (%.1f%%), wall %.1f ms\n", completed,
+              shed_count.load(),
+              100.0 * static_cast<double>(shed_count.load()) /
+                  static_cast<double>(clients * requests),
+              wall_ms);
+  std::printf("  accepted-request latency: p50 %.0f us, p99 %.0f us, "
+              "p999 %.0f us; peak RSS %.1f MiB\n",
+              p50, p99, p999, rss);
+
+  std::printf("CSV,service_ingest,mode,clients,requests,workers,bound,"
+              "completed,shed,p50_us,p99_us,p999_us,wall_ms,peak_rss_mib\n");
+  std::printf("CSV,service_ingest,%s,%zu,%zu,%zu,%zu,%ld,%ld,"
+              "%.1f,%.1f,%.1f,%.1f,%.1f\n",
+              mode.c_str(), clients, requests, workers, bound, completed,
+              shed_count.load(), p50, p99, p999, wall_ms, rss);
+  return 0;
+}

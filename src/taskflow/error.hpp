@@ -49,6 +49,28 @@ class ShutdownError : public std::runtime_error {
   explicit ShutdownError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// The admission-control rejection (DESIGN.md §11): thrown by Executor::run
+/// when the executor is at capacity and the submission asked for
+/// AdmissionPolicy::reject (or its backpressure wait exceeded
+/// RunPolicy::admission_timeout), and delivered through the completion future
+/// of a run the executor load-shed while it waited, not yet started, above
+/// the shed watermark.  Distinct from ShutdownError: an overloaded executor
+/// may accept again, a shut-down one never does.
+class OverloadError : public std::runtime_error {
+ public:
+  explicit OverloadError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown (or returned as an empty try_run handle) when the submitting
+/// taskflow's circuit breaker is open: its recent runs failed
+/// `ExecutorOptions::breaker_threshold` times in a row and the cooldown has
+/// not yet admitted a half-open probe.  An OverloadError subtype so callers
+/// treating every fail-fast rejection alike need one catch clause.
+class BreakerOpenError : public OverloadError {
+ public:
+  explicit BreakerOpenError(const std::string& what) : OverloadError(what) {}
+};
+
 namespace detail {
 
 /// Error/cancellation state of one dispatched topology, shared (via

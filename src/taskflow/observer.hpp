@@ -61,6 +61,26 @@ class ExecutorObserverInterface {
   /// (the run will complete with tf::TimeoutError).  Invoked from the timer
   /// or watchdog thread, not from a worker.
   virtual void on_topology_timeout() {}
+
+  // ---- admission-control events (DESIGN.md §11); default no-op so
+  // ---- pre-admission observers compile unchanged ---------------------------
+
+  /// Called on the submitting thread when a run passed admission control
+  /// (only executors with non-default ExecutorOptions admit explicitly, so
+  /// the zero-policy hot path never pays for this hook).
+  virtual void on_topology_admit() {}
+
+  /// Called on the submitting thread when admission control turned a run
+  /// away: AdmissionPolicy::reject at capacity, a backpressure wait that
+  /// exceeded its admission_timeout, an open circuit breaker, or a try_run
+  /// that would have had to block.
+  virtual void on_topology_reject() {}
+
+  /// Called when an admitted but not-yet-started run was load-shed above the
+  /// executor's shed watermark (its future completes with tf::OverloadError).
+  /// Invoked from the submitting thread that pushed the executor over the
+  /// watermark, not from a worker.
+  virtual void on_topology_shed() {}
 };
 
 /// Records per-worker busy intervals with steady-clock timestamps.

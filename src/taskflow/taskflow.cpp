@@ -1,5 +1,6 @@
 #include "taskflow/taskflow.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <functional>
@@ -24,6 +25,21 @@ void throw_if_cyclic(Graph& graph, const char* origin) {
   if (std::string cycle = detail::describe_cycle(graph); !cycle.empty()) {
     throw CycleError(std::string(origin) + ": " + cycle);
   }
+}
+
+// Any knob set makes the executor route submissions through the admission
+// layer; all-defaults keeps the PR 3 unbounded path, which takes no
+// admission lock and fires no admission event.
+bool admission_enabled(const ExecutorOptions& options) {
+  return options.max_pending_topologies != 0 ||
+         options.max_pending_per_client != 0 || options.shed_watermark != 0 ||
+         options.max_concurrent_topologies != 0 || options.breaker_threshold != 0;
+}
+
+int clamp_band(int priority) {
+  return priority < 0 ? 0
+         : priority >= kNumPriorities ? kNumPriorities - 1
+                                      : priority;
 }
 
 }  // namespace
@@ -117,14 +133,21 @@ class AsyncRunPool {
 // Executor
 // ---------------------------------------------------------------------------
 
-Executor::Executor(std::size_t num_workers)
+Executor::Executor(std::size_t num_workers, ExecutorOptions options)
     : _backend(std::make_shared<WorkStealingExecutor>(num_workers)),
-      _async_pool(std::make_unique<detail::AsyncRunPool>()) {}
+      _options(options),
+      _admission_active(admission_enabled(options)),
+      _async_pool(std::make_unique<detail::AsyncRunPool>()) {
+  if (_options.fairness_quantum == 0) _options.fairness_quantum = 1;
+}
 
-Executor::Executor(std::shared_ptr<ExecutorInterface> backend)
+Executor::Executor(std::shared_ptr<ExecutorInterface> backend, ExecutorOptions options)
     : _backend(std::move(backend)),
+      _options(options),
+      _admission_active(admission_enabled(options)),
       _async_pool(std::make_unique<detail::AsyncRunPool>()) {
   if (_backend == nullptr) _backend = std::make_shared<WorkStealingExecutor>();
+  if (_options.fairness_quantum == 0) _options.fairness_quantum = 1;
 }
 
 Executor::~Executor() { shutdown(ShutdownMode::drain); }
@@ -154,6 +177,19 @@ ExecutionHandle Executor::run_until(Taskflow& taskflow, std::function<bool()> st
   return handle_of(submit(taskflow, 1, std::move(stop), policy));
 }
 
+std::optional<ExecutionHandle> Executor::try_run(Taskflow& taskflow, RunPolicy policy) {
+  return try_run_n(taskflow, 1, policy);
+}
+
+std::optional<ExecutionHandle> Executor::try_run_n(Taskflow& taskflow, std::size_t n,
+                                                   RunPolicy policy) {
+  bool rejected = false;
+  auto topology = submit(taskflow, n, nullptr, policy, /*nothrow=*/true, &rejected);
+  if (rejected) return std::nullopt;
+  // nullptr without rejection = empty submission: an engaged ready handle.
+  return handle_of(topology);
+}
+
 void Executor::throw_if_shutdown() const {
   if (_shutdown.load(std::memory_order_acquire)) {
     throw ShutdownError("executor is shut down: new submissions are rejected");
@@ -162,21 +198,67 @@ void Executor::throw_if_shutdown() const {
 
 std::shared_ptr<Topology> Executor::submit(Taskflow& taskflow, std::size_t n,
                                            std::function<bool()> stop,
-                                           RunPolicy policy) {
-  throw_if_shutdown();
+                                           RunPolicy policy, bool nothrow,
+                                           bool* rejected) {
+  if (_shutdown.load(std::memory_order_acquire)) {
+    if (nothrow) {
+      if (rejected != nullptr) *rejected = true;
+      return nullptr;
+    }
+    throw ShutdownError("executor is shut down: new submissions are rejected");
+  }
   if (taskflow.graph().empty() || n == 0) return nullptr;
+
+  // Phase 1: admission (DESIGN.md §11).  Block/reject per the policy before
+  // any allocation; the lock is held across phase 2 so the charged pending
+  // slot cannot be shed or stolen between the verdict and the push.
+  const int band = clamp_band(policy.priority);
+  std::unique_lock<std::mutex> adm(_adm_mutex, std::defer_lock);
+  bool claimed_probe = false;
+  if (_admission_active) {
+    adm.lock();
+    const RejectReason why = admit_locked(adm, taskflow, policy, nothrow, claimed_probe);
+    if (why != RejectReason::none) {
+      adm.unlock();
+      if (why != RejectReason::shutdown) {
+        // A shutdown rejection is NOT an overload signal: no reject event,
+        // no rejected-counter bump (satellite: the two are distinguishable).
+        _adm_rejected.fetch_add(1, std::memory_order_relaxed);
+        if (auto obs = _backend->observer()) obs->on_topology_reject();
+      }
+      if (nothrow) {
+        if (rejected != nullptr) *rejected = true;
+        return nullptr;
+      }
+      switch (why) {
+        case RejectReason::shutdown:
+          throw ShutdownError("executor is shut down: new submissions are rejected");
+        case RejectReason::breaker_open:
+          throw BreakerOpenError(
+              "circuit breaker open: recent runs of this taskflow kept failing");
+        default:
+          throw OverloadError("executor overloaded: admission capacity exhausted");
+      }
+    }
+  }
 
   auto topology = std::make_shared<Topology>(&taskflow.graph());
   topology->_client = this;
   topology->_kind = Topology::RunKind::queued;
   topology->_remaining = n;
   topology->_stop_pred = std::move(stop);
+  topology->_priority = band;
+  if (_admission_active) {
+    topology->_admit = Topology::AdmitState::queued;
+    topology->_cost = std::max<std::size_t>(1, taskflow.graph().size());
+    topology->_breaker_probe = claimed_probe;
+  }
 
-  // Find-or-create the client's run queue, then push under BOTH locks
-  // (registry, then queue - the global lock order): releasing the registry
-  // lock before the push would let a concurrent drain erase the queue and a
-  // concurrent submit create a second one, breaking same-taskflow FIFO
-  // serialization.
+  // Phase 2: find-or-create the client's run queue, then push under BOTH
+  // locks (registry, then queue - the global lock order): releasing the
+  // registry lock before the push would let a concurrent drain erase the
+  // queue and a concurrent submit create a second one, breaking
+  // same-taskflow FIFO serialization.
   std::unique_lock clients_lock(_clients_mutex);
   auto& slot = _clients[&taskflow];
   if (slot == nullptr) slot = std::make_shared<ClientQueue>(&taskflow);
@@ -184,8 +266,8 @@ std::shared_ptr<Topology> Executor::submit(Taskflow& taskflow, std::size_t n,
   std::unique_lock queue_lock(cq->mutex);
   clients_lock.unlock();
 
-  const bool start_now = cq->queue.empty();
-  if (start_now) {
+  const bool head = cq->queue.empty();
+  if (head) {
     // An empty queue means nothing of this taskflow is queued or in flight,
     // so the cycle check (which scratches the graph's join counters) cannot
     // race task execution.  Queued resubmissions skip the re-check: the
@@ -194,6 +276,11 @@ std::shared_ptr<Topology> Executor::submit(Taskflow& taskflow, std::size_t n,
       throw_if_cyclic(taskflow.graph(), "run");
     } catch (...) {
       queue_lock.unlock();
+      if (_admission_active) {
+        unadmit_locked(taskflow, claimed_probe);
+        _adm_cv.notify_all();
+        adm.unlock();
+      }
       // Drop the (empty) queue we may have just registered, re-checking
       // under both locks: a concurrent submit may have pushed meanwhile.
       std::scoped_lock relock(_clients_mutex);
@@ -219,8 +306,293 @@ std::shared_ptr<Topology> Executor::submit(Taskflow& taskflow, std::size_t n,
   if (policy.timeout.count() > 0) arm_deadline(*topology, policy);
   queue_lock.unlock();
 
-  if (start_now) start(*topology);
+  if (!_admission_active) {
+    // The zero-policy hot path: byte-for-byte the pre-admission behavior.
+    if (head) start(*topology);
+    return topology;
+  }
+
+  // Phase 3: start / ring / shed decisions, still under the admission lock.
+  _adm_admitted.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::shared_ptr<Topology>> to_start;
+  std::vector<std::shared_ptr<Topology>> shed_victims;
+  std::vector<std::shared_ptr<ClientQueue>> emptied;
+  if (head) {
+    if (_options.max_concurrent_topologies == 0 ||
+        _adm_started < _options.max_concurrent_topologies) {
+      ++_adm_started;
+      topology->_admit = Topology::AdmitState::started;
+      to_start.push_back(topology);
+    } else {
+      ring_push_locked(cq, band);
+    }
+  }
+  if (_options.shed_watermark > 0) {
+    // Track the run as a shed candidate (lowest band pops first, newest
+    // first within a band), pruning entries of finished/started runs once
+    // they clearly dominate.
+    _adm_shed_stack[band].push_back(topology);
+    std::size_t stacked = 0;
+    for (const auto& stack : _adm_shed_stack) stacked += stack.size();
+    if (stacked > 2 * _adm_pending + 64) {
+      for (auto& stack : _adm_shed_stack) {
+        std::erase_if(stack, [](const std::shared_ptr<Topology>& t) {
+          return t->_admit != Topology::AdmitState::queued;
+        });
+      }
+    }
+    if (_adm_pending > _options.shed_watermark) {
+      shed_to_watermark_locked(shed_victims, emptied);
+    }
+  }
+  adm.unlock();
+
+  for (auto& t : to_start) start(*t);
+  for (auto& victim : shed_victims) finish_shed(victim);  // fires on_topology_shed
+  for (auto& empty_cq : emptied) release_client(empty_cq.get());
+  if (auto obs = _backend->observer()) obs->on_topology_admit();
   return topology;
+}
+
+Executor::RejectReason Executor::admit_locked(std::unique_lock<std::mutex>& adm,
+                                              const Taskflow& taskflow,
+                                              RunPolicy policy, bool nothrow,
+                                              bool& claimed_probe) {
+  const bool bounded_wait = policy.admission_timeout.count() > 0;
+  const auto wait_deadline =
+      std::chrono::steady_clock::now() + policy.admission_timeout;
+  for (;;) {
+    if (_shutdown.load(std::memory_order_acquire)) return RejectReason::shutdown;
+    AdmissionClient& ac = _adm_clients[&taskflow];
+    if (_options.breaker_threshold > 0) {
+      // Fail fast while open-and-cooling or while the half-open probe is
+      // out; an elapsed cooldown falls through and claims the probe below.
+      if (ac.breaker == AdmissionClient::Breaker::open &&
+          std::chrono::steady_clock::now() <
+              ac.opened_at + _options.breaker_cooldown) {
+        return RejectReason::breaker_open;
+      }
+      if (ac.breaker == AdmissionClient::Breaker::half_open && ac.probe_in_flight) {
+        return RejectReason::breaker_open;
+      }
+    }
+    const bool full = (_options.max_pending_topologies != 0 &&
+                       _adm_pending >= _options.max_pending_topologies) ||
+                      (_options.max_pending_per_client != 0 &&
+                       ac.pending >= _options.max_pending_per_client);
+    if (!full) {
+      if (_options.breaker_threshold > 0 &&
+          ac.breaker != AdmissionClient::Breaker::closed) {
+        ac.breaker = AdmissionClient::Breaker::half_open;
+        ac.probe_in_flight = true;
+        claimed_probe = true;
+      }
+      ++_adm_pending;
+      ++ac.pending;
+      return RejectReason::none;
+    }
+    // At capacity.  try_run never waits; a reject policy fails fast; a
+    // block policy waits for the completion/shed side to free capacity
+    // (bounded by admission_timeout when one was given).
+    if (nothrow || policy.admission == AdmissionPolicy::reject) {
+      return RejectReason::overload;
+    }
+    if (bounded_wait) {
+      if (std::chrono::steady_clock::now() >= wait_deadline) {
+        return RejectReason::overload;
+      }
+      _adm_cv.wait_until(adm, wait_deadline);
+    } else {
+      _adm_cv.wait(adm);
+    }
+    // Loop: re-evaluate shutdown, breaker, and capacity after every wake
+    // (the map reference may have been invalidated by a rehash meanwhile).
+  }
+}
+
+void Executor::unadmit_locked(const Taskflow& taskflow, bool claimed_probe) {
+  auto it = _adm_clients.find(&taskflow);
+  if (it != _adm_clients.end()) {
+    if (it->second.pending > 0) --it->second.pending;
+    if (claimed_probe) it->second.probe_in_flight = false;
+  }
+  if (_adm_pending > 0) --_adm_pending;
+}
+
+void Executor::ring_push_locked(const std::shared_ptr<ClientQueue>& cq, int band) {
+  if (cq->in_ring) return;
+  cq->in_ring = true;
+  _adm_ready[band].push_back(cq);
+}
+
+void Executor::dispatch_ready_locked(std::vector<std::shared_ptr<Topology>>& to_start) {
+  const std::size_t limit = _options.max_concurrent_topologies;
+  if (limit == 0) return;
+  bool rescan = true;
+  while (rescan && _adm_started < limit) {
+  rescan = false;
+  for (int band = kNumPriorities - 1; band >= 0 && _adm_started < limit; --band) {
+    auto& ring = _adm_ready[band];
+    std::size_t fruitless = 0;  // consecutive visits that dispatched nothing
+    while (_adm_started < limit && !ring.empty()) {
+      std::shared_ptr<ClientQueue> cq = ring.front();
+      std::shared_ptr<Topology> head;
+      {
+        std::scoped_lock queue_lock(cq->mutex);
+        if (!cq->queue.empty()) head = cq->queue.front();
+      }
+      if (head == nullptr || head->_admit != Topology::AdmitState::queued) {
+        // Stale entry: the head was shed and the queue drained meanwhile.
+        ring.pop_front();
+        cq->in_ring = false;
+        continue;
+      }
+      if (head->_priority != band) {
+        // The client's head changed band since it was ringed (e.g. its old
+        // head was shed): re-home it.  An upward re-home lands in a band
+        // this scan already passed - without a rescan the client would be
+        // stranded until the next completion, which may never come when
+        // nothing else is running.
+        ring.pop_front();
+        _adm_ready[head->_priority].push_back(cq);
+        if (head->_priority > band) rescan = true;
+        continue;
+      }
+      if (cq->deficit < head->_cost) {
+        cq->deficit += _options.fairness_quantum;
+        if (cq->deficit < head->_cost) {
+          if (++fruitless < ring.size()) {
+            ring.pop_front();
+            ring.push_back(cq);  // rotate: cheaper heads go first
+            continue;
+          }
+          // A full fruitless lap: force progress - work conservation beats
+          // idling the slot because every queued head is "too expensive".
+          cq->deficit = head->_cost;
+        }
+      }
+      cq->deficit -= head->_cost;
+      ring.pop_front();
+      cq->in_ring = false;
+      head->_admit = Topology::AdmitState::started;
+      ++_adm_started;
+      to_start.push_back(std::move(head));
+      fruitless = 0;
+    }
+  }
+  }
+}
+
+void Executor::shed_to_watermark_locked(
+    std::vector<std::shared_ptr<Topology>>& victims,
+    std::vector<std::shared_ptr<ClientQueue>>& emptied) {
+  while (_adm_pending > _options.shed_watermark) {
+    std::shared_ptr<Topology> victim;
+    for (int band = 0; band < kNumPriorities && victim == nullptr; ++band) {
+      auto& stack = _adm_shed_stack[band];
+      while (!stack.empty()) {
+        if (stack.back()->_admit == Topology::AdmitState::queued) {
+          victim = std::move(stack.back());
+          stack.pop_back();
+          break;
+        }
+        stack.pop_back();  // started / finished meanwhile: prune in passing
+      }
+    }
+    if (victim == nullptr) break;  // everything pending has already started
+    auto* vcq = static_cast<ClientQueue*>(victim->_client_tag);
+    bool now_empty = false;
+    {
+      std::scoped_lock queue_lock(vcq->mutex);
+      // The newest run of a band sits at/near its deque's back (cross-band
+      // interleaving of one client can offset it): scan from the back.
+      for (auto it = vcq->queue.rbegin(); it != vcq->queue.rend(); ++it) {
+        if (it->get() == victim.get()) {
+          vcq->queue.erase(std::next(it).base());
+          break;
+        }
+      }
+      now_empty = vcq->queue.empty();
+    }
+    victim->_admit = Topology::AdmitState::shed;
+    --_adm_pending;
+    auto it = _adm_clients.find(vcq->owner);
+    if (it != _adm_clients.end() && it->second.pending > 0) --it->second.pending;
+    if (victim->_breaker_probe) {
+      // A shed probe must not wedge the breaker half-open forever.
+      victim->_breaker_probe = false;
+      if (it != _adm_clients.end()) it->second.probe_in_flight = false;
+    }
+    if (now_empty && vcq->in_ring) {
+      // The emptied client's stale ring entry would suppress its next
+      // head submission's ring push (in_ring short-circuit): drop it now.
+      for (auto& ring : _adm_ready) {
+        auto pos = std::find_if(
+            ring.begin(), ring.end(),
+            [vcq](const std::shared_ptr<ClientQueue>& p) { return p.get() == vcq; });
+        if (pos != ring.end()) {
+          ring.erase(pos);
+          break;
+        }
+      }
+      vcq->in_ring = false;
+    }
+    if (now_empty) {
+      emptied.push_back(std::static_pointer_cast<ClientQueue>(victim->_client_hold));
+    }
+    victims.push_back(std::move(victim));
+  }
+  if (!victims.empty()) _adm_cv.notify_all();  // capacity freed
+}
+
+void Executor::finish_shed(const std::shared_ptr<Topology>& victim) {
+  disarm_deadline(*victim);
+  // First-writer capture: a deadline that expired while the run was queued
+  // keeps its TimeoutError (queue time counts as timeout, not shed) — the
+  // shed counter and observer event track only runs that observably
+  // complete as shed, i.e. whose handle will report the OverloadError.
+  const bool won = victim->error_state()->capture(std::make_exception_ptr(
+      OverloadError("run load-shed: executor pending depth exceeded the shed "
+                    "watermark")));
+  if (won) {
+    _adm_shed.fetch_add(1, std::memory_order_relaxed);
+    if (auto obs = _backend->observer()) obs->on_topology_shed();
+  }
+  {
+    std::scoped_lock lock(_done_mutex);
+    _num_topologies.fetch_sub(1, std::memory_order_relaxed);
+    _done_cv.notify_all();
+  }
+  victim->finish();
+}
+
+void Executor::breaker_update_locked(const Taskflow* taskflow, Topology& topology) {
+  auto it = _adm_clients.find(taskflow);
+  if (it == _adm_clients.end()) return;
+  AdmissionClient& ac = it->second;
+  if (topology._breaker_probe) {
+    topology._breaker_probe = false;
+    ac.probe_in_flight = false;
+  }
+  // Failure = the run completed with a stored exception (task error or
+  // deadline).  A cancelled or fallback-degraded run completes cleanly and
+  // counts as success.
+  if (topology.exception() != nullptr) {
+    if (ac.breaker == AdmissionClient::Breaker::half_open ||
+        (ac.breaker == AdmissionClient::Breaker::closed &&
+         ++ac.consecutive_failures >= _options.breaker_threshold)) {
+      ac.breaker = AdmissionClient::Breaker::open;
+      ac.opened_at = std::chrono::steady_clock::now();
+      ac.consecutive_failures = 0;
+      _adm_breaker_trips.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    ac.consecutive_failures = 0;
+    if (ac.breaker != AdmissionClient::Breaker::closed) {
+      ac.breaker = AdmissionClient::Breaker::closed;
+      ac.probe_in_flight = false;
+    }
+  }
 }
 
 std::shared_ptr<Topology> Executor::dispatch_owned(Graph&& graph) {
@@ -337,8 +709,61 @@ void Executor::on_topology_done(Topology& topology) {
     }
   }
   disarm_deadline(*self);  // a finished run's timer must not pin its state
-  if (next != nullptr) start(*next);
-  if (drained) release_client(cq);
+  if (!_admission_active) {
+    if (next != nullptr) start(*next);
+    if (drained) release_client(cq);
+  } else {
+    // Admission bookkeeping: free the pending + concurrency slots, update
+    // the breaker, and refill free slots from the ready rings.  The queue
+    // lock is already released (lock order: _adm_mutex never nests inside
+    // a ClientQueue mutex), and start() runs outside the admission lock.
+    std::vector<std::shared_ptr<Topology>> to_start;
+    {
+      std::scoped_lock adm(_adm_mutex);
+      if (_adm_pending > 0) --_adm_pending;
+      if (_adm_started > 0) --_adm_started;
+      if (_options.breaker_threshold > 0) breaker_update_locked(cq->owner, *self);
+      auto it = _adm_clients.find(cq->owner);
+      if (it != _adm_clients.end()) {
+        if (it->second.pending > 0) --it->second.pending;
+        // GC trivial entries so the map tracks active clients and open /
+        // cooling breakers only (breaker state must survive idle periods).
+        if (it->second.pending == 0 && !it->second.probe_in_flight &&
+            it->second.breaker == AdmissionClient::Breaker::closed &&
+            it->second.consecutive_failures == 0) {
+          _adm_clients.erase(it);
+        }
+      }
+      if (next != nullptr && next->_admit != Topology::AdmitState::queued) {
+        // The front we captured at pop time was shed before we reached this
+        // lock (the shed erased it from the queue): chain to the current
+        // front instead - starting the captured one would finish it twice.
+        std::scoped_lock requeue(cq->mutex);
+        next = cq->queue.empty() ? nullptr : cq->queue.front();
+        if (next != nullptr && next->_admit != Topology::AdmitState::queued) {
+          next = nullptr;
+        }
+      }
+      if (next != nullptr) {
+        if (_options.max_concurrent_topologies == 0) {
+          ++_adm_started;
+          next->_admit = Topology::AdmitState::started;
+          to_start.push_back(next);
+        } else {
+          // With a concurrency cap the freed slot is contended: route the
+          // same-client continuation through the ready ring so the DRR /
+          // priority arbiter picks the next run - direct continuation would
+          // let a deep-queued hot client monopolize the slot it just freed.
+          ring_push_locked(std::static_pointer_cast<ClientQueue>(self->_client_hold),
+                           next->_priority);
+        }
+      }
+      dispatch_ready_locked(to_start);
+      _adm_cv.notify_all();  // a pending slot freed: wake blocked submitters
+    }
+    for (auto& t : to_start) start(*t);
+    if (drained) release_client(cq);
+  }
   {
     std::scoped_lock lock(_done_mutex);
     _num_topologies.fetch_sub(1, std::memory_order_relaxed);
@@ -431,6 +856,13 @@ void Executor::shutdown(ShutdownMode mode) {
   // after an explicit shutdown) all block until the drain completed.
   std::scoped_lock shutdown_lock(_shutdown_mutex);
   _shutdown.store(true, std::memory_order_release);
+  if (_admission_active) {
+    // Submitters blocked in the backpressure wait re-check the flag on wake
+    // and fail with ShutdownError (not OverloadError) instead of waiting for
+    // capacity that may never free.
+    std::scoped_lock adm(_adm_mutex);
+    _adm_cv.notify_all();
+  }
   // Pin every registered run (queued and dispatched) that is still alive.
   // The flag above is already set, so no new run can register concurrently
   // except one that passed throw_if_shutdown() just before it - that run
@@ -563,6 +995,31 @@ void Executor::dump_state(std::ostream& os) const {
   }
   os << "in-flight graph runs: " << num_topologies()
      << ", in-flight asyncs: " << num_asyncs() << "\n";
+  if (_admission_active) {
+    std::scoped_lock adm(_adm_mutex);
+    os << "admission: " << _adm_pending << " pending";
+    if (_options.max_pending_topologies != 0) {
+      os << "/" << _options.max_pending_topologies;
+    }
+    os << ", " << _adm_started << " started";
+    if (_options.max_concurrent_topologies != 0) {
+      os << "/" << _options.max_concurrent_topologies;
+    }
+    std::size_t ringed = 0;
+    for (const auto& ring : _adm_ready) ringed += ring.size();
+    if (ringed > 0) os << ", " << ringed << " client(s) awaiting a slot";
+    os << "; admitted " << num_admitted() << ", rejected " << num_rejected()
+       << ", shed " << num_shed();
+    if (_options.breaker_threshold > 0) {
+      std::size_t open = 0;
+      for (const auto& [owner, ac] : _adm_clients) {
+        if (ac.breaker != AdmissionClient::Breaker::closed) ++open;
+      }
+      os << ", breaker trips " << num_breaker_trips() << " (" << open
+         << " open/half-open)";
+    }
+    os << "\n";
+  }
   std::scoped_lock clients_lock(_clients_mutex);
   for (const auto& [owner, cq] : _clients) {
     std::scoped_lock queue_lock(cq->mutex);

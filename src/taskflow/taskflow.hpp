@@ -58,11 +58,13 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "taskflow/executor.hpp"
 #include "taskflow/flow_builder.hpp"
@@ -214,7 +216,15 @@ class Taskflow : private detail::GraphOwner, public FlowBuilder {
 /// it.  Existing `tf::Framework` code compiles unchanged.
 using Framework = Taskflow;
 
-/// Per-submission execution policy (DESIGN.md §8).  `timeout` bounds the
+/// How Executor::run behaves when admission control is at capacity
+/// (DESIGN.md §11).  Irrelevant on an executor with default ExecutorOptions,
+/// which admits everything.
+enum class AdmissionPolicy : unsigned char {
+  block,   // backpressure: wait for capacity (bounded by admission_timeout)
+  reject,  // fail fast: throw tf::OverloadError instead of waiting
+};
+
+/// Per-submission execution policy (DESIGN.md §8, §11).  `timeout` bounds the
 /// whole submission - every repeat of run_n / run_until shares the one
 /// budget, measured from submission (a run waiting in its taskflow's FIFO
 /// queue spends budget too).  On expiry the run flips into the cooperative
@@ -224,6 +234,73 @@ using Framework = Taskflow;
 /// A zero timeout means unbounded (the default), costing nothing.
 struct RunPolicy {
   std::chrono::nanoseconds timeout{0};
+
+  // ---- admission control (meaningful only on an executor constructed with
+  // ---- non-default ExecutorOptions; see DESIGN.md §11) --------------------
+
+  /// At capacity: apply backpressure (block) or fail fast (reject).
+  AdmissionPolicy admission{AdmissionPolicy::block};
+
+  /// Bound on the backpressure wait of AdmissionPolicy::block: when no
+  /// capacity frees within this budget the submission throws
+  /// tf::OverloadError.  0 = wait indefinitely (the default).
+  std::chrono::nanoseconds admission_timeout{0};
+
+  /// Priority band of the run: 0 = low, 1 = normal (default), 2 = high
+  /// (values are clamped).  Higher bands dispatch first under a
+  /// max_concurrent_topologies limit, and load shedding evicts the lowest
+  /// band first.  Inert when the executor enforces neither.
+  int priority{1};
+};
+
+/// Number of RunPolicy::priority bands (0 = lowest .. kNumPriorities-1).
+inline constexpr int kNumPriorities = 3;
+
+/// Admission-control configuration of an Executor (DESIGN.md §11).  Every
+/// knob defaults to off: a default-constructed ExecutorOptions reproduces the
+/// unbounded PR 3 submission behavior exactly, and the executor then skips
+/// the admission layer entirely - the zero-policy hot path takes no extra
+/// lock and fires no extra event.
+struct ExecutorOptions {
+  /// Upper bound on graph runs admitted but not yet finished, across all
+  /// clients.  At the bound, run() applies its RunPolicy::admission choice
+  /// (backpressure or OverloadError) and try_run returns std::nullopt.
+  /// 0 = unbounded.
+  std::size_t max_pending_topologies{0};
+
+  /// The same bound per client taskflow, so one hot client saturating its
+  /// own allowance cannot consume the global budget.  0 = unbounded.
+  std::size_t max_pending_per_client{0};
+
+  /// Load-shedding high watermark: whenever the pending count exceeds it,
+  /// admitted-but-not-yet-started runs are shed - lowest priority band
+  /// first, newest first within a band - until the count is back at the
+  /// watermark.  A shed run never executes a task; its future completes
+  /// with tf::OverloadError.  Memory stays bounded under sustained
+  /// overload even with AdmissionPolicy-free submitters.  0 = off.
+  std::size_t shed_watermark{0};
+
+  /// Bound on topologies *started* on the worker pool at once.  Admitted
+  /// runs above it wait in their client queues and are dispatched by
+  /// deficit round-robin over clients within strict priority bands, so one
+  /// hot client cannot starve the others.  0 = start at queue head
+  /// immediately (the PR 3 behavior; fairness and priority are then inert).
+  std::size_t max_concurrent_topologies{0};
+
+  /// Deficit-round-robin refill per dispatch visit, in task-node units (a
+  /// run's cost is its graph's node count).  Small quanta interleave
+  /// clients finely; a quantum >= every graph size degrades to plain
+  /// round-robin.
+  std::size_t fairness_quantum{64};
+
+  /// Per-taskflow circuit breaker: after this many consecutive failed runs
+  /// (a run completing with a stored exception; fallback-degraded and
+  /// cancelled runs count as success) the breaker opens and submissions of
+  /// that taskflow fail fast with tf::BreakerOpenError.  After
+  /// `breaker_cooldown` one half-open probe run is admitted: success closes
+  /// the breaker, failure re-opens it for another cooldown.  0 = off.
+  int breaker_threshold{0};
+  std::chrono::nanoseconds breaker_cooldown{std::chrono::seconds(1)};
 };
 
 /// How Executor::shutdown treats work submitted before the call.
@@ -260,13 +337,19 @@ struct WatchdogOptions {
 class Executor : private detail::TopologyClient {
  public:
   /// An executor with a private work-stealing backend of `num_workers`
-  /// threads (default: hardware concurrency).
-  explicit Executor(std::size_t num_workers = std::thread::hardware_concurrency());
+  /// threads (default: hardware concurrency).  `options` configures the
+  /// admission-control layer; the default admits everything unbounded
+  /// (DESIGN.md §11).
+  explicit Executor(std::size_t num_workers = std::thread::hardware_concurrency(),
+                    ExecutorOptions options = {});
 
   /// An executor over an existing pluggable backend (paper §III-E); several
-  /// Executors may share one backend without thread over-subscription.
-  /// Passing nullptr creates a private default work-stealing backend.
-  explicit Executor(std::shared_ptr<ExecutorInterface> backend);
+  /// Executors may share one backend without thread over-subscription
+  /// (admission control stays per-Executor: each front end meters its own
+  /// submissions).  Passing nullptr creates a private default work-stealing
+  /// backend.
+  explicit Executor(std::shared_ptr<ExecutorInterface> backend,
+                    ExecutorOptions options = {});
 
   /// Blocks until all submitted runs and async tasks finished.
   ~Executor();
@@ -295,11 +378,52 @@ class Executor : private detail::TopologyClient {
 
   /// run/run_n/run_until with a RunPolicy: `policy.timeout` deadlines the
   /// whole submission.  On expiry the run drains cooperatively and the
-  /// handle's get() rethrows tf::TimeoutError.
+  /// handle's get() rethrows tf::TimeoutError.  On an executor with
+  /// admission control (non-default ExecutorOptions) the policy also selects
+  /// the at-capacity behavior (block with optional admission_timeout, or
+  /// reject with tf::OverloadError) and the run's priority band.
   ExecutionHandle run(Taskflow& taskflow, RunPolicy policy);
   ExecutionHandle run_n(Taskflow& taskflow, std::size_t n, RunPolicy policy);
   ExecutionHandle run_until(Taskflow& taskflow, std::function<bool()> stop,
                             RunPolicy policy);
+
+  // ---- admission control (DESIGN.md §11) ---------------------------------
+
+  /// Non-blocking, non-throwing submission: like run(), but when the
+  /// executor is at capacity, the taskflow's circuit breaker is open, or
+  /// shutdown() has begun, returns std::nullopt instead of waiting or
+  /// throwing.  An engaged handle means the run was admitted (an empty
+  /// graph yields an engaged, already-ready handle - there was nothing to
+  /// refuse).  `policy.admission`/`admission_timeout` are ignored: try_run
+  /// never waits.
+  std::optional<ExecutionHandle> try_run(Taskflow& taskflow, RunPolicy policy = {});
+  std::optional<ExecutionHandle> try_run_n(Taskflow& taskflow, std::size_t n,
+                                           RunPolicy policy = {});
+
+  /// The admission-control configuration this executor was built with.
+  [[nodiscard]] const ExecutorOptions& options() const noexcept { return _options; }
+
+  /// Runs admitted / turned away (reject policy, admission-timeout expiry,
+  /// open breaker, or a try_run at capacity) / load-shed above the
+  /// watermark since construction.  All zero on a default-options executor.
+  /// num_shed counts runs whose handle reports the shed OverloadError: an
+  /// eviction losing the first-writer race to an already-captured error
+  /// (e.g. a deadline that expired while queued) counts as that outcome,
+  /// not as a shed.
+  [[nodiscard]] std::size_t num_admitted() const noexcept {
+    return _adm_admitted.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t num_rejected() const noexcept {
+    return _adm_rejected.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t num_shed() const noexcept {
+    return _adm_shed.load(std::memory_order_relaxed);
+  }
+
+  /// Times a taskflow's circuit breaker tripped open since construction.
+  [[nodiscard]] std::size_t num_breaker_trips() const noexcept {
+    return _adm_breaker_trips.load(std::memory_order_relaxed);
+  }
 
   /// Start the background watchdog thread: every `options.period` it
   /// enforces expired run deadlines (belt-and-braces over the timer wheel)
@@ -417,22 +541,88 @@ class Executor : private detail::TopologyClient {
 
   /// Per-client FIFO of pending runs; front = the run in flight.  Owned by
   /// the executor (keyed by client address) and kept alive by every queued
-  /// topology, so tear-down never races client destruction.
+  /// topology, so tear-down never races client destruction.  The deficit /
+  /// in_ring fields belong to the admission layer and are touched only
+  /// under _adm_mutex.
   struct ClientQueue {
     explicit ClientQueue(const Taskflow* o) : owner(o) {}
     const Taskflow* owner;
     std::mutex mutex;
     std::deque<std::shared_ptr<Topology>> queue;
+    std::size_t deficit{0};  // deficit-round-robin credit, in node units
+    bool in_ring{false};     // member of exactly one _adm_ready ring
+  };
+
+  /// Per-taskflow admission state, under _adm_mutex.  Separate from
+  /// ClientQueue because it must survive queue teardown: a breaker stays
+  /// open across idle periods in which the registry drops the drained queue.
+  struct AdmissionClient {
+    std::size_t pending{0};  // admitted, not yet finished/shed
+    int consecutive_failures{0};
+    enum class Breaker : unsigned char { closed, open, half_open } breaker{
+        Breaker::closed};
+    std::chrono::steady_clock::time_point opened_at{};
+    bool probe_in_flight{false};
+  };
+
+  /// Why submit() turned a run away (selects the exception / event fired
+  /// outside the admission lock).
+  enum class RejectReason : unsigned char {
+    none,
+    overload,       // at capacity with reject policy / expired wait / try_run
+    breaker_open,   // the taskflow's circuit breaker is open
+    shutdown,       // shutdown() began (NOT an overload: no reject event)
   };
 
   /// Enqueue a (n, stop)-repeat run of `taskflow`; nullptr when there is
   /// nothing to do (empty graph or n == 0).  Starts it immediately when the
-  /// client's queue was empty.  A non-zero `policy.timeout` arms a deadline
-  /// timer on the backend's wheel.  Throws tf::ShutdownError after
-  /// shutdown() began.
+  /// client's queue was empty (and, under admission control, a concurrency
+  /// slot is free).  A non-zero `policy.timeout` arms a deadline timer on
+  /// the backend's wheel.  Throws tf::ShutdownError after shutdown() began
+  /// and tf::OverloadError / tf::BreakerOpenError per the admission verdict
+  /// - unless `nothrow` (the try_run path), which reports the verdict
+  /// through `rejected` instead and never blocks.
   std::shared_ptr<Topology> submit(Taskflow& taskflow, std::size_t n,
                                    std::function<bool()> stop,
-                                   RunPolicy policy = {});
+                                   RunPolicy policy = {}, bool nothrow = false,
+                                   bool* rejected = nullptr);
+
+  /// The admission gate of submit(): blocks/rejects per `policy` until the
+  /// run may enter, then charges the pending counters and claims the
+  /// breaker probe when the taskflow is half-open.  Returns the reject
+  /// reason (none = admitted).  Called with _adm_mutex held.
+  RejectReason admit_locked(std::unique_lock<std::mutex>& adm,
+                            const Taskflow& taskflow, RunPolicy policy,
+                            bool nothrow, bool& claimed_probe);
+
+  /// Undo an admit_locked() charge when the submission fails after
+  /// admission (cycle check).  Called with _adm_mutex held.
+  void unadmit_locked(const Taskflow& taskflow, bool claimed_probe);
+
+  /// Shed admitted-but-unstarted runs (lowest band first, newest first
+  /// within a band) until the pending count is back at the watermark.
+  /// Called with _adm_mutex held; the victims are completed (OverloadError)
+  /// by the caller outside the lock via finish_shed().
+  void shed_to_watermark_locked(std::vector<std::shared_ptr<Topology>>& victims,
+                                std::vector<std::shared_ptr<ClientQueue>>& emptied);
+
+  /// Complete one shed victim outside every lock: disarm its deadline,
+  /// capture OverloadError, decrement the in-flight counters, finish().
+  void finish_shed(const std::shared_ptr<Topology>& victim);
+
+  /// Fill free concurrency slots from the ready rings: strict priority
+  /// across bands, deficit round-robin across clients within one.  Appends
+  /// the dispatched topologies to `to_start` (the caller start()s them
+  /// outside the lock).  Called with _adm_mutex held.
+  void dispatch_ready_locked(std::vector<std::shared_ptr<Topology>>& to_start);
+
+  /// Enqueue `cq` on the ready ring of `band` unless it is already ringed.
+  /// Called with _adm_mutex held.
+  void ring_push_locked(const std::shared_ptr<ClientQueue>& cq, int band);
+
+  /// Update `taskflow`'s breaker with a finished run's outcome (a stored
+  /// exception = failure).  Called with _adm_mutex held.
+  void breaker_update_locked(const Taskflow* taskflow, Topology& topology);
 
   /// Legacy Taskflow::dispatch entry: a one-shot topology owning `graph`,
   /// started immediately (dispatched topologies of one taskflow run
@@ -490,6 +680,28 @@ class Executor : private detail::TopologyClient {
   }
 
   std::shared_ptr<ExecutorInterface> _backend;
+
+  // -- admission control (DESIGN.md §11) -----------------------------------
+  // Lock order: _adm_mutex -> _clients_mutex -> ClientQueue::mutex.  The
+  // completion path pops under the queue lock, RELEASES it, and only then
+  // takes _adm_mutex - never the reverse.  _done_mutex stays a leaf.
+  ExecutorOptions _options;
+  const bool _admission_active{false};  // any knob set? computed once
+  mutable std::mutex _adm_mutex;
+  std::condition_variable _adm_cv;          // backpressure + shed wakeups
+  std::size_t _adm_pending{0};              // admitted, not finished/shed
+  std::size_t _adm_started{0};              // started on the worker pool
+  std::unordered_map<const Taskflow*, AdmissionClient> _adm_clients;
+  // Ready rings (one per band) of clients whose queue head waits for a
+  // concurrency slot, and shed-candidate stacks (newest admitted last; the
+  // stacks hold weak-ish extra refs and are pruned lazily of runs that
+  // started or finished meanwhile).
+  std::deque<std::shared_ptr<ClientQueue>> _adm_ready[kNumPriorities];
+  std::vector<std::shared_ptr<Topology>> _adm_shed_stack[kNumPriorities];
+  std::atomic<std::size_t> _adm_admitted{0};
+  std::atomic<std::size_t> _adm_rejected{0};
+  std::atomic<std::size_t> _adm_shed{0};
+  std::atomic<std::size_t> _adm_breaker_trips{0};
 
   mutable std::mutex _clients_mutex;  // registry of per-taskflow run queues
   std::unordered_map<const Taskflow*, std::shared_ptr<ClientQueue>> _clients;

@@ -188,6 +188,19 @@ class Topology {
   RunKind _kind{RunKind::dispatched};
   std::size_t _remaining{1};                 // repeats left (run_n)
   std::function<bool()> _stop_pred;          // optional stop test (run_until)
+
+  // -- admission-control state (DESIGN.md §11), written and read only under
+  // -- the owning executor's admission lock after submission ----------------
+  enum class AdmitState : unsigned char {
+    immediate,  // admission control off: PR 3 start-at-queue-head semantics
+    queued,     // admitted, waiting in its client queue (sheddable)
+    started,    // dispatched onto the worker pool (no longer sheddable)
+    shed,       // load-shed before it started; future completes with OverloadError
+  };
+  AdmitState _admit{AdmitState::immediate};
+  int _priority{1};       // RunPolicy::priority band, clamped
+  std::size_t _cost{1};   // deficit-round-robin cost: node count of the graph
+  bool _breaker_probe{false};  // this run is its taskflow's half-open probe
   // Deadline timer of the run's RunPolicy; withdrawn from the wheel when the
   // run completes in time (so a finished run's state isn't pinned by it).
   detail::TimerWheel::TimerId _deadline_timer{detail::TimerWheel::kInvalidTimer};

@@ -357,6 +357,46 @@ TEST_P(ExecutorApi, ObserverAttachedMidRunIsSafe) {
   EXPECT_EQ(observer->num_tasks(), 128u);
 }
 
+TEST_P(ExecutorApi, ObserverAttachedMidAdmissionStormIsSafe) {
+  // The attach-mid-run hammer, extended to the admission events: swapping
+  // observers while an admission-controlled executor churns through admits,
+  // rejects, and sheds must be safe (TSan-verified), and the new hooks fire
+  // on whichever observer is attached when each event lands.
+  tf::ExecutorOptions opts;
+  opts.max_pending_per_client = 2;
+  opts.shed_watermark = 6;
+  tf::Executor executor(backend(2), opts);
+  tf::Taskflow taskflow;
+  for (int i = 0; i < 8; ++i) taskflow.emplace([] { std::this_thread::yield(); });
+
+  std::atomic<bool> done{false};
+  std::thread storm([&] {
+    tf::Taskflow mine;
+    mine.emplace([] { std::this_thread::yield(); });
+    for (int i = 0; i < 200; ++i) {
+      std::vector<tf::ExecutionHandle> handles;
+      handles.push_back(executor.run(mine));
+      if (auto h = executor.try_run(mine)) handles.push_back(*h);
+      if (auto h = executor.try_run(mine)) handles.push_back(*h);
+      for (auto& h : handles) {
+        if (h.wait_for(kDeadline) != std::future_status::ready) break;
+        try {
+          h.get();
+        } catch (const tf::OverloadError&) {
+        }
+      }
+    }
+    done = true;
+  });
+  while (!done.load()) {
+    executor.set_observer(std::make_shared<tf::RecordingObserver>());
+    std::this_thread::yield();
+  }
+  storm.join();
+  executor.wait_for_all();
+  EXPECT_EQ(executor.num_topologies(), 0u);
+}
+
 // The acceptance-criteria workload: >= 8 client threads hammering one shared
 // executor with run / run_n / run_until / async, mixed with throwing and
 // cancelled runs plus a shared taskflow contended by every client.  Verifies

@@ -388,6 +388,138 @@ TEST_P(FaultModel, FlakyTasksConvergeUnderConcurrentLoad) {
   EXPECT_EQ(executor.num_topologies(), 0u);
 }
 
+// Overload storm (ISSUE 7): concurrent clients hammer an admission-controlled
+// executor with randomized options - bounds, watermark, concurrency cap,
+// breaker - through every submission flavor (blocking, admission-timeout,
+// reject, try_run, priorities, deadlines) with random cancels and a 25%
+// chance of a mid-storm shutdown.  Every handle must drain within the
+// deadline and the admission counters must balance the per-client outcome
+// tallies exactly: an admitted run resolves as success, shed, timeout, or
+// fault - never silently, never twice.
+TEST_P(FaultModel, OverloadStormDrainsWithCoherentOutcomes) {
+  constexpr int kClients = 5;
+  constexpr int kRounds = 16;
+  const int iters = std::max(3, support::repro_fault_iters() / 8);
+
+  for (int iter = 0; iter < iters; ++iter) {
+    auto rng = stream(50021 + iter);
+    tf::ExecutorOptions opts;
+    opts.max_pending_topologies = 6 + rng.below(6);
+    opts.max_pending_per_client = 2 + rng.below(3);
+    opts.shed_watermark = rng.bernoulli(0.7) ? 3 + rng.below(5) : 0;
+    opts.max_concurrent_topologies = rng.bernoulli(0.5) ? 1 + rng.below(3) : 0;
+    opts.fairness_quantum = 1 + rng.below(64);
+    if (rng.bernoulli(0.5)) {
+      opts.breaker_threshold = 2 + static_cast<int>(rng.below(3));
+      opts.breaker_cooldown = 1ms;
+    }
+    tf::Executor executor(make(2 + rng.below(3)), opts);
+    const bool chaos = rng.bernoulli(0.25);
+    const bool chaos_abort = rng.bernoulli(0.5);
+
+    std::atomic<long> ok{0}, shed{0}, rejected{0}, empty_try{0}, timed{0},
+        faulted{0}, shut{0};
+    std::vector<std::uint64_t> seeds;
+    for (int c = 0; c < kClients; ++c) seeds.push_back(rng());
+
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto crng = support::Xoshiro256(seeds[static_cast<std::size_t>(c)]);
+        tf::Taskflow mine;
+        std::atomic<std::uint64_t> runs{0};
+        const std::uint64_t fault_mask = crng();
+        auto head = mine.emplace([&] {
+          for (int i = 0; i < 16; ++i) std::this_thread::yield();
+          if ((fault_mask >> (runs.fetch_add(1) % 64)) & 1) throw InjectedFault();
+        });
+        head.precede(mine.emplace([] {}));
+
+        std::vector<tf::ExecutionHandle> handles;
+        for (int round = 0; round < kRounds; ++round) {
+          tf::RunPolicy policy;
+          policy.priority = static_cast<int>(crng.below(3));
+          try {
+            switch (crng.below(4)) {
+              case 0: {
+                if (auto h = executor.try_run(mine, policy)) {
+                  handles.push_back(*h);
+                } else {
+                  empty_try++;  // overload - or shutdown, in a chaos round
+                }
+                break;
+              }
+              case 1: {
+                if (crng.bernoulli(0.3)) policy.admission_timeout = 2ms;
+                handles.push_back(executor.run_n(mine, 1 + crng.below(2), policy));
+                break;
+              }
+              case 2: {
+                policy.admission = tf::AdmissionPolicy::reject;
+                handles.push_back(executor.run(mine, policy));
+                break;
+              }
+              default: {
+                policy.timeout = 1ms;  // a deadline racing the queue + run
+                handles.push_back(executor.run(mine, policy));
+                break;
+              }
+            }
+          } catch (const tf::ShutdownError&) {
+            shut++;
+            break;  // the executor is gone for good: stop submitting
+          } catch (const tf::OverloadError&) {
+            rejected++;  // reject policy, admission timeout, or open breaker
+          }
+          if (crng.bernoulli(0.2) && !handles.empty()) {
+            handles[crng.below(handles.size())].cancel();
+          }
+        }
+        for (auto& h : handles) {
+          ASSERT_EQ(h.wait_for(kDrainDeadline), std::future_status::ready)
+              << "client " << c << " iteration " << iter << " stalled\n"
+              << executor.stall_report();
+          try {
+            h.get();
+            ok++;
+          } catch (const tf::TimeoutError&) {
+            timed++;
+          } catch (const tf::OverloadError&) {
+            shed++;  // a load-shed run: completed without executing
+          } catch (const InjectedFault&) {
+            faulted++;
+          }
+        }
+      });
+    }
+    if (chaos) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 + rng.below(8)));
+      executor.shutdown(chaos_abort ? tf::ShutdownMode::abort
+                                    : tf::ShutdownMode::drain);
+    }
+    for (auto& t : clients) t.join();
+    executor.wait_for_all();
+
+    // Conservation: every admitted run resolved exactly once, every shed was
+    // counted, and nothing is left in flight.
+    EXPECT_EQ(executor.num_shed(), static_cast<std::size_t>(shed.load()))
+        << "iteration " << iter;
+    EXPECT_EQ(executor.num_admitted(),
+              static_cast<std::size_t>(ok.load() + shed.load() + timed.load() +
+                                       faulted.load()))
+        << "iteration " << iter;
+    if (!chaos) {
+      // Without a shutdown in the mix, an empty try_run is always an
+      // overload rejection and the executor counted it as one.
+      EXPECT_EQ(executor.num_rejected(),
+                static_cast<std::size_t>(rejected.load() + empty_try.load()))
+          << "iteration " << iter;
+    }
+    EXPECT_EQ(executor.num_topologies(), 0u) << "iteration " << iter;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Executors, FaultModel,
                          ::testing::Values("work_stealing", "simple"),
                          [](const ::testing::TestParamInfo<const char*>& info) {

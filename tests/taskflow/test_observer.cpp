@@ -263,6 +263,81 @@ TEST(Observer, DefaultResilienceHandlersAreNoOps) {
   EXPECT_EQ(obs->exits.load(), 1);    // only the successful one completed
 }
 
+class AdmissionEventObserver final : public tf::ExecutorObserverInterface {
+ public:
+  std::atomic<int> admits{0};
+  std::atomic<int> rejects{0};
+  std::atomic<int> sheds{0};
+  void on_topology_admit() override { admits++; }
+  void on_topology_reject() override { rejects++; }
+  void on_topology_shed() override { sheds++; }
+};
+
+TEST(Observer, AdmissionEventsFireOnAdmissionControlledExecutor) {
+  tf::ExecutorOptions opts;
+  opts.max_pending_per_client = 1;
+  tf::Executor executor(2, opts);
+  auto obs = std::make_shared<AdmissionEventObserver>();
+  executor.set_observer(obs);
+  tf::Taskflow taskflow;
+  std::atomic<bool> gate{false};
+  taskflow.emplace([&] {
+    while (!gate.load() && !tf::this_task::is_cancelled()) std::this_thread::yield();
+  });
+  auto handle = executor.run(taskflow);            // admit
+  EXPECT_FALSE(executor.try_run(taskflow).has_value());  // reject: bound hit
+  gate = true;
+  handle.get();
+  executor.wait_for_all();
+  EXPECT_EQ(obs->admits.load(), 1);
+  EXPECT_EQ(obs->rejects.load(), 1);
+  EXPECT_EQ(obs->sheds.load(), 0);
+}
+
+TEST(Observer, AdmissionEventsSilentOnZeroPolicyExecutor) {
+  // The zero-policy hot path never consults admission control, so the new
+  // hooks must stay silent there (they only fire when a policy is set).
+  tf::Executor executor(2);
+  auto obs = std::make_shared<AdmissionEventObserver>();
+  executor.set_observer(obs);
+  tf::Taskflow taskflow;
+  taskflow.emplace([] {});
+  executor.run(taskflow).get();
+  (void)executor.try_run(taskflow)->get();
+  executor.wait_for_all();
+  EXPECT_EQ(obs->admits.load(), 0);
+  EXPECT_EQ(obs->rejects.load(), 0);
+  EXPECT_EQ(obs->sheds.load(), 0);
+}
+
+TEST(Observer, DefaultAdmissionHandlersAreNoOps) {
+  // A pre-admission observer (CountingObserver overrides none of the new
+  // hooks) must compile and run unchanged through admits, rejects, sheds.
+  tf::ExecutorOptions opts;
+  opts.max_pending_per_client = 2;
+  opts.shed_watermark = 2;
+  tf::Executor executor(1, opts);
+  auto obs = std::make_shared<CountingObserver>();
+  executor.set_observer(obs);
+  tf::Taskflow a, b;
+  std::atomic<bool> gate{false};
+  a.emplace([&] {
+    while (!gate.load() && !tf::this_task::is_cancelled()) std::this_thread::yield();
+  });
+  b.emplace([] {});
+  auto ha = executor.run(a);                       // admit (started, parked)
+  auto hq = executor.run(a);                       // admit (queued behind ha)
+  EXPECT_FALSE(executor.try_run(a).has_value());   // reject (client bound)
+  auto hb = executor.run(b);                       // admit: 3 > 2, sheds hq
+  EXPECT_THROW(hq.get(), tf::OverloadError);
+  gate = true;
+  ha.get();
+  hb.get();
+  executor.wait_for_all();
+  EXPECT_EQ(obs->entries.load(), 2);  // a's gated run and b's; never hq
+  EXPECT_EQ(obs->exits.load(), 2);
+}
+
 TEST(RecordingObserver, IntervalAccessorsExposeNames) {
   auto executor = tf::make_executor(1);
   auto obs = std::make_shared<tf::RecordingObserver>();

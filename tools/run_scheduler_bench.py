@@ -8,9 +8,11 @@ produced by an earlier run - attaches per-benchmark percentage deltas.
 The committed BENCH_scheduler.json at the repository root is the output of
 this script with the seed revision as baseline; BENCH_algorithms.json is the
 algorithm-pattern record (partitioners vs the legacy per-chunk-node
-strategy) and BENCH_construction.json the graph-construction record
-(micro construction + the Fig. 8 stress variant), written by the same
-record run and gated by the same --compare.
+strategy), BENCH_construction.json the graph-construction record
+(micro construction + the Fig. 8 stress variant), and BENCH_service.json
+the admission-control service-ingest record (per-mode accepted-latency
+percentiles + peak RSS), all written by the same record run and gated by
+the same --compare.
 
 Typical use:
 
@@ -75,6 +77,15 @@ FIGURE_BENCHES = [
     "bench_fig7_traversal",
     "bench_fig10_scalability",
 ]
+
+# The service-ingest bench (admission control, DESIGN.md §11) runs once per
+# admission mode in its own process so the peak-RSS high-water mark isolates
+# each policy's queue buildup.  It records into BENCH_service.json; --compare
+# gates the bounded and shed accepted-latency p99 (the unbounded mode is the
+# overload baseline - its p99 IS the backlog, reported informationally).
+SERVICE_BENCH = "bench_service_ingest"
+SERVICE_MODES = ["unbounded", "bounded", "shed"]
+SERVICE_GATED_MODES = ["bounded", "shed"]
 
 
 def run(cmd, **kwargs):
@@ -154,6 +165,79 @@ def run_figure_bench(build_dir, name):
     return tables
 
 
+def run_service_bench(build_dir):
+    """Run the service-ingest bench once per admission mode (separate
+    processes: ru_maxrss is a per-process high-water mark); returns
+    {mode: row dict} from the CSV lines."""
+    exe = os.path.join(build_dir, "bench", SERVICE_BENCH)
+    if not os.path.exists(exe):
+        print(f"skipping {SERVICE_BENCH}: {exe} not built", file=sys.stderr)
+        return {}
+    modes = {}
+    for mode in SERVICE_MODES:
+        env = dict(os.environ, REPRO_SERVICE_MODE=mode)
+        print("+", exe, f"(REPRO_SERVICE_MODE={mode})", flush=True)
+        proc = subprocess.run([exe], check=True, capture_output=True,
+                              text=True, env=env)
+        header = None
+        for line in proc.stdout.splitlines():
+            if not line.startswith("CSV,service_ingest,"):
+                continue
+            cells = line.split(",")[2:]
+            if header is None:
+                header = cells
+                continue
+            row = {}
+            for key, cell in zip(header, cells):
+                try:
+                    row[key] = float(cell)
+                except ValueError:
+                    row[key] = cell
+            modes[row.pop("mode", mode)] = row
+    return modes
+
+
+def compare_service(record_path, build_dir, threshold):
+    """Re-run the service bench and gate accepted-latency p99 of the gated
+    modes against the committed record; returns (compared, regressions)."""
+    try:
+        with open(record_path) as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read record {record_path}: {e}")
+    recorded = record.get("service_ingest", {})
+    if not recorded:
+        sys.exit(f"error: {record_path} has no service_ingest section")
+    current = run_service_bench(build_dir)
+
+    regressions, compared = [], 0
+    print(f"\ncomparing against {record_path} "
+          f"(label: {record.get('label', '?')}, "
+          f"threshold: +{threshold:.0f}% on accepted p99)")
+    for mode in SERVICE_MODES:
+        if mode not in current or mode not in recorded:
+            continue
+        delta = pct(recorded[mode].get("p99_us"), current[mode].get("p99_us"))
+        if mode not in SERVICE_GATED_MODES:
+            print(f"  service_ingest/{mode:<9}  p99 "
+                  f"{recorded[mode]['p99_us']:10.1f} us"
+                  f" -> {current[mode]['p99_us']:10.1f} us"
+                  f"  {delta:+6.1f}%  (informational)")
+            continue
+        compared += 1
+        verdict = "ok"
+        if delta is not None and delta > threshold:
+            verdict = "REGRESSION"
+            regressions.append((f"service_ingest/{mode}/p99_us", delta))
+        print(f"  service_ingest/{mode:<9}  p99 "
+              f"{recorded[mode]['p99_us']:10.1f} us"
+              f" -> {current[mode]['p99_us']:10.1f} us"
+              f"  {delta:+6.1f}%  {verdict}")
+    if compared == 0:
+        sys.exit(f"error: no service mode overlaps with {record_path}")
+    return compared, regressions
+
+
 def pct(before, after):
     if before is None or before == 0:
         return None
@@ -200,6 +284,7 @@ SANITIZER_TEST_TARGETS = [
     "test_observer", "test_framework", "test_executor_matrix", "test_batch",
     "test_errors", "test_cancel", "test_diagnostics", "test_fault",
     "test_executor_api", "test_function", "test_resilience", "test_arena",
+    "test_admission",
 ]
 
 
@@ -301,8 +386,10 @@ def run_compare(args):
     regresses beyond the noise threshold against the committed records."""
     gate_algorithms = os.path.exists(args.algo_record)
     gate_construction = os.path.exists(args.construction_record)
+    gate_service = os.path.exists(args.service_record)
     benches = GOOGLE_BENCHES + (ALGO_BENCHES if gate_algorithms else []) \
-        + (CONSTRUCTION_BENCHES if gate_construction else [])
+        + (CONSTRUCTION_BENCHES if gate_construction else []) \
+        + ([SERVICE_BENCH] if gate_service else [])
     benches = list(dict.fromkeys(benches))  # micro_construction appears twice
     if not args.skip_build:
         build(args.build_dir, benches)
@@ -326,6 +413,14 @@ def run_compare(args):
     else:
         print(f"note: {args.construction_record} not found, "
               "construction benches not gated")
+    if gate_service:
+        c, r = compare_service(
+            args.service_record, args.build_dir, args.service_threshold)
+        compared += c
+        regressions += r
+    else:
+        print(f"note: {args.service_record} not found, "
+              "service-ingest bench not gated")
 
     if regressions:
         worst = max(regressions, key=lambda r: r[1])
@@ -377,6 +472,20 @@ def main():
                          "--compare")
     ap.add_argument("--skip-construction", action="store_true",
                     help="record mode: skip the construction benches")
+    ap.add_argument("--service-output",
+                    default=os.path.join(REPO_ROOT, "BENCH_service.json"),
+                    help="output of the service-ingest admission bench "
+                         "(default: BENCH_service.json)")
+    ap.add_argument("--service-record",
+                    default=os.path.join(REPO_ROOT, "BENCH_service.json"),
+                    help="committed service-ingest record gated by --compare")
+    ap.add_argument("--skip-service", action="store_true",
+                    help="record mode: skip the service-ingest bench")
+    ap.add_argument("--service-threshold", type=float, default=25.0,
+                    help="noise threshold for the service-ingest p99 gate, "
+                         "in percent (default: 25 - latency percentiles on "
+                         "an oversubscribed small host are noisier than "
+                         "throughput means)")
     ap.add_argument("--peak-rss", action="store_true",
                     help="instead of benchmarking, fork the construction "
                          "benches and report each binary's peak RSS "
@@ -413,10 +522,11 @@ def main():
     figure_benches = [] if args.skip_figures else FIGURE_BENCHES
     algo_benches = [] if args.skip_algorithms else ALGO_BENCHES
     construction_benches = [] if args.skip_construction else CONSTRUCTION_BENCHES
+    service_benches = [] if args.skip_service else [SERVICE_BENCH]
     if not args.skip_build:
         build(args.build_dir, list(dict.fromkeys(
             GOOGLE_BENCHES + figure_benches + algo_benches
-            + construction_benches)))
+            + construction_benches + service_benches)))
 
     doc = {
         "label": args.label,
@@ -476,6 +586,19 @@ def main():
             json.dump(construction_doc, f, indent=2, sort_keys=True)
             f.write("\n")
         print("wrote", args.construction_output)
+
+    if service_benches:
+        service_doc = {
+            "label": args.label,
+            "generated_by": "tools/run_scheduler_bench.py",
+            "host": doc["host"],
+            "env": doc["env"],
+            "service_ingest": run_service_bench(args.build_dir),
+        }
+        with open(args.service_output, "w") as f:
+            json.dump(service_doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("wrote", args.service_output)
 
 
 if __name__ == "__main__":
