@@ -7,7 +7,11 @@
 //     spin-then-park phase on vs off; reports num_parks / num_wakes so the
 //     park/wake churn reduction is directly visible;
 //   * external submit: many small topologies dispatched from a non-worker
-//     thread, exercising the central-queue batch hand-off.
+//     thread, exercising the central-queue batch hand-off;
+//   * iterative convergence: N laps of a tiny pipeline, as one in-graph
+//     condition loop (one topology, the condition re-arms the body) vs
+//     run_until resubmission (one topology per lap) - the per-iteration
+//     cost of in-graph control flow vs the submit/arm/retire cycle.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -132,6 +136,84 @@ void BM_ExternalSubmit(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ExternalSubmit)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The per-lap pipeline of the iterative-convergence pair below: a chain of
+// kPipelineDepth tasks, the shape of one optimization step in the paper's
+// motivating applications.  Both variants execute the same chain per lap;
+// they differ only in who drives the next lap - an in-graph condition
+// (re-fires the chain head, nothing else is touched) or the executor's
+// repeat machinery (re-arms every node of the topology and resubmits).
+constexpr int kPipelineDepth = 8;
+
+// N laps where the chain's last task is the convergence condition itself
+// (the idiomatic in-graph loop: do the tail work, return the branch): the
+// whole convergence is ONE topology, each lap costing exactly kPipelineDepth
+// node executions with no submission, re-arming, or retirement.
+void BM_IterativeConditionLoop(benchmark::State& state) {
+  const int laps = static_cast<int>(state.range(0));
+  tf::Executor executor(static_cast<std::size_t>(state.range(1)));
+  tf::Taskflow flow;
+  int lap = 0;
+  long value = 0;
+  auto init = flow.emplace([&] { lap = 0; });
+  std::vector<tf::Task> chain;
+  for (int i = 0; i < kPipelineDepth; ++i) {
+    chain.push_back(flow.emplace([&] { ++value; }));
+    if (i > 0) chain[i - 1].precede(chain[i]);
+  }
+  chain.back().work([&]() -> int {
+    ++value;
+    return ++lap < laps ? 0 : 1;
+  });
+  auto done = flow.emplace([] {});
+  init.precede(chain.front());
+  chain.back().precede(chain.front());  // branch 0: next lap
+  chain.back().precede(done);           // branch 1: converged
+  for (auto _ : state) {
+    executor.run(flow).get();
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["laps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * laps, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IterativeConditionLoop)
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The same convergence via executor resubmission: run_until re-runs the
+// chain until the predicate trips, paying a topology re-arm (every node's
+// counters) plus the repeat bookkeeping per lap.  laps/s here vs the
+// condition loop above is the per-iteration saving of in-graph control flow.
+void BM_IterativeRunUntil(benchmark::State& state) {
+  const int laps = static_cast<int>(state.range(0));
+  tf::Executor executor(static_cast<std::size_t>(state.range(1)));
+  tf::Taskflow flow;
+  int lap = 0;
+  long value = 0;
+  std::vector<tf::Task> chain;
+  for (int i = 0; i < kPipelineDepth; ++i) {
+    chain.push_back(flow.emplace([&] { ++value; }));
+    if (i > 0) chain[i - 1].precede(chain[i]);
+  }
+  chain.back().work([&] {
+    ++value;
+    ++lap;
+  });
+  for (auto _ : state) {
+    lap = 0;
+    executor.run_until(flow, [&] { return lap >= laps; }).get();
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["laps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * laps, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IterativeRunUntil)
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,8 +1,13 @@
-// framework_loop.cpp - build one task dependency graph and re-run it many
-// times without reconstruction (the iterative inner-loop pattern of the
-// paper's motivating applications: one optimization step = one run of the
-// same analysis graph).  Executor-centric API: the reusable graph is a plain
-// tf::Taskflow and tf::Executor::run_n queues the repeats.
+// framework_loop.cpp - three ways to iterate one task dependency graph (the
+// inner-loop pattern of the paper's motivating applications: one
+// optimization step = one run of the same analysis graph):
+//
+//   1. an in-graph condition loop: a condition task loops the graph back on
+//      itself, so the whole convergence runs inside ONE topology with no
+//      per-iteration submission (second paper's conditional tasking),
+//   2. executor resubmission: tf::Executor::run_n queues the repeats of a
+//      reusable graph (one topology per iteration),
+//   3. the paper-era dispatch model: rebuild the graph every iteration.
 //
 //   build/examples/framework_loop [iterations]
 #include <cstdlib>
@@ -40,12 +45,51 @@ int main(int argc, char** argv) {
   merge.gather(std::vector<tf::Task>{stat_sum, stat_sq});
 
   tf::Executor executor(4);
+
+  // Variant 1: the loop lives inside the graph.  A condition task checks
+  // convergence after the merge; branch 0 re-arms the pipeline body, branch
+  // 1 exits.  One run() covers all iterations - the scheduler re-fires the
+  // visited nodes without re-arming the topology.
+  int lap = 0;
+  tf::Taskflow looped;
+  auto init = looped.emplace([&] { lap = 0; }).name("init");
+  auto lscale = looped.emplace([&] {
+    for (double& v : signal) v *= gain;
+  }).name("scale");
+  auto lsum = looped.emplace([&] {
+    sum = std::accumulate(signal.begin(), signal.end(), 0.0);
+  }).name("sum");
+  auto lsq = looped.emplace([&] {
+    sum_sq = 0.0;
+    for (double v : signal) sum_sq += v * v;
+  }).name("sum_sq");
+  auto lmerge = looped.emplace([&] {
+    energy = sum_sq / (1.0 + sum);
+    gain = 0.999;
+  }).name("merge");
+  auto check = looped.emplace([&] {
+    return ++lap < iterations ? 0 : 1;  // 0: next lap, 1: converged
+  }).name("converged?");
+  auto done = looped.emplace([] {}).name("done");
+  init.precede(lscale);
+  lscale.precede(lsum, lsq);
+  lmerge.gather(std::vector<tf::Task>{lsum, lsq});
+  lmerge.precede(check);
+  check.precede(lscale);  // weak back-edge: the in-graph loop
+  check.precede(done);
+
+  support::Stopwatch sw0;
+  executor.run(looped).get();
+  std::cout << iterations << " laps of an in-graph condition loop in "
+            << sw0.elapsed_ms() << " ms (energy = " << energy << ")\n";
+
+  // Variant 2: resubmission of a reusable graph, one topology per iteration.
   support::Stopwatch sw;
   executor.run_n(pipeline, static_cast<std::size_t>(iterations)).get();
   std::cout << iterations << " runs of a 4-task graph in " << sw.elapsed_ms()
             << " ms (energy = " << energy << ")\n";
 
-  // Contrast: the paper-era dispatch model rebuilds the graph per iteration
+  // Variant 3: the paper-era dispatch model rebuilds the graph per iteration
   // (still compiles - the legacy API is shimmed over the executor).
   support::Stopwatch sw2;
   for (int i = 0; i < iterations; ++i) {

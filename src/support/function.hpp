@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <memory>
 #include <new>
+#include <stdexcept>
 #include <type_traits>
 #include <utility>
 
@@ -88,13 +89,60 @@ class SmallFunction<R(Args...), Capacity> {
     return _ops->invoke(_buffer, std::forward<Args>(args)...);
   }
 
+  /// True when the held target can be duplicated with clone() (it is
+  /// copy-constructible); empty wrappers report false.
+  [[nodiscard]] bool clonable() const noexcept {
+    return _ops != nullptr && _ops->clone != nullptr;
+  }
+
+  /// Duplicate the held target (module-task graph instantiation needs one
+  /// independent copy of each work item per composition site).  Throws
+  /// std::logic_error when the target is move-only; cloning an empty wrapper
+  /// yields an empty wrapper.
+  [[nodiscard]] SmallFunction clone() const {
+    SmallFunction out;
+    if (_ops == nullptr) return out;
+    if (_ops->clone == nullptr) {
+      throw std::logic_error(
+          "SmallFunction::clone: target is not copy-constructible");
+    }
+    _ops->clone(out._buffer, _buffer);
+    out._ops = _ops;
+    return out;
+  }
+
  private:
   struct Ops {
     R (*invoke)(void* buffer, Args&&... args);
     void (*relocate)(void* dst, void* src) noexcept;  // move into dst, destroy src
     void (*destroy)(void* buffer) noexcept;
+    void (*clone)(void* dst, const void* src);  // null: target is move-only
     bool inline_stored;
   };
+
+  template <typename D>
+  static constexpr auto inline_clone_fn() noexcept {
+    using Fn = void (*)(void*, const void*);
+    if constexpr (std::is_copy_constructible_v<D>) {
+      return Fn{[](void* dst, const void* src) {
+        ::new (dst) D(*std::launder(static_cast<const D*>(src)));
+      }};
+    } else {
+      return Fn{nullptr};
+    }
+  }
+
+  template <typename D>
+  static constexpr auto heap_clone_fn() noexcept {
+    using Fn = void (*)(void*, const void*);
+    if constexpr (std::is_copy_constructible_v<D>) {
+      return Fn{[](void* dst, const void* src) {
+        ::new (dst) D*(new D(**std::launder(static_cast<const D* const*>(src))));
+      }};
+    } else {
+      return Fn{nullptr};
+    }
+  }
 
   template <typename D>
   static constexpr Ops inline_ops{
@@ -107,6 +155,7 @@ class SmallFunction<R(Args...), Capacity> {
         s->~D();
       },
       [](void* buffer) noexcept { std::launder(static_cast<D*>(buffer))->~D(); },
+      inline_clone_fn<D>(),
       true};
 
   template <typename D>
@@ -119,6 +168,7 @@ class SmallFunction<R(Args...), Capacity> {
         ::new (dst) D*(*std::launder(static_cast<D**>(src)));
       },
       [](void* buffer) noexcept { delete *std::launder(static_cast<D**>(buffer)); },
+      heap_clone_fn<D>(),
       false};
 
   void move_from(SmallFunction& rhs) noexcept {

@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <sstream>
+#include <variant>
 
 namespace tf {
 
@@ -29,15 +30,51 @@ std::string node_label(const Node& n) {
   return n.name().empty() ? node_id(n) : dot_escape(n.name());
 }
 
-void emit_node(std::ostream& os, const Node& n) {
-  os << "  \"" << node_id(n) << "\" [label=\"" << node_label(n) << "\"];\n";
-  for (const Node* succ : n.successors()) {
-    os << "  \"" << node_id(n) << "\" -> \"" << node_id(*succ) << "\";\n";
+// `prefix` namespaces node ids inside a module cluster: one target graph
+// composed into several parents is rendered once per module node, and the
+// copies must not share DOT identifiers (DOT would merge them).
+void emit_node(std::ostream& os, const Node& n, const std::string& prefix) {
+  const std::string id = prefix + node_id(n);
+  os << "  \"" << id << "\" [label=\"" << node_label(n) << "\"";
+  if (n.is_condition()) {
+    os << " shape=diamond";  // in-graph control flow, second paper Fig. 4
+  } else if (n.is_module()) {
+    os << " shape=box3d";  // composed taskflow, second paper Fig. 5
   }
-  if (n._subgraph != nullptr && !n._subgraph->empty()) {
-    os << "  subgraph \"cluster_" << node_id(n) << "\" {\n"
+  os << "];\n";
+  std::size_t branch = 0;
+  for (const Node* succ : n.successors()) {
+    os << "  \"" << id << "\" -> \"" << prefix << node_id(*succ) << "\"";
+    if (n.is_condition()) {
+      // Weak edge: fires on selection, not on join.  The label is the
+      // branch index the condition must return to take it.
+      os << " [style=dashed label=\"" << branch << "\"]";
+    }
+    os << ";\n";
+    ++branch;
+  }
+  if (n.is_module()) {
+    // The composed taskflow, boxed as a cluster: the live expansion when the
+    // module already ran (dump_topologies), else the referenced target.  Ids
+    // are namespaced per module node so a target shared between modules (or
+    // an unexpanded target also dumped standalone) renders per-module.
+    const Graph* body = nullptr;
+    if (n._subgraph != nullptr && !n._subgraph->empty()) {
+      body = n._subgraph.get();
+    } else if (const auto* mod = std::get_if<ModuleWork>(&n._work);
+               mod != nullptr && mod->target != nullptr && !mod->target->empty()) {
+      body = mod->target;
+    }
+    if (body != nullptr) {
+      os << "  subgraph \"cluster_" << id << "\" {\n"
+         << "    label=\"Module: " << node_label(n) << "\";\n";
+      for (const auto& child : *body) emit_node(os, child, id + "_");
+      os << "  }\n";
+    }
+  } else if (n._subgraph != nullptr && !n._subgraph->empty()) {
+    os << "  subgraph \"cluster_" << id << "\" {\n"
        << "    label=\"Subflow: " << node_label(n) << "\";\n";
-    for (const auto& child : *n._subgraph) emit_node(os, child);
+    for (const auto& child : *n._subgraph) emit_node(os, child, prefix);
     os << "  }\n";
   }
 }
@@ -46,7 +83,7 @@ void emit_node(std::ostream& os, const Node& n) {
 
 void dump_dot(std::ostream& os, const Graph& graph, const std::string& title) {
   os << "digraph \"" << dot_escape(title) << "\" {\n";
-  for (const auto& node : graph) emit_node(os, node);
+  for (const auto& node : graph) emit_node(os, node, {});
   os << "}\n";
 }
 

@@ -101,8 +101,10 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
   // deadline expired) skips the user work of every remaining node but still
   // runs the finalize bookkeeping below: join counters, joined-subflow
   // parents, and the live-task count all reach their terminal state, so the
-  // topology terminates cleanly instead of leaking stuck nodes.  Skipped
-  // tasks are not reported to the observer (they never executed).
+  // topology terminates cleanly instead of leaking stuck nodes.  A skipped
+  // condition selects no branch, so in-graph loops break between iterations.
+  // Skipped tasks are not reported to the observer (they never executed).
+  int selected = -1;  // branch a condition task chose; -1 = none
   if (!err->draining()) {
     TlsErrorGuard guard(err);  // visibility for tf::this_task::is_cancelled
     try {
@@ -110,12 +112,28 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
         if (obs) obs->on_entry(worker_id, *node);
         std::get<StaticWork>(node->_work)();
         if (obs) obs->on_exit(worker_id, *node);
+      } else if (auto* cond = std::get_if<ConditionWork>(&node->_work)) {
+        if (obs) obs->on_entry(worker_id, *node);
+        const int branch = cond->fn();
+        // An out-of-range branch is a captured error (same path as a throw:
+        // retry/fallback compose, then first-writer capture + drain), never
+        // a silent no-op - a typo'd index must not end a loop cleanly.
+        if (branch < 0 || branch >= static_cast<int>(node->num_successors())) {
+          throw std::out_of_range(
+              "condition task" +
+              (node->name().empty() ? std::string{} : " \"" + node->name() + "\"") +
+              " returned branch " + std::to_string(branch) + " but has " +
+              std::to_string(node->num_successors()) + " successor(s)");
+        }
+        cond->last_branch.store(branch, std::memory_order_relaxed);
+        selected = branch;
+        if (obs) obs->on_exit(worker_id, *node);
       } else if (std::holds_alternative<DynamicWork>(node->_work) && !node->_spawned) {
         node->_spawned = true;
         // Recycle a previous run's (or attempt's) subgraph in place: the
-        // nodes are destroyed but the arena slabs stay, so run_n replays and
-        // retries of a dynamic task rebuild their subflow with no heap
-        // traffic.
+        // nodes are destroyed but the arena slabs stay, so run_n replays,
+        // retries, and in-graph loop laps of a dynamic task rebuild their
+        // subflow with no heap traffic.
         if (node->_subgraph != nullptr) {
           node->_subgraph->recycle();
         } else {
@@ -127,45 +145,27 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
         std::get<DynamicWork>(node->_work)(builder);
         if (obs) obs->on_exit(worker_id, *node);
 
-        Graph& sub = *node->_subgraph;
-        if (!sub.empty()) {
-          // A cyclic subflow could never complete; surface a descriptive
-          // error through the topology instead of hanging wait_for_all.
-          if (std::string cycle = detail::describe_cycle(sub); !cycle.empty()) {
-            throw CycleError(node->name().empty()
-                                 ? "spawned subflow: " + cycle
-                                 : "subflow of \"" + node->name() + "\": " + cycle);
-          }
-          node->_detached = builder.detached();
-          sub.finalize_edges();  // pack spilled successor arrays (CSR step)
-          // Reused per-thread scratch: the sources are consumed by
-          // schedule_batch below (which only enqueues, never runs tasks
-          // inline) and workers process one task at a time, so reuse across
-          // invocations - and thus across run_n subflow respawns - is safe
-          // and keeps replays allocation-free.
-          static thread_local std::vector<Node*> sources;
-          sources.clear();
-          for (auto& child : sub) {
-            child._topology = node->_topology;
-            child._join_counter.store(child._static_dependents,
-                                      std::memory_order_relaxed);
-            if (!builder.detached()) child._parent = node;
-            if (child._static_dependents == 0) sources.push_back(&child);
-          }
-          // Children become live tasks of the same topology before any of
-          // them can possibly run, so the topology cannot complete early.
-          node->_topology->add_active(static_cast<long>(sub.size()));
+        if (dispatch_subgraph(node, builder.detached())) {
+          return;  // joined: finalization deferred to the last child
+        }
+      } else if (std::holds_alternative<ModuleWork>(node->_work) && !node->_spawned) {
+        node->_spawned = true;
+        // Module expansion: instantiate a private copy of the composed
+        // Taskflow's graph into this node's subgraph (recycled in place,
+        // like a dynamic respawn) and run it as a joined subflow.  Copying
+        // is what lets one target run inside several parents concurrently.
+        if (node->_subgraph != nullptr) {
+          node->_subgraph->recycle();
+        } else {
+          node->_subgraph = std::make_unique<Graph>();
+        }
+        if (obs) obs->on_entry(worker_id, *node);
+        detail::instantiate(*std::get<ModuleWork>(node->_work).target,
+                            *node->_subgraph);
+        if (obs) obs->on_exit(worker_id, *node);
 
-          if (!builder.detached()) {
-            // Joined subflow: defer this node's finalization until every
-            // child has finished (the last child triggers it through
-            // _join_counter).
-            node->_join_counter.store(static_cast<int>(sub.size()),
-                                      std::memory_order_release);
-            schedule_batch(sources);
-            return;
-          }
-          schedule_batch(sources);
+        if (dispatch_subgraph(node, /*detached=*/false)) {
+          return;  // finalization deferred to the last child
         }
       }
       // Placeholder (monostate) nodes fall through: they only synchronize.
@@ -229,31 +229,113 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
   // released by finalizing joined-subflow parents) and publish them as one
   // batch: one fence and one wake pass instead of one per successor.
   detail::ReadyBatch ready;
-  finalize(node, ready);
+  finalize(node, ready, selected);
   if (!ready.empty()) schedule_batch(ready.data(), ready.size());
 }
 
-void ExecutorInterface::finalize(Node* node, detail::ReadyBatch& ready) {
-  // Release successors whose dependents all finished.  The successor arrays
-  // were packed contiguously at arm()/spawn time, so this walk is linear.
-  for (Node* succ : node->successors()) {
-    if (succ->_join_counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      ready.push(succ);
+bool ExecutorInterface::dispatch_subgraph(Node* node, bool detached) {
+  Graph& sub = *node->_subgraph;
+  if (sub.empty()) return false;
+  // A subflow that could never complete (a pure-static cycle, or no source
+  // task at all) must surface a descriptive error through the topology
+  // instead of hanging wait_for_all; condition-guarded cycles pass.
+  if (std::string cycle = detail::describe_cycle(sub); !cycle.empty()) {
+    throw CycleError(node->name().empty()
+                         ? "spawned subflow: " + cycle
+                         : "subflow of \"" + node->name() + "\": " + cycle);
+  }
+  node->_detached = detached;
+  sub.finalize_edges();  // pack spilled successor arrays (CSR step)
+  // Reused per-thread scratch: the sources are consumed by schedule_batch
+  // below (which only enqueues, never runs tasks inline) and workers process
+  // one task at a time, so reuse across invocations - and thus across run_n
+  // subflow respawns - is safe and keeps replays allocation-free.
+  static thread_local std::vector<Node*> sources;
+  sources.clear();
+  for (auto& child : sub) {
+    child._topology = node->_topology;
+    child._join_counter.store(child.num_strong_dependents(),
+                              std::memory_order_relaxed);
+    if (!detached) child._parent = node;
+    if (child._static_dependents == 0) sources.push_back(&child);
+  }
+  // Scheduled-count accounting: only the child *sources* are scheduled here;
+  // every further child execution is netted in by its scheduler's finalize.
+  // The count is added before any child can possibly run, so the topology
+  // cannot complete early.
+  node->_topology->add_active(static_cast<long>(sources.size()));
+
+  if (!detached) {
+    // Joined subflow: defer this node's finalization until every child
+    // execution has finished.  The node's join counter doubles as the count
+    // of scheduled-but-unfinished child executions (same netting as the
+    // topology counter); the child that brings it to zero finalizes us.
+    node->_join_counter.store(static_cast<int>(sources.size()),
+                              std::memory_order_release);
+    schedule_batch(sources);
+    return true;
+  }
+  schedule_batch(sources);
+  return false;
+}
+
+void ExecutorInterface::finalize(Node* node, detail::ReadyBatch& ready,
+                                 int selected) {
+  // Restore this node's join counter for in-graph loop re-entry (a condition
+  // downstream may select this node again) *before* releasing successors: a
+  // released successor chain could loop back and start decrementing it
+  // concurrently.  For acyclic graphs the restored value is simply re-armed
+  // state for the next run_n repeat.
+  const int strong = node->num_strong_dependents();
+  if (strong > 0) {
+    node->_join_counter.store(strong, std::memory_order_relaxed);
+  }
+  // A re-selected dynamic/module node re-expands on the next lap (its
+  // subgraph slabs are recycled in place - no per-iteration allocation).
+  if (node->_spawned) node->_spawned = false;
+
+  // Release successors.  A condition schedules exactly its selected branch,
+  // overriding the successor's join (weak-edge semantics); everything else
+  // joins: the successor arrays were packed contiguously at arm()/spawn
+  // time, so this walk is linear.
+  long scheduled = 0;
+  if (node->is_condition()) {
+    if (selected >= 0 && selected < static_cast<int>(node->num_successors())) {
+      Node* branch = node->successor_data()[selected];
+      branch->_join_counter.store(0, std::memory_order_relaxed);
+      ready.push(branch);
+      scheduled = 1;
+    }
+  } else {
+    for (Node* succ : node->successors()) {
+      if (succ->_join_counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        ready.push(succ);
+        ++scheduled;
+      }
     }
   }
 
+  // Scheduled-count netting: this execution retires (-1) and `scheduled`
+  // further executions begin.  A task that released exactly one successor -
+  // the linear-chain hot path - nets to zero and skips the shared atomics
+  // entirely.
+  const long delta = scheduled - 1;
   Node* parent = node->_parent;
   Topology* topology = node->_topology;
   assert(topology != nullptr);
-  topology->retire_one();
 
-  // Joined-subflow bookkeeping: the last finishing child finalizes the
-  // parent (which releases the parent's successors), recursing upward
-  // through nested subflows.
-  if (parent != nullptr &&
-      parent->_join_counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    finalize(parent, ready);
+  // Joined-subflow bookkeeping: the parent's join counter tracks scheduled-
+  // but-unfinished child executions; the child that nets it to zero
+  // finalizes the parent (which releases the parent's successors), recursing
+  // upward through nested subflows.
+  if (parent != nullptr && delta != 0 &&
+      parent->_join_counter.fetch_add(static_cast<int>(delta),
+                                      std::memory_order_acq_rel) +
+              static_cast<int>(delta) ==
+          0) {
+    finalize(parent, ready, -1);
   }
+  if (delta != 0) topology->retire_delta(delta);
 }
 
 void ExecutorInterface::dump_state(std::ostream& os) const {

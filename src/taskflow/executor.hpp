@@ -170,10 +170,19 @@ class ExecutorInterface {
   /// between executor implementations.
   void run_task(std::size_t worker_id, Node* node);
 
-  /// Collect a finished node's ready successors into `ready`, notify its
-  /// joined-subflow parent, and retire it from its topology.  Does not
-  /// schedule anything itself: the caller publishes `ready` in one batch.
-  void finalize(Node* node, detail::ReadyBatch& ready);
+  /// Collect a finished node's ready successors into `ready` (for a
+  /// condition node, exactly its `selected` branch - or nothing when
+  /// selected is -1), notify its joined-subflow parent, and net the
+  /// execution into its topology's scheduled count.  Does not schedule
+  /// anything itself: the caller publishes `ready` in one batch.
+  void finalize(Node* node, detail::ReadyBatch& ready, int selected = -1);
+
+  /// Arm and schedule the (freshly built or instantiated) subgraph of
+  /// `node`.  Returns true when the node's finalization is deferred to the
+  /// last child of a joined subflow; false when there is nothing to wait for
+  /// (empty subgraph, or a detached one).  Throws CycleError on a subgraph
+  /// that could never complete.
+  bool dispatch_subgraph(Node* node, bool detached);
 
   /// Stop and join the timer wheel thread if one exists.  Every derived
   /// destructor MUST call this before tearing down its own scheduling state:

@@ -37,6 +37,7 @@
 namespace tf {
 
 class SubflowBuilder;
+class Taskflow;
 
 namespace detail {
 
@@ -48,6 +49,20 @@ inline constexpr bool is_dynamic_work_v = std::is_invocable_r_v<void, C, Subflow
 
 template <typename C>
 inline constexpr bool is_static_work_v = std::is_invocable_r_v<void, C>;
+
+/// A no-argument callable returning exactly `int` is a *condition* task
+/// (second Taskflow paper §III-C): the returned value selects which successor
+/// to fire.  Checked after the dynamic test and before the static one -
+/// is_static_work_v accepts int-returning callables too (the result would be
+/// discarded), so the ordering is what gives `int()` its control-flow
+/// meaning.
+template <typename C, typename = void>
+struct condition_work_trait : std::false_type {};
+template <typename C>
+struct condition_work_trait<C, std::void_t<std::invoke_result_t<C>>>
+    : std::is_same<std::decay_t<std::invoke_result_t<C>>, int> {};
+template <typename C>
+inline constexpr bool is_condition_work_v = condition_work_trait<C>::value;
 
 /// Maps element indices of a range [first, first + n) back to iterators so
 /// the range workers can operate in index space regardless of iterator
@@ -172,6 +187,15 @@ class FlowBuilder {
   /// pre-allocate storage when the callable target is not yet known
   /// (paper §III-A).
   Task placeholder() { return Task(_graph->emplace_back()); }
+
+  /// Compose another Taskflow into this graph as one *module* task (second
+  /// Taskflow paper §III-D): the module node holds a non-owning reference to
+  /// `target`'s graph and, when it runs, instantiates a private copy of that
+  /// graph and executes it as a joined subflow - so the same Taskflow can be
+  /// composed into several parents that run concurrently.  `target` must
+  /// outlive every run of this graph and every task it stores must be
+  /// copy-constructible.  Defined in taskflow.hpp (needs Taskflow complete).
+  Task composed_of(Taskflow& target);
 
   /// Pre-size the graph arena for `nodes` emplaces and `edges` precede
   /// calls (Graph::reserve): the fast path for graphs of known shape -
@@ -562,15 +586,32 @@ Task& Task::fallback(C&& callable) {
 // SubflowBuilder to be complete.
 template <typename C>
 Task& Task::work(C&& callable) {
+  const bool was_condition = _node->is_condition();
   // emplace<> constructs the wrapper in place inside the node's variant; a
   // temporary + move would pay an extra relocation per task on the graph
   // construction hot path.
   if constexpr (detail::is_dynamic_work_v<C>) {
     _node->_work.emplace<DynamicWork>(std::forward<C>(callable));
+  } else if constexpr (detail::is_condition_work_v<C>) {
+    _node->_work.emplace<ConditionWork>(std::forward<C>(callable));
   } else {
     static_assert(detail::is_static_work_v<C>,
                   "a task callable must be invocable with () or (SubflowBuilder&)");
     _node->_work.emplace<StaticWork>(std::forward<C>(callable));
+  }
+  // The placeholder pattern assigns work after edges exist: when the node's
+  // kind flips to or from condition, its out-edges change strength, so the
+  // successors' weak-dependent counts must follow.
+  if (const bool now_condition = _node->is_condition();
+      now_condition != was_condition) {
+    Node* const* succ = _node->successor_data();
+    for (std::uint32_t i = 0; i < _node->_num_successors; ++i) {
+      if (now_condition) {
+        ++succ[i]->_weak_dependents;
+      } else {
+        --succ[i]->_weak_dependents;
+      }
+    }
   }
   return *this;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -18,6 +20,10 @@ void Node::precede(Node& v) {
   }
   successor_data()[_num_successors++] = &v;
   ++v._static_dependents;
+  // Edges out of a condition task are weak: they fire on branch selection
+  // and must not count toward the successor's join.  Task::work keeps these
+  // counts consistent when a callable is assigned after edges exist.
+  if (is_condition()) ++v._weak_dependents;
   // Acyclicity witness, maintained as edges are built: an edge into an
   // earlier-created node (or a self-loop) breaks the "creation order is a
   // topological order" invariant, so dispatch must run the full check.
@@ -114,25 +120,46 @@ std::string describe_cycle(Graph& g, std::size_t max_named) {
     if (forward) return {};
   }
 
+  // Cycles are legal exactly when every lap passes through a condition task
+  // (an in-graph loop, second Taskflow paper §III-C): the condition re-arms
+  // the loop body one branch at a time, so execution cannot deadlock on it.
+  // The check therefore runs over *strong* edges only - in-degrees exclude
+  // weak (condition-out) edges and condition successors are not decremented.
+  // A strongly-connected lap with no condition on it is a genuine deadlock
+  // and stays an error.
   static thread_local std::vector<Node*> worklist;
   worklist.clear();
   worklist.reserve(g.size());
   for (auto& node : g) {
-    node._join_counter.store(node._static_dependents, std::memory_order_relaxed);
-    if (node._static_dependents == 0) worklist.push_back(&node);
+    node._join_counter.store(node.num_strong_dependents(),
+                             std::memory_order_relaxed);
+    if (node.num_strong_dependents() == 0) worklist.push_back(&node);
   }
   std::size_t processed = 0;
   while (!worklist.empty()) {
     Node* n = worklist.back();
     worklist.pop_back();
     ++processed;
+    if (n->is_condition()) continue;  // weak out-edges: no join contribution
     for (Node* succ : n->successors()) {
       const int remaining = succ->_join_counter.load(std::memory_order_relaxed) - 1;
       succ->_join_counter.store(remaining, std::memory_order_relaxed);
       if (remaining == 0) worklist.push_back(succ);
     }
   }
-  if (processed == g.size()) return {};
+  if (processed == g.size()) {
+    // Strong-acyclic, but a control-flow graph still needs an entry point:
+    // when every task has a predecessor (e.g. a condition loop with no way
+    // in), dispatch would schedule nothing and the run could never finish.
+    // Checked only on this path - a pure-static cycle below is the better
+    // diagnostic, and the fast-accept above implies node 0 is a source.
+    for (const auto& node : g) {
+      if (node._static_dependents == 0) return {};
+    }
+    if (g.empty()) return {};
+    return "graph has no source task (every task has a predecessor), so no "
+           "task can ever start";
+  }
 
   // Error path only: recover one concrete cycle with a colored DFS over the
   // unprocessed remainder (counter > 0 = on or downstream of a cycle).
@@ -154,6 +181,14 @@ std::string describe_cycle(Graph& g, std::size_t max_named) {
     path = {&root};
     while (!stack.empty() && cycle_text.empty()) {
       auto& [node, next] = stack.back();
+      // Condition out-edges are legal back-edges: never walk them, so the
+      // named cycle consists of strong edges only.
+      if (node->is_condition()) {
+        color[node] = 2;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
       if (next < node->num_successors()) {
         Node* succ = node->successor_data()[next++];
         if (succ->_join_counter.load(std::memory_order_relaxed) == 0) continue;
@@ -183,6 +218,54 @@ std::string describe_cycle(Graph& g, std::size_t max_named) {
   return "dependency cycle detected (" + std::to_string(g.size() - processed) +
          " of " + std::to_string(g.size()) +
          " task(s) can never become ready): " + cycle_text;
+}
+
+void instantiate(const Graph& src, Graph& dst) {
+  assert(dst.empty());
+  std::size_t edges = 0;
+  for (const Node& s : src) edges += s.num_successors();
+  dst.reserve(src.size(), edges);
+  // Pass 1: nodes, work items, policies, names.  Work is assigned before any
+  // edge exists so precede() below classifies edge strength (strong vs weak)
+  // from the copied source kinds.  The variant is copied by hand: its
+  // alternatives hold move-only wrappers (SmallFunction) and an atomic, so
+  // plain copy-assignment is unavailable - clone() duplicates the callables
+  // and rejects move-only targets with a descriptive error.
+  for (const Node& s : src) {
+    Node& d = dst.emplace_back();
+    switch (s._work.index()) {
+      case 1:
+        d._work.emplace<StaticWork>(std::get<StaticWork>(s._work).clone());
+        break;
+      case 2:
+        d._work.emplace<DynamicWork>(std::get<DynamicWork>(s._work).clone());
+        break;
+      case 3:
+        d._work.emplace<ConditionWork>(std::get<ConditionWork>(s._work).fn.clone());
+        break;
+      case 4:
+        d._work.emplace<ModuleWork>(std::get<ModuleWork>(s._work));
+        break;
+      default:
+        break;  // monostate placeholder
+    }
+    if (s._policy != nullptr) {
+      auto policy = std::make_unique<ResiliencePolicy>();
+      policy->retry = s._policy->retry;
+      if (s._policy->fallback) policy->fallback = s._policy->fallback.clone();
+      d._policy = std::move(policy);
+    }
+    if (const std::string& name = src.node_name(s); !name.empty()) {
+      dst.set_node_name(d, name);
+    }
+  }
+  // Pass 2: edges, mapped through creation indices (identical in the copy).
+  for (const Node& s : src) {
+    Node& d = dst.node_at(static_cast<std::size_t>(s._creation_index));
+    for (const Node* succ : s.successors()) {
+      d.precede(dst.node_at(static_cast<std::size_t>(succ->_creation_index)));
+    }
+  }
 }
 
 }  // namespace detail

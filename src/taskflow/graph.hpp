@@ -56,6 +56,37 @@ using StaticWork = support::SmallFunction<void(), kWorkCapacity>;
 /// subflow at runtime.
 using DynamicWork = support::SmallFunction<void(SubflowBuilder&), kWorkCapacity>;
 
+/// Inline capture capacity of a condition callable.  Smaller than
+/// kWorkCapacity so that ConditionWork (callable + last-branch scratch) stays
+/// no larger than StaticWork and the Node's work variant - and therefore the
+/// Node itself - does not grow; larger captures fall back to one heap
+/// allocation, exactly like oversized static work.
+inline constexpr std::size_t kConditionCapacity = 24;
+
+/// Work of a condition task (control-flow graph model, second Taskflow paper
+/// §III-C): the callable returns the index of the successor to schedule; all
+/// other successors stay idle.  Out-of-range indices are captured as errors
+/// by the executor.  `last_branch` records the most recent selection (-1
+/// before the first execution / when no branch was taken) for diagnostics -
+/// atomic so stall reports can read it while a loop is running.
+struct ConditionWork {
+  support::SmallFunction<int(), kConditionCapacity> fn;
+  std::atomic<int> last_branch{-1};
+
+  template <typename C>
+    requires(!std::is_same_v<std::decay_t<C>, ConditionWork>)
+  explicit ConditionWork(C&& callable) : fn(std::forward<C>(callable)) {}
+};
+
+/// Work of a module task (Taskflow composition, second paper §III-D): a
+/// non-owning reference to another Taskflow's graph.  At execution the
+/// executor instantiates (deep-copies) the target into the module node's
+/// private subgraph and runs it as a joined subflow, so one Taskflow can be
+/// composed into several concurrently running parents.
+struct ModuleWork {
+  Graph* target{nullptr};
+};
+
 /// Per-task retry policy (Task::retry): how often and with what delay a
 /// throwing task is re-attempted before the failure is surfaced.
 struct RetryPolicy {
@@ -284,6 +315,34 @@ class Node {
   [[nodiscard]] bool is_dynamic() const noexcept {
     return std::holds_alternative<DynamicWork>(_work);
   }
+  /// True when this node holds an int()-returning condition callable.
+  [[nodiscard]] bool is_condition() const noexcept {
+    return std::holds_alternative<ConditionWork>(_work);
+  }
+  /// True when this node is a module task (composed_of another Taskflow).
+  [[nodiscard]] bool is_module() const noexcept {
+    return std::holds_alternative<ModuleWork>(_work);
+  }
+
+  /// Predecessor counts split by edge kind: an edge from a condition task is
+  /// *weak* (it fires on branch selection, not on join), every other edge is
+  /// *strong* (it decrements the join counter).  num_dependents() stays the
+  /// total of both.
+  [[nodiscard]] int num_weak_dependents() const noexcept {
+    return _weak_dependents;
+  }
+  [[nodiscard]] int num_strong_dependents() const noexcept {
+    return _static_dependents - _weak_dependents;
+  }
+
+  /// Branch index the condition callable returned most recently: -1 before
+  /// the first execution, when no branch was taken (error/fallback/drain),
+  /// or when this is not a condition node.  Safe to call concurrently with
+  /// execution (diagnostics).
+  [[nodiscard]] int last_branch() const noexcept {
+    const auto* cond = std::get_if<ConditionWork>(&_work);
+    return cond == nullptr ? -1 : cond->last_branch.load(std::memory_order_relaxed);
+  }
 
   /// True once this node has spawned a (non-empty or empty) subflow.
   [[nodiscard]] bool has_subgraph() const noexcept { return _subgraph != nullptr; }
@@ -314,7 +373,8 @@ class Node {
   }
 
   Graph* _graph{nullptr};  // owning graph: arena for edge spill, name table
-  std::variant<std::monostate, StaticWork, DynamicWork> _work;
+  std::variant<std::monostate, StaticWork, DynamicWork, ConditionWork, ModuleWork>
+      _work;
   // Successor storage: the inline array while _succ_capacity stays at
   // kInlineSuccessors, an arena-allocated chunk once it spills.  Same 24
   // bytes as the std::vector it replaced, but growth allocates from the
@@ -329,14 +389,18 @@ class Node {
   std::atomic<int> _join_counter{0};  // pending dependents (or pending subflow
                                       // children once spawned); reset at dispatch
   int _creation_index{0};             // position in the owning graph's build order
-  // The flags pack into the ints' tail padding: Node must stay <= 128 bytes
-  // (two cache lines) so arena slabs hold a round number of cache-aligned
-  // nodes - construction throughput is directly proportional to nodes per
-  // slab allocation.
-  bool _has_backward_edge{false};     // some successor was created before this
-                                      // node - the cheap acyclicity witness fails
-  bool _spawned{false};               // dynamic work already expanded
-  bool _detached{false};              // subflow spawned by this node detached
+  // The flags and the weak-dependent count pack into the ints' tail padding:
+  // Node must stay <= 128 bytes (two cache lines) so arena slabs hold a
+  // round number of cache-aligned nodes - construction throughput is
+  // directly proportional to nodes per slab allocation.
+  bool _has_backward_edge : 1 {false};  // some successor was created before this
+                                        // node - the cheap acyclicity witness fails
+  bool _spawned : 1 {false};            // dynamic/module work already expanded
+  bool _detached : 1 {false};           // subflow spawned by this node detached
+  // Predecessors that are condition tasks (weak edges).  uint16_t keeps the
+  // node at 128 bytes; 65k condition predecessors on one node is far past
+  // any sane control-flow graph.
+  std::uint16_t _weak_dependents{0};
   std::unique_ptr<Graph> _subgraph;   // spawned subflow; recycled across runs
   // Retry/fallback policy, absent (nullptr) on the overwhelming majority of
   // nodes: one pointer of storage, dereferenced only on the failure path.
@@ -547,6 +611,14 @@ namespace detail {
 /// run while `g` is not executing; Topology::arm / the subflow spawn path
 /// re-initialize the counters right afterwards.
 [[nodiscard]] std::string describe_cycle(Graph& g, std::size_t max_named = 8);
+
+/// Deep-copy `src` into `dst` (which must be empty - freshly constructed or
+/// recycled): the module-task instantiation step.  Work items, names,
+/// resilience policies, and edges (with their strong/weak classification)
+/// are all duplicated; nested module references are copied as references and
+/// expand recursively at execution.  Throws std::logic_error when a work
+/// item is move-only (a composed Taskflow must hold copyable callables).
+void instantiate(const Graph& src, Graph& dst);
 
 }  // namespace detail
 

@@ -46,6 +46,18 @@ class Task {
   /// True when the node carries no callable yet.
   [[nodiscard]] bool is_placeholder() const noexcept { return _node->is_placeholder(); }
 
+  /// True when this task is a condition task (int()-returning callable whose
+  /// result selects the successor to fire).
+  [[nodiscard]] bool is_condition() const noexcept { return _node->is_condition(); }
+
+  /// True when this task is a module task (composed_of another Taskflow).
+  [[nodiscard]] bool is_module() const noexcept { return _node->is_module(); }
+
+  /// For condition tasks: the branch index returned by the most recent
+  /// execution, or -1 before the first run / when no branch was taken.
+  /// Always -1 for non-condition tasks.
+  [[nodiscard]] int last_branch() const noexcept { return _node->last_branch(); }
+
   /// Adds dependency links: *this runs before every task in `others...`
   /// (variadic, paper Listing 3: `a1.precede(a2, b2)`).
   template <typename... Ts>

@@ -1029,21 +1029,39 @@ void Executor::dump_state(std::ostream& os) const {
       // this stays race-free while the graph executes (unlike a recursive
       // graph-size walk, which would chase subflow pointers mid-spawn).
       const auto& front = cq->queue.front();
-      os << "; running: " << front->num_active() << " unfinished task(s)";
-      // Resilience policies of the running graph: top-level nodes only (the
-      // list is immutable during the run; subflows are not chased mid-spawn).
+      os << "; running: " << front->num_active()
+         << " in-flight task execution(s)";
+      // Resilience policies and node kinds of the running graph: top-level
+      // nodes only (the list is immutable during the run; subflows are not
+      // chased mid-spawn).  Condition nodes report their last-returned
+      // branch index (-1 = not yet taken), which is what makes a stuck
+      // in-graph loop diagnosable: a loop that stopped converging shows the
+      // same branch lap after lap.
       std::size_t with_policy = 0;
       int failed_attempts = 0;
+      std::size_t modules = 0;
+      std::size_t node_index = 0;
+      std::string conditions;
       for (const auto& node : front->graph()) {
         if (const auto* pol = node.resilience()) {
           ++with_policy;
           failed_attempts += pol->failed_attempts.load(std::memory_order_relaxed);
         }
+        if (node.is_module()) ++modules;
+        if (node.is_condition()) {
+          if (!conditions.empty()) conditions += ", ";
+          conditions += node.name().empty() ? "task#" + std::to_string(node_index)
+                                            : "\"" + node.name() + "\"";
+          conditions += " last_branch=" + std::to_string(node.last_branch());
+        }
+        ++node_index;
       }
       if (with_policy > 0) {
         os << "; " << with_policy << " task(s) with retry/fallback policies ("
            << failed_attempts << " failed attempt(s) so far)";
       }
+      if (modules > 0) os << "; " << modules << " module task(s)";
+      if (!conditions.empty()) os << "; condition(s): " << conditions;
       detail::ErrorState* state = front->error_state();
       if (auto d = state->deadline()) {
         const auto remaining =
@@ -1172,8 +1190,23 @@ std::string Taskflow::stall_report() const {
   std::size_t i = 0;
   for (const auto& topology : _dispatched) {
     const long active = topology->num_active();
-    os << "topology " << i++ << ": " << active << " unfinished task(s) of "
-       << topology->graph().size_recursive();
+    os << "topology " << i++ << ": " << active
+       << " in-flight task execution(s) over "
+       << topology->graph().size_recursive() << " node(s)";
+    std::size_t node_index = 0;
+    for (const auto& node : topology->graph()) {
+      if (node.is_condition()) {
+        os << "; condition "
+           << (node.name().empty() ? "task#" + std::to_string(node_index)
+                                   : "\"" + node.name() + "\"")
+           << " last_branch=" << node.last_branch();
+      } else if (node.is_module()) {
+        os << "; module "
+           << (node.name().empty() ? "task#" + std::to_string(node_index)
+                                   : "\"" + node.name() + "\"");
+      }
+      ++node_index;
+    }
     if (topology->is_cancelled()) {
       os << (topology->exception() ? " [draining: task exception]"
                                    : " [draining: cancelled]");

@@ -732,4 +732,12 @@ class Executor : private detail::TopologyClient {
   WatchdogOptions _watchdog_options;
 };
 
+// Defined here (declared in flow_builder.hpp) because it needs Taskflow
+// complete to reach the composed graph.
+inline Task FlowBuilder::composed_of(Taskflow& target) {
+  Task task = placeholder();
+  task._node->_work.emplace<ModuleWork>(ModuleWork{&target.graph()});
+  return task;
+}
+
 }  // namespace tf

@@ -20,12 +20,14 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "taskflow/error.hpp"
@@ -84,22 +86,36 @@ class Topology {
     // them; a no-op on every re-arm (run_n repeats) once the graph settled.
     _graph->finalize_edges();
     _sources.clear();
-    _num_active.store(static_cast<long>(_graph->size()), std::memory_order_relaxed);
     for (auto& node : *_graph) {
       node._topology = this;
       node._parent = nullptr;
-      node._join_counter.store(node._static_dependents, std::memory_order_relaxed);
-      // Re-armed dynamic nodes spawn a fresh subflow on the next run.  The
+      // Join counters count *strong* dependents only: weak (condition-out)
+      // edges fire on branch selection and never join.  A node whose
+      // predecessors are all conditions arms at zero but is not a source -
+      // it runs when (and if) a condition selects it.
+      node._join_counter.store(node.num_strong_dependents(),
+                               std::memory_order_relaxed);
+      // Re-armed dynamic/module nodes expand afresh on the next run.  The
       // previous run's subgraph is kept (its slabs are recycled in place at
       // respawn time - see ExecutorInterface::run_task), so repeat runs of a
       // dynamic graph stop paying per-iteration allocation.
       node._spawned = false;
+      if (auto* cond = std::get_if<ConditionWork>(&node._work)) {
+        cond->last_branch.store(-1, std::memory_order_relaxed);
+      }
       // A fresh run gets a fresh retry budget.
       if (node._policy != nullptr) {
         node._policy->failed_attempts.store(0, std::memory_order_relaxed);
       }
       if (node._static_dependents == 0) _sources.push_back(&node);
     }
+    // Scheduled-count accounting (control-flow graphs can execute one node
+    // many times, so "nodes remaining" is meaningless): _num_active counts
+    // scheduled-but-unfinished *executions*.  It starts at the source count
+    // and every finished execution nets (successors it scheduled - 1) into
+    // it; zero means no execution is in flight or pending - the run is done.
+    _num_active.store(static_cast<long>(_sources.size()),
+                      std::memory_order_relaxed);
   }
 
   /// Completion future; shared so multiple parties may wait.  Becomes ready
@@ -115,23 +131,28 @@ class Topology {
   /// dump_topologies to render spawned subflows - paper Fig. 5).
   [[nodiscard]] const Graph& graph() const noexcept { return *_graph; }
 
-  /// Number of tasks not yet finished in the current run.  Dynamic spawns
-  /// increment it before their children are scheduled, so it never
-  /// prematurely reaches zero.
+  /// Number of task executions scheduled but not yet finished in the current
+  /// run.  Dynamic spawns increment it before their children are scheduled,
+  /// so it never prematurely reaches zero.
   [[nodiscard]] long num_active() const noexcept {
     return _num_active.load(std::memory_order_acquire);
   }
 
-  /// Internal: add `n` live tasks (called before scheduling spawned children).
+  /// Internal: add `n` scheduled executions (called before scheduling
+  /// spawned children).
   void add_active(long n) noexcept { _num_active.fetch_add(n, std::memory_order_relaxed); }
 
-  /// Internal: retire one task.  On the last one the registered client (the
-  /// executor) is notified - it re-arms for the next repeat or finishes the
-  /// topology; without a client the topology finishes directly.  The client
-  /// may destroy this topology inside the callback, so nothing is touched
-  /// after it returns.
-  void retire_one() {
-    if (_num_active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  /// Internal: net effect of one finished execution that scheduled `delta +
+  /// 1` further executions.  Callers skip the call entirely when delta == 0
+  /// (a task that scheduled exactly one successor - the linear-chain hot
+  /// path - leaves the shared counter untouched).  On reaching zero the
+  /// registered client (the executor) is notified - it re-arms for the next
+  /// repeat or finishes the topology; without a client the topology finishes
+  /// directly.  The client may destroy this topology inside the callback, so
+  /// nothing is touched after it returns.
+  void retire_delta(long delta) {
+    assert(delta != 0);
+    if (_num_active.fetch_add(delta, std::memory_order_acq_rel) + delta == 0) {
       if (_client != nullptr) {
         _client->on_topology_done(*this);  // may re-arm, finish, or delete *this
       } else {
@@ -139,6 +160,9 @@ class Topology {
       }
     }
   }
+
+  /// Internal: retire one execution that scheduled nothing.
+  void retire_one() { retire_delta(-1); }
 
   /// Fulfill the completion promise, delivering the first captured task
   /// exception when there is one.  Called exactly once, after the final run.

@@ -1,0 +1,248 @@
+// Composable module tasks (ISSUE 8 tentpole): composed_of(target) embeds a
+// non-owning reference to another Taskflow's graph; at execution the module
+// deep-copies the target into its own subgraph (so one target can appear in
+// several concurrently running parents) and runs it as a joined subflow.
+// The suite pins reuse across parents, nesting, loop re-expansion, the
+// move-only-callable diagnostic, and interaction with admission shedding.
+#include "taskflow/taskflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr auto kDeadline = std::chrono::seconds(30);
+
+// Cancel-aware park, so aborted/shed runs still drain promptly.
+void spin_until(const std::atomic<bool>& flag) {
+  while (!flag.load() && !tf::this_task::is_cancelled()) std::this_thread::yield();
+}
+
+// Opens the gate on scope exit even when an assertion bails out early, so
+// the executor destructor can always drain.
+struct GateOpener {
+  explicit GateOpener(std::atomic<bool>& g) : gate(g) {}
+  ~GateOpener() { gate.store(true); }
+  std::atomic<bool>& gate;
+};
+
+class Composition : public ::testing::TestWithParam<const char*> {
+ protected:
+  [[nodiscard]] std::shared_ptr<tf::ExecutorInterface> make(std::size_t n = 4) const {
+    if (std::string(GetParam()) == "simple") {
+      return std::make_shared<tf::SimpleExecutor>(n);
+    }
+    return tf::make_executor(n);
+  }
+};
+
+TEST_P(Composition, ModuleRunsTheTargetGraph) {
+  tf::Taskflow tf(make());
+  tf::Taskflow target;
+  std::atomic<int> order{0};
+  std::atomic<int> first{-1};
+  std::atomic<int> second{-1};
+  auto a = target.emplace([&] { first = order.fetch_add(1); });
+  auto b = target.emplace([&] { second = order.fetch_add(1); });
+  a.precede(b);  // the target's internal ordering must be preserved
+
+  tf::Taskflow parent;
+  std::atomic<int> before{-1};
+  std::atomic<int> after{-1};
+  auto pre = parent.emplace([&] { before = order.fetch_add(1); });
+  auto mod = parent.composed_of(target).name("target-module");
+  auto post = parent.emplace([&] { after = order.fetch_add(1); });
+  pre.precede(mod);
+  mod.precede(post);
+  EXPECT_TRUE(mod.is_module());
+  EXPECT_FALSE(mod.is_condition());
+
+  tf.run(parent).get();
+  EXPECT_EQ(before.load(), 0);
+  EXPECT_EQ(first.load(), 1);
+  EXPECT_EQ(second.load(), 2);
+  EXPECT_EQ(after.load(), 3);  // module joins before its successors fire
+}
+
+TEST_P(Composition, EmptyTargetModuleIsANoOp) {
+  tf::Taskflow tf(make());
+  tf::Taskflow empty;
+  tf::Taskflow parent;
+  std::atomic<bool> after{false};
+  auto mod = parent.composed_of(empty);
+  mod.precede(parent.emplace([&] { after = true; }));
+  tf.run(parent).get();  // must not hang on a sourceless empty expansion
+  EXPECT_TRUE(after.load());
+}
+
+TEST_P(Composition, OneTargetComposedIntoTwoConcurrentParents) {
+  tf::Taskflow tf(make());
+  tf::Taskflow target;
+  std::atomic<int> started{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> finished{0};
+  target.emplace([&] {
+    started++;
+    spin_until(release);
+    finished++;
+  });
+
+  tf::Taskflow parent_a;
+  tf::Taskflow parent_b;
+  parent_a.composed_of(target);
+  parent_b.composed_of(target);
+
+  auto ha = tf.run(parent_a);
+  auto hb = tf.run(parent_b);
+  // Both parents hold their own instantiation of `target` in flight at once:
+  // a shared mutable expansion would deadlock or double-run here.
+  while (started.load() < 2) std::this_thread::yield();
+  release = true;
+  ASSERT_EQ(ha.wait_for(kDeadline), std::future_status::ready);
+  ASSERT_EQ(hb.wait_for(kDeadline), std::future_status::ready);
+  ha.get();
+  hb.get();
+  EXPECT_EQ(finished.load(), 2);
+}
+
+TEST_P(Composition, ModulesNestRecursively) {
+  tf::Taskflow tf(make());
+  tf::Taskflow innermost;
+  std::atomic<int> inner_runs{0};
+  innermost.emplace([&] { inner_runs++; });
+
+  tf::Taskflow middle;
+  std::atomic<int> middle_runs{0};
+  auto mid_task = middle.emplace([&] { middle_runs++; });
+  auto mid_mod = middle.composed_of(innermost);
+  mid_task.precede(mid_mod);
+
+  tf::Taskflow outer;
+  outer.composed_of(middle);
+  tf.run(outer).get();
+  EXPECT_EQ(middle_runs.load(), 1);
+  EXPECT_EQ(inner_runs.load(), 1);
+}
+
+TEST_P(Composition, ConditionLoopReExpandsTheModuleEachLap) {
+  // A module on a condition loop must re-instantiate per lap (its _spawned
+  // latch resets on finalize), so the target's tasks run once per lap.
+  tf::Taskflow tf(make());
+  tf::Taskflow target;
+  std::atomic<int> expansions{0};
+  target.emplace([&] { expansions++; });
+
+  tf::Taskflow parent;
+  int laps = 0;
+  auto init = parent.emplace([&] { laps = 0; });
+  auto mod = parent.composed_of(target);
+  auto cond = parent.emplace([&] { return ++laps < 5 ? 0 : 1; });
+  auto done = parent.emplace([] {});
+  init.precede(mod);
+  mod.precede(cond);
+  cond.precede(mod);   // 0: run the module again
+  cond.precede(done);  // 1: exit
+  tf.run(parent).get();
+  EXPECT_EQ(expansions.load(), 5);
+}
+
+TEST_P(Composition, RunNReusesTheModuleParent) {
+  tf::Taskflow tf(make());
+  tf::Taskflow target;
+  std::atomic<int> runs{0};
+  target.emplace([&] { runs++; });
+  tf::Taskflow parent;
+  parent.composed_of(target);
+  tf.run_n(parent, 4);
+  EXPECT_EQ(runs.load(), 4);
+}
+
+TEST_P(Composition, TargetWithConditionLoopComposes) {
+  // In-graph control flow survives instantiation: the copied condition's
+  // weak edges and loop behave exactly like the original's.
+  tf::Taskflow tf(make());
+  tf::Taskflow target;
+  std::atomic<int> total{0};
+  int laps = 0;
+  auto init = target.emplace([&] { laps = 0; });
+  auto body = target.emplace([&] {
+    ++laps;
+    total++;
+  });
+  auto cond = target.emplace([&] { return laps < 6 ? 0 : 1; });
+  auto exit = target.emplace([] {});
+  init.precede(body);
+  body.precede(cond);
+  cond.precede(body);
+  cond.precede(exit);
+  tf::Taskflow parent;
+  parent.composed_of(target);
+  tf.run(parent).get();
+  EXPECT_EQ(total.load(), 6);
+}
+
+TEST_P(Composition, MoveOnlyCallableInTargetIsACapturedError) {
+  // Instantiation clones the target's callables; a move-only one cannot be
+  // cloned, and the failure must surface as a captured run error (with the
+  // descriptive SmallFunction message), not a crash or a silent skip.
+  tf::Taskflow tf(make());
+  tf::Taskflow target;
+  auto token = std::make_unique<int>(42);
+  target.emplace([token = std::move(token)] { (void)*token; });
+  tf::Taskflow parent;
+  parent.composed_of(target);
+  auto handle = tf.run(parent);
+  try {
+    handle.get();
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not copy-constructible"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_P(Composition, ModuleGraphsUnderAdmissionShedding) {
+  // A shed parent run never expands its module: the target's tasks must not
+  // execute again, and the shed handle reports the OverloadError.
+  tf::ExecutorOptions opts;
+  opts.shed_watermark = 1;
+  tf::Executor executor(1, opts);
+  std::atomic<bool> gate{false};
+  GateOpener opener(gate);
+  tf::Taskflow target;
+  std::atomic<int> ran{0};
+  target.emplace([&] {
+    ran++;
+    spin_until(gate);
+  });
+  tf::Taskflow parent;
+  parent.composed_of(target);
+
+  auto h0 = executor.run(parent);  // in flight (started: not sheddable)
+  auto h1 = executor.run(parent);  // queued behind h0; pending 2 > 1: shed
+  ASSERT_EQ(h1.wait_for(kDeadline), std::future_status::ready);
+  EXPECT_THROW(h1.get(), tf::OverloadError);
+  EXPECT_TRUE(h1.is_cancelled());
+  EXPECT_EQ(executor.num_shed(), 1u);
+  gate = true;
+  ASSERT_EQ(h0.wait_for(kDeadline), std::future_status::ready);
+  EXPECT_NO_THROW(h0.get());
+  executor.wait_for_all();
+  EXPECT_EQ(ran.load(), 1);  // only h0's expansion executed the target
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, Composition,
+                         ::testing::Values("work_stealing", "simple"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace

@@ -179,7 +179,9 @@ TEST(StallReport, DescribesBlockedTopologyAndExecutor) {
   const std::string report = tf.stall_report();
   EXPECT_NE(report.find("work-stealing executor"), std::string::npos) << report;
   EXPECT_NE(report.find("worker"), std::string::npos) << report;
-  EXPECT_NE(report.find("unfinished task(s) of 2"), std::string::npos) << report;
+  EXPECT_NE(report.find("in-flight task execution(s) over 2 node(s)"),
+            std::string::npos)
+      << report;
   gate = true;
   tf.wait_for_all();
   EXPECT_NE(tf.stall_report().find("no dispatched topologies"), std::string::npos);

@@ -98,6 +98,70 @@ TEST(Dot, QuotesAndBackslashesInNamesAreEscaped) {
   EXPECT_EQ(dot.find("label=\"say \"hi"), std::string::npos);
 }
 
+TEST(Dot, ConditionEdgesAreDashedWithBranchIndexLabels) {
+  tf::Taskflow tf(1);
+  auto cond = tf.emplace([] { return 0; }).name("chooser");
+  auto yes = tf.emplace([] {}).name("yes");
+  auto no = tf.emplace([] {}).name("no");
+  auto pre = tf.emplace([] {}).name("pre");
+  pre.precede(cond);
+  cond.precede(yes);
+  cond.precede(no);
+  const auto dot = tf.dump();
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("[style=dashed label=\"0\"]"), std::string::npos);
+  EXPECT_NE(dot.find("[style=dashed label=\"1\"]"), std::string::npos);
+  // Only the two condition out-edges are weak; pre -> chooser stays solid.
+  EXPECT_EQ(count_occurrences(dot, "style=dashed"), 2);
+  EXPECT_EQ(count_occurrences(dot, "->"), 3);
+}
+
+TEST(Dot, ModuleRendersAsBoxedCluster) {
+  tf::Taskflow target;
+  auto in = target.emplace([] {}).name("inner_a");
+  auto out = target.emplace([] {}).name("inner_b");
+  in.precede(out);
+  tf::Taskflow parent(1);
+  auto pre = parent.emplace([] {}).name("pre");
+  auto mod = parent.composed_of(target).name("mod");
+  pre.precede(mod);
+  const auto dot = parent.dump();
+  EXPECT_NE(dot.find("shape=box3d"), std::string::npos);
+  EXPECT_NE(dot.find("Module: mod"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"inner_a\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"inner_b\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, "subgraph"), 1);
+}
+
+TEST(Dot, SharedTargetRendersPerModuleWithDistinctIds) {
+  // One target composed twice: both clusters must render, and their node
+  // ids must differ (same pointer, different module-id prefix) so DOT does
+  // not merge the two copies.
+  tf::Taskflow target;
+  target.emplace([] {}).name("shared_task");
+  tf::Taskflow parent(1);
+  auto m1 = parent.composed_of(target).name("first");
+  auto m2 = parent.composed_of(target).name("second");
+  m1.precede(m2);
+  const auto dot = parent.dump();
+  EXPECT_EQ(count_occurrences(dot, "subgraph"), 2);
+  EXPECT_NE(dot.find("Module: first"), std::string::npos);
+  EXPECT_NE(dot.find("Module: second"), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, "label=\"shared_task\""), 2);
+}
+
+TEST(Dot, ModuleNamesWithQuotesAreEscapedInClusterLabels) {
+  tf::Taskflow target;
+  target.emplace([] {}).name("body");
+  tf::Taskflow parent(1);
+  parent.composed_of(target).name("mod \"v2\" \\beta");
+  const auto dot = parent.dump();
+  EXPECT_NE(dot.find("label=\"Module: mod \\\"v2\\\" \\\\beta\""),
+            std::string::npos);
+  // No naked inner quote may survive inside the cluster label.
+  EXPECT_EQ(dot.find("label=\"Module: mod \"v2"), std::string::npos);
+}
+
 TEST(Dot, EdgesPointFromPredecessorToSuccessor) {
   tf::Graph g;
   auto& a = g.emplace_back();

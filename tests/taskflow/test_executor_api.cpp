@@ -319,7 +319,8 @@ TEST_P(ExecutorApi, StallReportShowsClientQueuesAndAsyncs) {
   EXPECT_NE(report.find("executor stall report"), std::string::npos) << report;
   EXPECT_NE(report.find("2 queued run(s)"), std::string::npos) << report;
   EXPECT_NE(report.find("in-flight graph runs: 2"), std::string::npos) << report;
-  EXPECT_NE(report.find("unfinished task(s)"), std::string::npos) << report;
+  EXPECT_NE(report.find("in-flight task execution(s)"), std::string::npos)
+      << report;
 
   release = true;
   ASSERT_EQ(h2.wait_for(kDeadline), std::future_status::ready);

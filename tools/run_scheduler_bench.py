@@ -244,6 +244,63 @@ def pct(before, after):
     return round(100.0 * (after - before) / before, 1)
 
 
+# The iterative-convergence pair of bench_scheduler_hotpath (in-graph
+# condition loop vs run_until resubmission, same per-lap pipeline): the
+# record carries a derived summary so the per-iteration advantage of
+# in-graph control flow is a first-class number, not something readers
+# reconstruct from two rows.  The two variants differ by only a few
+# percent, well inside single-shot noise, so the summary comes from a
+# dedicated repetitions pass (median of ITERATIVE_REPETITIONS) rather
+# than the one-sample google_benchmarks rows.
+ITERATIVE_PAIRS = [
+    ("BM_IterativeConditionLoop/1024/1/real_time",
+     "BM_IterativeRunUntil/1024/1/real_time"),
+    ("BM_IterativeConditionLoop/1024/4/real_time",
+     "BM_IterativeRunUntil/1024/4/real_time"),
+]
+ITERATIVE_REPETITIONS = 15
+
+
+def attach_iterative_convergence(doc, build_dir):
+    """Derive condition-loop vs run_until per-iteration deltas into the
+    scheduler record (negative delta = the condition loop is faster)."""
+    exe = os.path.join(build_dir, "bench", "bench_scheduler_hotpath")
+    if not os.path.exists(exe):
+        return
+    out_json = os.path.join(build_dir, "bench_scheduler_iterative.json")
+    run([exe, "--benchmark_filter=BM_Iterative",
+         f"--benchmark_repetitions={ITERATIVE_REPETITIONS}",
+         "--benchmark_report_aggregates_only=true",
+         "--benchmark_format=json",
+         "--benchmark_out=" + out_json, "--benchmark_out_format=json"],
+        stdout=subprocess.DEVNULL)
+    with open(out_json) as f:
+        medians = {b["run_name"]: b["real_time"]
+                   for b in json.load(f).get("benchmarks", [])
+                   if b.get("aggregate_name") == "median"}
+    summary = {}
+    for cond_name, until_name in ITERATIVE_PAIRS:
+        if cond_name not in medians or until_name not in medians:
+            continue
+        workers = cond_name.split("/")[2]
+        cond_ms = medians[cond_name]
+        until_ms = medians[until_name]
+        summary[f"workers_{workers}"] = {
+            "condition_loop_ms": cond_ms,
+            "run_until_ms": until_ms,
+            "condition_vs_run_until_pct": pct(until_ms, cond_ms),
+            "repetitions": ITERATIVE_REPETITIONS,
+        }
+    if not summary:
+        return
+    doc["iterative_convergence"] = summary
+    for key, row in sorted(summary.items()):
+        print(f"  iterative convergence ({key}): condition loop "
+              f"{row['condition_loop_ms']:.4f} ms vs run_until "
+              f"{row['run_until_ms']:.4f} ms "
+              f"({row['condition_vs_run_until_pct']:+.1f}%)")
+
+
 def attach_deltas(doc, baseline):
     """Per-benchmark %-change vs baseline (negative = faster now)."""
     deltas = {}
@@ -274,8 +331,10 @@ def attach_deltas(doc, baseline):
 # including the error-model suites (test_errors/test_cancel/test_diagnostics),
 # the fault-injection harness (test_fault, ctest label "fault"), the
 # multi-client executor suite (test_executor_api, label "executor_api"), the
-# resilience-policy suite (test_resilience, label "resilience"), and the
-# graph-memory suite (test_arena, label "arena").  test_alloc is deliberately
+# resilience-policy suite (test_resilience, label "resilience"), the
+# graph-memory suite (test_arena, label "arena"), and the in-graph
+# control-flow suites (test_condition/test_composition, label
+# "control_flow").  test_alloc is deliberately
 # absent: its operator-new interposer cannot coexist with the sanitizer
 # runtimes, so CMake only builds it in plain trees.
 SANITIZER_TEST_TARGETS = [
@@ -284,7 +343,7 @@ SANITIZER_TEST_TARGETS = [
     "test_observer", "test_framework", "test_executor_matrix", "test_batch",
     "test_errors", "test_cancel", "test_diagnostics", "test_fault",
     "test_executor_api", "test_function", "test_resilience", "test_arena",
-    "test_admission",
+    "test_admission", "test_condition", "test_composition",
 ]
 
 
@@ -544,6 +603,7 @@ def main():
     }
     for name in GOOGLE_BENCHES:
         doc["google_benchmarks"].update(run_google_bench(args.build_dir, name))
+    attach_iterative_convergence(doc, args.build_dir)
     for name in figure_benches:
         doc["figures"].update(run_figure_bench(args.build_dir, name))
 
