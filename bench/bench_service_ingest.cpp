@@ -1,29 +1,29 @@
 // bench_service_ingest.cpp - multi-client service-ingest latency under
-// oversubscription (ISSUE 7, DESIGN.md §11).
+// oversubscription, measured end-to-end through the tf::Server service layer
+// (ISSUE 9, DESIGN.md §13; admission machinery from ISSUE 7, §11).
 //
-// Models a task-graph service: N client threads (default 8, a 4x
-// oversubscription of the default 2 workers) each submit a stream of small
-// two-node request graphs to one shared executor and harvest the results in
-// FIFO order.  Three admission modes, one per process so the peak-RSS
-// high-water mark (getrusage ru_maxrss) isolates each policy's queue buildup:
+// N client threads (default 8, a 4x oversubscription of the default 2
+// workers) each connect() to one tf::Server and stream small request
+// pipelines (ingest -> validate -> process module -> respond) through it.
+// Three admission modes, one per process so the peak-RSS high-water mark
+// (VmHWM) isolates each policy's queue buildup:
 //
 //   unbounded  no admission control: every request is accepted immediately
 //              and queues inside the executor.  Accepted-request latency
-//              (admission -> completion) grows linearly with queue depth and
-//              the topology backlog dominates peak RSS.
-//   bounded    max_pending_per_client bounds each client's backlog; run()
-//              blocks the submitter (backpressure) until a slot frees.
-//              Accepted requests see a short bounded queue; the wait moves
-//              to the submission edge where the client can react.
+//              grows with queue depth and the backlog dominates peak RSS.
+//   bounded    max_pending_per_client bounds each client's backlog; the
+//              submission edge absorbs the wait (client window = bound), so
+//              accepted requests see a short bounded queue.
 //   shed       a shed watermark caps the global backlog; excess accepted
-//              requests complete immediately with tf::OverloadError and the
+//              requests complete immediately as Outcome::shed and the
 //              survivors keep bounded latency.
 //
-// Latency is measured from successful admission (run() returning a handle)
-// to completion - the service-level claim of admission control is that
-// *accepted* requests get predictable latency, with overload pushed to the
-// edge (blocking) or converted to explicit shed errors, never into an
-// unbounded invisible queue.  Reported percentiles aggregate all clients.
+// Latency is the server's own accounting - admission (run() returning) to
+// the respond stage - aggregated in the MetricsRegistry histogram across all
+// clients, so the bench exercises exactly the observability path /healthz
+// exposes.  The service-level claim: *accepted* requests get predictable
+// latency, with overload pushed to the edge or converted to explicit sheds,
+// never into an unbounded invisible queue.
 //
 // Output: human-readable summary plus a machine-readable CSV line
 //   CSV,service_ingest,<header...> / CSV,service_ingest,<row...>
@@ -32,15 +32,13 @@
 // Knobs: REPRO_SERVICE_MODE      unbounded|bounded|shed (default bounded)
 //        REPRO_SERVICE_CLIENTS   client threads (default 8)
 //        REPRO_SERVICE_REQUESTS  requests per client (default 1500)
-//        REPRO_SERVICE_WORKERS   executor workers (default 2)
+//        REPRO_SERVICE_WORKERS   server workers (default 2)
 //        REPRO_SERVICE_BOUND     per-client bound / watermark unit (default 4)
 //        REPRO_SERVICE_WORK_US   per-request busy work in us (default 40)
-#include "taskflow/taskflow.hpp"
+#include "service/server.hpp"
 
 #include <sys/resource.h>
 
-#include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -51,21 +49,6 @@
 #include "support/env.hpp"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-void busy_spin(std::chrono::microseconds d) {
-  const auto until = Clock::now() + d;
-  while (Clock::now() < until) {
-  }
-}
-
-double percentile(std::vector<double>& sorted_us, double p) {
-  if (sorted_us.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(sorted_us.size() - 1));
-  return sorted_us[idx];
-}
 
 double peak_rss_mib() {
   // Prefer /proc/self/status VmHWM: unlike ru_maxrss it resets on execve,
@@ -105,87 +88,60 @@ int main() {
   const std::chrono::microseconds work_us(
       support::env_int("REPRO_SERVICE_WORK_US", 40));
 
-  tf::ExecutorOptions opts;  // "unbounded": all knobs zero = no admission
+  tf::ServerOptions opts;  // "unbounded": all knobs zero = no admission
+  opts.num_workers = workers;
   if (mode == "bounded") {
-    opts.max_pending_per_client = bound;
-  } else if (mode == "shed") {
-    opts.shed_watermark = clients * bound;
-  } else if (mode != "unbounded") {
+    opts.executor.max_pending_per_client = bound;
+    // The window matches the bound, so the submission edge self-throttles at
+    // exactly the per-client backlog the executor would enforce.
+    opts.client_window = bound;
+  } else if (mode == "shed" || mode == "unbounded") {
+    // Unthrottled submission: the whole stream may be in flight at once, so
+    // the backlog (and in shed mode the watermark) is actually exercised.
+    opts.client_window = requests;
+    if (mode == "shed") {
+      // Every slot is a distinct taskflow, so runs are only sheddable while
+      // they wait in the admission ring: cap concurrent starts so the
+      // backlog queues there instead of inside the scheduler.
+      opts.executor.max_concurrent_topologies = workers * 4;
+      opts.executor.shed_watermark = clients * bound;
+    }
+  } else {
     std::fprintf(stderr, "unknown REPRO_SERVICE_MODE '%s'\n", mode.c_str());
     return 1;
   }
 
-  // One request graph per client, outliving the executor drain below.  The
-  // sink node stamps each run's completion time: same-taskflow runs are FIFO
-  // serialized, so the per-client index needs no synchronization, and the
-  // k-th stamp belongs to the k-th run that executed (shed runs never do).
-  std::vector<std::unique_ptr<tf::Taskflow>> graphs;
-  std::vector<std::vector<Clock::time_point>> done_at(clients);
-  std::vector<std::size_t> done_idx(clients, 0);
-  for (std::size_t c = 0; c < clients; ++c) {
-    done_at[c].resize(requests);
-    graphs.push_back(std::make_unique<tf::Taskflow>());
-    auto ingest = graphs.back()->emplace([work_us] { busy_spin(work_us); });
-    auto* stamps = done_at[c].data();
-    auto* cursor = &done_idx[c];
-    ingest.precede(
-        graphs.back()->emplace([stamps, cursor] { stamps[(*cursor)++] = Clock::now(); }));
-  }
-
-  std::vector<std::vector<double>> latencies_us(clients);
-  std::atomic<long> shed_count{0};
+  using Clock = std::chrono::steady_clock;
   const auto wall_begin = Clock::now();
+  tf::Server server(opts);
   {
-    tf::Executor executor(workers, opts);
     std::vector<std::thread> pool;
     pool.reserve(clients);
     for (std::size_t c = 0; c < clients; ++c) {
       pool.emplace_back([&, c] {
-        auto& flow = *graphs[c];
-        auto& lat = latencies_us[c];
-        lat.reserve(requests);
-        std::vector<tf::ExecutionHandle> handles;
-        std::vector<Clock::time_point> admitted_at;
-        handles.reserve(requests);
-        admitted_at.reserve(requests);
+        auto& client = server.connect();
         for (std::size_t r = 0; r < requests; ++r) {
-          // In bounded mode this blocks at the per-client bound: the wait
-          // lands here, at the edge, not in the accepted-request latency.
-          handles.push_back(executor.run(flow));
-          admitted_at.push_back(Clock::now());
+          tf::Request req;
+          req.id = c * requests + r;
+          req.work = work_us;
+          client.submit(req);
         }
-        // Successful runs executed in FIFO order: the k-th success pairs
-        // with the k-th completion stamp the sink recorded.
-        std::size_t k = 0;
-        for (std::size_t r = 0; r < requests; ++r) {
-          try {
-            handles[r].get();
-            lat.push_back(std::chrono::duration<double, std::micro>(
-                              done_at[c][k++] - admitted_at[r])
-                              .count());
-          } catch (const tf::OverloadError&) {
-            shed_count.fetch_add(1, std::memory_order_relaxed);
-          }
-        }
+        client.drain();
       });
     }
     for (auto& t : pool) t.join();
-    executor.wait_for_all();
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - wall_begin)
           .count();
 
-  std::vector<double> all_us;
-  for (auto& lat : latencies_us) {
-    all_us.insert(all_us.end(), lat.begin(), lat.end());
-  }
-  std::sort(all_us.begin(), all_us.end());
-  const double p50 = percentile(all_us, 0.50);
-  const double p99 = percentile(all_us, 0.99);
-  const double p999 = percentile(all_us, 0.999);
+  const tf::MetricsSnapshot snap = server.metrics();
+  const double p50 = snap.p50_us;
+  const double p99 = snap.p99_us;
+  const double p999 = snap.p999_us;
   const double rss = peak_rss_mib();
-  const auto completed = static_cast<long>(all_us.size());
+  const auto completed = static_cast<long>(snap.completed());
+  const auto shed_count = static_cast<long>(snap.outcome(tf::Outcome::shed));
   const double oversub =
       static_cast<double>(clients) / static_cast<double>(workers);
 
@@ -193,20 +149,29 @@ int main() {
               "(%.1fx oversubscription) bound=%zu work=%lldus\n",
               mode.c_str(), clients, requests, workers, oversub, bound,
               static_cast<long long>(work_us.count()));
-  std::printf("  completed %ld, shed %ld (%.1f%%), wall %.1f ms\n", completed,
-              shed_count.load(),
-              100.0 * static_cast<double>(shed_count.load()) /
+  std::printf("  completed %ld, shed %ld (%.1f%%), wall %.1f ms, "
+              "accounted %llu/%llu\n",
+              completed, shed_count,
+              100.0 * static_cast<double>(shed_count) /
                   static_cast<double>(clients * requests),
-              wall_ms);
+              wall_ms,
+              static_cast<unsigned long long>(snap.accounted()),
+              static_cast<unsigned long long>(snap.submitted));
   std::printf("  accepted-request latency: p50 %.0f us, p99 %.0f us, "
               "p999 %.0f us; peak RSS %.1f MiB\n",
               p50, p99, p999, rss);
+  if (snap.accounted() != snap.submitted) {
+    std::fprintf(stderr, "LOST RESPONSES: accounted %llu != submitted %llu\n",
+                 static_cast<unsigned long long>(snap.accounted()),
+                 static_cast<unsigned long long>(snap.submitted));
+    return 1;
+  }
 
   std::printf("CSV,service_ingest,mode,clients,requests,workers,bound,"
               "completed,shed,p50_us,p99_us,p999_us,wall_ms,peak_rss_mib\n");
   std::printf("CSV,service_ingest,%s,%zu,%zu,%zu,%zu,%ld,%ld,"
               "%.1f,%.1f,%.1f,%.1f,%.1f\n",
               mode.c_str(), clients, requests, workers, bound, completed,
-              shed_count.load(), p50, p99, p999, wall_ms, rss);
+              shed_count, p50, p99, p999, wall_ms, rss);
   return 0;
 }

@@ -1,89 +1,106 @@
-// overload_server.cpp - admission control in one page (DESIGN.md §11).
+// overload_server.cpp - the service layer in one page (DESIGN.md §13).
 //
-// A toy task-graph "server": four client threads submit small request
-// graphs to one executor configured with every overload policy at once -
-// a per-client backlog bound (backpressure), a global shed watermark
-// (tail-drop), a concurrency cap arbitrated by deficit-round-robin +
-// priority bands, and a per-taskflow circuit breaker in front of a flaky
-// client.  The point: overload becomes an explicit, typed outcome
-// (blocking, tf::OverloadError, tf::BreakerOpenError) instead of an
-// unbounded invisible queue.
-#include "taskflow/taskflow.hpp"
+// A toy request server built on tf::Server: four client threads connect()
+// and stream requests through composed/conditional pipelines (ingest ->
+// validate -> process module with retry + fallback-to-degraded -> respond)
+// under a per-request deadline and priority band, over an executor
+// configured with every overload policy at once - a pending bound
+// (backpressure), a concurrency cap arbitrated by deficit-round-robin +
+// priority bands, a global shed watermark, and circuit breakers.  Chaos
+// mode injects malformed requests, handler exceptions, and stalls, so the
+// demo shows the failure taxonomy live: every submission lands in exactly
+// one Outcome and the /healthz snapshot accounts them all.
+//
+// Usage: overload_server [--port P]
+//   --port P   additionally serve /healthz over a loopback TCP socket
+//              (P = 0 picks an ephemeral port); the demo curls itself once.
+#include "service/server.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <stdexcept>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
-int main() {
+#include "service/probe.hpp"
+
+int main(int argc, char** argv) {
   using namespace std::chrono_literals;
 
-  tf::ExecutorOptions options;
-  options.max_pending_per_client = 4;   // backpressure: run() blocks past this
-  options.shed_watermark = 10;          // tail-drop above 10 pending runs
-  options.max_concurrent_topologies = 2;  // DRR + priority bands arbitrate
-  options.breaker_threshold = 3;        // trip after 3 consecutive failures
-  options.breaker_cooldown = 50ms;
-  tf::Executor executor(2, options);
+  int port = -1;  // < 0: no socket probe
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0) port = std::atoi(argv[i + 1]);
+  }
 
-  std::atomic<long> served{0};
-  std::atomic<long> shed{0};
-  std::atomic<long> rejected{0};
-  std::atomic<long> breaker_blocked{0};
+  tf::ServerOptions options;
+  options.num_workers = 2;
+  options.executor.max_pending_topologies = 16;   // backpressure past this
+  options.executor.max_concurrent_topologies = 2; // DRR + bands arbitrate
+  options.executor.shed_watermark = 10;           // tail-drop above 10 queued
+  options.executor.breaker_threshold = 3;
+  options.executor.breaker_cooldown = 50ms;
+  options.deadline = 50ms;           // per-request budget, queue time included
+  options.admission_timeout = 5ms;   // bound the backpressure wait
+  options.max_attempts = 2;          // one retry, then the degraded fallback
+  options.chaos.enabled = true;      // the storm: malformed/throwing/stalling
+  options.chaos.malformed_rate = 0.05;
+  options.chaos.exception_rate = 0.10;
+  options.chaos.stall_rate = 0.05;
+  options.chaos.stall = 500us;
+  tf::Server server(options);
 
-  auto client = [&](int id, bool flaky, int priority) {
-    tf::Taskflow requests;
-    requests.emplace([&, flaky] {
-      std::this_thread::sleep_for(200us);  // the "request handler"
-      if (flaky) throw std::runtime_error("downstream dependency down");
-      served++;
-    });
+  tf::HealthzProbe probe;
+  if (port >= 0 && probe.start(server, static_cast<std::uint16_t>(port))) {
+    std::printf("healthz probe listening on 127.0.0.1:%u\n", probe.port());
+  }
 
-    tf::RunPolicy policy;
-    policy.priority = priority;  // 0 = batch, 1 = normal, 2 = interactive
-    std::vector<tf::ExecutionHandle> inflight;
-    for (int r = 0; r < 40; ++r) {
-      try {
-        // Blocking admission: waits when the client's backlog is full.  Use
-        // try_run for a non-blocking probe, or AdmissionPolicy::reject +
-        // admission_timeout to bound the wait.
-        inflight.push_back(executor.run(requests, policy));
-      } catch (const tf::BreakerOpenError&) {
-        breaker_blocked++;  // fail-fast while this taskflow's breaker cools
-        std::this_thread::sleep_for(1ms);
-      } catch (const tf::OverloadError&) {
-        rejected++;  // reject-policy or admission-timeout submissions
-      }
+  auto client_thread = [&](int id, int priority) {
+    auto& client = server.connect();
+    for (int r = 0; r < 200; ++r) {
+      tf::Request request;
+      request.id = static_cast<std::uint64_t>(id) * 1000 + static_cast<std::uint64_t>(r);
+      request.priority = priority;  // 0 = batch, 1 = normal, 2 = interactive
+      request.work = 200us;
+      client.submit(request);  // every submission yields exactly one Outcome
     }
-    for (auto& handle : inflight) {
-      try {
-        handle.get();
-      } catch (const tf::OverloadError&) {
-        shed++;  // accepted, then load-shed above the watermark
-      } catch (const std::runtime_error&) {
-        // the flaky handler's own failure; feeds the circuit breaker
-      }
-    }
-    std::printf("client %d done (priority %d%s)\n", id, priority,
-                flaky ? ", flaky" : "");
+    client.drain();
+    std::printf("client %d done (priority %d): ok %llu, degraded %llu, "
+                "rejected %llu, shed %llu, timed_out %llu\n",
+                id, priority,
+                static_cast<unsigned long long>(client.count(tf::Outcome::ok)),
+                static_cast<unsigned long long>(client.count(tf::Outcome::degraded)),
+                static_cast<unsigned long long>(client.count(tf::Outcome::rejected)),
+                static_cast<unsigned long long>(client.count(tf::Outcome::shed)),
+                static_cast<unsigned long long>(client.count(tf::Outcome::timed_out)));
   };
 
   std::vector<std::thread> clients;
-  clients.emplace_back(client, 0, false, 2);  // interactive
-  clients.emplace_back(client, 1, false, 1);  // normal
-  clients.emplace_back(client, 2, false, 0);  // batch
-  clients.emplace_back(client, 3, true, 2);   // flaky interactive: trips the breaker
+  clients.emplace_back(client_thread, 0, 2);  // interactive
+  clients.emplace_back(client_thread, 1, 1);  // normal
+  clients.emplace_back(client_thread, 2, 0);  // batch
+  clients.emplace_back(client_thread, 3, 2);  // interactive
   for (auto& t : clients) t.join();
-  executor.wait_for_all();
 
-  std::printf("served %ld, shed %ld, rejected %ld, breaker-blocked %ld\n",
-              served.load(), shed.load(), rejected.load(),
-              breaker_blocked.load());
-  std::printf("executor counters: admitted %zu, rejected %zu, shed %zu, "
-              "breaker trips %zu\n",
-              executor.num_admitted(), executor.num_rejected(),
-              executor.num_shed(), executor.num_breaker_trips());
-  return 0;
+  if (probe.running()) {
+    const std::string reply = tf::probe_fetch(probe.port());
+    std::printf("--- /healthz over the socket ---\n%s",
+                reply.substr(reply.find("\r\n\r\n") == std::string::npos
+                                 ? 0
+                                 : reply.find("\r\n\r\n") + 4)
+                    .c_str());
+    probe.stop();
+  } else {
+    std::printf("--- /healthz ---\n%s", server.healthz().c_str());
+  }
+
+  // Zero lost responses: the counters balance exactly at quiescence.
+  const tf::MetricsSnapshot snap = server.metrics();
+  std::printf("accounted %llu of %llu submitted; p50 %.0f us, p99 %.0f us\n",
+              static_cast<unsigned long long>(snap.accounted()),
+              static_cast<unsigned long long>(snap.submitted), snap.p50_us,
+              snap.p99_us);
+  server.shutdown(tf::ShutdownMode::drain);  // graceful: every handle ready
+  return snap.accounted() == snap.submitted ? 0 : 1;
 }

@@ -1,0 +1,115 @@
+#include "service/probe.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define REPRO_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define REPRO_HAVE_SOCKETS 0
+#endif
+
+namespace tf {
+
+#if REPRO_HAVE_SOCKETS
+
+bool HealthzProbe::start(Server& server, std::uint16_t port) {
+  if (_running.load(std::memory_order_acquire)) return false;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return false;
+  }
+
+  _server = &server;
+  _listen_fd = fd;
+  _port = ntohs(addr.sin_port);
+  _running.store(true, std::memory_order_release);
+  _thread = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HealthzProbe::stop() {
+  if (!_running.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() unblocks a pending accept(); close() releases the fd.
+  ::shutdown(_listen_fd, SHUT_RDWR);
+  ::close(_listen_fd);
+  if (_thread.joinable()) _thread.join();
+  _listen_fd = -1;
+}
+
+void HealthzProbe::accept_loop() {
+  while (_running.load(std::memory_order_acquire)) {
+    const int conn = ::accept(_listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;  // stop() in flight, or a transient accept error
+    const std::string body = _server->healthz();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n"
+        "\r\n" + body;
+    const char* p = response.data();
+    std::size_t left = response.size();
+    while (left > 0) {
+      const ssize_t n = ::send(conn, p, left, 0);
+      if (n <= 0) break;
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+std::string probe_fetch(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string out;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+#else  // !REPRO_HAVE_SOCKETS: the probe degrades to a no-op.
+
+bool HealthzProbe::start(Server&, std::uint16_t) { return false; }
+void HealthzProbe::stop() {}
+void HealthzProbe::accept_loop() {}
+std::string probe_fetch(std::uint16_t) { return {}; }
+
+#endif
+
+}  // namespace tf

@@ -1,0 +1,49 @@
+// probe.hpp - HealthzProbe: a minimal POSIX-socket /healthz listener for the
+// demo binary (examples/overload_server).  Binds a loopback TCP port (0 =
+// ephemeral), runs one accept-loop thread, and answers every connection with
+// an HTTP/1.0 200 whose body is Server::healthz().  Deliberately tiny: one
+// blocking accept loop, one response per connection, no keep-alive - the
+// probe is an observability tap, not a request path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace tf {
+
+class Server;
+
+class HealthzProbe {
+ public:
+  /// Bind 127.0.0.1:`port` (0 = pick an ephemeral port) and start the accept
+  /// thread.  Returns false (and stays stopped) if sockets are unavailable.
+  bool start(Server& server, std::uint16_t port = 0);
+
+  /// Close the listener and join the accept thread.  Idempotent.
+  void stop();
+
+  /// The bound port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return _port; }
+  [[nodiscard]] bool running() const noexcept {
+    return _running.load(std::memory_order_acquire);
+  }
+
+  ~HealthzProbe() { stop(); }
+
+ private:
+  void accept_loop();
+
+  Server* _server{nullptr};
+  int _listen_fd{-1};
+  std::uint16_t _port{0};
+  std::atomic<bool> _running{false};
+  std::thread _thread;
+};
+
+/// One-shot client helper (tests/demo): connect to 127.0.0.1:`port`, read
+/// the whole response, return it.  Empty string on connection failure.
+[[nodiscard]] std::string probe_fetch(std::uint16_t port);
+
+}  // namespace tf

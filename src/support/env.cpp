@@ -44,4 +44,8 @@ unsigned long long repro_fault_seed() {
   return static_cast<unsigned long long>(env_int("REPRO_FAULT_SEED", 42));
 }
 
+long long repro_soak_iters() {
+  return std::max(1ll, env_int("REPRO_SOAK_ITERS", 400));
+}
+
 }  // namespace support

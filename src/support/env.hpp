@@ -39,4 +39,9 @@ namespace support {
 /// default 42); every iteration derives its own stream from it.
 [[nodiscard]] unsigned long long repro_fault_seed();
 
+/// Per-client request count of the service-layer soak test
+/// (REPRO_SOAK_ITERS, default 400 for the CI short soak).  Set to 42000+ to
+/// opt into the acceptance storm: >= 1M requests across 24 client threads.
+[[nodiscard]] long long repro_soak_iters();
+
 }  // namespace support

@@ -71,6 +71,18 @@ class BreakerOpenError : public OverloadError {
   explicit BreakerOpenError(const std::string& what) : OverloadError(what) {}
 };
 
+/// Recursive module composition.  Thrown by FlowBuilder::composed_of when the
+/// new module edge statically closes a reference cycle (the target taskflow
+/// already composes - directly or through other modules - the graph being
+/// built: expansion could never terminate), and delivered through the
+/// completion future, naming the offending task, when execution-time module
+/// expansion exceeds the runtime depth cap (a cycle assembled in a way the
+/// build-time walk cannot see, e.g. through a dynamic subflow).
+class CompositionError : public std::runtime_error {
+ public:
+  explicit CompositionError(const std::string& what) : std::runtime_error(what) {}
+};
+
 namespace detail {
 
 /// Error/cancellation state of one dispatched topology, shared (via

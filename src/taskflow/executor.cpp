@@ -150,6 +150,24 @@ void ExecutorInterface::run_task(std::size_t worker_id, Node* node) {
         }
       } else if (std::holds_alternative<ModuleWork>(node->_work) && !node->_spawned) {
         node->_spawned = true;
+        // Runtime recursion backstop: count module ancestors through the
+        // joined-subflow parent chain (each expansion level contributes
+        // exactly one).  composed_of catches statically visible cycles at
+        // build time; this catches the rest - the throw lands in the catch
+        // below and drains through the normal capture path instead of
+        // overflowing the worker stack.
+        std::size_t module_depth = 0;
+        for (const Node* p = node->_parent; p != nullptr; p = p->_parent) {
+          if (p->is_module()) ++module_depth;
+        }
+        if (module_depth >= detail::kMaxModuleDepth) {
+          const std::string& name = node->name();
+          throw CompositionError(
+              "module task " + (name.empty() ? std::string("<unnamed>") : name) +
+              " exceeded the module expansion depth cap (" +
+              std::to_string(detail::kMaxModuleDepth) +
+              " nested modules): recursive composition assembled at runtime");
+        }
         // Module expansion: instantiate a private copy of the composed
         // Taskflow's graph into this node's subgraph (recycled in place,
         // like a dynamic respawn) and run it as a joined subflow.  Copying
@@ -463,6 +481,20 @@ void WorkStealingExecutor::dump_state(std::ostream& os) const {
   for (const auto& w : _workers) {
     os << "  worker " << w->id << ": queue_depth=" << w->queue.size() << "\n";
   }
+}
+
+ExecutorInterface::SchedulerStats WorkStealingExecutor::stats() const {
+  SchedulerStats s;
+  s.num_workers = _workers.size();
+  s.queue_depth = _num_central.load(std::memory_order_relaxed);
+  for (const auto& w : _workers) s.queue_depth += w->queue.size();
+  s.num_idlers =
+      static_cast<std::size_t>(_num_idlers.load(std::memory_order_relaxed));
+  s.steals = _steals.load(std::memory_order_relaxed);
+  s.cache_hits = _cache_hits.load(std::memory_order_relaxed);
+  s.parks = _parks.load(std::memory_order_relaxed);
+  s.wakes = _wakes.load(std::memory_order_relaxed);
+  return s;
 }
 
 bool WorkStealingExecutor::all_queues_empty() const noexcept {
@@ -809,6 +841,16 @@ void SimpleExecutor::dump_state(std::ostream& os) const {
   }
   os << "simple executor: " << _threads.size() << " worker(s), central_depth=" << depth
      << "\n";
+}
+
+ExecutorInterface::SchedulerStats SimpleExecutor::stats() const {
+  SchedulerStats s;
+  s.num_workers = _threads.size();
+  {
+    std::scoped_lock lock(_mutex);
+    s.queue_depth = _queue.size();
+  }
+  return s;
 }
 
 void SimpleExecutor::worker_loop(std::size_t worker_id) {

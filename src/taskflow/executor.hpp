@@ -107,6 +107,22 @@ class ExecutorInterface {
   /// numbers are a best-effort snapshot, not a consistent cut.
   virtual void dump_state(std::ostream& os) const;
 
+  /// Machine-readable sibling of dump_state: the backend half of
+  /// Executor::metrics() (service-layer /healthz probes).  Best-effort
+  /// atomics-only snapshot, callable from any thread while graphs run.
+  struct SchedulerStats {
+    std::size_t num_workers{0};
+    std::size_t queue_depth{0};   // tasks sitting in scheduler queues
+    std::size_t num_idlers{0};    // parked workers (0 for SimpleExecutor)
+    std::size_t steals{0};        // lifetime counters; 0 where untracked
+    std::size_t cache_hits{0};
+    std::size_t parks{0};
+    std::size_t wakes{0};
+  };
+  [[nodiscard]] virtual SchedulerStats stats() const {
+    return SchedulerStats{num_workers(), 0, 0, 0, 0, 0, 0};
+  }
+
   /// Attach (or swap) an observer.  Safe to call from any thread at any
   /// time, including while graphs are running: the hot path reads the
   /// observer through an acquire-loaded pointer, and set_observer publishes
@@ -250,6 +266,7 @@ class WorkStealingExecutor final : public ExecutorInterface {
   using ExecutorInterface::schedule_batch;
 
   void dump_state(std::ostream& os) const override;
+  [[nodiscard]] SchedulerStats stats() const override;
 
   [[nodiscard]] std::size_t num_workers() const noexcept override {
     return _workers.size();
@@ -348,6 +365,7 @@ class SimpleExecutor final : public ExecutorInterface {
   using ExecutorInterface::schedule_batch;
 
   void dump_state(std::ostream& os) const override;
+  [[nodiscard]] SchedulerStats stats() const override;
 
   [[nodiscard]] std::size_t num_workers() const noexcept override { return _threads.size(); }
 

@@ -12,6 +12,22 @@
 
 namespace tf {
 
+namespace detail {
+
+std::atomic<long long> alloc_failure_countdown{-1};
+
+void alloc_failure_check() {
+  if (alloc_failure_countdown.load(std::memory_order_relaxed) < 0) return;
+  // fetch_sub makes exactly one acquisition observe 0 even under concurrent
+  // slab growth; everything after the trigger sees a negative value and
+  // passes (the injector is one-shot until re-armed).
+  if (alloc_failure_countdown.fetch_sub(1, std::memory_order_relaxed) == 0) {
+    throw std::bad_alloc();
+  }
+}
+
+}  // namespace detail
+
 Node::~Node() = default;
 
 void Node::precede(Node& v) {
@@ -266,6 +282,30 @@ void instantiate(const Graph& src, Graph& dst) {
       d.precede(dst.node_at(static_cast<std::size_t>(succ->_creation_index)));
     }
   }
+}
+
+bool composes_transitively(const Graph& target, const Graph& owner) {
+  if (&target == &owner) return true;
+  // Iterative DFS over module references; `seen` also serves as the visit
+  // stack guard.  Small vectors beat hashing here - real composition graphs
+  // reference a handful of taskflows.
+  std::vector<const Graph*> stack{&target};
+  std::vector<const Graph*> seen{&target};
+  while (!stack.empty()) {
+    const Graph* g = stack.back();
+    stack.pop_back();
+    for (const Node& n : *g) {
+      if (!n.is_module()) continue;
+      const Graph* ref = std::get<ModuleWork>(n._work).target;
+      if (ref == nullptr) continue;
+      if (ref == &owner) return true;
+      if (std::find(seen.begin(), seen.end(), ref) == seen.end()) {
+        seen.push_back(ref);
+        stack.push_back(ref);
+      }
+    }
+  }
+  return false;
 }
 
 }  // namespace detail

@@ -108,6 +108,22 @@ struct RetryPolicy {
 
 namespace detail {
 
+/// Allocation-failure injection (tests only).  `alloc_failure_countdown`
+/// counts *slab acquisitions* across every GraphArena: arm(n) makes the n-th
+/// subsequent acquisition (0 = the very next one) throw std::bad_alloc, after
+/// which the injector disarms itself.  The check lives on the slab-growth
+/// path only - the steady-state bump allocation fast path never reads it -
+/// and the counter is process-global, so tests must pre-reserve any graphs
+/// they do not want to trip (test_fault's allocation-failure suite).
+extern std::atomic<long long> alloc_failure_countdown;  // < 0 = disarmed
+inline void arm_alloc_failure(long long nth_acquisition) noexcept {
+  alloc_failure_countdown.store(nth_acquisition, std::memory_order_relaxed);
+}
+inline void disarm_alloc_failure() noexcept {
+  alloc_failure_countdown.store(-1, std::memory_order_relaxed);
+}
+void alloc_failure_check();  // throws std::bad_alloc when armed and expired
+
 /// Resilience state of one node, allocated lazily by Task::retry /
 /// Task::fallback.  Nodes without policies keep a null pointer, so the
 /// zero-policy execution hot path never touches (or allocates) any of this -
@@ -250,6 +266,7 @@ class GraphArena {
   };
 
   [[nodiscard]] static Slab make_slab(std::size_t bytes) {
+    alloc_failure_check();  // test hook: no-op unless armed
     bytes = (bytes + kSlabAlignment - 1) & ~(kSlabAlignment - 1);
     return Slab{static_cast<std::byte*>(
                     ::operator new(bytes, std::align_val_t{kSlabAlignment})),
@@ -619,6 +636,21 @@ namespace detail {
 /// expand recursively at execution.  Throws std::logic_error when a work
 /// item is move-only (a composed Taskflow must hold copyable callables).
 void instantiate(const Graph& src, Graph& dst);
+
+/// Build-time guard of FlowBuilder::composed_of: walks the module-reference
+/// graph reachable from `target` (each graph's ModuleWork pointers) and
+/// returns true when `owner` is reachable - i.e. making `owner` compose
+/// `target` would close a reference cycle whose execution-time expansion
+/// could never terminate.  `target == owner` (direct self-composition) is
+/// the trivial positive.  O(reachable modules), build time only.
+[[nodiscard]] bool composes_transitively(const Graph& target, const Graph& owner);
+
+/// Runtime backstop for reference cycles assembled in ways the build-time
+/// walk cannot see (e.g. a dynamic subflow composing its own ancestor
+/// taskflow): module expansion deeper than this many nested module ancestors
+/// throws a task-naming tf::CompositionError through the normal capture +
+/// drain path instead of overflowing the worker stack.
+inline constexpr std::size_t kMaxModuleDepth = 64;
 
 }  // namespace detail
 

@@ -628,7 +628,21 @@ void Executor::submit_async(StaticWork&& work) {
 }
 
 void Executor::start(Topology& topology) {
-  topology.arm();
+  try {
+    topology.arm();
+  } catch (...) {
+    // Survivable allocation failure (DESIGN.md §6): arm() may allocate
+    // (finalize_edges spill packing, source collection), and start() runs on
+    // worker threads for repeat re-arms and queued-run continuations - an
+    // escaping bad_alloc there would terminate the process.  Capture into
+    // the run's error state and complete it through the normal completion
+    // path: the topology was never scheduled (arm() publishes no task before
+    // returning), so on_topology_done's front-of-queue / dispatched / async
+    // preconditions all still hold and the failure reaches the future.
+    topology.error_state()->capture(std::current_exception());
+    on_topology_done(topology);
+    return;
+  }
   _backend->schedule_batch(topology.sources());
 }
 
@@ -1088,6 +1102,28 @@ std::string Executor::stall_report() const {
   os << "=== executor stall report ===\n";
   dump_state(os);
   return os.str();
+}
+
+Executor::Metrics Executor::metrics() const {
+  Metrics m;
+  m.scheduler = _backend->stats();
+  m.num_topologies = num_topologies();
+  m.num_asyncs = num_asyncs();
+  m.admission_active = _admission_active;
+  m.admitted = num_admitted();
+  m.rejected = num_rejected();
+  m.shed = num_shed();
+  m.breaker_trips = num_breaker_trips();
+  m.shutdown = _shutdown.load(std::memory_order_relaxed);
+  if (_admission_active) {
+    std::scoped_lock adm(_adm_mutex);
+    m.adm_pending = _adm_pending;
+    m.adm_started = _adm_started;
+    for (const auto& [owner, ac] : _adm_clients) {
+      if (ac.breaker != AdmissionClient::Breaker::closed) ++m.breakers_open;
+    }
+  }
+  return m;
 }
 
 // ---------------------------------------------------------------------------

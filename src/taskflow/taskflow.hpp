@@ -519,6 +519,27 @@ class Executor : private detail::TopologyClient {
   /// Safe (and race-free) to call from any thread while graphs run.
   void dump_state(std::ostream& os) const;
 
+  /// Machine-readable metrics snapshot - the structured sibling of
+  /// dump_state() consumed by the service layer's /healthz probe
+  /// (DESIGN.md §13).  Scheduler numbers are atomics-only best effort;
+  /// the admission block is read under the admission lock, so pending/
+  /// started/breakers_open form a consistent cut of the admission state.
+  struct Metrics {
+    ExecutorInterface::SchedulerStats scheduler;
+    std::size_t num_topologies{0};  // graph runs in flight (queue depth)
+    std::size_t num_asyncs{0};
+    bool admission_active{false};   // admission knobs engaged?
+    std::size_t admitted{0};        // lifetime admission counters
+    std::size_t rejected{0};
+    std::size_t shed{0};
+    std::size_t breaker_trips{0};
+    std::size_t adm_pending{0};     // admitted, not yet finished/shed
+    std::size_t adm_started{0};     // holding a concurrency slot
+    std::size_t breakers_open{0};   // client breakers currently open
+    bool shutdown{false};
+  };
+  [[nodiscard]] Metrics metrics() const;
+
   /// dump_state() wrapped as the executor stall report string.
   [[nodiscard]] std::string stall_report() const;
 
@@ -735,6 +756,20 @@ class Executor : private detail::TopologyClient {
 // Defined here (declared in flow_builder.hpp) because it needs Taskflow
 // complete to reach the composed graph.
 inline Task FlowBuilder::composed_of(Taskflow& target) {
+  // Static recursion guard: refuse to close a module-reference cycle.  Any
+  // cycle built through composed_of alone is caught at the call that closes
+  // it (the walk sees every reference added so far); cycles assembled
+  // through channels this walk cannot see (a dynamic subflow composing an
+  // ancestor at runtime) fall to the kMaxModuleDepth execution backstop.
+  if (detail::composes_transitively(target.graph(), *_graph)) {
+    throw CompositionError(
+        &target.graph() == _graph
+            ? "composed_of: a taskflow cannot compose itself - module "
+              "expansion would recurse without bound"
+            : "composed_of: target taskflow already composes this graph "
+              "(mutual/transitive module recursion) - expansion would "
+              "recurse without bound");
+  }
   Task task = placeholder();
   task._node->_work.emplace<ModuleWork>(ModuleWork{&target.graph()});
   return task;

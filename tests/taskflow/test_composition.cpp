@@ -241,6 +241,101 @@ TEST_P(Composition, ModuleGraphsUnderAdmissionShedding) {
   EXPECT_EQ(ran.load(), 1);  // only h0's expansion executed the target
 }
 
+// ---------------------------------------------------------------------------
+// Recursion guards (ISSUE 9 satellite): composed_of rejects statically
+// detectable module cycles at build time; recursion assembled at runtime
+// (through dynamic subflows, invisible to the static walk) hits the
+// expansion-depth cap and surfaces a captured, task-naming CompositionError
+// through the future instead of a stack overflow.
+// ---------------------------------------------------------------------------
+
+TEST(CompositionGuard, SelfCompositionThrowsAtBuildTime) {
+  tf::Taskflow flow;
+  std::atomic<int> ran{0};
+  flow.emplace([&] { ran++; });
+  EXPECT_THROW((void)flow.composed_of(flow), tf::CompositionError);
+  // The guard fires before the module node is created: the flow stays
+  // intact and runnable.
+  tf::Executor executor(1);
+  EXPECT_NO_THROW(executor.run(flow).get());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(CompositionGuard, MutualCompositionThrowsAtBuildTime) {
+  tf::Taskflow a;
+  tf::Taskflow b;
+  a.emplace([] {});
+  b.emplace([] {});
+  (void)a.composed_of(b);
+  try {
+    (void)b.composed_of(a);
+    FAIL() << "closing a mutual module cycle must throw";
+  } catch (const tf::CompositionError& e) {
+    EXPECT_NE(std::string(e.what()).find("recurs"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CompositionGuard, TransitiveCompositionThrowsButDiamondReuseIsLegal) {
+  tf::Taskflow a;
+  tf::Taskflow b;
+  tf::Taskflow c;
+  c.emplace([] {});
+  (void)a.composed_of(b);
+  (void)b.composed_of(c);
+  EXPECT_THROW((void)c.composed_of(a), tf::CompositionError);
+  // Reuse without a cycle must stay legal: a already reaches c through b,
+  // and composing c a second time is a diamond, not recursion.
+  EXPECT_NO_THROW((void)a.composed_of(c));
+}
+
+TEST_P(Composition, DeepLegalNestingRunsUnderTheCap) {
+  // A 48-deep linear module chain stays under kMaxModuleDepth (64) and must
+  // complete normally - the cap only fires on runaway recursion.
+  constexpr int kDepth = 48;
+  std::atomic<int> ran{0};
+  std::vector<std::unique_ptr<tf::Taskflow>> flows;
+  flows.push_back(std::make_unique<tf::Taskflow>());
+  flows.back()->emplace([&] { ran++; });
+  for (int i = 1; i < kDepth; ++i) {
+    flows.push_back(std::make_unique<tf::Taskflow>());
+    (void)flows.back()->composed_of(*flows[static_cast<std::size_t>(i) - 1]);
+  }
+  tf::Taskflow tf(make());
+  auto h = tf.run(*flows.back());
+  ASSERT_EQ(h.wait_for(kDeadline), std::future_status::ready);
+  EXPECT_NO_THROW(h.get());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST_P(Composition, RuntimeAssembledRecursionHitsTheDepthCap) {
+  // The static walk cannot see this cycle: each run of `rec` spawns a fresh
+  // subflow graph that composes `rec` again, so the reference chain only
+  // exists at execution time.  The depth cap must stop it and deliver a
+  // CompositionError naming the module task through the future.
+  tf::Taskflow rec;
+  std::atomic<int> expansions{0};
+  rec.emplace([&](tf::SubflowBuilder& sf) {
+    expansions++;
+    sf.composed_of(rec).name("recurse");
+  });
+
+  tf::Taskflow tf(make());
+  auto h = tf.run(rec);
+  ASSERT_EQ(h.wait_for(kDeadline), std::future_status::ready);
+  try {
+    h.get();
+    FAIL() << "unbounded runtime recursion must surface CompositionError";
+  } catch (const tf::CompositionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recurse"), std::string::npos) << what;
+    EXPECT_NE(what.find("depth cap"), std::string::npos) << what;
+  }
+  // Bounded damage: the cap stops expansion near kMaxModuleDepth levels.
+  EXPECT_GE(expansions.load(), 32);
+  EXPECT_LE(expansions.load(), 80);
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, Composition,
                          ::testing::Values("work_stealing", "simple"),
                          [](const auto& info) { return std::string(info.param); });

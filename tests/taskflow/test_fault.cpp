@@ -520,6 +520,93 @@ TEST_P(FaultModel, OverloadStormDrainsWithCoherentOutcomes) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Allocation-failure injection (ISSUE 9 satellite): detail::arm_alloc_failure
+// makes the n-th GraphArena slab acquisition throw std::bad_alloc.  A failure
+// on a worker thread (subflow spawn, module instantiation) must ride the
+// skip-but-finalize drain to the future; a failure on the builder thread
+// throws straight to the caller.  Either way the executor survives.
+// ---------------------------------------------------------------------------
+
+TEST(AllocFailure, BuildTimeSlabGrowthThrowsToTheCallerAndDisarms) {
+  tf::Taskflow flow;  // arena is lazy: no slab yet
+  tf::detail::arm_alloc_failure(0);
+  EXPECT_THROW((void)flow.emplace([] {}), std::bad_alloc);
+  // One-shot: the injector disarmed itself when it fired.
+  std::atomic<int> ran{0};
+  EXPECT_NO_THROW((void)flow.emplace([&] { ran++; }));
+  tf::detail::disarm_alloc_failure();
+  tf::Executor executor(1);
+  EXPECT_NO_THROW(executor.run(flow).get());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST_P(FaultModel, AllocFailureDuringSubflowSpawnReachesTheFuture) {
+  tf::Taskflow tf(make(2));
+  tf::detail::disarm_alloc_failure();
+
+  std::atomic<bool> gate{false};
+  tf::Taskflow flow;
+  std::atomic<int> kids_ran{0};
+  auto pre = flow.emplace([&] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  auto dyn = flow.emplace([&](tf::SubflowBuilder& sf) {
+    for (int i = 0; i < 64; ++i) sf.emplace([&] { kids_ran++; });
+  });
+  pre.precede(dyn);
+
+  auto h = tf.run(flow);  // build + dispatch done: nodes already have slabs
+  // The next slab acquisition anywhere is the subflow child graph's first
+  // node, allocated on the worker mid-run.
+  tf::detail::arm_alloc_failure(0);
+  gate = true;
+  ASSERT_EQ(h.wait_for(kDrainDeadline), std::future_status::ready);
+  EXPECT_THROW(h.get(), std::bad_alloc);
+  tf::detail::disarm_alloc_failure();
+
+  // Survivable: the same executor keeps running clean work, and the same
+  // flow re-runs successfully once allocation recovers.
+  auto h2 = tf.run(flow);
+  ASSERT_EQ(h2.wait_for(kDrainDeadline), std::future_status::ready);
+  EXPECT_NO_THROW(h2.get());
+  EXPECT_EQ(kids_ran.load(), 64);
+}
+
+TEST_P(FaultModel, AllocFailureDuringModuleInstantiationReachesTheFuture) {
+  tf::Taskflow tf(make(2));
+  tf::detail::disarm_alloc_failure();
+
+  std::atomic<bool> gate{false};
+  std::atomic<int> target_ran{0};
+  tf::Taskflow target;
+  auto t0 = target.emplace([&] { target_ran++; });
+  auto t1 = target.emplace([&] { target_ran++; });
+  t0.precede(t1);
+
+  tf::Taskflow parent;
+  auto pre = parent.emplace([&] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  auto mod = parent.composed_of(target).name("alloc-victim");
+  pre.precede(mod);
+
+  auto h = tf.run(parent);
+  // Module expansion deep-copies `target` into a fresh child graph on the
+  // worker; its first node allocation is the next slab acquisition.
+  tf::detail::arm_alloc_failure(0);
+  gate = true;
+  ASSERT_EQ(h.wait_for(kDrainDeadline), std::future_status::ready);
+  EXPECT_THROW(h.get(), std::bad_alloc);
+  EXPECT_EQ(target_ran.load(), 0);  // the expansion never materialized
+  tf::detail::disarm_alloc_failure();
+
+  auto h2 = tf.run(parent);
+  ASSERT_EQ(h2.wait_for(kDrainDeadline), std::future_status::ready);
+  EXPECT_NO_THROW(h2.get());
+  EXPECT_EQ(target_ran.load(), 2);
+}
+
 INSTANTIATE_TEST_SUITE_P(Executors, FaultModel,
                          ::testing::Values("work_stealing", "simple"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
