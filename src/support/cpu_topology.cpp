@@ -1,0 +1,263 @@
+#include "support/cpu_topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace support {
+
+namespace {
+
+// Read a whole small sysfs file; empty string on any failure (missing file,
+// unreadable, ...) - absence is a legal degraded state, never an error.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Read a sysfs integer attribute; `fallback` when missing or malformed.
+int read_int(const std::string& path, int fallback) {
+  const std::string text = read_file(path);
+  if (text.empty()) return fallback;
+  try {
+    return std::stoi(text);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+std::vector<int> parse_cpu_list(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    // Trim whitespace/newlines around the chunk.
+    const auto first = chunk.find_first_not_of(" \t\n\r");
+    if (first == std::string::npos) continue;
+    const auto last = chunk.find_last_not_of(" \t\n\r");
+    chunk = chunk.substr(first, last - first + 1);
+    try {
+      const auto dash = chunk.find('-');
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(chunk));
+      } else {
+        const int lo = std::stoi(chunk.substr(0, dash));
+        const int hi = std::stoi(chunk.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (...) {
+      // Malformed chunk: skip it, keep what parsed.
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+CpuTopology CpuTopology::flat(std::size_t num_cpus) {
+  if (num_cpus == 0) num_cpus = 1;
+  CpuTopology t;
+  t._cpus.reserve(num_cpus);
+  for (std::size_t i = 0; i < num_cpus; ++i) {
+    t._cpus.push_back(CpuInfo{static_cast<int>(i), static_cast<int>(i), 0, 0});
+  }
+  t._fallback = true;
+  t.finalize_counts();
+  return t;
+}
+
+CpuTopology CpuTopology::discover(const std::string& sysfs_root) {
+  const std::string cpu_root = sysfs_root + "/devices/system/cpu";
+
+  // Online CPU set: the `online` list is authoritative (offline CPUs are
+  // excluded); when it is missing, probe cpuN directories sequentially.
+  std::vector<int> online = parse_cpu_list(read_file(cpu_root + "/online"));
+  if (online.empty()) {
+    for (int c = 0;; ++c) {
+      if (read_file(cpu_root + "/cpu" + std::to_string(c) +
+                    "/topology/physical_package_id")
+              .empty() &&
+          read_file(cpu_root + "/cpu" + std::to_string(c) + "/topology/core_id")
+              .empty()) {
+        break;
+      }
+      online.push_back(c);
+    }
+  }
+  if (online.empty()) {
+    return flat(std::thread::hardware_concurrency());
+  }
+
+  CpuTopology t;
+  t._cpus.reserve(online.size());
+  for (const int c : online) {
+    const std::string topo =
+        cpu_root + "/cpu" + std::to_string(c) + "/topology/";
+    CpuInfo info;
+    info.cpu = c;
+    info.package = read_int(topo + "physical_package_id", 0);
+    // A missing core_id degrades to "own core" (no SMT sharing visible).
+    info.core = read_int(topo + "core_id", c);
+    info.node = 0;
+    t._cpus.push_back(info);
+  }
+
+  // NUMA nodes: each node directory publishes its CPU list.  Missing node
+  // tree (or single node0) leaves everything on node 0.
+  const std::string node_root = sysfs_root + "/devices/system/node";
+  for (int n = 0;; ++n) {
+    const std::string list =
+        read_file(node_root + "/node" + std::to_string(n) + "/cpulist");
+    if (list.empty()) {
+      // Node ids are dense in sysfs; the first gap ends the scan (node0
+      // always exists on NUMA kernels).
+      if (n > 0) break;
+      if (read_file(node_root + "/node0/cpulist").empty() &&
+          read_file(node_root + "/possible").empty()) {
+        break;  // no node tree at all: single-node machine
+      }
+      continue;
+    }
+    for (const int c : parse_cpu_list(list)) {
+      for (CpuInfo& info : t._cpus) {
+        if (info.cpu == c) info.node = n;
+      }
+    }
+  }
+
+  t.finalize_counts();
+  return t;
+}
+
+void CpuTopology::finalize_counts() {
+  int max_node = 0;
+  std::vector<std::pair<int, int>> cores;  // (package, core) pairs
+  cores.reserve(_cpus.size());
+  for (const CpuInfo& c : _cpus) {
+    max_node = std::max(max_node, c.node);
+    cores.emplace_back(c.package, c.core);
+  }
+  std::sort(cores.begin(), cores.end());
+  cores.erase(std::unique(cores.begin(), cores.end()), cores.end());
+  _num_nodes = max_node + 1;
+  _num_cores = static_cast<int>(cores.size());
+}
+
+int CpuTopology::tier(std::size_t a, std::size_t b) const noexcept {
+  if (a >= _cpus.size() || b >= _cpus.size()) return kRemote;
+  const CpuInfo& x = _cpus[a];
+  const CpuInfo& y = _cpus[b];
+  if (x.package == y.package && x.core == y.core) return kSameCore;
+  if (x.node == y.node) return kSameNode;
+  return kRemote;
+}
+
+std::vector<std::size_t> CpuTopology::assign(std::size_t workers,
+                                             NumaPolicy policy) const {
+  std::vector<std::size_t> order(_cpus.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // SMT rank: a CPU's position among the threads of its (package, core)
+  // group, in cpu-id order.  Both policies order rank-0 threads (one per
+  // physical core) before any rank-1 sibling, so SMT sharing only begins
+  // once every core already has a worker.
+  std::vector<int> smt_rank(_cpus.size(), 0);
+  {
+    std::vector<std::size_t> by_core = order;
+    std::stable_sort(by_core.begin(), by_core.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       const CpuInfo& x = _cpus[a];
+                       const CpuInfo& y = _cpus[b];
+                       if (x.package != y.package) return x.package < y.package;
+                       if (x.core != y.core) return x.core < y.core;
+                       return x.cpu < y.cpu;
+                     });
+    for (std::size_t i = 0; i < by_core.size(); ++i) {
+      smt_rank[by_core[i]] =
+          (i > 0 && _cpus[by_core[i]].package == _cpus[by_core[i - 1]].package &&
+           _cpus[by_core[i]].core == _cpus[by_core[i - 1]].core)
+              ? smt_rank[by_core[i - 1]] + 1
+              : 0;
+    }
+  }
+
+  if (policy == NumaPolicy::compact) {
+    // Node-major, then distinct cores, SMT siblings last: the first W
+    // workers share one node and spread over its physical cores before any
+    // core carries two workers.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const CpuInfo& x = _cpus[a];
+                       const CpuInfo& y = _cpus[b];
+                       if (x.node != y.node) return x.node < y.node;
+                       if (smt_rank[a] != smt_rank[b]) return smt_rank[a] < smt_rank[b];
+                       if (x.package != y.package) return x.package < y.package;
+                       if (x.core != y.core) return x.core < y.core;
+                       return x.cpu < y.cpu;
+                     });
+  } else {
+    // Scatter: interleave nodes round-robin (node-rank-major ordering).
+    std::vector<int> rank_in_node(_cpus.size(), 0);
+    std::vector<int> seen(static_cast<std::size_t>(_num_nodes), 0);
+    // Ranks follow the compact in-node order, so scatter still walks each
+    // node core-first.
+    std::vector<std::size_t> compact = assign(_cpus.size(), NumaPolicy::compact);
+    for (const std::size_t idx : compact) {
+      rank_in_node[idx] = seen[static_cast<std::size_t>(_cpus[idx].node)]++;
+    }
+    order = compact;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (rank_in_node[a] != rank_in_node[b]) {
+                         return rank_in_node[a] < rank_in_node[b];
+                       }
+                       return _cpus[a].node < _cpus[b].node;
+                     });
+  }
+
+  std::vector<std::size_t> out;
+  out.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) out.push_back(order[w % order.size()]);
+  return out;
+}
+
+bool pin_current_thread(int cpu) noexcept {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+std::vector<int> current_affinity() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0) return {};
+  std::vector<int> cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(static_cast<unsigned>(c), &set)) cpus.push_back(c);
+  }
+  return cpus;
+#else
+  return {};
+#endif
+}
+
+}  // namespace support

@@ -1,0 +1,101 @@
+// cpu_topology.hpp - machine package/NUMA/SMT layout discovery and thread
+// pinning, the substrate of the locality-aware scheduler (DESIGN.md §14).
+//
+// Discovery reads the Linux sysfs tree (/sys/devices/system/cpu and
+// /sys/devices/system/node); the root is a parameter so tests can point it
+// at a fabricated fixture tree.  On any platform - or container - where the
+// tree is absent or unreadable, discovery degrades to a *flat* single-node
+// topology of hardware_concurrency CPUs (fallback() == true), so callers
+// never need a platform branch: every query keeps working, it just reports
+// one node and no SMT sharing.
+//
+// Locality between two CPUs is expressed as a small *tier*:
+//   tier 0 - same physical core (SMT siblings, shared L1/L2)
+//   tier 1 - same NUMA node (shared LLC / local memory)
+//   tier 2 - remote node
+// The work-stealing executor orders steal victims near-first by these tiers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace support {
+
+/// Where a worker's CPUs should come from when pinning (the `numa_policy`
+/// knob of tf::WorkStealingOptions).
+enum class NumaPolicy {
+  /// Fill one node's cores before touching the next (dense co-location:
+  /// maximal cache/memory sharing, the default for graph workloads whose
+  /// arena slabs live on one node).
+  compact,
+  /// Round-robin workers across nodes (maximal aggregate memory bandwidth).
+  scatter,
+};
+
+/// One online logical CPU and its position in the machine hierarchy.
+struct CpuInfo {
+  int cpu{-1};      ///< logical CPU id (the sched_setaffinity index)
+  int core{-1};     ///< physical core id, unique within its package
+  int package{0};   ///< physical package (socket) id
+  int node{0};      ///< NUMA node id
+};
+
+class CpuTopology {
+ public:
+  /// Locality tiers (see file comment).  kTiers bounds per-tier arrays.
+  static constexpr int kSameCore = 0;
+  static constexpr int kSameNode = 1;
+  static constexpr int kRemote = 2;
+  static constexpr int kTiers = 3;
+
+  /// Discover the machine layout from `sysfs_root` (default "/sys"; tests
+  /// substitute a fixture tree).  Never throws: any missing or malformed
+  /// file degrades that attribute (missing node dirs -> one node, missing
+  /// core ids -> one core per CPU), and an unusable tree degrades to
+  /// flat(hardware_concurrency).
+  [[nodiscard]] static CpuTopology discover(const std::string& sysfs_root = "/sys");
+
+  /// The graceful single-node fallback shape: `num_cpus` CPUs, each its own
+  /// core, one package, one node.
+  [[nodiscard]] static CpuTopology flat(std::size_t num_cpus);
+
+  [[nodiscard]] const std::vector<CpuInfo>& cpus() const noexcept { return _cpus; }
+  [[nodiscard]] std::size_t num_cpus() const noexcept { return _cpus.size(); }
+  [[nodiscard]] int num_nodes() const noexcept { return _num_nodes; }
+  [[nodiscard]] int num_cores() const noexcept { return _num_cores; }
+  /// True when sysfs discovery was impossible and flat() shaped this object.
+  [[nodiscard]] bool fallback() const noexcept { return _fallback; }
+
+  /// Locality tier between two logical CPUs (indices into cpus(), not CPU
+  /// ids); out-of-range indices are kRemote.
+  [[nodiscard]] int tier(std::size_t a, std::size_t b) const noexcept;
+
+  /// Assign `workers` workers to CPUs of this topology under `policy`;
+  /// returns one index into cpus() per worker.  More workers than CPUs wrap
+  /// around (oversubscription shares CPUs in the same policy order).
+  [[nodiscard]] std::vector<std::size_t> assign(std::size_t workers,
+                                                NumaPolicy policy) const;
+
+ private:
+  std::vector<CpuInfo> _cpus;
+  int _num_nodes{1};
+  int _num_cores{0};
+  bool _fallback{false};
+
+  void finalize_counts();
+};
+
+/// Parse a sysfs CPU list ("0-3,5,8-9") into ids; malformed chunks are
+/// skipped.  Exposed for the fixture tests.
+[[nodiscard]] std::vector<int> parse_cpu_list(const std::string& text);
+
+/// Pin the calling thread to the single logical CPU `cpu`.  Returns true on
+/// success; always false on platforms without sched_setaffinity.
+bool pin_current_thread(int cpu) noexcept;
+
+/// The calling thread's current affinity mask as a CPU id list; empty when
+/// the platform cannot report it.
+[[nodiscard]] std::vector<int> current_affinity();
+
+}  // namespace support

@@ -1,0 +1,261 @@
+// Tests for support/cpu_topology: sysfs discovery against a fabricated
+// fixture tree (multi-node, SMT siblings, offline CPUs, missing attributes),
+// the flat fallback, worker-to-CPU assignment under both NUMA policies, and
+// the pinning round-trip on Linux.
+#include "support/cpu_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace fs = std::filesystem;
+using support::CpuTopology;
+using support::NumaPolicy;
+
+namespace {
+
+// Builds a fake /sys under a unique temp directory and removes it on exit.
+class FakeSysfs {
+ public:
+  FakeSysfs() {
+    _root = fs::temp_directory_path() /
+            ("cpu_topology_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter()++));
+    fs::create_directories(_root);
+  }
+
+  ~FakeSysfs() {
+    std::error_code ec;
+    fs::remove_all(_root, ec);
+  }
+
+  [[nodiscard]] std::string root() const { return _root.string(); }
+
+  void write(const std::string& rel, const std::string& content) const {
+    const fs::path p = _root / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+  }
+
+  void cpu(int id, int package, int core) const {
+    const std::string base =
+        "devices/system/cpu/cpu" + std::to_string(id) + "/topology/";
+    write(base + "physical_package_id", std::to_string(package) + "\n");
+    write(base + "core_id", std::to_string(core) + "\n");
+  }
+
+  void node(int id, const std::string& cpulist) const {
+    write("devices/system/node/node" + std::to_string(id) + "/cpulist",
+          cpulist + "\n");
+  }
+
+ private:
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+  fs::path _root;
+};
+
+TEST(ParseCpuList, RangesSinglesAndGarbage) {
+  EXPECT_EQ(support::parse_cpu_list("0-3,5,8-9\n"),
+            (std::vector<int>{0, 1, 2, 3, 5, 8, 9}));
+  EXPECT_EQ(support::parse_cpu_list("2"), (std::vector<int>{2}));
+  EXPECT_EQ(support::parse_cpu_list(" 1 , 0 "), (std::vector<int>{0, 1}));
+  EXPECT_EQ(support::parse_cpu_list("3,3,1-3"), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(support::parse_cpu_list("").empty());
+  EXPECT_TRUE(support::parse_cpu_list("banana").empty());
+  // A malformed chunk is dropped, the rest survives.
+  EXPECT_EQ(support::parse_cpu_list("0,x,2"), (std::vector<int>{0, 2}));
+}
+
+TEST(CpuTopology, DiscoverTwoNodesWithSmt) {
+  // 2 nodes x 2 cores x 2 SMT threads: node0 = {0,1,4,5}, node1 = {2,3,6,7};
+  // cpu i and cpu i+4 are SMT siblings of one core.
+  FakeSysfs sys;
+  sys.write("devices/system/cpu/online", "0-7\n");
+  for (int i = 0; i < 8; ++i) {
+    const int core = i % 4;            // cores 0..3
+    const int package = core / 2;      // package 0 holds cores 0,1
+    sys.cpu(i, package, core % 2);     // core_id unique within package
+  }
+  sys.node(0, "0-1,4-5");
+  sys.node(1, "2-3,6-7");
+
+  const auto topo = CpuTopology::discover(sys.root());
+  ASSERT_EQ(topo.num_cpus(), 8u);
+  EXPECT_FALSE(topo.fallback());
+  EXPECT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.num_cores(), 4);
+
+  // cpus() preserves online order, so index == cpu id here.
+  EXPECT_EQ(topo.cpus()[5].node, 0);
+  EXPECT_EQ(topo.cpus()[6].node, 1);
+
+  // SMT siblings (same package, same core): cpu0 and cpu4.
+  EXPECT_EQ(topo.tier(0, 4), CpuTopology::kSameCore);
+  // Same node, different core: cpu0 and cpu1.
+  EXPECT_EQ(topo.tier(0, 1), CpuTopology::kSameNode);
+  // Across nodes: cpu0 and cpu2.
+  EXPECT_EQ(topo.tier(0, 2), CpuTopology::kRemote);
+  // Out-of-range index is remote, not UB.
+  EXPECT_EQ(topo.tier(0, 99), CpuTopology::kRemote);
+}
+
+TEST(CpuTopology, OfflineCpusAreExcluded) {
+  FakeSysfs sys;
+  sys.write("devices/system/cpu/online", "0-1,3\n");  // cpu2 offline
+  for (int i = 0; i < 4; ++i) sys.cpu(i, 0, i);
+  sys.node(0, "0-3");
+
+  const auto topo = CpuTopology::discover(sys.root());
+  ASSERT_EQ(topo.num_cpus(), 3u);
+  EXPECT_EQ(topo.cpus()[2].cpu, 3);  // cpu3 follows cpu1
+}
+
+TEST(CpuTopology, MissingOnlineFileProbesCpuDirs) {
+  FakeSysfs sys;  // no `online` file at all
+  sys.cpu(0, 0, 0);
+  sys.cpu(1, 0, 1);
+
+  const auto topo = CpuTopology::discover(sys.root());
+  ASSERT_EQ(topo.num_cpus(), 2u);
+  EXPECT_FALSE(topo.fallback());
+  EXPECT_EQ(topo.num_nodes(), 1);  // no node tree: single node
+}
+
+TEST(CpuTopology, MissingCoreIdsDegradeToOwnCore) {
+  FakeSysfs sys;
+  sys.write("devices/system/cpu/online", "0-1\n");
+  // Only package ids exist; core_id files are absent.
+  sys.write("devices/system/cpu/cpu0/topology/physical_package_id", "0\n");
+  sys.write("devices/system/cpu/cpu1/topology/physical_package_id", "0\n");
+
+  const auto topo = CpuTopology::discover(sys.root());
+  ASSERT_EQ(topo.num_cpus(), 2u);
+  EXPECT_EQ(topo.num_cores(), 2);  // each CPU its own core: no false SMT tier
+  EXPECT_EQ(topo.tier(0, 1), CpuTopology::kSameNode);
+}
+
+TEST(CpuTopology, EmptyTreeFallsBackFlat) {
+  FakeSysfs sys;  // nothing at all under the root
+  const auto topo = CpuTopology::discover(sys.root());
+  EXPECT_TRUE(topo.fallback());
+  EXPECT_GE(topo.num_cpus(), 1u);
+  EXPECT_EQ(topo.num_nodes(), 1);
+  // Flat shape: every CPU is its own core, all same-node, none same-core.
+  if (topo.num_cpus() > 1) {
+    EXPECT_EQ(topo.tier(0, 1), CpuTopology::kSameNode);
+  }
+  EXPECT_EQ(topo.tier(0, 0), CpuTopology::kSameCore);
+}
+
+TEST(CpuTopology, FlatShape) {
+  const auto topo = CpuTopology::flat(4);
+  EXPECT_TRUE(topo.fallback());
+  EXPECT_EQ(topo.num_cpus(), 4u);
+  EXPECT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.num_cores(), 4);
+  const auto a = topo.assign(6, NumaPolicy::compact);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a[4], a[0]);  // oversubscription wraps around
+}
+
+TEST(CpuTopology, CompactAssignmentFillsOneNodeFirst) {
+  FakeSysfs sys;
+  sys.write("devices/system/cpu/online", "0-7\n");
+  for (int i = 0; i < 8; ++i) sys.cpu(i, i / 4, i % 4);
+  sys.node(0, "0-3");
+  sys.node(1, "4-7");
+
+  const auto topo = CpuTopology::discover(sys.root());
+  const auto a = topo.assign(4, NumaPolicy::compact);
+  ASSERT_EQ(a.size(), 4u);
+  for (const auto idx : a) {
+    EXPECT_EQ(topo.cpus()[idx].node, 0) << "compact must fill node0 first";
+  }
+}
+
+TEST(CpuTopology, ScatterAssignmentAlternatesNodes) {
+  FakeSysfs sys;
+  sys.write("devices/system/cpu/online", "0-7\n");
+  for (int i = 0; i < 8; ++i) sys.cpu(i, i / 4, i % 4);
+  sys.node(0, "0-3");
+  sys.node(1, "4-7");
+
+  const auto topo = CpuTopology::discover(sys.root());
+  const auto a = topo.assign(4, NumaPolicy::scatter);
+  ASSERT_EQ(a.size(), 4u);
+  int on_node0 = 0;
+  for (const auto idx : a) on_node0 += topo.cpus()[idx].node == 0 ? 1 : 0;
+  EXPECT_EQ(on_node0, 2) << "scatter must interleave the two nodes";
+  EXPECT_NE(topo.cpus()[a[0]].node, topo.cpus()[a[1]].node);
+}
+
+TEST(CpuTopology, SmtSiblingsAssignedLast) {
+  // 1 node, 2 cores x 2 threads: compact must give the first two workers
+  // distinct cores, resorting to SMT siblings only for workers 3 and 4.
+  FakeSysfs sys;
+  sys.write("devices/system/cpu/online", "0-3\n");
+  sys.cpu(0, 0, 0);
+  sys.cpu(1, 0, 1);
+  sys.cpu(2, 0, 0);  // sibling of cpu0
+  sys.cpu(3, 0, 1);  // sibling of cpu1
+  sys.node(0, "0-3");
+
+  const auto topo = CpuTopology::discover(sys.root());
+  const auto a = topo.assign(4, NumaPolicy::compact);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(topo.tier(a[0], a[1]), CpuTopology::kSameNode)
+      << "first two workers must land on distinct cores";
+  EXPECT_EQ(topo.tier(a[0], a[2]), CpuTopology::kSameCore)
+      << "third worker takes the first SMT sibling";
+}
+
+TEST(CpuTopology, RealSysfsDiscoveryNeverThrows) {
+  // Whatever this host looks like, discovery must produce a usable shape.
+  const auto topo = CpuTopology::discover();
+  EXPECT_GE(topo.num_cpus(), 1u);
+  EXPECT_GE(topo.num_nodes(), 1);
+  const auto a = topo.assign(8, NumaPolicy::compact);
+  EXPECT_EQ(a.size(), 8u);
+  for (const auto idx : a) EXPECT_LT(idx, topo.num_cpus());
+}
+
+#if defined(__linux__)
+TEST(Pinning, RoundTripAndRestore) {
+  const std::vector<int> before = support::current_affinity();
+  ASSERT_FALSE(before.empty());
+
+  const int target = before.front();
+  ASSERT_TRUE(support::pin_current_thread(target));
+  const std::vector<int> pinned = support::current_affinity();
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned.front(), target);
+
+  // Restore the original mask so later tests in this binary see the full
+  // machine again.
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int c : before) CPU_SET(static_cast<unsigned>(c), &set);
+  ASSERT_EQ(pthread_setaffinity_np(pthread_self(), sizeof(set), &set), 0);
+  EXPECT_EQ(support::current_affinity(), before);
+}
+
+TEST(Pinning, RejectsNegativeCpu) {
+  EXPECT_FALSE(support::pin_current_thread(-1));
+}
+#endif
+
+}  // namespace
